@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark regenerates one of the paper's evaluation artefacts
+(Figure 1 or an in-text claim), asserts its qualitative shape, prints
+the series, and appends it to ``benchmarks/results/`` so EXPERIMENTS.md
+can quote the measured numbers.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.data.datasets import paper_dataset
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def paper_data():
+    """The reproduction of the paper's 127-key Zipf(1.8) dataset."""
+    return paper_dataset()
+
+
+@pytest.fixture(scope="session")
+def record_result():
+    """Write one experiment's rendered table to benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return _record

@@ -1,0 +1,108 @@
+"""Construction-time study across domain sizes.
+
+The paper omits runtimes but asserts two things: the wavelet selection
+is near-linear (faster than the histogram DPs), and exact OPT-A is only
+feasible at small scales.  This benchmark times every builder across a
+size sweep and checks both statements, and separately benchmarks query
+answering throughput (the other runtime that matters in an engine).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.builders import build_by_name
+from repro.data.distributions import zipf_frequencies
+from repro.experiments.reporting import format_table
+from repro.experiments.runtimes import run_construction_timing
+from repro.queries.workload import random_ranges
+
+
+@pytest.fixture(scope="module")
+def timing_points():
+    return run_construction_timing(sizes=(64, 127, 256), include_opt_a_up_to=127)
+
+
+def test_timing_sweep_and_record(benchmark, record_result):
+    points = benchmark.pedantic(
+        run_construction_timing,
+        kwargs={"sizes": (64, 127, 256), "include_opt_a_up_to": 127},
+        iterations=1,
+        rounds=1,
+    )
+    rows = [[p.method, p.n, p.seconds] for p in points]
+    record_result(
+        "construction_time",
+        format_table(["method", "n", "seconds"], rows, title="Construction time"),
+    )
+
+
+class TestConstructionTimes:
+    def test_wavelets_faster_than_histogram_dps(self, timing_points):
+        """Section 4: "our wavelet algorithms are quicker than methods
+        for histograms"."""
+        at_256 = {p.method: p.seconds for p in timing_points if p.n == 256}
+        wavelet = max(at_256["wavelet-point"], at_256["wavelet-range"])
+        slowest_dp = max(at_256["sap0"], at_256["sap1"], at_256["a0"])
+        assert wavelet < slowest_dp
+
+    def test_all_polynomial_methods_complete_quickly(self, timing_points):
+        assert all(p.seconds < 30.0 for p in timing_points)
+
+
+QUERY_METHODS = ("a0", "sap1", "wavelet-point", "wavelet-range")
+
+
+@pytest.mark.parametrize("method", QUERY_METHODS)
+def test_query_throughput(benchmark, paper_data, method):
+    """Vectorised answering of 10k random ranges."""
+    estimator = build_by_name(method, paper_data, 40)
+    workload = random_ranges(paper_data.size, 10_000, seed=5)
+    benchmark(estimator.estimate_many, workload.lows, workload.highs)
+
+
+def test_sap1_scales_to_larger_domains(benchmark):
+    """The O(n^2 B) DP at n=512 — comfortably interactive."""
+    data = zipf_frequencies(512, alpha=1.8, scale=2000, seed=17)
+    benchmark.pedantic(build_by_name, args=("sap1", data, 40), iterations=1, rounds=3)
+
+
+def _scaling_rows():
+    import time
+
+    from repro.core.scale import build_scaled
+    from repro.data.distributions import zipf_frequencies
+    from repro.queries.evaluation import sse as sse_fn
+    from repro.queries.workload import random_ranges
+
+    rows = []
+    for n in (1024, 4096):
+        data = zipf_frequencies(n, alpha=1.6, scale=20_000, seed=11)
+        workload = random_ranges(n, 3000, seed=2)
+        start = time.perf_counter()
+        scaled = build_scaled(data, 24, method="sap1")
+        scaled_seconds = time.perf_counter() - start
+        scaled_sse = sse_fn(scaled, data, workload)
+        if n <= 1024:
+            start = time.perf_counter()
+            direct = build_by_name("sap1", data, 120)
+            direct_seconds = time.perf_counter() - start
+            direct_sse = sse_fn(direct, data, workload)
+        else:
+            direct_seconds = direct_sse = float("nan")
+        rows.append([n, scaled_seconds, scaled_sse, direct_seconds, direct_sse])
+    return rows
+
+
+def test_large_domain_scaling_and_record(benchmark, record_result):
+    """A7: the coarsen-solve-refine path vs the direct quadratic DP."""
+    rows = benchmark.pedantic(_scaling_rows, iterations=1, rounds=1)
+    record_result(
+        "construction_scaling",
+        format_table(
+            ["n", "scaled sec", "scaled SSE", "direct sec", "direct SSE"],
+            rows,
+            title="A7: large-domain construction (sap1, 24 buckets)",
+        ),
+    )
+    for row in rows:
+        assert row[1] < 30.0  # scaled path stays interactive

@@ -1,0 +1,122 @@
+"""Theorem 4 study: OPT-A-ROUNDED's quality/time trade-off.
+
+Definition 3 rounds the input to multiples of ``x`` before running the
+pseudo-polynomial DP, shrinking the Lambda state space by a factor ``x``
+while degrading the histogram by a bounded amount.  This benchmark
+sweeps ``x``, measuring construction effort (DP states explored) and
+resulting quality relative to exact OPT-A — the trade the theorem
+promises, plus the unbiased randomised-rounding variant.
+"""
+
+import time
+
+import pytest
+
+from repro.core.opt_a import opt_a_search
+from repro.core.opt_a_rounded import build_opt_a_rounded, round_to_multiples
+from repro.experiments.reporting import format_table
+from repro.queries.evaluation import sse
+
+BUCKETS = 10
+X_SWEEP = (1, 2, 4, 8, 16)
+
+
+def _run_sweep(paper_data):
+    exact = opt_a_search(paper_data, BUCKETS)
+    rows = []
+    for x in X_SWEEP:
+        start = time.perf_counter()
+        reduced = round_to_multiples(paper_data, x) / x
+        reduced_states = opt_a_search(reduced, BUCKETS).state_count
+        hist = build_opt_a_rounded(paper_data, BUCKETS, x=x)
+        seconds = time.perf_counter() - start
+        quality = sse(hist, paper_data)
+        scaled = sse(
+            build_opt_a_rounded(paper_data, BUCKETS, x=x, rebuild="scaled"), paper_data
+        )
+        rows.append(
+            {
+                "x": x,
+                "states": reduced_states,
+                "seconds": seconds,
+                "sse": quality,
+                "vs_exact": quality / max(exact.objective, 1e-12),
+                "scaled_sse": scaled,
+            }
+        )
+    return exact, rows
+
+
+@pytest.fixture(scope="module")
+def sweep(paper_data):
+    return _run_sweep(paper_data)
+
+
+def test_rounding_sweep_and_record(benchmark, paper_data, record_result):
+    exact, rows = benchmark.pedantic(
+        _run_sweep, args=(paper_data,), iterations=1, rounds=1
+    )
+    table_rows = [
+        [r["x"], r["states"], r["seconds"], r["sse"], r["vs_exact"], r["scaled_sse"]]
+        for r in rows
+    ]
+    record_result(
+        "rounding_tradeoff",
+        format_table(
+            ["x", "DP states", "seconds", "SSE", "SSE / exact OPT-A", "Def.3-verbatim SSE"],
+            table_rows,
+            title=(
+                f"Theorem 4 trade-off (B={BUCKETS}, exact OPT-A SSE="
+                f"{exact.objective:.0f})"
+            ),
+        ),
+    )
+
+
+class TestRoundingTradeoff:
+    def test_shape_rows_complete(self, sweep):
+        _, rows = sweep
+        assert [r["x"] for r in rows] == list(X_SWEEP)
+
+    def test_x_equal_one_is_exact(self, sweep):
+        exact, rows = sweep
+        assert rows[0]["x"] == 1
+        assert rows[0]["sse"] == pytest.approx(exact.objective, abs=1e-6)
+
+    def test_quality_loss_bounded(self, sweep):
+        """With the original-averages rebuild, moderate rounding stays
+        within a small multiple of exact OPT-A on this dataset."""
+        _, rows = sweep
+        assert all(r["vs_exact"] < 25.0 for r in rows if r["x"] <= 8)
+
+    def test_original_rebuild_beats_verbatim_scaling(self, sweep):
+        """The library default sidesteps the deterministic-rounding bias
+        that dominates Definition 3's verbatim value scaling."""
+        _, rows = sweep
+        for r in rows:
+            if r["x"] > 1:
+                assert r["sse"] <= r["scaled_sse"] + 1e-6
+
+    def test_states_shrink_with_x(self, sweep):
+        """The point of Theorem 4: coarser rounding -> smaller DP."""
+        _, rows = sweep
+        assert rows[-1]["states"] < rows[0]["states"]
+
+    def test_randomized_rounding_tames_scaled_bias(self, paper_data):
+        """Unbiased randomised rounding (the paper's closing remark in
+        2.1.3) removes the systematic inflation of the verbatim scaled
+        rebuild."""
+        deterministic = sse(
+            build_opt_a_rounded(paper_data, BUCKETS, x=2, rebuild="scaled"), paper_data
+        )
+        randomized = sse(
+            build_opt_a_rounded(
+                paper_data, BUCKETS, x=2, mode="randomized", seed=0, rebuild="scaled"
+            ),
+            paper_data,
+        )
+        assert randomized < deterministic
+
+
+def test_build_rounded_x8(benchmark, paper_data):
+    benchmark(build_opt_a_rounded, paper_data, BUCKETS, x=8)

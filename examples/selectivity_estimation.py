@@ -1,0 +1,83 @@
+"""Selectivity estimation for query optimisation.
+
+The classical use of the paper's synopses: a cost-based optimiser must
+order the predicates of a conjunctive query so the most selective one
+runs first.  It cannot afford to scan the data to find out — it asks a
+per-column synopsis instead.  This example builds a synthetic orders
+table, estimates the selectivity of each predicate from small SAP1
+histograms, and compares the plan chosen from estimates with the plan
+an oracle (exact selectivities) would choose.
+
+Run with:  python examples/selectivity_estimation.py
+"""
+
+import numpy as np
+
+import repro
+from repro.engine import ColumnStatistics
+
+
+def build_orders(rows: int = 50_000, seed: int = 42) -> dict[str, np.ndarray]:
+    """A synthetic orders table with differently-shaped columns."""
+    rng = np.random.default_rng(seed)
+    return {
+        # Heavy-tailed prices: most orders cheap, a few huge.
+        "price": np.minimum(
+            (rng.pareto(1.6, rows) * 30 + 1).astype(np.int64), 2000
+        ),
+        # Quantities cluster at small values.
+        "quantity": rng.poisson(4, rows) + 1,
+        # Customer ages, roughly normal.
+        "age": np.clip(rng.normal(40, 14, rows), 18, 95).astype(np.int64),
+    }
+
+
+def estimated_selectivity(column: np.ndarray, low, high, budget_words: int) -> float:
+    """Fraction of rows matching ``low <= column <= high``, from a synopsis."""
+    statistics = ColumnStatistics.from_values(column)
+    synopsis = repro.build_by_name("sap1", statistics.count_frequencies, budget_words)
+    clipped = statistics.clip_range(low, high)
+    if clipped is None:
+        return 0.0
+    matched = max(synopsis.estimate(*clipped), 0.0)
+    return matched / statistics.row_count
+
+
+def exact_selectivity(column: np.ndarray, low, high) -> float:
+    return float(((column >= low) & (column <= high)).mean())
+
+
+def main() -> None:
+    table = build_orders()
+    rows = len(table["price"])
+    predicates = [
+        ("price", 100, 400),
+        ("quantity", 2, 6),
+        ("age", 30, 35),
+    ]
+    budget_words = 30
+
+    print(f"orders table: {rows} rows; synopsis budget: {budget_words} words/column\n")
+    print(f"{'predicate':28s} {'estimated':>10s} {'exact':>10s} {'rel.err':>8s}")
+    results = []
+    for column_name, low, high in predicates:
+        est = estimated_selectivity(table[column_name], low, high, budget_words)
+        act = exact_selectivity(table[column_name], low, high)
+        rel = abs(est - act) / max(act, 1e-9)
+        results.append((column_name, low, high, est, act))
+        print(
+            f"{column_name} BETWEEN {low} AND {high:<6} {est:10.4f} {act:10.4f} {rel:8.1%}"
+        )
+
+    by_estimate = sorted(results, key=lambda r: r[3])
+    by_exact = sorted(results, key=lambda r: r[4])
+    print("\npredicate order chosen from synopses :", [r[0] for r in by_estimate])
+    print("predicate order an oracle would choose:", [r[0] for r in by_exact])
+    if [r[0] for r in by_estimate] == [r[0] for r in by_exact]:
+        print("-> the optimiser picks the oracle's plan from a few dozen words per column")
+    else:
+        print("-> orders differ; inspect the per-predicate errors above")
+
+
+if __name__ == "__main__":
+    main()

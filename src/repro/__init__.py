@@ -1,0 +1,101 @@
+"""repro: range-optimal summary statistics for range-sum aggregates.
+
+A complete reproduction of Gilbert, Kotidis, Muthukrishnan & Strauss,
+"Optimal and Approximate Computation of Summary Statistics for Range
+Aggregates" (PODS 2001): provably range-optimal histograms (OPT-A,
+OPT-A-ROUNDED, SAP0, SAP1), the A0 and POINT-OPT baselines, the
+Section 5 value re-optimisation, and Haar wavelet synopses including the
+near-linear range-optimal selection of Theorem 9 — plus the workload,
+evaluation, and approximate-query-engine machinery around them.
+
+Quickstart
+----------
+>>> import numpy as np, repro
+>>> data = repro.data.zipf_frequencies(127, alpha=1.8, seed=7)
+>>> hist = repro.build_sap1(data, n_buckets=8)
+>>> hist.estimate(10, 90)  # ~ sum(data[10..91])  # doctest: +SKIP
+>>> repro.evaluate(hist, data).sse  # doctest: +SKIP
+"""
+
+from repro import core, data, engine, errors, multidim, queries, sketches, wavelets
+from repro.core import (
+    AverageHistogram,
+    SapHistogram,
+    build_a0,
+    build_by_name,
+    build_equi_depth,
+    build_equi_width,
+    build_naive,
+    build_opt_a,
+    build_opt_a_auto,
+    build_opt_a_rounded,
+    build_point_opt,
+    build_minimax,
+    build_prefix_opt,
+    build_sap0,
+    build_sap1,
+    build_sap_poly,
+    build_scaled,
+    build_workload_aware,
+    buckets_for_budget,
+    describe,
+    refine_boundaries,
+    reoptimize_values,
+)
+from repro.queries import (
+    ExactRangeSum,
+    Workload,
+    all_ranges,
+    evaluate,
+    point_queries,
+    prefix_ranges,
+    random_ranges,
+    sse,
+)
+from repro.wavelets import build_wavelet_point, build_wavelet_range
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "data",
+    "engine",
+    "multidim",
+    "sketches",
+    "errors",
+    "queries",
+    "wavelets",
+    "AverageHistogram",
+    "SapHistogram",
+    "build_naive",
+    "build_equi_width",
+    "build_equi_depth",
+    "build_prefix_opt",
+    "build_minimax",
+    "build_sap_poly",
+    "build_scaled",
+    "build_workload_aware",
+    "build_point_opt",
+    "build_a0",
+    "build_opt_a",
+    "build_opt_a_auto",
+    "build_opt_a_rounded",
+    "build_sap0",
+    "build_sap1",
+    "build_by_name",
+    "buckets_for_budget",
+    "describe",
+    "reoptimize_values",
+    "refine_boundaries",
+    "build_wavelet_point",
+    "build_wavelet_range",
+    "ExactRangeSum",
+    "Workload",
+    "all_ranges",
+    "random_ranges",
+    "prefix_ranges",
+    "point_queries",
+    "evaluate",
+    "sse",
+    "__version__",
+]

@@ -1,0 +1,277 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``figure1``   regenerate the paper's Figure 1 sweep (synthetic or CSV data)
+``compare``   compare every synopsis at one budget on a dataset
+``estimate``  load a CSV table and answer an approximate SQL aggregate
+``timing``    construction-time table across domain sizes
+
+Datasets come either from a CSV column (``--csv file --column name``,
+raw attribute values that get binned into a frequency vector) or from a
+named generator (``--generate zipf --n 127 --seed 7``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+
+import numpy as np
+
+from repro.core.builders import BUILDER_REGISTRY, build_by_name
+from repro.data import (
+    gaussian_mixture_frequencies,
+    paper_dataset,
+    uniform_frequencies,
+    zipf_frequencies,
+)
+from repro.engine import ApproximateQueryEngine, Table
+from repro.errors import ReproError
+from repro.experiments.figure1 import figure1_table, run_figure1
+from repro.experiments.reporting import ascii_log_chart, format_table
+from repro.experiments.runtimes import run_construction_timing
+from repro.queries.evaluation import evaluate
+
+GENERATORS = {
+    "paper": lambda n, seed: paper_dataset(seed=seed) if seed is not None else paper_dataset(),
+    "zipf": lambda n, seed: zipf_frequencies(n, alpha=1.8, seed=seed),
+    "uniform": lambda n, seed: uniform_frequencies(n, seed=seed),
+    "mixture": lambda n, seed: gaussian_mixture_frequencies(n, seed=seed),
+}
+
+#: Methods shown by ``compare`` (exact OPT-A included via the auto builder).
+COMPARE_METHODS = (
+    "naive",
+    "equi-width",
+    "equi-depth",
+    "point-opt",
+    "a0",
+    "a0-reopt",
+    "opt-a-auto",
+    "sap0",
+    "sap1",
+    "wavelet-point",
+    "wavelet-range",
+)
+
+
+def _read_csv_column(path: str, column: str) -> np.ndarray:
+    """Raw integer attribute values from one CSV column."""
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None or column not in reader.fieldnames:
+            available = reader.fieldnames or []
+            raise ReproError(
+                f"column {column!r} not found in {path}; available: {available}"
+            )
+        values = [float(row[column]) for row in reader if row[column] != ""]
+    if not values:
+        raise ReproError(f"column {column!r} in {path} is empty")
+    return np.asarray(values)
+
+
+def _frequencies_from_args(args) -> np.ndarray:
+    if args.csv:
+        if not args.column:
+            raise ReproError("--csv requires --column")
+        raw = _read_csv_column(args.csv, args.column)
+        from repro.engine.column import ColumnStatistics
+
+        return ColumnStatistics.from_values(raw).count_frequencies
+    generator = GENERATORS[args.generate]
+    return generator(args.n, args.seed)
+
+
+def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--csv", help="CSV file with raw attribute values")
+    parser.add_argument("--column", help="column name inside --csv")
+    parser.add_argument(
+        "--generate",
+        choices=sorted(GENERATORS),
+        default="paper",
+        help="synthetic dataset when no --csv is given (default: paper)",
+    )
+    parser.add_argument("--n", type=int, default=127, help="synthetic domain size")
+    parser.add_argument("--seed", type=int, default=None, help="synthetic data seed")
+
+
+def _cmd_figure1(args) -> int:
+    data = _frequencies_from_args(args)
+    methods = list(args.methods) if args.methods else None
+    points = run_figure1(
+        data,
+        budgets=tuple(args.budgets),
+        **({"methods": methods} if methods else {}),
+    )
+    print(figure1_table(points))
+    if args.chart:
+        series: dict[str, dict[int, float]] = {}
+        for point in points:
+            series.setdefault(point.method, {})[point.budget_words] = point.sse
+        print()
+        print(ascii_log_chart(series, title="Figure 1 (log10 SSE vs words)"))
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    from repro.core.describe import describe
+
+    data = _frequencies_from_args(args)
+    estimator = build_by_name(args.method, data, args.budget)
+    print(describe(estimator, data))
+    return 0
+
+
+def _cmd_advise(args) -> int:
+    from repro.engine.advisor import recommend
+
+    data = _frequencies_from_args(args)
+    ranked = recommend(data, args.budget)
+    rows = [
+        [choice.method, choice.storage_words if not choice.error else "-",
+         choice.sse if not choice.error else f"failed: {choice.error}"[:48]]
+        for choice in ranked
+    ]
+    print(
+        format_table(
+            ["method", "words", "sampled-workload SSE"],
+            rows,
+            title=f"Advisor ranking (n={data.size}, budget={args.budget} words)",
+        )
+    )
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    data = _frequencies_from_args(args)
+    rows = []
+    for method in COMPARE_METHODS:
+        try:
+            estimator = build_by_name(method, data, args.budget)
+        except ReproError as error:
+            rows.append([method, "-", f"skipped: {error}"[:60], "-"])
+            continue
+        report = evaluate(estimator, data)
+        rows.append(
+            [method, report.storage_words, report.sse, report.max_abs_error]
+        )
+    print(
+        format_table(
+            ["method", "words", "all-ranges SSE", "max |error|"],
+            rows,
+            title=f"Synopsis comparison (n={data.size}, budget={args.budget} words)",
+        )
+    )
+    return 0
+
+
+def _cmd_estimate(args) -> int:
+    raw = _read_csv_column(args.csv, args.column)
+    engine = ApproximateQueryEngine()
+    engine.register_table(Table(args.table, {args.column: np.round(raw).astype(np.int64)}))
+    engine.build_synopsis(
+        args.table, args.column, method=args.method, budget_words=args.budget
+    )
+    result = engine.execute_sql(args.query, with_exact=not args.no_exact)
+    print(f"estimate: {result.estimate:.2f}")
+    if result.exact is not None:
+        print(f"exact:    {result.exact:.2f}")
+        print(f"rel.err:  {result.relative_error:.2%}")
+    print(f"synopsis: {result.synopsis_name} ({result.synopsis_words} words)")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.experiments.report import generate_report
+
+    text = generate_report()
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_timing(args) -> int:
+    points = run_construction_timing(
+        sizes=tuple(args.sizes), include_opt_a_up_to=args.opt_a_up_to
+    )
+    rows = [[p.method, p.n, p.seconds] for p in points]
+    print(format_table(["method", "n", "seconds"], rows, title="Construction time"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Range-aggregate summary statistics (PODS 2001 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    figure1 = commands.add_parser("figure1", help="regenerate the Figure 1 sweep")
+    _add_dataset_arguments(figure1)
+    figure1.add_argument(
+        "--budgets", type=int, nargs="+", default=[12, 20, 28, 36, 44, 52, 60]
+    )
+    figure1.add_argument(
+        "--methods", nargs="+", choices=sorted(BUILDER_REGISTRY), default=None
+    )
+    figure1.add_argument("--chart", action="store_true", help="also draw an ASCII chart")
+    figure1.set_defaults(handler=_cmd_figure1)
+
+    inspect = commands.add_parser("inspect", help="show a synopsis's structure")
+    _add_dataset_arguments(inspect)
+    inspect.add_argument("--method", default="opt-a-auto", choices=sorted(BUILDER_REGISTRY))
+    inspect.add_argument("--budget", type=int, default=24)
+    inspect.set_defaults(handler=_cmd_inspect)
+
+    advise = commands.add_parser("advise", help="rank synopsis methods for a dataset")
+    _add_dataset_arguments(advise)
+    advise.add_argument("--budget", type=int, default=40)
+    advise.set_defaults(handler=_cmd_advise)
+
+    compare = commands.add_parser("compare", help="compare synopses at one budget")
+    _add_dataset_arguments(compare)
+    compare.add_argument("--budget", type=int, default=40, help="storage budget in words")
+    compare.set_defaults(handler=_cmd_compare)
+
+    estimate = commands.add_parser("estimate", help="approximate SQL over a CSV column")
+    estimate.add_argument("--csv", required=True)
+    estimate.add_argument("--column", required=True)
+    estimate.add_argument("--table", default="t", help="table name used in the query")
+    estimate.add_argument("--method", default="sap1", choices=sorted(BUILDER_REGISTRY))
+    estimate.add_argument("--budget", type=int, default=64)
+    estimate.add_argument("--query", required=True, help="e.g. 'SELECT COUNT(*) FROM t WHERE x BETWEEN 1 AND 9'")
+    estimate.add_argument("--no-exact", action="store_true", help="skip the exact scan")
+    estimate.set_defaults(handler=_cmd_estimate)
+
+    report = commands.add_parser("report", help="full reproduction report (markdown)")
+    report.add_argument("--output", help="write to a file instead of stdout")
+    report.set_defaults(handler=_cmd_report)
+
+    timing = commands.add_parser("timing", help="construction-time table")
+    timing.add_argument("--sizes", type=int, nargs="+", default=[64, 127, 256])
+    timing.add_argument("--opt-a-up-to", type=int, default=127)
+    timing.set_defaults(handler=_cmd_timing)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:  # output piped into e.g. `head`
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

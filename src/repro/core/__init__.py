@@ -1,0 +1,72 @@
+"""Histogram synopses: the paper's primary contribution.
+
+Builders
+--------
+``build_naive``           one global average (Figure 1's NAIVE line)
+``build_point_opt``       V-optimal histogram for (weighted) point queries
+``build_sap0``            range-optimal SAP0 histogram, ``O(n^2 B)``
+``build_sap1``            range-optimal SAP1 histogram, ``O(n^2 B)``
+``build_a0``              A0 heuristic (cross term ignored), ``O(n^2 B)``
+``build_opt_a``           exact OPT-A via the pseudo-polynomial DP
+``build_opt_a_rounded``   the ``(1+eps)``-approximate OPT-A
+``reoptimize_values``     Section 5's quadratic value re-optimisation
+``refine_boundaries``     local-search improvement of any bucketing
+
+All builders accept a frequency vector and a bucket budget and return a
+:class:`~repro.queries.estimators.RangeSumEstimator`.
+"""
+
+from repro.core.describe import describe
+from repro.core.histogram import AverageHistogram, Histogram, SapHistogram
+from repro.core.minimax import build_minimax, max_point_error
+from repro.core.naive import build_naive
+from repro.core.vopt import build_point_opt, range_participation_weights
+from repro.core.sap import build_sap0, build_sap1
+from repro.core.sap_poly import PolySapHistogram, build_sap_poly
+from repro.core.a0 import build_a0
+from repro.core.classic import build_equi_depth, build_equi_width, build_prefix_opt
+from repro.core.workload_aware import WorkloadCosts, build_workload_aware
+from repro.core.opt_a import build_opt_a, build_opt_a_warmup
+from repro.core.opt_a_rounded import build_opt_a_auto, build_opt_a_rounded
+from repro.core.reopt import reoptimize_values
+from repro.core.scale import build_scaled
+from repro.core.refine import refine_boundaries
+from repro.core.builders import (
+    BUILDER_REGISTRY,
+    BuilderSpec,
+    build_by_name,
+    buckets_for_budget,
+)
+
+__all__ = [
+    "Histogram",
+    "describe",
+    "AverageHistogram",
+    "SapHistogram",
+    "build_naive",
+    "build_minimax",
+    "max_point_error",
+    "build_point_opt",
+    "range_participation_weights",
+    "build_sap0",
+    "build_sap1",
+    "build_sap_poly",
+    "PolySapHistogram",
+    "build_a0",
+    "build_equi_width",
+    "build_equi_depth",
+    "build_prefix_opt",
+    "build_workload_aware",
+    "WorkloadCosts",
+    "build_opt_a",
+    "build_opt_a_warmup",
+    "build_opt_a_rounded",
+    "build_opt_a_auto",
+    "reoptimize_values",
+    "build_scaled",
+    "refine_boundaries",
+    "BUILDER_REGISTRY",
+    "BuilderSpec",
+    "build_by_name",
+    "buckets_for_budget",
+]

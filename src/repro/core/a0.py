@@ -1,0 +1,45 @@
+"""A0: the cross-term-ignoring heuristic variant of OPT-A (Section 4).
+
+A0 uses OPT-A's representation and answering procedure — a single
+average per bucket, equation (1) — but chooses boundaries with "the same
+dynamic programming set-up that we used for computing SAP0", i.e. it
+drops the inter-bucket cross term ``2 * S1(P) * P1(Q)`` that makes exact
+OPT-A pseudo-polynomial.  The DP objective is therefore
+
+    cost(a, b) = intra(a, b)
+               + (n - 1 - b) * S2(a, b)    # suffix errors about the average
+               + a * P2(a, b)              # prefix errors about the average
+
+which differs from the histogram's true SSE exactly by the ignored cross
+terms; the resulting histogram is *not* optimal (Section 4), but costs
+only ``O(n^2 B)`` and stores 2B words (Theorem 10).  In the paper's
+experiments it is nearly as good as OPT-A per word of storage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.histogram import AverageHistogram
+from repro.internal.dp import interval_dp
+from repro.internal.prefix import PrefixAlgebra
+from repro.internal.validation import as_frequency_vector, check_bucket_count
+
+
+def a0_objective_rows(algebra: PrefixAlgebra, a: int) -> np.ndarray:
+    """A0's additive DP cost for buckets ``[a, b]``, ``b = a..n-1``."""
+    n = algebra.n
+    bs = np.arange(a, n)
+    _, s2 = algebra.suffix_error_moments(a, bs)
+    _, p2 = algebra.prefix_error_moments(a, bs)
+    return algebra.intra_sse(a, bs) + (n - 1 - bs) * s2 + a * p2
+
+
+def build_a0(data, n_buckets: int, rounding: str = "per_piece") -> AverageHistogram:
+    """Build the A0 heuristic histogram with at most ``n_buckets`` buckets."""
+    data = as_frequency_vector(data)
+    n = data.size
+    n_buckets = check_bucket_count(n_buckets, n)
+    algebra = PrefixAlgebra(data)
+    lefts, _ = interval_dp(n, n_buckets, lambda a: a0_objective_rows(algebra, a))
+    return AverageHistogram.from_boundaries(data, lefts, rounding=rounding, label="A0")

@@ -1,0 +1,156 @@
+"""Builder registry with the paper's storage accounting.
+
+Figure 1's x-axis is storage in machine words: a bucket boundary, a
+summary value, and a wavelet coefficient index or value are one word
+each.  This module records the words-per-unit of every method (Theorems
+7, 8, 10 and the wavelet convention) and converts a word budget into a
+bucket/coefficient count, so experiments can sweep a single budget axis
+across representations with different per-bucket footprints — the
+comparison the paper's Section 4 is about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.a0 import build_a0
+from repro.core.classic import build_equi_depth, build_equi_width, build_prefix_opt
+from repro.core.workload_aware import build_workload_aware
+from repro.core.minimax import build_minimax
+from repro.core.naive import build_naive
+from repro.core.opt_a import build_opt_a
+from repro.core.opt_a_rounded import build_opt_a_auto, build_opt_a_rounded
+from repro.core.sap import build_sap0, build_sap1
+from repro.core.sap_poly import build_sap_poly
+from repro.core.vopt import build_point_opt
+from repro.errors import BudgetExceededError, InvalidParameterError
+from repro.wavelets.point_topb import build_wavelet_point
+from repro.wavelets.range_optimal import build_wavelet_range
+
+
+@dataclass(frozen=True)
+class BuilderSpec:
+    """How to build one synopsis family and account for its storage."""
+
+    name: str
+    words_per_unit: int
+    build: Callable
+    description: str
+
+
+def _build_naive_budgeted(data, units: int, **kwargs):
+    # NAIVE ignores the budget beyond its fixed 2 words.
+    del units
+    return build_naive(data, **kwargs)
+
+
+def _build_sketch_budgeted(data, units: int, **kwargs):
+    from repro.sketches.dyadic import build_sketch
+
+    return build_sketch(data, units, **kwargs)
+
+
+BUILDER_REGISTRY: dict[str, BuilderSpec] = {
+    spec.name: spec
+    for spec in (
+        BuilderSpec("naive", 2, _build_naive_budgeted, "single global average"),
+        BuilderSpec("point-opt", 2, build_point_opt, "V-optimal for weighted point queries"),
+        BuilderSpec("a0", 2, build_a0, "OPT-A answering, cross-term-free DP"),
+        BuilderSpec("opt-a", 2, build_opt_a, "exact range-optimal average histogram"),
+        BuilderSpec(
+            "opt-a-rounded", 2, build_opt_a_rounded, "(1+eps)-approximate OPT-A"
+        ),
+        BuilderSpec(
+            "opt-a-auto", 2, build_opt_a_auto, "exact OPT-A, auto-rounded when too heavy"
+        ),
+        BuilderSpec("minimax", 2, build_minimax, "minimises the maximum point error"),
+        BuilderSpec("equi-width", 2, build_equi_width, "equal-length buckets (engine default)"),
+        BuilderSpec("equi-depth", 2, build_equi_depth, "equal-mass buckets (engine default)"),
+        BuilderSpec("prefix-opt", 2, build_prefix_opt, "optimal for prefix workloads [9]"),
+        BuilderSpec(
+            "workload-a0", 2, build_workload_aware, "workload-weighted boundary DP"
+        ),
+        BuilderSpec("sap0", 3, build_sap0, "range-optimal, constant suffix/prefix summaries"),
+        BuilderSpec("sap1", 5, build_sap1, "range-optimal, linear suffix/prefix summaries"),
+        BuilderSpec(
+            "sap2",
+            7,
+            lambda data, units, **kw: build_sap_poly(data, units, degree=2, **kw),
+            "range-optimal, quadratic suffix/prefix summaries",
+        ),
+        BuilderSpec(
+            "sap3",
+            9,
+            lambda data, units, **kw: build_sap_poly(data, units, degree=3, **kw),
+            "range-optimal, cubic suffix/prefix summaries",
+        ),
+        BuilderSpec("sketch-cm", 1, _build_sketch_budgeted, "dyadic Count-Min sketch (streaming)"),
+        BuilderSpec("wavelet-point", 2, build_wavelet_point, "largest-B Haar coefficients"),
+        BuilderSpec(
+            "wavelet-range", 2, build_wavelet_range, "range-optimal Haar coefficients"
+        ),
+    )
+}
+
+
+def buckets_for_budget(name: str, budget_words: int) -> int:
+    """Units (buckets or coefficients) affordable within ``budget_words``."""
+    spec = BUILDER_REGISTRY.get(name)
+    if spec is None:
+        raise InvalidParameterError(
+            f"unknown builder {name!r}; available: {sorted(BUILDER_REGISTRY)}"
+        )
+    units = budget_words // spec.words_per_unit
+    if units < 1:
+        raise BudgetExceededError(
+            f"{name} needs at least {spec.words_per_unit} words, got {budget_words}"
+        )
+    return units
+
+
+def build_by_name(name: str, data, budget_words: int, **kwargs):
+    """Build the named synopsis within a word budget.
+
+    ``kwargs`` are forwarded to the underlying builder (e.g. ``x=4`` for
+    ``opt-a-rounded``).
+    """
+    import numpy as np
+
+    spec = BUILDER_REGISTRY.get(name)
+    if spec is None:
+        raise InvalidParameterError(
+            f"unknown builder {name!r}; available: {sorted(BUILDER_REGISTRY)}"
+        )
+    units = buckets_for_budget(name, budget_words)
+    n = int(np.asarray(data).size)
+    if name == "sketch-cm":
+        cap = units  # sketch width is not bounded by the domain size
+    elif name == "wavelet-range":
+        cap = 2 * n
+    else:
+        cap = n
+    return spec.build(data, min(units, cap), **kwargs)
+
+
+def _reopt_variant(base_name: str):
+    """Builder for the paper's ``A-reopt`` family: build the base
+    histogram, then re-optimise its stored values for the all-ranges
+    SSE (Section 5).  Storage is unchanged (2 words per bucket)."""
+
+    def build(data, units: int, **kwargs):
+        from repro.core.reopt import reoptimize_values
+
+        base = BUILDER_REGISTRY[base_name].build(data, units, **kwargs)
+        return reoptimize_values(base, data)
+
+    return build
+
+
+for _base in ("naive", "point-opt", "a0", "opt-a", "opt-a-auto"):
+    BUILDER_REGISTRY[f"{_base}-reopt"] = BuilderSpec(
+        name=f"{_base}-reopt",
+        words_per_unit=BUILDER_REGISTRY[_base].words_per_unit,
+        build=_reopt_variant(_base),
+        description=f"{_base} boundaries + Section 5 value re-optimisation",
+    )

@@ -1,0 +1,84 @@
+"""Classic engine histograms and the prefix-workload optimum.
+
+Two families the paper positions itself against:
+
+* :func:`build_equi_width` / :func:`build_equi_depth` — the rule-based
+  histograms real database engines shipped (System R lineage); no
+  optimisation at all.  Included as registry baselines so experiments
+  can show what the paper's DP constructions buy over them.
+
+* :func:`build_prefix_opt` — the *hierarchically-restricted* case the
+  paper credits to reference [9]: when every query is a prefix range
+  ``[0, r]``, equation (1)'s error reduces to the prefix-piece error of
+  the single bucket containing ``r`` (the middle is exact and there is
+  no suffix piece), so the SSE is bucket-additive and a plain ``O(n²B)``
+  DP is *exactly* optimal — no pseudo-polynomial state needed.  This is
+  the cleanest illustration of the paper's central difficulty: general
+  ranges couple buckets; prefix ranges do not.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.histogram import AverageHistogram
+from repro.internal.dp import interval_dp
+from repro.internal.prefix import PrefixAlgebra
+from repro.internal.validation import as_frequency_vector, check_bucket_count
+
+
+def build_equi_width(data, n_buckets: int, rounding: str = "per_piece") -> AverageHistogram:
+    """Equal-length buckets — the simplest engine histogram."""
+    data = as_frequency_vector(data)
+    n = data.size
+    n_buckets = check_bucket_count(n_buckets, n)
+    edges = np.linspace(0, n, n_buckets + 1)[:-1]
+    lefts = np.unique(np.floor(edges).astype(np.int64))
+    return AverageHistogram.from_boundaries(data, lefts, rounding=rounding, label="EQUI-WIDTH")
+
+
+def build_equi_depth(data, n_buckets: int, rounding: str = "per_piece") -> AverageHistogram:
+    """Buckets holding (approximately) equal record mass.
+
+    The classical equi-depth histogram: boundaries at the quantiles of
+    the attribute-value distribution.  Degenerates gracefully on heavy
+    skew (a single value holding more than ``1/B`` of the mass yields
+    fewer than ``B`` distinct boundaries).
+    """
+    data = as_frequency_vector(data)
+    n = data.size
+    n_buckets = check_bucket_count(n_buckets, n)
+    total = data.sum()
+    if total == 0:
+        return build_equi_width(data, n_buckets, rounding=rounding)
+    cumulative = np.cumsum(data)
+    targets = total * np.arange(1, n_buckets) / n_buckets
+    cuts = np.searchsorted(cumulative, targets, side="left") + 1
+    lefts = np.unique(np.concatenate(([0], np.clip(cuts, 1, n - 1))))
+    hist = AverageHistogram.from_boundaries(data, lefts, rounding=rounding, label="EQUI-DEPTH")
+    return hist
+
+
+def build_prefix_opt(data, n_buckets: int, rounding: str = "none") -> AverageHistogram:
+    """The optimal average histogram for *prefix* range queries.
+
+    Minimises ``sum_r (s[0, r] - est[0, r])^2`` over all bucketings: the
+    reference-[9] restricted setting where the error of query ``[0, r]``
+    is exactly the prefix-piece error ``delta_pre(r)`` of ``r``'s
+    bucket, making the objective bucket-additive.
+
+    Un-rounded answering by default so the optimality guarantee is
+    exact; pass ``rounding="per_piece"`` for the integer procedure.
+    """
+    data = as_frequency_vector(data)
+    n = data.size
+    n_buckets = check_bucket_count(n_buckets, n)
+    algebra = PrefixAlgebra(data)
+
+    def cost_row(a: int) -> np.ndarray:
+        bs = np.arange(a, n)
+        _, p2 = algebra.prefix_error_moments(a, bs)
+        return np.asarray(p2, dtype=np.float64)
+
+    lefts, _ = interval_dp(n, n_buckets, cost_row)
+    return AverageHistogram.from_boundaries(data, lefts, rounding=rounding, label="PREFIX-OPT")

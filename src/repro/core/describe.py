@@ -1,0 +1,65 @@
+"""Human-readable synopsis introspection.
+
+``describe(estimator, data=None)`` renders the structure of any
+estimator in the library — bucket tables for histograms, kept
+coefficients for wavelets — optionally annotated with per-bucket error
+envelopes when the data is supplied.  Used by the CLI's ``inspect``
+command and handy in notebooks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.histogram import AverageHistogram, SapHistogram
+from repro.core.sap_poly import PolySapHistogram
+from repro.experiments.reporting import format_table
+from repro.wavelets.point_topb import PointTopBWavelet
+from repro.wavelets.range_optimal import RangeOptimalWavelet
+
+
+def describe(estimator, data=None) -> str:
+    """Render an estimator's structure as an aligned text table."""
+    title = f"{estimator.name}: n={estimator.n}, {estimator.storage_words()} words"
+    if isinstance(estimator, (SapHistogram, PolySapHistogram)):
+        rows = []
+        for index, (a, b) in enumerate(estimator.bucket_ranges()):
+            rows.append([index, a, b, b - a + 1, float(estimator.averages[index])])
+        return format_table(
+            ["bucket", "start", "end", "length", "average"], rows, title=title
+        )
+    if isinstance(estimator, AverageHistogram):
+        envelope = None
+        if data is not None:
+            from repro.queries.bounds import compute_error_envelope
+
+            envelope = compute_error_envelope(estimator, data)
+        headers = ["bucket", "start", "end", "length", "value"]
+        if envelope is not None:
+            headers += ["max suffix err", "max prefix err"]
+        rows = []
+        for index, (a, b) in enumerate(estimator.bucket_ranges()):
+            row = [index, a, b, b - a + 1, float(estimator.values[index])]
+            if envelope is not None:
+                row += [
+                    float(envelope.max_suffix_error[index]),
+                    float(envelope.max_prefix_error[index]),
+                ]
+            rows.append(row)
+        return format_table(headers, rows, title=title)
+    if isinstance(estimator, PointTopBWavelet):
+        rows = [
+            [int(i), float(c)]
+            for i, c in zip(estimator.indices, estimator.coefficients)
+        ]
+        return format_table(["coefficient", "value"], rows, title=title)
+    if isinstance(estimator, RangeOptimalWavelet):
+        rows = [
+            [int(r), int(c), float(v)]
+            for r, c, v in zip(
+                estimator.row_indices, estimator.col_indices, estimator.coefficients
+            )
+        ]
+        return format_table(["row basis", "col basis", "value"], rows, title=title)
+    # Fallback: protocol-level facts only.
+    return title

@@ -1,0 +1,224 @@
+"""Histogram representations and their range-query answering procedures.
+
+Two concrete representations cover every histogram in the paper:
+
+* :class:`AverageHistogram` — one summary value per bucket, answered by
+  the paper's equation (1): split the query into a suffix piece of the
+  first bucket, exactly-known middle buckets, and a prefix piece of the
+  last bucket.  Rounding modes select between OPT-A's integer answers
+  (``"per_piece"``), a single final rounding (``"total"``), and real
+  answers (``"none"``, used by reopt and the theory-level comparisons).
+  NAIVE, OPT-A, A0, POINT-OPT, and reopt histograms all use this class.
+
+* :class:`SapHistogram` — per-bucket suffix/prefix summaries in addition
+  to the average.  SAP0 stores constants, SAP1 linear fits; a SAP0
+  histogram is simply a :class:`SapHistogram` whose fits have zero
+  slope.  Storage accounting follows Theorems 7 and 8 (3B and 5B words).
+
+Both are :class:`~repro.queries.estimators.RangeSumEstimator` subclasses
+with fully vectorised ``estimate_many``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.internal.prefix import round_half_up
+from repro.queries.estimators import RangeSumEstimator
+
+#: Supported rounding modes for :class:`AverageHistogram`.
+ROUNDING_MODES = ("per_piece", "total", "none")
+
+
+def validate_lefts(lefts, n: int) -> np.ndarray:
+    """Validate bucket left boundaries: ``lefts[0] == 0``, strictly increasing, < n."""
+    lefts = np.asarray(lefts, dtype=np.int64)
+    if lefts.ndim != 1 or lefts.size == 0:
+        raise InvalidParameterError("lefts must be a non-empty 1-D integer array")
+    if lefts[0] != 0:
+        raise InvalidParameterError(f"first bucket must start at 0, got {lefts[0]}")
+    if np.any(np.diff(lefts) <= 0):
+        raise InvalidParameterError("bucket boundaries must be strictly increasing")
+    if lefts[-1] >= n:
+        raise InvalidParameterError(f"last bucket start {lefts[-1]} out of range for n={n}")
+    return lefts
+
+
+class Histogram(RangeSumEstimator):
+    """Common bucket bookkeeping shared by all histogram representations."""
+
+    def __init__(self, lefts, n: int) -> None:
+        self.n = int(n)
+        self.lefts = validate_lefts(lefts, self.n)
+        self.bucket_count = int(self.lefts.size)
+        self.rights = np.concatenate((self.lefts[1:] - 1, [self.n - 1]))
+        self.bucket_lengths = self.rights - self.lefts + 1
+
+    def bucket_of(self, index) -> np.ndarray:
+        """Bucket id containing each (validated) index; vectorised."""
+        return np.searchsorted(self.lefts, np.asarray(index), side="right") - 1
+
+    def bucket_ranges(self) -> list[tuple[int, int]]:
+        """Inclusive ``(start, end)`` index pairs, one per bucket."""
+        return list(zip(self.lefts.tolist(), self.rights.tolist()))
+
+    def storage_words(self) -> int:
+        raise NotImplementedError
+
+
+class AverageHistogram(Histogram):
+    """Single-value-per-bucket histogram answered via equation (1).
+
+    Parameters
+    ----------
+    lefts:
+        Bucket start indices (first must be 0).
+    values:
+        The per-bucket summary values.  For OPT-A these are the exact
+        bucket averages; reopt substitutes arbitrary optimised values.
+    n:
+        Domain size.
+    rounding:
+        ``"per_piece"`` rounds each partial-bucket contribution to an
+        integer (the paper's OPT-A procedure, which makes all errors
+        integral); ``"total"`` rounds the final sum once; ``"none"``
+        returns real-valued answers.
+    label:
+        Display name used by reports (defaults to ``"AVG-HISTOGRAM"``).
+    """
+
+    def __init__(self, lefts, values, n: int, rounding: str = "per_piece",
+                 label: str = "AVG-HISTOGRAM") -> None:
+        super().__init__(lefts, n)
+        self.values = np.asarray(values, dtype=np.float64)
+        if self.values.shape != (self.bucket_count,):
+            raise InvalidParameterError(
+                f"values must have one entry per bucket "
+                f"({self.bucket_count}), got shape {self.values.shape}"
+            )
+        if rounding not in ROUNDING_MODES:
+            raise InvalidParameterError(
+                f"rounding must be one of {ROUNDING_MODES}, got {rounding!r}"
+            )
+        self.rounding = rounding
+        self._label = label
+        # Exclusive cumulative bucket totals: _cum_totals[i] = sum of
+        # bucket totals for buckets < i, where a bucket's total is
+        # length * value (exact when values are true averages).
+        totals = self.bucket_lengths * self.values
+        self._cum_totals = np.concatenate(([0.0], np.cumsum(totals)))
+
+    @classmethod
+    def from_boundaries(cls, data, lefts, rounding: str = "per_piece",
+                        label: str = "AVG-HISTOGRAM") -> "AverageHistogram":
+        """Build with the exact per-bucket averages of ``data``."""
+        data = np.asarray(data, dtype=np.float64)
+        n = data.size
+        lefts = validate_lefts(lefts, n)
+        prefix = np.concatenate(([0.0], np.cumsum(data)))
+        rights = np.concatenate((lefts[1:] - 1, [n - 1]))
+        sums = prefix[rights + 1] - prefix[lefts]
+        values = sums / (rights - lefts + 1)
+        return cls(lefts, values, n, rounding=rounding, label=label)
+
+    @property
+    def name(self) -> str:
+        return self._label
+
+    def storage_words(self) -> int:
+        """2B words: one boundary + one summary value per bucket (Thm 10)."""
+        return 2 * self.bucket_count
+
+    def estimate_many(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
+        lows = np.asarray(lows, dtype=np.int64)
+        highs = np.asarray(highs, dtype=np.int64)
+        bl = self.bucket_of(lows)
+        br = self.bucket_of(highs)
+        same = bl == br
+        suffix_len = self.rights[bl] - lows + 1
+        prefix_len = highs - self.lefts[br] + 1
+        suffix = suffix_len * self.values[bl]
+        prefix = prefix_len * self.values[br]
+        middle = self._cum_totals[br] - self._cum_totals[bl + 1]
+        whole = (highs - lows + 1) * self.values[bl]
+        if self.rounding == "per_piece":
+            inter = round_half_up(suffix) + middle + round_half_up(prefix)
+            intra = round_half_up(whole)
+        elif self.rounding == "total":
+            inter = round_half_up(suffix + middle + prefix)
+            intra = round_half_up(whole)
+        else:
+            inter = suffix + middle + prefix
+            intra = whole
+        return np.where(same, intra, inter)
+
+    def with_values(self, values, rounding: str | None = None,
+                    label: str | None = None) -> "AverageHistogram":
+        """Copy with the same boundaries but different stored values."""
+        return AverageHistogram(
+            self.lefts,
+            values,
+            self.n,
+            rounding=self.rounding if rounding is None else rounding,
+            label=self._label if label is None else label,
+        )
+
+
+class SapHistogram(Histogram):
+    """SAP0/SAP1 histogram: per-bucket suffix and prefix summaries.
+
+    The suffix summary approximates ``s[l, bucket_end]`` by
+    ``suffix_slope * piece_len + suffix_intercept`` (zero slope for
+    SAP0); symmetrically for prefixes.  Intra-bucket queries are
+    answered by the bucket average (recoverable from the summaries, so
+    it does not count against storage — Theorems 7 and 8).
+    """
+
+    def __init__(self, lefts, averages, suffix_slopes, suffix_intercepts,
+                 prefix_slopes, prefix_intercepts, n: int, order: int,
+                 label: str | None = None) -> None:
+        super().__init__(lefts, n)
+        if order not in (0, 1):
+            raise InvalidParameterError(f"order must be 0 or 1, got {order}")
+        self.order = order
+        shape = (self.bucket_count,)
+
+        def _as(name, arr):
+            arr = np.asarray(arr, dtype=np.float64)
+            if arr.shape != shape:
+                raise InvalidParameterError(f"{name} must have shape {shape}, got {arr.shape}")
+            return arr
+
+        self.averages = _as("averages", averages)
+        self.suffix_slopes = _as("suffix_slopes", suffix_slopes)
+        self.suffix_intercepts = _as("suffix_intercepts", suffix_intercepts)
+        self.prefix_slopes = _as("prefix_slopes", prefix_slopes)
+        self.prefix_intercepts = _as("prefix_intercepts", prefix_intercepts)
+        if order == 0 and (np.any(self.suffix_slopes != 0) or np.any(self.prefix_slopes != 0)):
+            raise InvalidParameterError("SAP0 histograms must have zero slopes")
+        self._label = label or f"SAP{order}"
+        totals = self.bucket_lengths * self.averages
+        self._cum_totals = np.concatenate(([0.0], np.cumsum(totals)))
+
+    @property
+    def name(self) -> str:
+        return self._label
+
+    def storage_words(self) -> int:
+        """3B words for SAP0 (Thm 7), 5B for SAP1 (Thm 8)."""
+        return (3 if self.order == 0 else 5) * self.bucket_count
+
+    def estimate_many(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
+        lows = np.asarray(lows, dtype=np.int64)
+        highs = np.asarray(highs, dtype=np.int64)
+        bl = self.bucket_of(lows)
+        br = self.bucket_of(highs)
+        same = bl == br
+        suffix_len = self.rights[bl] - lows + 1
+        prefix_len = highs - self.lefts[br] + 1
+        suffix = self.suffix_slopes[bl] * suffix_len + self.suffix_intercepts[bl]
+        prefix = self.prefix_slopes[br] * prefix_len + self.prefix_intercepts[br]
+        middle = self._cum_totals[br] - self._cum_totals[bl + 1]
+        intra = (highs - lows + 1) * self.averages[bl]
+        return np.where(same, intra, suffix + middle + prefix)

@@ -1,0 +1,17 @@
+"""The NAIVE baseline: a single global average.
+
+Included in Figure 1 "only to provide a reasonable upper bound for SSE".
+It is an :class:`~repro.core.histogram.AverageHistogram` with one bucket
+(2 words of storage: one boundary, one value).
+"""
+
+from __future__ import annotations
+
+from repro.core.histogram import AverageHistogram
+from repro.internal.validation import as_frequency_vector
+
+
+def build_naive(data, rounding: str = "per_piece") -> AverageHistogram:
+    """Summarise ``data`` by its single global average."""
+    data = as_frequency_vector(data)
+    return AverageHistogram.from_boundaries(data, [0], rounding=rounding, label="NAIVE")

@@ -1,0 +1,104 @@
+"""Local-search refinement of bucket boundaries.
+
+Section 4 mentions "heuristics and local search improvements" on top of
+the DP constructions.  :func:`refine_boundaries` implements the natural
+hill-climber: repeatedly try shifting each interior boundary by up to
+``step`` positions, rebuild the histogram, and keep any move that lowers
+the true workload SSE.  Because every candidate is evaluated with the
+*exact* objective (not a DP surrogate), this can only improve — which
+makes it a useful post-pass for the heuristics (A0, POINT-OPT) whose DP
+objective diverges from the true SSE, and a no-op in expectation for the
+already-optimal builders.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.histogram import AverageHistogram, validate_lefts
+from repro.internal.validation import as_frequency_vector
+from repro.queries import evaluation
+from repro.queries.workload import Workload
+
+
+def _default_build(data, lefts):
+    return AverageHistogram.from_boundaries(data, lefts, rounding="per_piece", label="REFINED")
+
+
+def refine_boundaries(
+    data,
+    lefts,
+    *,
+    build: Callable | None = None,
+    workload: Workload | None = None,
+    step: int = 2,
+    max_passes: int = 25,
+):
+    """Hill-climb bucket boundaries under the exact workload SSE.
+
+    Parameters
+    ----------
+    data:
+        Frequency vector.
+    lefts:
+        Initial bucket start indices.
+    build:
+        ``build(data, lefts) -> estimator`` used for every candidate;
+        defaults to an equation-(1) average histogram.  Pass e.g. a SAP1
+        constructor-from-boundaries to refine other representations.
+    workload:
+        Objective ranges; default all ranges.
+    step:
+        Maximum boundary shift tried per move.  Candidate shifts are
+        geometric (±1, ±2, ±4, … up to ±step), so wide search radii stay
+        cheap; accepted moves restart from the small shifts.
+    max_passes:
+        Upper bound on full sweeps over the boundaries.
+
+    Returns
+    -------
+    (estimator, lefts, sse):
+        The refined histogram, its boundaries, and its exact SSE.
+    """
+    data = as_frequency_vector(data)
+    n = data.size
+    lefts = validate_lefts(lefts, n).copy()
+    if build is None:
+        build = _default_build
+
+    def objective(candidate):
+        estimator = build(data, candidate)
+        return evaluation.sse(estimator, data, workload), estimator
+
+    deltas: list[int] = []
+    magnitude = 1
+    while magnitude <= step:
+        deltas.extend((magnitude, -magnitude))
+        magnitude *= 2
+    if step > 1 and step not in deltas:
+        deltas.extend((step, -step))
+
+    best_sse, best_est = objective(lefts)
+    for _ in range(max_passes):
+        improved = False
+        for boundary in range(1, lefts.size):
+            low_limit = lefts[boundary - 1] + 1
+            high_limit = lefts[boundary + 1] - 1 if boundary + 1 < lefts.size else n - 1
+            current = lefts[boundary]
+            for delta in deltas:
+                candidate_pos = current + delta
+                if not low_limit <= candidate_pos <= high_limit:
+                    continue
+                candidate = lefts.copy()
+                candidate[boundary] = candidate_pos
+                sse_value, estimator = objective(candidate)
+                if sse_value < best_sse - 1e-12:
+                    best_sse, best_est = sse_value, estimator
+                    lefts = candidate
+                    improved = True
+                    break
+        if not improved:
+            break
+    return best_est, lefts, float(best_sse)

@@ -1,0 +1,19 @@
+"""Synthetic attribute-value distributions used by tests and experiments."""
+
+from repro.data.distributions import (
+    gaussian_mixture_frequencies,
+    random_rounding,
+    step_frequencies,
+    uniform_frequencies,
+    zipf_frequencies,
+)
+from repro.data.datasets import paper_dataset
+
+__all__ = [
+    "zipf_frequencies",
+    "uniform_frequencies",
+    "gaussian_mixture_frequencies",
+    "step_frequencies",
+    "random_rounding",
+    "paper_dataset",
+]

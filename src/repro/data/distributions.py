@@ -1,0 +1,135 @@
+"""Synthetic frequency-vector generators.
+
+The experiments in the paper use a Zipf distribution with "random
+rounding (up or down with probability 1/2)" applied to the float
+frequencies; :func:`random_rounding` implements exactly that and the
+other generators provide standard shapes (uniform noise, Gaussian
+mixtures, piecewise-constant steps) used by the wider histogram
+literature for stress-testing bucketing algorithms.
+
+All generators return integer-valued ``float64`` frequency vectors
+(counts), suitable for every builder in :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+
+def _rng(seed) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def _check_n(n: int) -> int:
+    if not isinstance(n, (int, np.integer)) or n < 1:
+        raise InvalidParameterError(f"n must be a positive integer, got {n!r}")
+    return int(n)
+
+
+def random_rounding(values, seed=None) -> np.ndarray:
+    """Round each float up or down with probability 1/2, per the paper.
+
+    Section 4: "integer keys created after doing random rounding, (up or
+    down with probability 1/2) of floats".  Values that are already
+    integral are left unchanged; results are clipped at zero so the
+    output remains a valid frequency vector.
+    """
+    rng = _rng(seed)
+    values = np.asarray(values, dtype=np.float64)
+    floor = np.floor(values)
+    up = rng.random(values.shape) < 0.5
+    rounded = np.where(up, np.ceil(values), floor)
+    return np.clip(rounded, 0.0, None)
+
+
+def zipf_frequencies(
+    n: int,
+    alpha: float = 1.8,
+    scale: float = 1000.0,
+    seed=None,
+    permute: bool = False,
+) -> np.ndarray:
+    """Zipf frequency vector with tail exponent ``alpha``.
+
+    ``freq[i] = scale / (i + 1) ** alpha`` (rank order), randomly rounded
+    to integers.  With ``permute=True`` the ranks are shuffled over the
+    domain, which produces the spiky profiles typical of real attribute
+    value distributions; the default keeps the classical sorted shape.
+    """
+    n = _check_n(n)
+    if alpha <= 0:
+        raise InvalidParameterError(f"alpha must be positive, got {alpha}")
+    if scale <= 0:
+        raise InvalidParameterError(f"scale must be positive, got {scale}")
+    rng = _rng(seed)
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    freqs = scale / ranks**alpha
+    if permute:
+        rng.shuffle(freqs)
+    return random_rounding(freqs, seed=rng)
+
+
+def uniform_frequencies(n: int, low: int = 0, high: int = 100, seed=None) -> np.ndarray:
+    """Independent uniform integer counts in ``[low, high]``."""
+    n = _check_n(n)
+    if low < 0 or high < low:
+        raise InvalidParameterError(f"need 0 <= low <= high, got [{low}, {high}]")
+    rng = _rng(seed)
+    return rng.integers(low, high + 1, size=n).astype(np.float64)
+
+
+def gaussian_mixture_frequencies(
+    n: int,
+    modes: int = 3,
+    scale: float = 500.0,
+    noise: float = 0.05,
+    seed=None,
+) -> np.ndarray:
+    """Smooth multi-modal frequency vector (sum of Gaussian bumps + noise).
+
+    A common stand-in for real numeric attributes (e.g. prices with a
+    few popular price points); histograms with few buckets struggle near
+    the mode boundaries, which exercises boundary placement.
+    """
+    n = _check_n(n)
+    if modes < 1:
+        raise InvalidParameterError(f"modes must be >= 1, got {modes}")
+    rng = _rng(seed)
+    xs = np.arange(n, dtype=np.float64)
+    freqs = np.zeros(n, dtype=np.float64)
+    for _ in range(modes):
+        centre = rng.uniform(0, n)
+        width = rng.uniform(n / 30.0, n / 6.0) + 1e-9
+        height = rng.uniform(0.3, 1.0) * scale
+        freqs += height * np.exp(-0.5 * ((xs - centre) / width) ** 2)
+    freqs += rng.uniform(0.0, noise * scale, size=n)
+    return random_rounding(freqs, seed=rng)
+
+
+def step_frequencies(
+    n: int,
+    steps: int = 5,
+    low: float = 0.0,
+    high: float = 1000.0,
+    seed=None,
+) -> np.ndarray:
+    """Piecewise-constant frequency vector with ``steps`` random plateaus.
+
+    The best case for bucket histograms (a B-bucket histogram is exact
+    once B >= steps); used to test that optimal builders actually find
+    the plateau boundaries and reach zero error.
+    """
+    n = _check_n(n)
+    if not 1 <= steps <= n:
+        raise InvalidParameterError(f"steps must be in [1, {n}], got {steps}")
+    rng = _rng(seed)
+    boundaries = np.sort(rng.choice(np.arange(1, n), size=steps - 1, replace=False))
+    levels = np.round(rng.uniform(low, high, size=steps))
+    freqs = np.empty(n, dtype=np.float64)
+    starts = np.concatenate(([0], boundaries))
+    ends = np.concatenate((boundaries, [n]))
+    for level, start, end in zip(levels, starts, ends):
+        freqs[start:end] = level
+    return freqs

@@ -1,0 +1,105 @@
+"""Synopsis advisor: pick the best method for a column empirically.
+
+Physical-design advisors try candidate structures against a
+representative workload and keep the winner; this module does the same
+for synopses.  Given a frequency vector, a word budget, and (optionally)
+a workload, it builds every candidate method and ranks them by measured
+SSE — exactly the comparison Figure 1 plots, packaged as a tuning
+decision.  The engine exposes it as ``method="auto"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.builders import BUILDER_REGISTRY, build_by_name
+from repro.errors import ReproError
+from repro.queries.evaluation import sse
+from repro.queries.workload import Workload, random_ranges
+
+#: Candidates the advisor tries by default.  Exact OPT-A is represented
+#: by the auto builder so heavy instances degrade instead of failing;
+#: expensive or dominated methods can still be requested explicitly.
+DEFAULT_CANDIDATES = (
+    "a0",
+    "a0-reopt",
+    "opt-a-auto",
+    "sap0",
+    "sap1",
+    "point-opt",
+    "wavelet-point",
+    "equi-depth",
+)
+
+
+@dataclass(frozen=True)
+class AdvisorChoice:
+    """One candidate's outcome."""
+
+    method: str
+    sse: float
+    storage_words: int
+    error: str | None = None  # set when the candidate failed to build
+
+
+def recommend(
+    data,
+    budget_words: int,
+    *,
+    workload: Workload | None = None,
+    candidates=DEFAULT_CANDIDATES,
+    sample_queries: int = 2000,
+    seed: int = 0,
+) -> list[AdvisorChoice]:
+    """Rank candidate methods by measured SSE under the budget.
+
+    With no workload, a uniform sample of ranges stands in for the
+    all-ranges objective (cheaper on wide domains, same ordering in
+    expectation).  Failed candidates are kept in the result with their
+    error message and sort last.
+    """
+    import numpy as np
+
+    data = np.asarray(data, dtype=float)
+    if workload is None:
+        total_ranges = data.size * (data.size + 1) // 2
+        if total_ranges <= sample_queries:
+            from repro.queries.workload import all_ranges
+
+            workload = all_ranges(data.size)
+        else:
+            workload = random_ranges(data.size, sample_queries, seed=seed)
+
+    choices: list[AdvisorChoice] = []
+    for method in candidates:
+        try:
+            estimator = build_by_name(method, data, budget_words)
+            choices.append(
+                AdvisorChoice(
+                    method=method,
+                    sse=sse(estimator, data, workload),
+                    storage_words=estimator.storage_words(),
+                )
+            )
+        except ReproError as error:
+            choices.append(
+                AdvisorChoice(
+                    method=method,
+                    sse=float("inf"),
+                    storage_words=0,
+                    error=str(error),
+                )
+            )
+    choices.sort(key=lambda choice: choice.sse)
+    return choices
+
+
+def best_method(data, budget_words: int, **kwargs) -> str:
+    """The winning method name (raises if every candidate failed)."""
+    ranked = recommend(data, budget_words, **kwargs)
+    winner = ranked[0]
+    if winner.error is not None:
+        raise ReproError(
+            f"every advisor candidate failed; first error: {winner.error}"
+        )
+    return winner.method

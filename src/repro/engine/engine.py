@@ -1,0 +1,471 @@
+"""The approximate query engine: synopsis catalog + executors.
+
+Registers tables, builds per-column synopses under a space budget using
+any builder from :mod:`repro.core.builders`, and answers COUNT/SUM/AVG
+range-predicate aggregates from the synopses — with an exact scan
+executor alongside for ground truth, the way AQUA-style systems validate
+their estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.builders import BUILDER_REGISTRY, build_by_name
+from repro.engine.column import ColumnStatistics
+from repro.engine.grouped import GroupedAggregateQuery, GroupedSynopsisMixin
+from repro.engine.joint import JointAggregateQuery, JointSynopsisMixin
+from repro.engine.table import Table
+from repro.errors import InvalidParameterError, InvalidQueryError
+from repro.queries.estimators import RangeSumEstimator
+
+#: Aggregates the engine understands.
+SUPPORTED_AGGREGATES = ("count", "sum", "avg")
+
+
+@dataclass(frozen=True)
+class AggregateQuery:
+    """``SELECT <agg> FROM <table> WHERE <column> BETWEEN <low> AND <high>``.
+
+    ``low``/``high`` are inclusive raw attribute values; ``None`` means
+    unbounded on that side.  ``agg`` is one of ``count``, ``sum``,
+    ``avg`` (of the predicate column over the qualifying rows).
+    """
+
+    table: str
+    column: str
+    aggregate: str
+    low: float | None = None
+    high: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.aggregate not in SUPPORTED_AGGREGATES:
+            raise InvalidQueryError(
+                f"aggregate must be one of {SUPPORTED_AGGREGATES}, got {self.aggregate!r}"
+            )
+        if self.low is not None and self.high is not None and self.low > self.high:
+            raise InvalidQueryError(
+                f"BETWEEN bounds are inverted: [{self.low}, {self.high}]"
+            )
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """An engine answer with provenance.
+
+    ``guaranteed_bound`` is a deterministic bound on the absolute error
+    (available for COUNT/SUM when the synopsis is an average histogram
+    and the caller asked for it); the true answer always lies in
+    ``estimate +- guaranteed_bound``.
+    """
+
+    query: AggregateQuery
+    estimate: float
+    exact: float | None
+    synopsis_name: str
+    synopsis_words: int
+    guaranteed_bound: float | None = None
+
+    @property
+    def absolute_error(self) -> float | None:
+        if self.exact is None:
+            return None
+        return abs(self.estimate - self.exact)
+
+    @property
+    def relative_error(self) -> float | None:
+        if self.exact is None:
+            return None
+        return self.absolute_error / max(abs(self.exact), 1.0)
+
+
+@dataclass(frozen=True)
+class QuantileQuery:
+    """``SELECT QUANTILE(col, q)|MEDIAN(col) FROM t [WHERE col BETWEEN ..]``."""
+
+    table: str
+    column: str
+    q: float
+    low: float | None = None
+    high: float | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.q <= 1.0:
+            raise InvalidQueryError(f"quantile must be in [0, 1], got {self.q}")
+
+
+@dataclass(frozen=True)
+class QuantileResult:
+    """A quantile answer with provenance."""
+
+    table: str
+    column: str
+    q: float
+    estimate: float
+    exact: float | None
+    synopsis_name: str
+
+    @property
+    def absolute_error(self) -> float | None:
+        if self.exact is None:
+            return None
+        return abs(self.estimate - self.exact)
+
+
+@dataclass(frozen=True)
+class _ColumnSynopses:
+    statistics: ColumnStatistics
+    count_estimator: RangeSumEstimator
+    sum_estimator: RangeSumEstimator
+    method: str
+    budget_words: int
+    builder_kwargs: dict
+
+    def envelope_for(self, aggregate: str):
+        """Lazily-computed error envelope, if the synopsis supports it."""
+        from repro.core.histogram import AverageHistogram
+        from repro.queries.bounds import compute_error_envelope
+
+        estimator = (
+            self.count_estimator if aggregate == "count" else self.sum_estimator
+        )
+        if not isinstance(estimator, AverageHistogram):
+            return None, None
+        frequencies = (
+            self.statistics.count_frequencies
+            if aggregate == "count"
+            else self.statistics.sum_frequencies
+        )
+        return compute_error_envelope(estimator, frequencies), estimator
+
+
+class ApproximateQueryEngine(JointSynopsisMixin, GroupedSynopsisMixin):
+    """Catalog of tables and per-column synopses answering range aggregates.
+
+    Single-column range aggregates (COUNT/SUM/AVG) answer from 1-D
+    synopses; two-column conjunctive predicates answer from 2-D joint
+    synopses via :class:`repro.engine.joint.JointSynopsisMixin`.
+    """
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+        self._synopses: dict[tuple[str, str], _ColumnSynopses] = {}
+        self._stale: set[tuple[str, str]] = set()
+        self._joint_synopses: dict[tuple[str, str, str], object] = {}
+        self._grouped_synopses: dict[tuple[str, str, str], dict] = {}
+
+    # ------------------------------------------------------------------
+    # Catalog management
+    # ------------------------------------------------------------------
+    def register_table(self, table: Table) -> None:
+        """Add (or replace) a table; drops its previous synopses."""
+        self._tables[table.name] = table
+        for key in [key for key in self._synopses if key[0] == table.name]:
+            del self._synopses[key]
+            self._stale.discard(key)
+
+    def table(self, name: str) -> Table:
+        if name not in self._tables:
+            raise InvalidQueryError(
+                f"unknown table {name!r}; registered: {sorted(self._tables)}"
+            )
+        return self._tables[name]
+
+    def build_synopsis(
+        self,
+        table_name: str,
+        column_name: str,
+        *,
+        method: str = "sap1",
+        budget_words: int = 64,
+        **builder_kwargs,
+    ) -> None:
+        """Build COUNT and SUM synopses for one column.
+
+        The word budget is split evenly between the count and sum
+        frequency vectors (each aggregate needs its own synopsis; AVG is
+        derived as SUM/COUNT).
+        """
+        table = self.table(table_name)
+        statistics = ColumnStatistics.from_values(table.column(column_name))
+        if method == "auto":
+            from repro.engine.advisor import best_method
+
+            method = best_method(
+                statistics.count_frequencies, max(budget_words // 2, 4)
+            )
+        if method not in BUILDER_REGISTRY:
+            raise InvalidParameterError(
+                f"unknown synopsis method {method!r}; available: "
+                f"{sorted(BUILDER_REGISTRY)} or 'auto'"
+            )
+        half = max(budget_words // 2, BUILDER_REGISTRY[method].words_per_unit)
+        count_est = build_by_name(method, statistics.count_frequencies, half, **builder_kwargs)
+        sum_est = build_by_name(method, statistics.sum_frequencies, half, **builder_kwargs)
+        self._synopses[(table_name, column_name)] = _ColumnSynopses(
+            statistics=statistics,
+            count_estimator=count_est,
+            sum_estimator=sum_est,
+            method=method,
+            budget_words=budget_words,
+            builder_kwargs=dict(builder_kwargs),
+        )
+        self._stale.discard((table_name, column_name))
+
+    def build_all_synopses(
+        self, *, method: str = "sap1", total_budget_words: int = 512, **builder_kwargs
+    ) -> None:
+        """Build synopses for every column of every table, splitting a
+        global word budget evenly across columns (a simple catalog
+        policy; callers needing weighted budgets use
+        :meth:`build_synopsis` per column)."""
+        columns = [
+            (table.name, column)
+            for table in self._tables.values()
+            for column in table.column_names()
+        ]
+        if not columns:
+            return
+        per_column = max(total_budget_words // len(columns), 4)
+        for table_name, column_name in columns:
+            self.build_synopsis(
+                table_name,
+                column_name,
+                method=method,
+                budget_words=per_column,
+                **builder_kwargs,
+            )
+
+    def synopsis_catalog(self) -> list[dict]:
+        """One row per built synopsis: location, method, true storage."""
+        return [
+            {
+                "table": table,
+                "column": column,
+                "method": entry.method,
+                "count_words": entry.count_estimator.storage_words(),
+                "sum_words": entry.sum_estimator.storage_words(),
+                "domain_size": entry.statistics.domain_size,
+            }
+            for (table, column), entry in sorted(self._synopses.items())
+        ]
+
+    # ------------------------------------------------------------------
+    # Data evolution
+    # ------------------------------------------------------------------
+    def append_rows(self, table_name: str, rows: dict) -> None:
+        """Append rows to a table; its synopses become *stale*.
+
+        Stale synopses still answer (they summarise the pre-append
+        data); :meth:`execute` takes an ``on_stale`` policy and
+        :meth:`refresh_stale` rebuilds them with their original method
+        and budget.
+        """
+        table = self.table(table_name)
+        self._tables[table_name] = table.with_appended(rows)
+        for key in self._synopses:
+            if key[0] == table_name:
+                self._stale.add(key)
+
+    def stale_synopses(self) -> list[tuple[str, str]]:
+        """The (table, column) pairs whose synopses predate appends."""
+        return sorted(self._stale)
+
+    def refresh_stale(self) -> int:
+        """Rebuild every stale synopsis with its recorded configuration.
+
+        Returns the number of synopses rebuilt.
+        """
+        rebuilt = 0
+        for key in list(self._stale):
+            entry = self._synopses[key]
+            self.build_synopsis(
+                key[0],
+                key[1],
+                method=entry.method,
+                budget_words=entry.budget_words,
+                **entry.builder_kwargs,
+            )
+            rebuilt += 1
+        return rebuilt
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute_exact(self, query: AggregateQuery) -> float:
+        """Ground truth by scanning the base table."""
+        table = self.table(query.table)
+        values = table.column(query.column)
+        mask = np.ones(values.shape, dtype=bool)
+        if query.low is not None:
+            mask &= values >= query.low
+        if query.high is not None:
+            mask &= values <= query.high
+        if query.aggregate == "count":
+            return float(mask.sum())
+        selected = values[mask]
+        if query.aggregate == "sum":
+            return float(selected.sum())
+        return float(selected.mean()) if selected.size else 0.0
+
+    def execute(
+        self,
+        query: AggregateQuery,
+        *,
+        with_exact: bool = False,
+        with_bound: bool = False,
+        on_stale: str = "serve",
+    ) -> QueryResult:
+        """Answer from the synopses; optionally attach the exact answer.
+
+        ``on_stale`` controls behaviour when rows were appended after
+        the synopsis was built: ``"serve"`` answers from the stale
+        synopsis (default — estimates drift with the appended volume),
+        ``"rebuild"`` refreshes it first, ``"error"`` refuses.
+        """
+        if on_stale not in ("serve", "rebuild", "error"):
+            raise InvalidParameterError(
+                f"on_stale must be serve, rebuild, or error, got {on_stale!r}"
+            )
+        key = (query.table, query.column)
+        if key not in self._synopses:
+            raise InvalidQueryError(
+                f"no synopsis built for {query.table}.{query.column}; "
+                "call build_synopsis first"
+            )
+        if key in self._stale:
+            if on_stale == "error":
+                raise InvalidQueryError(
+                    f"synopsis for {query.table}.{query.column} is stale "
+                    "(rows appended since build); refresh_stale() or pass "
+                    "on_stale='rebuild'"
+                )
+            if on_stale == "rebuild":
+                entry = self._synopses[key]
+                self.build_synopsis(
+                    key[0],
+                    key[1],
+                    method=entry.method,
+                    budget_words=entry.budget_words,
+                    **entry.builder_kwargs,
+                )
+        entry = self._synopses[key]
+        clipped = entry.statistics.clip_range(query.low, query.high)
+        if clipped is None:
+            estimate = 0.0
+        else:
+            low, high = clipped
+            if query.aggregate == "count":
+                estimate = entry.count_estimator.estimate(low, high)
+            elif query.aggregate == "sum":
+                estimate = entry.sum_estimator.estimate(low, high)
+            else:  # avg
+                count = entry.count_estimator.estimate(low, high)
+                total = entry.sum_estimator.estimate(low, high)
+                estimate = total / count if count > 0 else 0.0
+        exact = self.execute_exact(query) if with_exact else None
+        bound = None
+        if with_bound and clipped is not None and query.aggregate in ("count", "sum"):
+            envelope, estimator = entry.envelope_for(query.aggregate)
+            if envelope is not None:
+                low, high = clipped
+                bound = float(
+                    envelope.bound(
+                        estimator, np.asarray([low]), np.asarray([high])
+                    )[0]
+                )
+        return QueryResult(
+            query=query,
+            estimate=float(estimate),
+            exact=exact,
+            synopsis_name=entry.count_estimator.name,
+            synopsis_words=entry.count_estimator.storage_words()
+            + entry.sum_estimator.storage_words(),
+            guaranteed_bound=bound,
+        )
+
+    def execute_quantile(
+        self,
+        table_name: str,
+        column_name: str,
+        q: float,
+        *,
+        low: float | None = None,
+        high: float | None = None,
+        with_exact: bool = False,
+    ) -> "QuantileResult":
+        """Estimate the ``q``-quantile of a column from its count synopsis.
+
+        The estimate is the smallest attribute value whose estimated
+        cumulative frequency (within the optional ``[low, high]``
+        window) reaches ``q`` of the window total.
+        """
+        from repro.queries.quantiles import estimate_quantile
+
+        key = (table_name, column_name)
+        if key not in self._synopses:
+            raise InvalidQueryError(
+                f"no synopsis built for {table_name}.{column_name}; "
+                "call build_synopsis first"
+            )
+        entry = self._synopses[key]
+        clipped = entry.statistics.clip_range(low, high)
+        if clipped is None:
+            raise InvalidQueryError(
+                f"window [{low}, {high}] does not intersect the domain of "
+                f"{table_name}.{column_name}"
+            )
+        index = estimate_quantile(
+            entry.count_estimator, q, low=clipped[0], high=clipped[1]
+        )
+        estimate = float(entry.statistics.value_at(index))
+        exact = None
+        if with_exact:
+            values = self.table(table_name).column(column_name)
+            mask = np.ones(values.shape, dtype=bool)
+            if low is not None:
+                mask &= values >= low
+            if high is not None:
+                mask &= values <= high
+            selected = np.sort(values[mask])
+            if selected.size:
+                rank = min(
+                    int(np.ceil(q * selected.size)) - 1 if q > 0 else 0,
+                    selected.size - 1,
+                )
+                exact = float(selected[max(rank, 0)])
+        return QuantileResult(
+            table=table_name,
+            column=column_name,
+            q=float(q),
+            estimate=estimate,
+            exact=exact,
+            synopsis_name=entry.count_estimator.name,
+        )
+
+    def execute_sql(self, statement: str, *, with_exact: bool = False) -> QueryResult:
+        """Parse and run one statement of the mini SQL dialect.
+
+        Single-column predicates route to the 1-D synopses; two-column
+        BETWEEN conjunctions route to the joint synopses.
+        """
+        from repro.engine.sql import parse_query
+
+        query = parse_query(statement)
+        if isinstance(query, GroupedAggregateQuery):
+            return self.execute_grouped(query, with_exact=with_exact)
+        if isinstance(query, JointAggregateQuery):
+            return self.execute_joint(query, with_exact=with_exact)
+        if isinstance(query, QuantileQuery):
+            return self.execute_quantile(
+                query.table,
+                query.column,
+                query.q,
+                low=query.low,
+                high=query.high,
+                with_exact=with_exact,
+            )
+        return self.execute(query, with_exact=with_exact)
+

@@ -1,0 +1,162 @@
+"""GROUP BY support: per-group synopses.
+
+``SELECT COUNT(*) ... WHERE x BETWEEN a AND b GROUP BY g`` needs one
+attribute-value distribution per group.  The engine materialises a
+small catalog of per-group synopses (guarded by ``max_groups`` — GROUP
+BY columns are categorical by nature) and answers each group's range
+aggregate independently, exactly as the single-column path does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InvalidParameterError, InvalidQueryError
+
+#: Most distinct group values a grouped synopsis will materialise.
+MAX_GROUPS = 256
+
+
+@dataclass(frozen=True)
+class GroupedAggregateQuery:
+    """A range aggregate fanned out over the values of a group column."""
+
+    table: str
+    column: str
+    aggregate: str
+    group_by: str
+    low: float | None = None
+    high: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.aggregate not in ("count", "sum", "avg"):
+            raise InvalidQueryError(
+                f"grouped aggregate must be count/sum/avg, got {self.aggregate!r}"
+            )
+        if self.column == self.group_by:
+            raise InvalidQueryError("GROUP BY column must differ from the aggregated column")
+        if self.low is not None and self.high is not None and self.low > self.high:
+            raise InvalidQueryError(f"bounds are inverted: [{self.low}, {self.high}]")
+
+
+@dataclass(frozen=True)
+class GroupResult:
+    """One group's row in a grouped answer."""
+
+    group: float
+    estimate: float
+    exact: float | None
+
+    @property
+    def absolute_error(self) -> float | None:
+        if self.exact is None:
+            return None
+        return abs(self.estimate - self.exact)
+
+
+class GroupedSynopsisMixin:
+    """Per-group synopsis catalog; mixed into the engine."""
+
+    def build_grouped_synopsis(
+        self,
+        table_name: str,
+        column_name: str,
+        group_by: str,
+        *,
+        method: str = "sap1",
+        budget_words: int = 512,
+        max_groups: int = MAX_GROUPS,
+    ) -> None:
+        """Build one synopsis per distinct value of ``group_by``.
+
+        The word budget is split evenly across groups (each group gets a
+        COUNT and a SUM synopsis over its own distribution).
+        """
+        from repro.core.builders import BUILDER_REGISTRY, build_by_name
+        from repro.engine.column import ColumnStatistics
+        from repro.engine.engine import _ColumnSynopses
+
+        table = self.table(table_name)
+        values = table.column(column_name)
+        groups = table.column(group_by)
+        distinct = np.unique(groups)
+        if distinct.size > max_groups:
+            raise InvalidParameterError(
+                f"{group_by!r} has {distinct.size} distinct values "
+                f"(> max_groups={max_groups}); GROUP BY columns should be categorical"
+            )
+        if method not in BUILDER_REGISTRY:
+            raise InvalidParameterError(
+                f"unknown synopsis method {method!r}; available: {sorted(BUILDER_REGISTRY)}"
+            )
+        per_group = max(
+            budget_words // (2 * distinct.size),
+            BUILDER_REGISTRY[method].words_per_unit,
+        )
+        catalog: dict[float, _ColumnSynopses] = {}
+        for group in distinct.tolist():
+            member_values = values[groups == group]
+            statistics = ColumnStatistics.from_values(member_values)
+            catalog[group] = _ColumnSynopses(
+                statistics=statistics,
+                count_estimator=build_by_name(
+                    method, statistics.count_frequencies, per_group
+                ),
+                sum_estimator=build_by_name(
+                    method, statistics.sum_frequencies, per_group
+                ),
+                method=method,
+                budget_words=per_group * 2,
+                builder_kwargs={},
+            )
+        self._grouped_synopses[(table_name, column_name, group_by)] = catalog
+
+    def execute_grouped(
+        self, query: GroupedAggregateQuery, *, with_exact: bool = False
+    ) -> list[GroupResult]:
+        """Answer one grouped aggregate; one :class:`GroupResult` per group."""
+        key = (query.table, query.column, query.group_by)
+        catalog = self._grouped_synopses.get(key)
+        if catalog is None:
+            raise InvalidQueryError(
+                f"no grouped synopsis for {query.table}.{query.column} "
+                f"GROUP BY {query.group_by}; call build_grouped_synopsis first"
+            )
+        results = []
+        for group, entry in sorted(catalog.items()):
+            clipped = entry.statistics.clip_range(query.low, query.high)
+            if clipped is None:
+                estimate = 0.0
+            else:
+                low, high = clipped
+                if query.aggregate == "count":
+                    estimate = entry.count_estimator.estimate(low, high)
+                elif query.aggregate == "sum":
+                    estimate = entry.sum_estimator.estimate(low, high)
+                else:
+                    count = entry.count_estimator.estimate(low, high)
+                    total = entry.sum_estimator.estimate(low, high)
+                    estimate = total / count if count > 0 else 0.0
+            exact = (
+                self._grouped_exact(query, group) if with_exact else None
+            )
+            results.append(GroupResult(group=group, estimate=float(estimate), exact=exact))
+        return results
+
+    def _grouped_exact(self, query: GroupedAggregateQuery, group) -> float:
+        table = self.table(query.table)
+        values = table.column(query.column)
+        groups = table.column(query.group_by)
+        mask = groups == group
+        if query.low is not None:
+            mask &= values >= query.low
+        if query.high is not None:
+            mask &= values <= query.high
+        selected = values[mask]
+        if query.aggregate == "count":
+            return float(mask.sum())
+        if query.aggregate == "sum":
+            return float(selected.sum())
+        return float(selected.mean()) if selected.size else 0.0

@@ -1,0 +1,180 @@
+"""Joint (two-column) predicates — the footnote-2 extension in the engine.
+
+A conjunctive predicate ``x BETWEEN .. AND .. AND y BETWEEN .. AND ..``
+is a rectangle query against the *joint* distribution of the two
+columns, which the 2-D synopses of :mod:`repro.multidim` summarise.
+:class:`JointSynopsisMixin` adds joint-synopsis cataloging and execution
+to the engine; COUNT is the supported aggregate (joint synopses
+summarise the count grid).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InvalidParameterError, InvalidQueryError
+
+#: Joint synopsis methods understood by :meth:`build_joint_synopsis`.
+JOINT_METHODS = ("wavelet2d-point", "wavelet2d-range", "grid")
+
+
+@dataclass(frozen=True)
+class JointAggregateQuery:
+    """``SELECT COUNT(*) WHERE x BETWEEN .. AND .. AND y BETWEEN .. AND ..``.
+
+    Bounds are inclusive raw values; ``None`` means unbounded.
+    """
+
+    table: str
+    column_x: str
+    column_y: str
+    x_low: float | None = None
+    x_high: float | None = None
+    y_low: float | None = None
+    y_high: float | None = None
+
+    def __post_init__(self) -> None:
+        for low, high, axis in (
+            (self.x_low, self.x_high, "x"),
+            (self.y_low, self.y_high, "y"),
+        ):
+            if low is not None and high is not None and low > high:
+                raise InvalidQueryError(
+                    f"{axis}-axis bounds are inverted: [{low}, {high}]"
+                )
+        if self.column_x == self.column_y:
+            raise InvalidQueryError("joint query needs two distinct columns")
+
+    def swapped(self) -> "JointAggregateQuery":
+        """The same query with the two columns exchanged."""
+        return JointAggregateQuery(
+            table=self.table,
+            column_x=self.column_y,
+            column_y=self.column_x,
+            x_low=self.y_low,
+            x_high=self.y_high,
+            y_low=self.x_low,
+            y_high=self.x_high,
+        )
+
+
+def _build_joint(method: str, grid: np.ndarray, budget_words: int):
+    """Budget-driven construction of one 2-D synopsis over a count grid."""
+    from repro.multidim.grid_histogram import build_grid_histogram
+    from repro.multidim.haar2d import PointTopBWavelet2D
+    from repro.multidim.range_optimal2d import RangeOptimalWavelet2D
+
+    if method == "wavelet2d-point":
+        return PointTopBWavelet2D(grid, max(budget_words // 2, 1))
+    if method == "wavelet2d-range":
+        return RangeOptimalWavelet2D(grid, max(budget_words // 2, 1))
+    if method == "grid":
+        # words = Bx + By + Bx * By with Bx == By == b.
+        b = max(int(math.isqrt(budget_words + 1)) - 1, 1)
+        b_rows = min(b, grid.shape[0])
+        b_cols = min(b, grid.shape[1])
+        return build_grid_histogram(grid, b_rows, b_cols, method="sap1")
+    raise InvalidParameterError(
+        f"unknown joint synopsis method {method!r}; available: {JOINT_METHODS}"
+    )
+
+
+@dataclass(frozen=True)
+class _JointSynopses:
+    statistics: object  # JointColumnStatistics
+    estimator: object  # Estimator2D
+    method: str
+
+
+class JointSynopsisMixin:
+    """Joint-predicate catalog and executors for the engine.
+
+    Relies on the host class providing ``self.table(name)`` and a
+    ``self._joint_synopses`` dict initialised in ``__init__``.
+    """
+
+    def build_joint_synopsis(
+        self,
+        table_name: str,
+        column_x: str,
+        column_y: str,
+        *,
+        method: str = "wavelet2d-point",
+        budget_words: int = 128,
+    ) -> None:
+        """Build a 2-D synopsis over the joint distribution of two columns."""
+        from repro.engine.column import JointColumnStatistics
+
+        table = self.table(table_name)
+        statistics = JointColumnStatistics.from_values(
+            table.column(column_x), table.column(column_y)
+        )
+        estimator = _build_joint(method, statistics.count_grid, budget_words)
+        self._joint_synopses[(table_name, column_x, column_y)] = _JointSynopses(
+            statistics=statistics, estimator=estimator, method=method
+        )
+
+    def joint_catalog(self) -> list[dict]:
+        """One row per joint synopsis."""
+        return [
+            {
+                "table": table,
+                "columns": (cx, cy),
+                "method": entry.method,
+                "words": entry.estimator.storage_words(),
+                "grid_shape": entry.statistics.count_grid.shape,
+            }
+            for (table, cx, cy), entry in sorted(self._joint_synopses.items())
+        ]
+
+    def execute_joint(self, query: JointAggregateQuery, *, with_exact: bool = False):
+        """Answer a two-column COUNT from the joint synopsis."""
+        from repro.engine.engine import QueryResult
+
+        key = (query.table, query.column_x, query.column_y)
+        entry = self._joint_synopses.get(key)
+        if entry is None:
+            reversed_key = (query.table, query.column_y, query.column_x)
+            entry = self._joint_synopses.get(reversed_key)
+            if entry is None:
+                raise InvalidQueryError(
+                    f"no joint synopsis for {query.table}.({query.column_x}, "
+                    f"{query.column_y}); call build_joint_synopsis first"
+                )
+            query = query.swapped()
+
+        clipped = entry.statistics.clip_rectangle(
+            query.x_low, query.x_high, query.y_low, query.y_high
+        )
+        if clipped is None:
+            estimate = 0.0
+        else:
+            x1, y1, x2, y2 = clipped
+            estimate = entry.estimator.estimate(x1, y1, x2, y2)
+        exact = self.execute_joint_exact(query) if with_exact else None
+        return QueryResult(
+            query=query,  # type: ignore[arg-type]
+            estimate=float(estimate),
+            exact=exact,
+            synopsis_name=entry.estimator.name,
+            synopsis_words=entry.estimator.storage_words(),
+        )
+
+    def execute_joint_exact(self, query: JointAggregateQuery) -> float:
+        """Ground truth for a joint COUNT by scanning the base table."""
+        table = self.table(query.table)
+        xs = table.column(query.column_x)
+        ys = table.column(query.column_y)
+        mask = np.ones(xs.shape, dtype=bool)
+        if query.x_low is not None:
+            mask &= xs >= query.x_low
+        if query.x_high is not None:
+            mask &= xs <= query.x_high
+        if query.y_low is not None:
+            mask &= ys >= query.y_low
+        if query.y_high is not None:
+            mask &= ys <= query.y_high
+        return float(mask.sum())

@@ -1,0 +1,110 @@
+"""Whole-catalog persistence.
+
+A synopsis catalog is the thing an engine keeps *instead of* the data,
+so it must survive restarts on its own: :func:`save_catalog` writes
+every 1-D synopsis (and its column statistics) to a single compressed
+``.npz`` container, and :func:`load_catalog` restores them into an
+engine that need not have the base tables registered at all — estimates
+keep working; only exact-answer comparisons require re-registering the
+data.
+
+Layout: a JSON manifest plus, per synopsis, the binary estimator blobs
+(via :mod:`repro.engine.storage`) and the column-statistics arrays.
+Joint (2-D) synopses are rebuildable from data and are not persisted in
+v1 of the format; the manifest records the format version so future
+layouts can evolve.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import numpy as np
+
+from repro.engine.column import ColumnStatistics
+from repro.engine.engine import ApproximateQueryEngine, _ColumnSynopses
+from repro.engine.storage import deserialize_estimator, serialize_estimator
+from repro.errors import SerializationError
+
+FORMAT_VERSION = 1
+
+
+def save_catalog(engine: ApproximateQueryEngine, path) -> int:
+    """Write every 1-D synopsis of ``engine`` to ``path`` (.npz).
+
+    Returns the number of synopses written.  Stale synopses are written
+    as-is (staleness is a property of the session, not the bytes).
+    """
+    manifest = {"version": FORMAT_VERSION, "synopses": []}
+    arrays: dict[str, np.ndarray] = {}
+    for index, ((table, column), entry) in enumerate(sorted(engine._synopses.items())):
+        manifest["synopses"].append(
+            {
+                "table": table,
+                "column": column,
+                "method": entry.method,
+                "budget_words": entry.budget_words,
+                "layout": entry.statistics.layout,
+                "lo": entry.statistics.lo,
+                "hi": entry.statistics.hi,
+                "row_count": entry.statistics.row_count,
+            }
+        )
+        arrays[f"{index}_count_blob"] = np.frombuffer(
+            serialize_estimator(entry.count_estimator), dtype=np.uint8
+        )
+        arrays[f"{index}_sum_blob"] = np.frombuffer(
+            serialize_estimator(entry.sum_estimator), dtype=np.uint8
+        )
+        arrays[f"{index}_values_axis"] = entry.statistics.values_axis
+        arrays[f"{index}_count_freq"] = entry.statistics.count_frequencies
+        arrays[f"{index}_sum_freq"] = entry.statistics.sum_frequencies
+    arrays["manifest"] = np.frombuffer(
+        json.dumps(manifest).encode("utf-8"), dtype=np.uint8
+    )
+    with open(path, "wb") as handle:
+        np.savez_compressed(handle, **arrays)
+    return len(manifest["synopses"])
+
+
+def load_catalog(engine: ApproximateQueryEngine, path) -> int:
+    """Restore synopses written by :func:`save_catalog` into ``engine``.
+
+    Existing synopses for the same (table, column) are replaced; tables
+    themselves are untouched (and need not exist).  Returns the number
+    of synopses restored.
+    """
+    with np.load(path) as archive:
+        try:
+            manifest = json.loads(bytes(archive["manifest"]).decode("utf-8"))
+        except KeyError as error:
+            raise SerializationError(f"{path} is not a repro catalog") from error
+        if manifest.get("version") != FORMAT_VERSION:
+            raise SerializationError(
+                f"unsupported catalog version {manifest.get('version')!r}"
+            )
+        for index, meta in enumerate(manifest["synopses"]):
+            statistics = ColumnStatistics(
+                lo=meta["lo"],
+                hi=meta["hi"],
+                values_axis=archive[f"{index}_values_axis"],
+                count_frequencies=archive[f"{index}_count_freq"],
+                sum_frequencies=archive[f"{index}_sum_freq"],
+                row_count=int(meta["row_count"]),
+                layout=meta["layout"],
+            )
+            entry = _ColumnSynopses(
+                statistics=statistics,
+                count_estimator=deserialize_estimator(
+                    bytes(archive[f"{index}_count_blob"])
+                ),
+                sum_estimator=deserialize_estimator(bytes(archive[f"{index}_sum_blob"])),
+                method=meta["method"],
+                budget_words=int(meta["budget_words"]),
+                builder_kwargs={},
+            )
+            key = (meta["table"], meta["column"])
+            engine._synopses[key] = entry
+            engine._stale.discard(key)
+    return len(manifest["synopses"])

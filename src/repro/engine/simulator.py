@@ -1,0 +1,124 @@
+"""Query-traffic simulation against the engine.
+
+System-level evaluation: replay a stream of aggregates (optionally
+interleaved with inserts) against an engine and summarise the error
+profile — the view an operator cares about, as opposed to the
+per-synopsis SSE the construction benchmarks report.  Used by the
+``workload_replay`` example and the engine benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.engine import AggregateQuery, ApproximateQueryEngine
+from repro.errors import InvalidParameterError
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """Shape of a synthetic query stream over one table column."""
+
+    table: str
+    column: str
+    query_count: int = 500
+    aggregates: tuple = ("count", "count", "sum", "avg")  # weighted mix
+    insert_every: int | None = None  # insert a row batch every k queries
+    insert_batch: int = 100
+    seed: int = 0
+
+
+@dataclass
+class SimulationReport:
+    """Error profile of one replay."""
+
+    queries: int = 0
+    inserts: int = 0
+    rebuilds: int = 0
+    relative_errors: list = field(default_factory=list)
+
+    @property
+    def mean_relative_error(self) -> float:
+        """Raw mean — can explode when queries hit near-empty ranges
+        (tiny exact answers make relative error unbounded); prefer the
+        median/p95 for headline comparisons."""
+        return float(np.mean(self.relative_errors)) if self.relative_errors else 0.0
+
+    @property
+    def median_relative_error(self) -> float:
+        return float(np.median(self.relative_errors)) if self.relative_errors else 0.0
+
+    @property
+    def p95_relative_error(self) -> float:
+        return (
+            float(np.percentile(self.relative_errors, 95))
+            if self.relative_errors
+            else 0.0
+        )
+
+    @property
+    def max_relative_error(self) -> float:
+        return float(np.max(self.relative_errors)) if self.relative_errors else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.queries} queries, {self.inserts} inserts, "
+            f"{self.rebuilds} rebuilds | rel.err median "
+            f"{self.median_relative_error:.2%} p95 {self.p95_relative_error:.2%}"
+        )
+
+
+def simulate_traffic(
+    engine: ApproximateQueryEngine,
+    spec: TrafficSpec,
+    *,
+    on_stale: str = "serve",
+) -> SimulationReport:
+    """Replay a synthetic stream and collect the error profile.
+
+    Ranges are drawn uniformly over the column's observed raw domain;
+    inserts draw from the same empirical distribution (so the data
+    drifts in volume but not in shape).  ``on_stale`` is forwarded to
+    :meth:`~repro.engine.engine.ApproximateQueryEngine.execute`, which
+    is what makes the staleness policies comparable.
+    """
+    if spec.query_count < 1:
+        raise InvalidParameterError("query_count must be >= 1")
+    rng = np.random.default_rng(spec.seed)
+    table = engine.table(spec.table)
+    values = table.column(spec.column)
+    lo, hi = float(values.min()), float(values.max())
+    report = SimulationReport()
+
+    for step in range(spec.query_count):
+        if (
+            spec.insert_every
+            and step > 0
+            and step % spec.insert_every == 0
+        ):
+            sample = rng.choice(values, size=spec.insert_batch)
+            rows = {
+                name: (
+                    sample
+                    if name == spec.column
+                    else rng.choice(engine.table(spec.table).column(name), spec.insert_batch)
+                )
+                for name in engine.table(spec.table).column_names()
+            }
+            engine.append_rows(spec.table, rows)
+            report.inserts += spec.insert_batch
+        was_stale = (spec.table, spec.column) in set(engine.stale_synopses())
+        low, high = sorted(rng.uniform(lo, hi, 2).tolist())
+        aggregate = spec.aggregates[int(rng.integers(0, len(spec.aggregates)))]
+        result = engine.execute(
+            AggregateQuery(spec.table, spec.column, aggregate, low, high),
+            with_exact=True,
+            on_stale=on_stale,
+        )
+        if was_stale and on_stale == "rebuild":
+            report.rebuilds += 1
+        report.queries += 1
+        report.relative_errors.append(result.relative_error)
+    return report

@@ -1,0 +1,182 @@
+"""A small SQL dialect for range aggregates.
+
+Grammar (case-insensitive keywords)::
+
+    SELECT COUNT(*) | SUM(col) | AVG(col)
+    FROM <table>
+    [WHERE <col> BETWEEN <low> AND <high>
+         | <col> >= <low> [AND <col> <= <high>]
+         | <col> <= <high>
+         | <col> = <value>]
+
+The predicate column must match the aggregated column for SUM/AVG (the
+synopses summarise one attribute at a time, as in the paper's
+one-dimensional model).  COUNT(*) requires a predicate to name the
+column.  Raises :class:`~repro.errors.SQLSyntaxError` with a pointed
+message on anything else.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.engine.engine import AggregateQuery
+from repro.errors import SQLSyntaxError
+
+_IDENT = r"[A-Za-z_][A-Za-z_0-9]*"
+_NUM = r"[-+]?\d+(?:\.\d+)?"
+
+_QUANTILE_RE = re.compile(
+    rf"^\s*select\s+(?:median\s*\(\s*(?P<med_col>{_IDENT})\s*\)"
+    rf"|quantile\s*\(\s*(?P<q_col>{_IDENT})\s*,\s*(?P<q_val>{_NUM})\s*\))"
+    rf"\s+from\s+(?P<table>{_IDENT})"
+    rf"(?:\s+where\s+(?P<where>.+?))?\s*;?\s*$",
+    re.IGNORECASE | re.DOTALL,
+)
+
+_QUERY_RE = re.compile(
+    rf"^\s*select\s+(?P<agg>count\s*\(\s*\*\s*\)|(?:sum|avg)\s*\(\s*(?P<agg_col>{_IDENT})\s*\))"
+    rf"\s+from\s+(?P<table>{_IDENT})"
+    rf"(?:\s+where\s+(?P<where>.+?))?"
+    rf"(?:\s+group\s+by\s+(?P<group_by>{_IDENT}))?\s*;?\s*$",
+    re.IGNORECASE | re.DOTALL,
+)
+
+_BETWEEN_RE = re.compile(
+    rf"^(?P<col>{_IDENT})\s+between\s+(?P<low>{_NUM})\s+and\s+(?P<high>{_NUM})$",
+    re.IGNORECASE,
+)
+_DOUBLE_BETWEEN_RE = re.compile(
+    rf"^(?P<col1>{_IDENT})\s+between\s+(?P<low1>{_NUM})\s+and\s+(?P<high1>{_NUM})"
+    rf"\s+and\s+"
+    rf"(?P<col2>{_IDENT})\s+between\s+(?P<low2>{_NUM})\s+and\s+(?P<high2>{_NUM})$",
+    re.IGNORECASE,
+)
+_EQ_RE = re.compile(rf"^(?P<col>{_IDENT})\s*=\s*(?P<value>{_NUM})$", re.IGNORECASE)
+_GE_LE_RE = re.compile(
+    rf"^(?P<col1>{_IDENT})\s*>=\s*(?P<low>{_NUM})\s+and\s+(?P<col2>{_IDENT})\s*<=\s*(?P<high>{_NUM})$",
+    re.IGNORECASE,
+)
+_GE_RE = re.compile(rf"^(?P<col>{_IDENT})\s*>=\s*(?P<low>{_NUM})$", re.IGNORECASE)
+_LE_RE = re.compile(rf"^(?P<col>{_IDENT})\s*<=\s*(?P<high>{_NUM})$", re.IGNORECASE)
+
+
+def _parse_number(text: str) -> float:
+    value = float(text)
+    return value
+
+
+def _parse_predicate(where: str) -> tuple[str, float | None, float | None]:
+    where = where.strip()
+    match = _BETWEEN_RE.match(where)
+    if match:
+        return match["col"], _parse_number(match["low"]), _parse_number(match["high"])
+    match = _EQ_RE.match(where)
+    if match:
+        value = _parse_number(match["value"])
+        return match["col"], value, value
+    match = _GE_LE_RE.match(where)
+    if match:
+        if match["col1"].lower() != match["col2"].lower():
+            raise SQLSyntaxError(
+                f"predicate mixes columns {match['col1']!r} and {match['col2']!r}; "
+                "only single-column range predicates are supported"
+            )
+        return match["col1"], _parse_number(match["low"]), _parse_number(match["high"])
+    match = _GE_RE.match(where)
+    if match:
+        return match["col"], _parse_number(match["low"]), None
+    match = _LE_RE.match(where)
+    if match:
+        return match["col"], None, _parse_number(match["high"])
+    raise SQLSyntaxError(
+        f"unsupported WHERE clause {where!r}; use BETWEEN, =, >=, <= on one column"
+    )
+
+
+def parse_query(statement: str):
+    """Parse one dialect statement into an aggregate or quantile query."""
+    if not isinstance(statement, str) or not statement.strip():
+        raise SQLSyntaxError("empty statement")
+    quantile = _QUANTILE_RE.match(statement)
+    if quantile:
+        from repro.engine.engine import QuantileQuery
+
+        column = quantile["med_col"] or quantile["q_col"]
+        q = 0.5 if quantile["med_col"] else float(quantile["q_val"])
+        low = high = None
+        if quantile["where"] is not None:
+            where_col, low, high = _parse_predicate(quantile["where"])
+            if where_col.lower() != column.lower():
+                raise SQLSyntaxError(
+                    f"quantile predicate column {where_col!r} must match "
+                    f"the aggregated column {column!r}"
+                )
+        return QuantileQuery(
+            table=quantile["table"], column=column, q=q, low=low, high=high
+        )
+    match = _QUERY_RE.match(statement)
+    if not match:
+        raise SQLSyntaxError(
+            f"could not parse {statement!r}; expected "
+            "SELECT COUNT(*)|SUM(col)|AVG(col) FROM table [WHERE ...]"
+        )
+    agg_text = match["agg"].lower()
+    if agg_text.startswith("count"):
+        aggregate = "count"
+        agg_column = None
+    else:
+        aggregate = "sum" if agg_text.startswith("sum") else "avg"
+        agg_column = match["agg_col"]
+
+    where = match["where"]
+    if where is not None:
+        joint = _DOUBLE_BETWEEN_RE.match(where.strip())
+        if joint and joint["col1"].lower() != joint["col2"].lower():
+            if aggregate != "count":
+                raise SQLSyntaxError(
+                    "two-column predicates support COUNT(*) only "
+                    "(joint synopses summarise the count distribution)"
+                )
+            from repro.engine.joint import JointAggregateQuery
+
+            return JointAggregateQuery(
+                table=match["table"],
+                column_x=joint["col1"],
+                column_y=joint["col2"],
+                x_low=_parse_number(joint["low1"]),
+                x_high=_parse_number(joint["high1"]),
+                y_low=_parse_number(joint["low2"]),
+                y_high=_parse_number(joint["high2"]),
+            )
+    if where is None:
+        if aggregate == "count":
+            raise SQLSyntaxError(
+                "COUNT(*) needs a WHERE predicate to name the summarised column"
+            )
+        column, low, high = agg_column, None, None
+    else:
+        column, low, high = _parse_predicate(where)
+        if agg_column is not None and column.lower() != agg_column.lower():
+            raise SQLSyntaxError(
+                f"aggregate column {agg_column!r} must match predicate column "
+                f"{column!r} (one-dimensional synopses)"
+            )
+    if match["group_by"] is not None:
+        from repro.engine.grouped import GroupedAggregateQuery
+
+        if column is None:
+            raise SQLSyntaxError(
+                "grouped COUNT(*) needs a WHERE predicate to name the column"
+            )
+        return GroupedAggregateQuery(
+            table=match["table"],
+            column=column,
+            aggregate=aggregate,
+            group_by=match["group_by"],
+            low=low,
+            high=high,
+        )
+    return AggregateQuery(
+        table=match["table"], column=column, aggregate=aggregate, low=low, high=high
+    )

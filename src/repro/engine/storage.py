@@ -1,0 +1,184 @@
+"""Binary (de)serialisation of synopses.
+
+A synopsis catalog is only useful if it can persist across engine
+restarts; this module gives every estimator family a compact, versioned
+binary encoding.  Layout: a 4-byte magic ``RPR1``, a one-byte type tag,
+then type-specific fields; arrays are a ``uint32`` length followed by
+little-endian payload.  Corrupt or unknown input raises
+:class:`~repro.errors.SerializationError`.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+
+import numpy as np
+
+from repro.core.histogram import AverageHistogram, SapHistogram
+from repro.core.sap_poly import PolySapHistogram
+from repro.errors import SerializationError
+from repro.wavelets.haar import next_power_of_two
+from repro.wavelets.point_topb import PointTopBWavelet
+from repro.wavelets.range_optimal import RangeOptimalWavelet
+
+_MAGIC = b"RPR1"
+_TAG_AVERAGE = 1
+_TAG_SAP = 2
+_TAG_WAVELET_POINT = 3
+_TAG_WAVELET_RANGE = 4
+_TAG_POLY_SAP = 5
+
+_ROUNDING_CODES = {"per_piece": 0, "total": 1, "none": 2}
+_ROUNDING_NAMES = {code: name for name, code in _ROUNDING_CODES.items()}
+
+
+def _write_array(buffer: io.BytesIO, array: np.ndarray, dtype: str) -> None:
+    data = np.ascontiguousarray(array, dtype=dtype)
+    buffer.write(struct.pack("<I", data.size))
+    buffer.write(data.tobytes())
+
+
+def _read_array(buffer: io.BytesIO, dtype: str) -> np.ndarray:
+    raw = buffer.read(4)
+    if len(raw) != 4:
+        raise SerializationError("truncated stream: missing array length")
+    (size,) = struct.unpack("<I", raw)
+    item = np.dtype(dtype).itemsize
+    payload = buffer.read(size * item)
+    if len(payload) != size * item:
+        raise SerializationError("truncated stream: missing array payload")
+    return np.frombuffer(payload, dtype=dtype).copy()
+
+
+def _write_string(buffer: io.BytesIO, text: str) -> None:
+    encoded = text.encode("utf-8")
+    buffer.write(struct.pack("<H", len(encoded)))
+    buffer.write(encoded)
+
+
+def _read_string(buffer: io.BytesIO) -> str:
+    raw = buffer.read(2)
+    if len(raw) != 2:
+        raise SerializationError("truncated stream: missing string length")
+    (size,) = struct.unpack("<H", raw)
+    payload = buffer.read(size)
+    if len(payload) != size:
+        raise SerializationError("truncated stream: missing string payload")
+    return payload.decode("utf-8")
+
+
+def serialize_estimator(estimator) -> bytes:
+    """Encode a supported estimator to bytes."""
+    buffer = io.BytesIO()
+    buffer.write(_MAGIC)
+    if isinstance(estimator, PolySapHistogram):
+        buffer.write(
+            struct.pack("<BQB", _TAG_POLY_SAP, estimator.n, estimator.degree)
+        )
+        _write_array(buffer, estimator.lefts, "<i8")
+        _write_array(buffer, estimator.averages, "<f8")
+        _write_array(buffer, estimator.suffix_coeffs.ravel(), "<f8")
+        _write_array(buffer, estimator.prefix_coeffs.ravel(), "<f8")
+    elif isinstance(estimator, SapHistogram):
+        buffer.write(struct.pack("<BQB", _TAG_SAP, estimator.n, estimator.order))
+        _write_string(buffer, estimator.name)
+        _write_array(buffer, estimator.lefts, "<i8")
+        for array in (
+            estimator.averages,
+            estimator.suffix_slopes,
+            estimator.suffix_intercepts,
+            estimator.prefix_slopes,
+            estimator.prefix_intercepts,
+        ):
+            _write_array(buffer, array, "<f8")
+    elif isinstance(estimator, AverageHistogram):
+        buffer.write(
+            struct.pack(
+                "<BQB", _TAG_AVERAGE, estimator.n, _ROUNDING_CODES[estimator.rounding]
+            )
+        )
+        _write_string(buffer, estimator.name)
+        _write_array(buffer, estimator.lefts, "<i8")
+        _write_array(buffer, estimator.values, "<f8")
+    elif isinstance(estimator, PointTopBWavelet):
+        buffer.write(struct.pack("<BQ", _TAG_WAVELET_POINT, estimator.n))
+        _write_array(buffer, estimator.indices, "<i8")
+        _write_array(buffer, estimator.coefficients, "<f8")
+    elif isinstance(estimator, RangeOptimalWavelet):
+        buffer.write(struct.pack("<BQ", _TAG_WAVELET_RANGE, estimator.n))
+        _write_array(buffer, estimator.row_indices, "<i8")
+        _write_array(buffer, estimator.col_indices, "<i8")
+        _write_array(buffer, estimator.coefficients, "<f8")
+    else:
+        raise SerializationError(
+            f"cannot serialise estimators of type {type(estimator).__name__}"
+        )
+    return buffer.getvalue()
+
+
+def deserialize_estimator(blob: bytes):
+    """Decode an estimator previously written by :func:`serialize_estimator`."""
+    buffer = io.BytesIO(blob)
+    if buffer.read(4) != _MAGIC:
+        raise SerializationError("bad magic: not a repro synopsis blob")
+    header = buffer.read(1)
+    if len(header) != 1:
+        raise SerializationError("truncated stream: missing type tag")
+    tag = header[0]
+    if tag == _TAG_AVERAGE:
+        raw = buffer.read(9)
+        if len(raw) != 9:
+            raise SerializationError("truncated AverageHistogram header")
+        n, rounding_code = struct.unpack("<QB", raw)
+        if rounding_code not in _ROUNDING_NAMES:
+            raise SerializationError(f"unknown rounding code {rounding_code}")
+        label = _read_string(buffer)
+        lefts = _read_array(buffer, "<i8")
+        values = _read_array(buffer, "<f8")
+        return AverageHistogram(
+            lefts, values, int(n), rounding=_ROUNDING_NAMES[rounding_code], label=label
+        )
+    if tag == _TAG_SAP:
+        raw = buffer.read(9)
+        if len(raw) != 9:
+            raise SerializationError("truncated SapHistogram header")
+        n, order = struct.unpack("<QB", raw)
+        label = _read_string(buffer)
+        lefts = _read_array(buffer, "<i8")
+        arrays = [_read_array(buffer, "<f8") for _ in range(5)]
+        return SapHistogram(lefts, *arrays, int(n), order=int(order), label=label)
+    if tag == _TAG_POLY_SAP:
+        raw = buffer.read(9)
+        if len(raw) != 9:
+            raise SerializationError("truncated PolySapHistogram header")
+        n, degree = struct.unpack("<QB", raw)
+        lefts = _read_array(buffer, "<i8")
+        averages = _read_array(buffer, "<f8")
+        suffix = _read_array(buffer, "<f8").reshape(lefts.size, degree + 1)
+        prefix = _read_array(buffer, "<f8").reshape(lefts.size, degree + 1)
+        return PolySapHistogram(lefts, averages, suffix, prefix, int(n), degree=int(degree))
+    if tag == _TAG_WAVELET_POINT:
+        raw = buffer.read(8)
+        if len(raw) != 8:
+            raise SerializationError("truncated wavelet header")
+        (n,) = struct.unpack("<Q", raw)
+        estimator = PointTopBWavelet.__new__(PointTopBWavelet)
+        estimator.n = int(n)
+        estimator.padded_n = next_power_of_two(int(n))
+        estimator.indices = _read_array(buffer, "<i8")
+        estimator.coefficients = _read_array(buffer, "<f8")
+        return estimator
+    if tag == _TAG_WAVELET_RANGE:
+        raw = buffer.read(8)
+        if len(raw) != 8:
+            raise SerializationError("truncated wavelet header")
+        (n,) = struct.unpack("<Q", raw)
+        estimator = RangeOptimalWavelet.__new__(RangeOptimalWavelet)
+        estimator.n = int(n)
+        estimator.padded_n = next_power_of_two(int(n))
+        estimator.row_indices = _read_array(buffer, "<i8")
+        estimator.col_indices = _read_array(buffer, "<i8")
+        estimator.coefficients = _read_array(buffer, "<f8")
+        return estimator
+    raise SerializationError(f"unknown synopsis type tag {tag}")

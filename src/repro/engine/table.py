@@ -1,0 +1,71 @@
+"""Minimal in-memory column store.
+
+Just enough of a storage layer to host realistic end-to-end examples:
+named tables of equal-length numpy columns, with exact scans used as
+ground truth against the synopsis estimates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidDataError, InvalidQueryError
+
+
+class Table:
+    """A named collection of equal-length columns."""
+
+    def __init__(self, name: str, columns: dict[str, np.ndarray]) -> None:
+        if not name or not isinstance(name, str):
+            raise InvalidDataError("table name must be a non-empty string")
+        if not columns:
+            raise InvalidDataError(f"table {name!r} must have at least one column")
+        self.name = name
+        self.columns: dict[str, np.ndarray] = {}
+        length = None
+        for column_name, values in columns.items():
+            values = np.asarray(values)
+            if values.ndim != 1:
+                raise InvalidDataError(f"column {column_name!r} must be 1-D")
+            if length is None:
+                length = values.size
+            elif values.size != length:
+                raise InvalidDataError(
+                    f"column {column_name!r} has {values.size} rows, expected {length}"
+                )
+            self.columns[column_name] = values
+        self.row_count = int(length or 0)
+
+    def with_appended(self, rows: dict[str, np.ndarray]) -> "Table":
+        """A new table with ``rows`` appended to every column.
+
+        ``rows`` must cover exactly this table's columns with
+        equal-length arrays.
+        """
+        if set(rows) != set(self.columns):
+            raise InvalidDataError(
+                f"appended rows must cover exactly the columns "
+                f"{self.column_names()}, got {sorted(rows)}"
+            )
+        merged = {
+            name: np.concatenate((values, np.asarray(rows[name])))
+            for name, values in self.columns.items()
+        }
+        return Table(self.name, merged)
+
+    def column(self, name: str) -> np.ndarray:
+        if name not in self.columns:
+            raise InvalidQueryError(
+                f"table {self.name!r} has no column {name!r}; "
+                f"available: {sorted(self.columns)}"
+            )
+        return self.columns[name]
+
+    def column_names(self) -> list[str]:
+        return sorted(self.columns)
+
+    def __len__(self) -> int:
+        return self.row_count
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Table {self.name!r} rows={self.row_count} cols={self.column_names()}>"

@@ -1,0 +1,45 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All errors raised by the library derive from :class:`ReproError`, so
+callers can catch one type at an API boundary.  Subtypes distinguish
+user-input problems from resource-budget problems so that an
+approximate-query engine can, e.g., retry a synopsis build with a
+coarser configuration when it sees :class:`BudgetExceededError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class InvalidDataError(ReproError, ValueError):
+    """The input frequency vector is unusable (empty, negative, NaN...)."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A configuration parameter is out of its documented domain."""
+
+
+class InvalidQueryError(ReproError, ValueError):
+    """A range query's endpoints are malformed or out of bounds."""
+
+
+class BudgetExceededError(ReproError):
+    """A space or state budget cannot accommodate the requested build.
+
+    Raised, for example, when the OPT-A dynamic program's sparse state
+    table would exceed ``max_states`` (the documented remedy is to use
+    :func:`repro.core.opt_a_rounded.build_opt_a_rounded` with a coarser
+    rounding parameter), or when a synopsis does not fit in the word
+    budget handed to the builder registry.
+    """
+
+
+class SerializationError(ReproError):
+    """A synopsis byte-stream is corrupt or has an unsupported version."""
+
+
+class SQLSyntaxError(ReproError, ValueError):
+    """The mini SQL dialect parser rejected a statement."""

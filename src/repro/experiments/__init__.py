@@ -1,0 +1,32 @@
+"""Experiment harnesses reproducing the paper's evaluation (Section 4).
+
+``figure1``   the SSE-vs-storage sweep of Figure 1
+``claims``    the quantitative in-text claims (POINT-OPT ratios, SAP1
+              ratios, SAP0 inferiority, the 41% reopt gain)
+``runtimes``  the construction-time study the paper omitted
+``reporting`` plain-text table rendering shared by the benchmarks
+"""
+
+from repro.experiments.figure1 import FigureOnePoint, figure1_table, run_figure1
+from repro.experiments.claims import (
+    claim_opta_vs_sap1,
+    claim_pointopt_vs_opta,
+    claim_reopt_gain,
+    claim_sap0_inferior,
+)
+from repro.experiments.runtimes import run_construction_timing
+from repro.experiments.report import generate_report
+from repro.experiments.reporting import format_table
+
+__all__ = [
+    "run_figure1",
+    "figure1_table",
+    "FigureOnePoint",
+    "claim_pointopt_vs_opta",
+    "claim_opta_vs_sap1",
+    "claim_sap0_inferior",
+    "claim_reopt_gain",
+    "run_construction_timing",
+    "format_table",
+    "generate_report",
+]

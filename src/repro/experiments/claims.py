@@ -1,0 +1,141 @@
+"""The quantitative in-text claims of Sections 4 and 5.
+
+Each function returns a small result record with the measured numbers
+and the paper's reported band, so the benchmark layer can both print the
+comparison and assert the qualitative direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.builders import build_by_name
+from repro.core.opt_a import opt_a_search
+from repro.core.reopt import reoptimize_values
+from repro.data.datasets import paper_dataset
+from repro.queries.evaluation import sse
+
+
+@dataclass(frozen=True)
+class RatioClaim:
+    """Measured per-budget SSE ratios against a paper-reported band."""
+
+    description: str
+    budgets: tuple
+    ratios: tuple
+    paper_band: str
+
+    @property
+    def max_ratio(self) -> float:
+        return max(self.ratios)
+
+    @property
+    def mean_ratio(self) -> float:
+        return float(np.mean(self.ratios))
+
+
+def _sse_by_budget(method: str, data, budgets, **kwargs):
+    return {
+        budget: sse(build_by_name(method, data, budget, **kwargs), data)
+        for budget in budgets
+    }
+
+
+def claim_pointopt_vs_opta(data=None, budgets=(16, 24, 32, 40, 48)) -> RatioClaim:
+    """Section 4: POINT-OPT up to 8x worse than OPT-A, >3x on average."""
+    if data is None:
+        data = paper_dataset()
+    point = _sse_by_budget("point-opt", data, budgets)
+    opt = _sse_by_budget("opt-a", data, budgets)
+    ratios = tuple(point[b] / max(opt[b], 1e-12) for b in budgets)
+    return RatioClaim(
+        description="POINT-OPT SSE / OPT-A SSE at equal storage",
+        budgets=tuple(budgets),
+        ratios=ratios,
+        paper_band="up to 8x, >3x on average",
+    )
+
+
+def claim_opta_vs_sap1(data=None, budgets=(20, 30, 40, 50)) -> RatioClaim:
+    """Section 4: OPT-A 2-4x better than SAP1 at equal storage.
+
+    At equal words, SAP1 affords 2.5x fewer buckets (5 words/bucket vs
+    2), which is why more buckets beats richer per-bucket statistics.
+    """
+    if data is None:
+        data = paper_dataset()
+    sap1 = _sse_by_budget("sap1", data, budgets)
+    opt = _sse_by_budget("opt-a", data, budgets)
+    ratios = tuple(sap1[b] / max(opt[b], 1e-12) for b in budgets)
+    return RatioClaim(
+        description="SAP1 SSE / OPT-A SSE at equal storage",
+        budgets=tuple(budgets),
+        ratios=ratios,
+        paper_band="2-4x",
+    )
+
+
+def claim_sap0_inferior(data=None, budgets=(18, 30, 42, 54)) -> dict:
+    """Section 4: SAP0 was inferior (SSE per unit storage) to the other
+    range-query histograms tested (OPT-A, A0, SAP1)."""
+    if data is None:
+        data = paper_dataset()
+    rows = {}
+    for budget in budgets:
+        rows[budget] = {
+            method: sse(build_by_name(method, data, budget), data)
+            for method in ("sap0", "sap1", "a0", "opt-a")
+        }
+    worst_count = sum(
+        1
+        for budget, row in rows.items()
+        if row["sap0"] >= max(row["sap1"], row["a0"], row["opt-a"]) - 1e-9
+    )
+    return {
+        "rows": rows,
+        "budgets": tuple(budgets),
+        "sap0_worst_at": worst_count,
+        "paper_band": "SAP0 inferior to all other range histograms per word",
+    }
+
+
+@dataclass(frozen=True)
+class ReoptClaim:
+    budgets: tuple
+    base_sse: dict
+    reopt_sse: dict
+    improvements_pct: dict = field(default_factory=dict)
+    paper_band: str = "A-reopt up to 41% better than OPT-A"
+
+    @property
+    def max_improvement_pct(self) -> float:
+        return max(self.improvements_pct.values())
+
+
+def claim_reopt_gain(data=None, budgets=(16, 24, 32, 40)) -> ReoptClaim:
+    """Section 5: re-optimising stored values was up to 41% better than
+    OPT-A with respect to SSE.
+
+    Note the comparison in the paper pits the re-optimised (un-rounded)
+    histogram against OPT-A's rounded answering; we measure both against
+    the all-ranges SSE exactly as defined.
+    """
+    if data is None:
+        data = paper_dataset()
+    base_sse, reopt_sse, improvements = {}, {}, {}
+    for budget in budgets:
+        result = opt_a_search(data, budget // 2)
+        base = sse(result.histogram, data)
+        improved = reoptimize_values(result.histogram, data)
+        improved_sse = sse(improved, data)
+        base_sse[budget] = base
+        reopt_sse[budget] = improved_sse
+        improvements[budget] = 100.0 * (base - improved_sse) / base if base > 0 else 0.0
+    return ReoptClaim(
+        budgets=tuple(budgets),
+        base_sse=base_sse,
+        reopt_sse=reopt_sse,
+        improvements_pct=improvements,
+    )

@@ -1,0 +1,114 @@
+"""Figure 1: SSE (log scale) against storage, per representation.
+
+The paper plots, for the 127-key randomly-rounded Zipf(1.8) dataset, the
+all-ranges SSE of NAIVE, POINT-OPT, OPT-A, SAP0, SAP1, A0 and the TOPBB
+wavelet synopsis as a function of the storage budget in words.  This
+harness regenerates that series for any dataset and budget grid, using
+the exact pseudo-polynomial OPT-A dynamic program by default (the
+pruning of :mod:`repro.core.opt_a` makes that feasible at the paper's
+scale).
+
+Absolute numbers depend on the random dataset instance; the qualitative
+shape the reproduction checks is the method *ordering* per budget and
+the ratio bands the paper reports (see benchmarks/test_claims.py).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.builders import BUILDER_REGISTRY, build_by_name
+from repro.data.datasets import paper_dataset
+from repro.errors import BudgetExceededError
+from repro.experiments.reporting import format_table
+from repro.queries.evaluation import sse
+
+#: The methods plotted in Figure 1 (plus the Theorem 9 wavelet, which
+#: the paper computes but does not plot).
+FIGURE1_METHODS = (
+    "naive",
+    "point-opt",
+    "opt-a",
+    "a0",
+    "sap0",
+    "sap1",
+    "wavelet-point",
+)
+
+#: Default storage budgets (words).  The paper's x-axis spans roughly
+#: this range for a 127-value domain.
+DEFAULT_BUDGETS = (12, 20, 28, 36, 44, 52, 60)
+
+
+@dataclass(frozen=True)
+class FigureOnePoint:
+    """One (method, budget) measurement in the Figure 1 sweep."""
+
+    method: str
+    budget_words: int
+    actual_words: int
+    units: int
+    sse: float
+
+
+def run_figure1(
+    data=None,
+    budgets=DEFAULT_BUDGETS,
+    methods=FIGURE1_METHODS,
+    **builder_kwargs,
+) -> list[FigureOnePoint]:
+    """Measure the all-ranges SSE of every method at every budget.
+
+    ``builder_kwargs`` maps method name -> dict of extra arguments (e.g.
+    ``{"opt-a": {"max_states": 10**7}}``).
+    """
+    if data is None:
+        data = paper_dataset()
+    data = np.asarray(data, dtype=np.float64)
+    points: list[FigureOnePoint] = []
+    for method in methods:
+        spec = BUILDER_REGISTRY[method]
+        for budget in budgets:
+            kwargs = builder_kwargs.get(method, {})
+            try:
+                estimator = build_by_name(method, data, budget, **kwargs)
+            except BudgetExceededError:
+                continue
+            points.append(
+                FigureOnePoint(
+                    method=method,
+                    budget_words=budget,
+                    actual_words=estimator.storage_words(),
+                    units=estimator.storage_words() // spec.words_per_unit,
+                    sse=sse(estimator, data),
+                )
+            )
+            if method == "naive":
+                break  # NAIVE's footprint is fixed; one point suffices.
+    return points
+
+
+def figure1_table(points: list[FigureOnePoint]) -> str:
+    """Render the sweep as the series Figure 1 plots (one row per budget)."""
+    methods = []
+    for point in points:
+        if point.method not in methods:
+            methods.append(point.method)
+    budgets = sorted({point.budget_words for point in points if point.method != "naive"})
+    by_key = {(p.method, p.budget_words): p for p in points}
+    naive_points = [p for p in points if p.method == "naive"]
+
+    headers = ["budget(words)", *methods]
+    rows = []
+    for budget in budgets:
+        row: list[object] = [budget]
+        for method in methods:
+            if method == "naive" and naive_points:
+                row.append(naive_points[0].sse)
+                continue
+            point = by_key.get((method, budget))
+            row.append(point.sse if point else "-")
+        rows.append(row)
+    return format_table(headers, rows, title="Figure 1: all-ranges SSE by storage budget")

@@ -1,0 +1,91 @@
+"""Plain-text table rendering for experiment output.
+
+Every benchmark prints its series through :func:`format_table`, so the
+regenerated "figures" are readable in a terminal and diff-able in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned monospace table."""
+    rendered_rows = [[_render(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _render(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1e5 or abs(cell) < 1e-3:
+            return f"{cell:.4g}"
+        return f"{cell:,.2f}"
+    return str(cell)
+
+
+def ascii_log_chart(
+    series: dict[str, dict[int, float]],
+    *,
+    width: int = 72,
+    height: int = 16,
+    title: str | None = None,
+) -> str:
+    """Render budget -> value series as a log-scale ASCII scatter chart.
+
+    ``series`` maps a label to ``{x: y}`` points; each label is plotted
+    with its own marker (its first character).  The y-axis is log10,
+    which is how the paper draws Figure 1.
+    """
+    import math
+
+    points = [
+        (x, y, label[0].upper())
+        for label, xs in series.items()
+        for x, y in xs.items()
+        if y > 0
+    ]
+    if not points:
+        return "(no positive data to plot)"
+    xs = [p[0] for p in points]
+    ys = [math.log10(p[1]) for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = max(x_hi - x_lo, 1e-9)
+    y_span = max(y_hi - y_lo, 1e-9)
+    grid = [[" "] * width for _ in range(height)]
+    for (x, y, marker), ly in zip(points, ys):
+        column = int((x - x_lo) / x_span * (width - 1))
+        row = height - 1 - int((ly - y_lo) / y_span * (height - 1))
+        grid[row][column] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"log10(SSE)  {y_hi:.1f}")
+    for row in grid:
+        lines.append("  | " + "".join(row))
+    lines.append(f"  +{'-' * width}  {y_lo:.1f}")
+    lines.append(f"    words: {x_lo} .. {x_hi}")
+    legend = "    legend: " + "  ".join(
+        f"{label[0].upper()}={label}" for label in series
+    )
+    lines.append(legend)
+    return "\n".join(lines)

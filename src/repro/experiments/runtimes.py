@@ -1,0 +1,56 @@
+"""Construction-time study.
+
+The paper says it omits runtimes "due to space constraints" and only
+notes that the wavelet algorithms are faster than the histogram DPs and
+that OPT-A's pseudo-polynomial construction "will be infeasible for
+realistic datasets".  This harness measures construction time for every
+builder across domain sizes so those statements can be checked against
+the reproduction.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.builders import build_by_name
+from repro.data.distributions import zipf_frequencies
+
+
+@dataclass(frozen=True)
+class TimingPoint:
+    method: str
+    n: int
+    buckets_budget_words: int
+    seconds: float
+
+
+#: Methods safe to run at every size (polynomial time).
+POLYNOMIAL_METHODS = ("point-opt", "a0", "sap0", "sap1", "wavelet-point", "wavelet-range")
+
+
+def run_construction_timing(
+    sizes=(64, 127, 256, 512),
+    budget_words: int = 32,
+    include_opt_a_up_to: int = 127,
+    seed: int = 99,
+) -> list[TimingPoint]:
+    """Time one build per (method, n); OPT-A only up to the given n."""
+    points: list[TimingPoint] = []
+    for n in sizes:
+        data = zipf_frequencies(n, alpha=1.8, scale=1000, seed=seed)
+        methods = list(POLYNOMIAL_METHODS)
+        if n <= include_opt_a_up_to:
+            methods.append("opt-a")
+        for method in methods:
+            start = time.perf_counter()
+            build_by_name(method, data, budget_words)
+            points.append(
+                TimingPoint(
+                    method=method,
+                    n=n,
+                    buckets_budget_words=budget_words,
+                    seconds=time.perf_counter() - start,
+                )
+            )
+    return points

@@ -1,0 +1,5 @@
+"""Internal helpers shared by the public subpackages.
+
+Nothing in this package is part of the supported API; import from
+:mod:`repro` or its documented subpackages instead.
+"""

@@ -1,0 +1,78 @@
+"""Generic interval dynamic program for additive histogram objectives.
+
+Every polynomial-time construction in the paper (point-optimal [6],
+SAP0/SAP1 via the Decomposition Lemma, and the A0 heuristic) minimises a
+sum of independent per-bucket costs.  This module implements the shared
+``O(n^2 B)`` dynamic program once, vectorised row-by-row with numpy:
+
+    D[k][i] = min cost of covering the prefix of length i with at most k
+              buckets = min_{0 <= j < i} D[k-1][j] + cost(j, i-1)
+
+``cost_row(a)`` must return the costs of all buckets ``[a, b]`` for
+``b = a..n-1`` in one array, which the closed forms in
+:mod:`repro.internal.prefix` provide in O(n) per row.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+
+def interval_dp(
+    n: int,
+    max_buckets: int,
+    cost_row: Callable[[int], np.ndarray],
+    combine: str = "sum",
+) -> tuple[np.ndarray, float]:
+    """Optimal partition of ``[0, n)`` into at most ``max_buckets`` buckets.
+
+    Parameters
+    ----------
+    n:
+        Domain size.
+    max_buckets:
+        Upper bound on the number of buckets (using fewer is allowed and
+        happens when it is not worse).
+    cost_row:
+        Callback returning ``cost(a, b)`` for ``b = a..n-1`` as a float
+        array of length ``n - a``.
+    combine:
+        How bucket costs aggregate: ``"sum"`` (SSE-style objectives) or
+        ``"max"`` (minimax objectives — minimise the worst bucket).
+
+    Returns
+    -------
+    (lefts, total_cost):
+        Bucket start indices (``lefts[0] == 0``) and the optimal total.
+    """
+    if combine not in ("sum", "max"):
+        raise ValueError(f"combine must be 'sum' or 'max', got {combine!r}")
+    merge = np.add if combine == "sum" else np.maximum
+    cost = np.full((n, n), np.inf)
+    for a in range(n):
+        row = np.asarray(cost_row(a), dtype=np.float64)
+        if row.shape != (n - a,):
+            raise ValueError(f"cost_row({a}) must have length {n - a}, got {row.shape}")
+        cost[a, a:] = row
+
+    best = np.full((max_buckets + 1, n + 1), np.inf)
+    parent = np.zeros((max_buckets + 1, n + 1), dtype=np.int64)
+    best[:, 0] = 0.0 if combine == "sum" else -np.inf
+    for k in range(1, max_buckets + 1):
+        prev = best[k - 1]
+        for i in range(1, n + 1):
+            candidates = merge(prev[:i], cost[:i, i - 1])
+            j = int(np.argmin(candidates))
+            best[k, i] = candidates[j]
+            parent[k, i] = j
+
+    lefts: list[int] = []
+    i, k = n, max_buckets
+    while i > 0:
+        j = int(parent[k, i])
+        lefts.append(j)
+        i, k = j, k - 1
+    lefts.reverse()
+    return np.asarray(lefts, dtype=np.int64), float(best[max_buckets, n])

@@ -1,0 +1,394 @@
+"""Prefix-sum algebra with O(1) per-bucket statistics.
+
+This module is the numeric backbone of every histogram construction in
+the library.  For a fixed frequency vector ``A[0..n-1]`` it precomputes
+a handful of cumulative arrays and then answers, in constant time per
+bucket ``[a, b]`` (0-indexed, inclusive):
+
+* the exact intra-bucket sum-squared error of the bucket-average
+  estimator over all sub-ranges of the bucket,
+* first and second moments of the *suffix errors*
+  ``delta_suf(l) = s(l, b) - (b - l + 1) * mean`` and the *prefix errors*
+  ``delta_pre(r) = s(a, r) - (r - a + 1) * mean``,
+* the SAP0 statistics (mean suffix/prefix sums and their variances), and
+* the SAP1 statistics (least-squares linear fits of suffix/prefix sums
+  against piece length, with residual sums of squares).
+
+Derivations are written out in DESIGN.md section 4.  The key identities:
+with ``p`` the prefix-sum array (``p[0] = 0``) and
+``v_t = p[t] - p[a] - (t - a) * mean`` for ``t = a..b+1``, every
+sub-range error of the average estimator is a difference ``v_{r+1} -
+v_l``, so the intra-bucket SSE over all pairs equals
+``m * sum(v^2) - (sum v)^2`` with ``m = L + 1`` values.
+
+Every statistic accepts the right endpoint ``b`` as either a scalar or a
+numpy array (with ``a`` scalar), so the dynamic programs can evaluate a
+whole row of candidate buckets in one vectorised call.
+
+A second family of methods (``rounded_*``) supports the paper's OPT-A
+answering procedure, which rounds every partial-bucket contribution to a
+nearby integer; those errors are integral, which is what makes the
+pseudo-polynomial dynamic program of Section 2.1 well-defined.  Rounded
+statistics cost O(L) per bucket rather than O(1) and are scalar-only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.internal.validation import as_frequency_vector
+
+
+def round_half_up(values):
+    """Round to the nearest integer, ties upward (x.5 -> x+1).
+
+    The paper allows "rounding to a nearby integer in an arbitrary way";
+    we fix half-up so builds are deterministic across platforms
+    (``np.rint`` would use banker's rounding).
+    """
+    return np.floor(np.asarray(values, dtype=np.float64) + 0.5)
+
+
+@dataclass(frozen=True)
+class SuffixPrefixFit:
+    """Least-squares fit of piece sums against piece length (SAP1).
+
+    ``estimate(length) = slope * length + intercept``; ``ssr`` is the
+    residual sum of squares of the fit over the bucket.
+    """
+
+    slope: float
+    intercept: float
+    ssr: float
+
+
+class PrefixAlgebra:
+    """Constant-time bucket statistics over a fixed array.
+
+    Parameters
+    ----------
+    data:
+        One-dimensional non-negative frequency vector.
+
+    Notes
+    -----
+    All bucket arguments are 0-indexed inclusive pairs ``(a, b)`` with
+    ``0 <= a <= b < n``; ``b`` may be an integer array.  Bounds are *not*
+    re-checked here (this is an internal hot path); public builders
+    validate once at their boundary.
+    """
+
+    def __init__(self, data) -> None:
+        self.data = as_frequency_vector(data)
+        self.n = int(self.data.size)
+        # p[t] = sum of data[0..t-1]; length n+1.
+        self.p = np.concatenate(([0.0], np.cumsum(self.data)))
+        # Cumulative sums over the prefix array itself, with a leading 0
+        # so that sum_{t=a..b} f(t) == F[b+1] - F[a].
+        t_idx = np.arange(self.n + 1, dtype=np.float64)
+        self._cum_p = np.concatenate(([0.0], np.cumsum(self.p)))
+        self._cum_p2 = np.concatenate(([0.0], np.cumsum(self.p * self.p)))
+        self._cum_tp = np.concatenate(([0.0], np.cumsum(t_idx * self.p)))
+
+    # ------------------------------------------------------------------
+    # Elementary range sums
+    # ------------------------------------------------------------------
+    def range_sum(self, low: int, high: int) -> float:
+        """Exact ``sum(data[low..high])`` (inclusive)."""
+        return float(self.p[high + 1] - self.p[low])
+
+    def total(self) -> float:
+        """Sum of the whole array, ``s[1, n]`` in the paper's notation."""
+        return float(self.p[self.n])
+
+    def bucket_mean(self, a: int, b):
+        """Average value inside bucket ``[a, b]`` (``b`` may be an array)."""
+        return (self.p[np.asarray(b) + 1] - self.p[a]) / (np.asarray(b) - a + 1)
+
+    # ------------------------------------------------------------------
+    # Internal raw moments of suffix / prefix sums
+    # ------------------------------------------------------------------
+    def _sum_p(self, lo, hi):
+        """``sum_{t=lo..hi} p[t]`` (inclusive in t)."""
+        return self._cum_p[np.asarray(hi) + 1] - self._cum_p[lo]
+
+    def _sum_p2(self, lo, hi):
+        return self._cum_p2[np.asarray(hi) + 1] - self._cum_p2[lo]
+
+    def _sum_tp(self, lo, hi):
+        return self._cum_tp[np.asarray(hi) + 1] - self._cum_tp[lo]
+
+    def suffix_raw_moments(self, a: int, b):
+        """Return ``(Y1, Y2, MY)`` for suffix sums ``y_l = s(l, b)``.
+
+        ``Y1 = sum y_l``, ``Y2 = sum y_l^2``, ``MY = sum m_l * y_l`` with
+        ``m_l = b - l + 1`` the piece length, over ``l = a..b``.
+        """
+        b = np.asarray(b)
+        L = b - a + 1
+        pb = self.p[b + 1]
+        sp = self._sum_p(a, b)
+        sp2 = self._sum_p2(a, b)
+        stp = self._sum_tp(a, b)
+        y1 = L * pb - sp
+        y2 = L * pb * pb - 2.0 * pb * sp + sp2
+        t1 = L * (L + 1) / 2.0
+        my = pb * t1 - ((b + 1) * sp - stp)
+        return y1, y2, my
+
+    def prefix_raw_moments(self, a: int, b):
+        """Return ``(Z1, Z2, MZ)`` for prefix sums ``z_r = s(a, r)``.
+
+        ``MZ = sum m_r * z_r`` with ``m_r = r - a + 1``, over ``r = a..b``.
+        """
+        b = np.asarray(b)
+        L = b - a + 1
+        pa = self.p[a]
+        sp = self._sum_p(a + 1, b + 1)
+        sp2 = self._sum_p2(a + 1, b + 1)
+        stp = self._sum_tp(a + 1, b + 1)
+        z1 = sp - L * pa
+        z2 = sp2 - 2.0 * pa * sp + L * pa * pa
+        t1 = L * (L + 1) / 2.0
+        mz = (stp - a * sp) - pa * t1
+        return z1, z2, mz
+
+    @staticmethod
+    def _length_moments(L):
+        """``(sum_{m=1..L} m, sum_{m=1..L} m^2)``."""
+        t1 = L * (L + 1) / 2.0
+        t2 = L * (L + 1) * (2 * L + 1) / 6.0
+        return t1, t2
+
+    # ------------------------------------------------------------------
+    # Errors about the bucket average (OPT-A / A0 style, un-rounded)
+    # ------------------------------------------------------------------
+    def suffix_error_moments(self, a: int, b):
+        """``(S1, S2)``: sum and sum of squares of un-rounded suffix errors."""
+        b = np.asarray(b)
+        L = b - a + 1
+        mean = self.bucket_mean(a, b)
+        y1, y2, my = self.suffix_raw_moments(a, b)
+        t1, t2 = self._length_moments(L)
+        s1 = y1 - mean * t1
+        s2 = np.maximum(y2 - 2.0 * mean * my + mean * mean * t2, 0.0)
+        return s1, s2
+
+    def prefix_error_moments(self, a: int, b):
+        """``(P1, P2)``: sum and sum of squares of un-rounded prefix errors."""
+        b = np.asarray(b)
+        L = b - a + 1
+        mean = self.bucket_mean(a, b)
+        z1, z2, mz = self.prefix_raw_moments(a, b)
+        t1, t2 = self._length_moments(L)
+        p1 = z1 - mean * t1
+        p2 = np.maximum(z2 - 2.0 * mean * mz + mean * mean * t2, 0.0)
+        return p1, p2
+
+    def intra_sse(self, a: int, b):
+        """Exact SSE of the average estimator over all sub-ranges of ``[a,b]``.
+
+        Uses the pair identity on the centred prefix values ``v_t`` (see
+        module docstring); O(1) per bucket, vectorised over ``b``.
+        """
+        b = np.asarray(b)
+        L = b - a + 1
+        mean = self.bucket_mean(a, b)
+        pa = self.p[a]
+        m = L + 1
+        spv = self._sum_p(a, b + 1)
+        sp2v = self._sum_p2(a, b + 1)
+        stpv = self._sum_tp(a, b + 1)
+        t1, t2 = self._length_moments(L)
+        sum_v = spv - m * pa - mean * t1
+        centred2 = sp2v - 2.0 * pa * spv + m * pa * pa
+        cross = (stpv - a * spv) - pa * t1
+        sum_v2 = centred2 - 2.0 * mean * cross + mean * mean * t2
+        return np.maximum(m * sum_v2 - sum_v * sum_v, 0.0)
+
+    # ------------------------------------------------------------------
+    # SAP0 statistics
+    # ------------------------------------------------------------------
+    def sap0_suffix(self, a: int, b):
+        """``(suff_value, var)``: mean suffix sum and its total squared deviation.
+
+        ``suff_value`` is the optimal SAP0 suffix summary (Lemma 5.2) and
+        ``var = sum_l (y_l - suff_value)^2`` the per-occurrence error mass.
+        """
+        b = np.asarray(b)
+        L = b - a + 1
+        y1, y2, _ = self.suffix_raw_moments(a, b)
+        return y1 / L, np.maximum(y2 - y1 * y1 / L, 0.0)
+
+    def sap0_prefix(self, a: int, b):
+        """``(pref_value, var)`` analogous to :meth:`sap0_suffix`."""
+        b = np.asarray(b)
+        L = b - a + 1
+        z1, z2, _ = self.prefix_raw_moments(a, b)
+        return z1 / L, np.maximum(z2 - z1 * z1 / L, 0.0)
+
+    # ------------------------------------------------------------------
+    # SAP1 statistics (linear fits against piece length)
+    # ------------------------------------------------------------------
+    def _ssr(self, L, w1, w2, mw):
+        """Residual sum of squares of the best linear fit, vectorised."""
+        t1, t2 = self._length_moments(L)
+        syy = np.maximum(w2 - w1 * w1 / L, 0.0)
+        sxx = t2 - t1 * t1 / L
+        sxy = mw - t1 * w1 / L
+        safe_sxx = np.where(L > 1, sxx, 1.0)
+        return np.where(L > 1, np.maximum(syy - sxy * sxy / safe_sxx, 0.0), 0.0)
+
+    def sap1_suffix_ssr(self, a: int, b):
+        """Residual SSE of the best linear suffix fit (vectorised over ``b``)."""
+        b = np.asarray(b)
+        y1, y2, my = self.suffix_raw_moments(a, b)
+        return self._ssr(b - a + 1, y1, y2, my)
+
+    def sap1_prefix_ssr(self, a: int, b):
+        """Residual SSE of the best linear prefix fit (vectorised over ``b``)."""
+        b = np.asarray(b)
+        z1, z2, mz = self.prefix_raw_moments(a, b)
+        return self._ssr(b - a + 1, z1, z2, mz)
+
+    def _fit(self, L: int, w1: float, w2: float, mw: float) -> SuffixPrefixFit:
+        if L == 1:
+            # A single point is fit exactly; represent as slope 0 through it.
+            return SuffixPrefixFit(slope=0.0, intercept=float(w1), ssr=0.0)
+        t1, t2 = self._length_moments(L)
+        syy = max(w2 - w1 * w1 / L, 0.0)
+        sxx = t2 - t1 * t1 / L
+        sxy = mw - t1 * w1 / L
+        slope = sxy / sxx
+        intercept = (w1 - slope * t1) / L
+        return SuffixPrefixFit(
+            slope=float(slope),
+            intercept=float(intercept),
+            ssr=float(max(syy - sxy * sxy / sxx, 0.0)),
+        )
+
+    def sap1_suffix_fit(self, a: int, b: int) -> SuffixPrefixFit:
+        """Best linear fit of suffix sums ``s(l, b)`` against length ``b-l+1``."""
+        y1, y2, my = self.suffix_raw_moments(a, int(b))
+        return self._fit(int(b) - a + 1, float(y1), float(y2), float(my))
+
+    def sap1_prefix_fit(self, a: int, b: int) -> SuffixPrefixFit:
+        """Best linear fit of prefix sums ``s(a, r)`` against length ``r-a+1``."""
+        z1, z2, mz = self.prefix_raw_moments(a, int(b))
+        return self._fit(int(b) - a + 1, float(z1), float(z2), float(mz))
+
+    # ------------------------------------------------------------------
+    # Rounded (integer-answer) statistics for the OPT-A dynamic program
+    # ------------------------------------------------------------------
+    def rounded_suffix_errors(self, a: int, b: int) -> np.ndarray:
+        """Integer suffix errors ``s(l,b) - round((b-l+1)*mean)`` for ``l=a..b``."""
+        mean = self.bucket_mean(a, b)
+        lengths = np.arange(b - a + 1, 0, -1, dtype=np.float64)
+        exact = self.p[b + 1] - self.p[a : b + 1]
+        return exact - round_half_up(lengths * mean)
+
+    def rounded_prefix_errors(self, a: int, b: int) -> np.ndarray:
+        """Integer prefix errors ``s(a,r) - round((r-a+1)*mean)`` for ``r=a..b``."""
+        mean = self.bucket_mean(a, b)
+        lengths = np.arange(1, b - a + 2, dtype=np.float64)
+        exact = self.p[a + 1 : b + 2] - self.p[a]
+        return exact - round_half_up(lengths * mean)
+
+    def rounded_intra_sse(self, a: int, b: int) -> float:
+        """Intra-bucket SSE with per-query integer rounding, in O(L) time.
+
+        Every sub-range error is ``(v_{r+1} - v_l) + t(r-l+1)`` with
+        ``t(m) = m*mean - round(m*mean)``; grouping pairs by gap ``m``
+        gives an O(L) evaluation (DESIGN.md section 4).
+        """
+        L = b - a + 1
+        mean = self.bucket_mean(a, b)
+        t_idx = np.arange(a, b + 2, dtype=np.float64)
+        v = (self.p[a : b + 2] - self.p[a]) - (t_idx - a) * mean
+        m_count = L + 1
+        sum_v = float(v.sum())
+        sum_v2 = float((v * v).sum())
+        base = m_count * sum_v2 - sum_v * sum_v
+        lengths = np.arange(1, L + 1, dtype=np.float64)
+        t_m = lengths * mean - round_half_up(lengths * mean)
+        cum_v = np.concatenate(([0.0], np.cumsum(v)))
+        # g[m-1] = sum over pairs at gap m of (v_{t1+m} - v_{t1}).
+        gaps = np.arange(1, L + 1)
+        upper = cum_v[m_count] - cum_v[gaps]
+        lower = cum_v[m_count - gaps] - cum_v[0]
+        g = upper - lower
+        counts = m_count - gaps
+        value = base + 2.0 * float((t_m * g).sum()) + float((counts * t_m * t_m).sum())
+        return max(value, 0.0)
+
+    def rounded_bucket_terms(self, a: int, b: int) -> tuple[float, float, float, float, float]:
+        """All rounded statistics the OPT-A DP needs for bucket ``[a, b]``.
+
+        Returns ``(S1, S2, P1, P2, intra)``: sums / sums of squares of the
+        rounded suffix and prefix errors, and the rounded intra-bucket
+        SSE.  All five are exact integers (stored in float64).
+        """
+        suf = self.rounded_suffix_errors(a, b)
+        pre = self.rounded_prefix_errors(a, b)
+        return (
+            float(suf.sum()),
+            float((suf * suf).sum()),
+            float(pre.sum()),
+            float((pre * pre).sum()),
+            self.rounded_intra_sse(a, b),
+        )
+
+
+class WeightedPointCost:
+    """O(1) weighted point-variance bucket costs for V-optimal histograms.
+
+    The cost of a bucket ``[a, b]`` is ``sum_i w_i * (A_i - mu_w)^2``
+    where ``mu_w`` is the *weighted* bucket mean — the value that
+    minimises the weighted point-query SSE.  Used by POINT-OPT with
+    weights proportional to the probability that index ``i`` is covered
+    by a uniformly random range, ``w_i ∝ (i + 1) * (n - i)``.
+    """
+
+    def __init__(self, data, weights=None) -> None:
+        self.data = as_frequency_vector(data)
+        self.n = int(self.data.size)
+        if weights is None:
+            weights = np.ones(self.n, dtype=np.float64)
+        else:
+            weights = np.asarray(weights, dtype=np.float64)
+            if weights.shape != self.data.shape:
+                raise ValueError("weights must have the same shape as data")
+        self.weights = weights
+        self._cw = np.concatenate(([0.0], np.cumsum(weights)))
+        self._cwa = np.concatenate(([0.0], np.cumsum(weights * self.data)))
+        self._cwa2 = np.concatenate(([0.0], np.cumsum(weights * self.data * self.data)))
+        self._ca = np.concatenate(([0.0], np.cumsum(self.data)))
+
+    def bucket_value(self, a: int, b):
+        """Weighted mean of the bucket — the optimal stored value.
+
+        Falls back to the plain mean where the bucket's weight is zero
+        (any value is then optimal for the weighted objective).
+        """
+        b = np.asarray(b)
+        w = self._cw[b + 1] - self._cw[a]
+        wa = self._cwa[b + 1] - self._cwa[a]
+        plain = self.bucket_plain_mean(a, b)
+        safe_w = np.where(w > 0.0, w, 1.0)
+        return np.where(w > 0.0, wa / safe_w, plain)
+
+    def bucket_plain_mean(self, a: int, b):
+        """Unweighted bucket mean (used as the zero-weight fallback)."""
+        b = np.asarray(b)
+        return (self._ca[b + 1] - self._ca[a]) / (b - a + 1)
+
+    def bucket_cost(self, a: int, b):
+        """Minimum weighted point SSE of bucket ``[a, b]``."""
+        b = np.asarray(b)
+        w = self._cw[b + 1] - self._cw[a]
+        wa = self._cwa[b + 1] - self._cwa[a]
+        wa2 = self._cwa2[b + 1] - self._cwa2[a]
+        safe_w = np.where(w > 0.0, w, 1.0)
+        return np.where(w > 0.0, np.maximum(wa2 - wa * wa / safe_w, 0.0), 0.0)

@@ -1,0 +1,65 @@
+"""Argument checking shared across the library.
+
+These helpers normalise user input once at the API boundary so that the
+numeric kernels can assume well-formed ``float64`` arrays and in-bounds
+indices.  They raise the library's typed errors (never bare
+``ValueError``) so callers can catch :class:`repro.errors.ReproError`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidDataError, InvalidParameterError, InvalidQueryError
+
+
+def as_frequency_vector(data, *, name: str = "data") -> np.ndarray:
+    """Validate and convert ``data`` to a 1-D non-negative float64 array.
+
+    The paper's model is an attribute-value distribution: ``data[v]`` is
+    the number of records with attribute value ``v``.  Counts are
+    conceptually non-negative integers, but we accept any finite
+    non-negative reals so the library also works on pre-scaled data.
+    """
+    array = np.asarray(data, dtype=np.float64)
+    if array.ndim != 1:
+        raise InvalidDataError(f"{name} must be one-dimensional, got shape {array.shape}")
+    if array.size == 0:
+        raise InvalidDataError(f"{name} must be non-empty")
+    if not np.all(np.isfinite(array)):
+        raise InvalidDataError(f"{name} contains NaN or infinite entries")
+    if np.any(array < 0):
+        raise InvalidDataError(f"{name} contains negative entries; frequencies must be >= 0")
+    return array
+
+
+def check_bucket_count(n_buckets: int, n: int, *, name: str = "n_buckets") -> int:
+    """Validate a bucket/coefficient count against the array length."""
+    if not isinstance(n_buckets, (int, np.integer)):
+        raise InvalidParameterError(f"{name} must be an integer, got {type(n_buckets).__name__}")
+    n_buckets = int(n_buckets)
+    if n_buckets < 1:
+        raise InvalidParameterError(f"{name} must be >= 1, got {n_buckets}")
+    if n_buckets > n:
+        raise InvalidParameterError(f"{name} must be <= array length {n}, got {n_buckets}")
+    return n_buckets
+
+
+def check_range(low: int, high: int, n: int) -> tuple[int, int]:
+    """Validate an inclusive, 0-indexed query range ``[low, high]``."""
+    if not isinstance(low, (int, np.integer)) or not isinstance(high, (int, np.integer)):
+        raise InvalidQueryError(f"range endpoints must be integers, got ({low!r}, {high!r})")
+    low, high = int(low), int(high)
+    if low > high:
+        raise InvalidQueryError(f"range low must be <= high, got [{low}, {high}]")
+    if low < 0 or high >= n:
+        raise InvalidQueryError(f"range [{low}, {high}] out of bounds for length-{n} array")
+    return low, high
+
+
+def check_positive(value: float, *, name: str) -> float:
+    """Validate a strictly positive scalar parameter."""
+    value = float(value)
+    if not np.isfinite(value) or value <= 0:
+        raise InvalidParameterError(f"{name} must be a positive finite number, got {value}")
+    return value

@@ -1,0 +1,50 @@
+"""Two-dimensional range aggregates — the paper's footnote-2 extension.
+
+The paper focuses on one attribute but notes that "straightforward
+extension of our results to higher dimensions are possible".  This
+package carries the constructions over to joint distributions of two
+attributes (a 2-D frequency grid):
+
+``base``             estimator protocol + exact 2-D prefix-sum oracle
+``workload``         rectangle workloads and SSE evaluation
+``haar2d``           2-D tensor Haar transform and the point top-B synopsis
+``range_optimal2d``  Theorem 9 in 2-D: the virtual 4-D tensor
+                     ``AA(x1,y1,x2,y2) = s[x1..x2, y1..y2]`` has nonzero
+                     tensor-Haar coefficients only on four N^2 planes,
+                     all computable from 2-D transforms of the prefix-sum
+                     grid — near-quadratic instead of Omega(N^4)
+``grid_histogram``   bucket-grid histogram built from the marginals
+"""
+
+from repro.multidim.base import Estimator2D, ExactRangeSum2D
+from repro.multidim.workload import (
+    Workload2D,
+    all_rectangles,
+    random_rectangles,
+)
+from repro.multidim.evaluation import sse_2d
+from repro.multidim.haar2d import (
+    PointTopBWavelet2D,
+    haar_transform_2d,
+    inverse_haar_transform_2d,
+)
+from repro.multidim.range_optimal2d import RangeOptimalWavelet2D, aa_tensor_coefficients_2d
+from repro.multidim.grid_histogram import GridHistogram, build_grid_histogram
+from repro.multidim.reopt2d import reoptimize_grid_values
+
+__all__ = [
+    "Estimator2D",
+    "ExactRangeSum2D",
+    "Workload2D",
+    "all_rectangles",
+    "random_rectangles",
+    "sse_2d",
+    "haar_transform_2d",
+    "inverse_haar_transform_2d",
+    "PointTopBWavelet2D",
+    "RangeOptimalWavelet2D",
+    "aa_tensor_coefficients_2d",
+    "GridHistogram",
+    "build_grid_histogram",
+    "reoptimize_grid_values",
+]

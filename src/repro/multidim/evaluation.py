@@ -1,0 +1,27 @@
+"""SSE evaluation of 2-D estimators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.multidim.base import Estimator2D, ExactRangeSum2D
+from repro.multidim.workload import Workload2D, all_rectangles
+
+
+def sse_2d(estimator: Estimator2D, data, workload: Workload2D | None = None) -> float:
+    """Weighted SSE of ``estimator`` over a rectangle workload.
+
+    Defaults to *all* rectangles, which is only enumerable on tiny
+    grids; pass a sampled workload for larger domains.
+    """
+    exact = ExactRangeSum2D(data)
+    if exact.shape != tuple(estimator.shape):
+        raise ValueError(
+            f"estimator shape {estimator.shape} does not match data shape {exact.shape}"
+        )
+    if workload is None:
+        workload = all_rectangles(exact.shape)
+    truth = exact.estimate_many(workload.x1, workload.y1, workload.x2, workload.y2)
+    approx = estimator.estimate_many(workload.x1, workload.y1, workload.x2, workload.y2)
+    err = np.asarray(approx, dtype=np.float64) - truth
+    return float((workload.weights * err * err).sum())

@@ -1,0 +1,109 @@
+"""Bucket-grid histograms for 2-D frequency data.
+
+The natural 2-D generalisation of the average histogram: partition each
+axis into buckets and store one average per grid cell.  Optimal
+*arbitrary* 2-D bucketings are NP-hard (Muthukrishnan et al.), so the
+standard engineering compromise — and what the paper's footnote
+anticipates — is to pick each axis's boundaries with a 1-D construction
+on the corresponding *marginal* distribution, then take the product
+grid.  Any registered 1-D builder can drive the axis partitioning.
+
+Answering is the 2-D analogue of the un-rounded equation (1): the
+estimated rectangle sum is the coverage-weighted sum of cell averages,
+``sum_cells overlap_x * overlap_y * cell_average`` — evaluated with two
+axis-aligned coverage matrices, so a batch of Q queries costs
+``O(Q * (Bx + By) + Q * Bx * By)`` flops in vectorised form.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.builders import BUILDER_REGISTRY
+from repro.errors import InvalidParameterError
+from repro.internal.validation import check_bucket_count
+from repro.multidim.base import Estimator2D, as_frequency_grid
+
+
+class GridHistogram(Estimator2D):
+    """Product-grid histogram with per-cell averages."""
+
+    def __init__(self, data, row_lefts, col_lefts) -> None:
+        grid = as_frequency_grid(data)
+        self.shape = grid.shape
+        rows, cols = grid.shape
+        self.row_lefts = np.asarray(row_lefts, dtype=np.int64)
+        self.col_lefts = np.asarray(col_lefts, dtype=np.int64)
+        if self.row_lefts[0] != 0 or self.col_lefts[0] != 0:
+            raise InvalidParameterError("axis partitions must start at 0")
+        self.row_rights = np.concatenate((self.row_lefts[1:] - 1, [rows - 1]))
+        self.col_rights = np.concatenate((self.col_lefts[1:] - 1, [cols - 1]))
+        prefix = np.zeros((rows + 1, cols + 1))
+        prefix[1:, 1:] = np.cumsum(np.cumsum(grid, axis=0), axis=1)
+        cell_sums = (
+            prefix[self.row_rights[:, None] + 1, self.col_rights[None, :] + 1]
+            - prefix[self.row_lefts[:, None], self.col_rights[None, :] + 1]
+            - prefix[self.row_rights[:, None] + 1, self.col_lefts[None, :]]
+            + prefix[self.row_lefts[:, None], self.col_lefts[None, :]]
+        )
+        areas = (self.row_rights - self.row_lefts + 1)[:, None] * (
+            self.col_rights - self.col_lefts + 1
+        )[None, :]
+        self.cell_averages = cell_sums / areas
+
+    @property
+    def name(self) -> str:
+        return "GRID-HIST"
+
+    def storage_words(self) -> int:
+        """Axis boundaries plus one average per cell."""
+        return (
+            self.row_lefts.size
+            + self.col_lefts.size
+            + self.cell_averages.size
+        )
+
+    def _axis_coverage(self, lows, highs, lefts, rights) -> np.ndarray:
+        """Per-query overlap lengths with each axis bucket: (Q, B)."""
+        overlap = np.minimum(highs[:, None], rights[None, :]) - np.maximum(
+            lows[:, None], lefts[None, :]
+        ) + 1
+        return np.maximum(overlap, 0).astype(np.float64)
+
+    def estimate_many(self, x1, y1, x2, y2) -> np.ndarray:
+        x1 = np.asarray(x1, dtype=np.int64)
+        y1 = np.asarray(y1, dtype=np.int64)
+        x2 = np.asarray(x2, dtype=np.int64)
+        y2 = np.asarray(y2, dtype=np.int64)
+        row_cov = self._axis_coverage(x1, x2, self.row_lefts, self.row_rights)
+        col_cov = self._axis_coverage(y1, y2, self.col_lefts, self.col_rights)
+        # sum_ij row_cov[q, i] * avg[i, j] * col_cov[q, j]
+        return np.einsum("qi,ij,qj->q", row_cov, self.cell_averages, col_cov)
+
+
+def build_grid_histogram(
+    data,
+    row_buckets: int,
+    col_buckets: int,
+    method: str = "sap1",
+) -> GridHistogram:
+    """Grid histogram with axis partitions from 1-D builds on the marginals.
+
+    ``method`` names any 1-D builder in the registry that produces a
+    bucketed histogram (``sap1`` by default; ``a0``, ``point-opt``,
+    ``equi-depth``... — not the wavelet methods).
+    """
+    grid = as_frequency_grid(data)
+    rows, cols = grid.shape
+    row_buckets = check_bucket_count(row_buckets, rows, name="row_buckets")
+    col_buckets = check_bucket_count(col_buckets, cols, name="col_buckets")
+    spec = BUILDER_REGISTRY.get(method)
+    if spec is None or method.startswith("wavelet"):
+        raise InvalidParameterError(
+            f"method {method!r} is not a bucketed 1-D histogram builder"
+        )
+    row_marginal = grid.sum(axis=1)
+    col_marginal = grid.sum(axis=0)
+    row_hist = spec.build(row_marginal, row_buckets)
+    col_hist = spec.build(col_marginal, col_buckets)
+    return GridHistogram(grid, row_hist.lefts, col_hist.lefts)

@@ -1,0 +1,85 @@
+"""Rectangle workloads over a 2-D domain."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import InvalidParameterError, InvalidQueryError
+
+
+@dataclass(frozen=True)
+class Workload2D:
+    """A weighted multiset of inclusive rectangles over ``shape``."""
+
+    shape: tuple[int, int]
+    x1: np.ndarray
+    y1: np.ndarray
+    x2: np.ndarray
+    y2: np.ndarray
+    weights: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        arrays = [np.asarray(a, dtype=np.int64) for a in (self.x1, self.y1, self.x2, self.y2)]
+        if len({a.shape for a in arrays}) != 1 or arrays[0].ndim != 1:
+            raise InvalidQueryError("rectangle coordinate arrays must be parallel 1-D")
+        x1, y1, x2, y2 = arrays
+        rows, cols = self.shape
+        if x1.size and (
+            x1.min() < 0
+            or y1.min() < 0
+            or x2.max() >= rows
+            or y2.max() >= cols
+            or np.any(x1 > x2)
+            or np.any(y1 > y2)
+        ):
+            raise InvalidQueryError("workload contains out-of-bounds or inverted rectangles")
+        weights = self.weights
+        if weights is None:
+            weights = np.ones(x1.size, dtype=np.float64)
+        else:
+            weights = np.asarray(weights, dtype=np.float64)
+            if weights.shape != x1.shape or np.any(weights < 0):
+                raise InvalidQueryError("weights must parallel the rectangles, >= 0")
+        for attribute, value in zip(("x1", "y1", "x2", "y2", "weights"), (*arrays, weights)):
+            object.__setattr__(self, attribute, value)
+
+    def __len__(self) -> int:
+        return int(self.x1.size)
+
+
+def all_rectangles(shape: tuple[int, int]) -> Workload2D:
+    """Every rectangle — Theta(rows^2 cols^2) queries; tiny grids only."""
+    rows, cols = shape
+    if rows * cols > 64 * 64:
+        raise InvalidParameterError(
+            "all_rectangles enumerates O((rows*cols)^2) queries; "
+            f"shape {shape} is too large — use random_rectangles"
+        )
+    xl, xh = np.triu_indices(rows)
+    yl, yh = np.triu_indices(cols)
+    x1 = np.repeat(xl, yl.size)
+    x2 = np.repeat(xh, yl.size)
+    y1 = np.tile(yl, xl.size)
+    y2 = np.tile(yh, xl.size)
+    return Workload2D(shape=shape, x1=x1, y1=y1, x2=x2, y2=y2)
+
+
+def random_rectangles(shape: tuple[int, int], count: int, seed=None) -> Workload2D:
+    """``count`` rectangles with uniformly chosen corner pairs."""
+    if count < 1:
+        raise InvalidParameterError(f"count must be >= 1, got {count}")
+    rows, cols = shape
+    rng = np.random.default_rng(seed)
+    xa = rng.integers(0, rows, count)
+    xb = rng.integers(0, rows, count)
+    ya = rng.integers(0, cols, count)
+    yb = rng.integers(0, cols, count)
+    return Workload2D(
+        shape=shape,
+        x1=np.minimum(xa, xb),
+        y1=np.minimum(ya, yb),
+        x2=np.maximum(xa, xb),
+        y2=np.maximum(ya, yb),
+    )

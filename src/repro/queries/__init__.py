@@ -1,0 +1,48 @@
+"""Range-query machinery: estimator protocol, workloads, evaluation.
+
+The paper's quality measure is the sum-squared error over *all*
+``n(n+1)/2`` range queries; :func:`repro.queries.evaluation.sse` with the
+default workload computes exactly that.  Other workloads (random ranges,
+prefix ranges, equality/point queries) support the comparisons the
+paper's introduction motivates.
+"""
+
+from repro.queries.estimators import RangeSumEstimator
+from repro.queries.exact import ExactRangeSum
+from repro.queries.workload import (
+    Workload,
+    all_ranges,
+    fixed_length_ranges,
+    point_queries,
+    prefix_ranges,
+    random_ranges,
+)
+from repro.queries.evaluation import EvaluationReport, evaluate, sse
+from repro.queries.bounds import ErrorEnvelope, compute_error_envelope, guaranteed_bounds
+from repro.queries.joins import estimate_join_size, exact_join_size, join_size_from_engine
+from repro.queries.online import OnlineEstimate, OnlineRangeEstimator
+from repro.queries.quantiles import estimate_median, estimate_quantile
+
+__all__ = [
+    "RangeSumEstimator",
+    "ExactRangeSum",
+    "Workload",
+    "all_ranges",
+    "random_ranges",
+    "prefix_ranges",
+    "point_queries",
+    "fixed_length_ranges",
+    "EvaluationReport",
+    "evaluate",
+    "sse",
+    "ErrorEnvelope",
+    "compute_error_envelope",
+    "guaranteed_bounds",
+    "estimate_quantile",
+    "estimate_median",
+    "estimate_join_size",
+    "exact_join_size",
+    "join_size_from_engine",
+    "OnlineRangeEstimator",
+    "OnlineEstimate",
+]

@@ -1,0 +1,60 @@
+"""The estimator protocol every synopsis in this library implements.
+
+A *range-sum estimator* answers ``estimate(low, high)`` — an
+approximation of ``sum(data[low..high])`` for an inclusive, 0-indexed
+range — and reports its storage footprint in words, the unit the paper
+uses on the x-axis of Figure 1 (one word per stored boundary, summary
+value, or coefficient index/value).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.internal.validation import check_range
+
+
+class RangeSumEstimator(abc.ABC):
+    """Abstract base class for range-sum synopses.
+
+    Subclasses must set :attr:`n` (the domain size) and implement
+    :meth:`estimate_many`; the scalar :meth:`estimate` and storage
+    accounting are provided here.
+    """
+
+    #: Domain size (number of attribute values); set by subclasses.
+    n: int
+
+    @abc.abstractmethod
+    def estimate_many(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
+        """Vectorised estimates for parallel arrays of inclusive ranges.
+
+        Implementations may assume the ranges were validated; public
+        entry points go through :meth:`estimate` or the evaluation
+        helpers, which validate once.
+        """
+
+    @abc.abstractmethod
+    def storage_words(self) -> int:
+        """Number of machine words this synopsis occupies.
+
+        Follows the paper's accounting: bucket boundaries and summary
+        values are one word each; a retained wavelet coefficient is two
+        (index + value).
+        """
+
+    def estimate(self, low: int, high: int) -> float:
+        """Approximate ``sum(data[low..high])`` (inclusive, 0-indexed)."""
+        low, high = check_range(low, high, self.n)
+        result = self.estimate_many(np.asarray([low]), np.asarray([high]))
+        return float(result[0])
+
+    @property
+    def name(self) -> str:
+        """Short display name; subclasses override for the paper's labels."""
+        return type(self).__name__
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{self.name} n={self.n} words={self.storage_words()}>"

@@ -1,0 +1,33 @@
+"""Exact range-sum oracle backed by prefix sums.
+
+Used as ground truth by the evaluation helpers and the approximate query
+engine's exact executor.  It is itself a :class:`RangeSumEstimator`
+(with zero error and ``n + 1`` words of storage), which keeps the
+evaluation code uniform.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.internal.validation import as_frequency_vector
+from repro.queries.estimators import RangeSumEstimator
+
+
+class ExactRangeSum(RangeSumEstimator):
+    """Answers every range-sum query exactly via a prefix-sum array."""
+
+    def __init__(self, data) -> None:
+        self.data = as_frequency_vector(data)
+        self.n = int(self.data.size)
+        self._prefix = np.concatenate(([0.0], np.cumsum(self.data)))
+
+    def estimate_many(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
+        return self._prefix[np.asarray(highs) + 1] - self._prefix[np.asarray(lows)]
+
+    def storage_words(self) -> int:
+        return self.n + 1
+
+    @property
+    def name(self) -> str:
+        return "EXACT"

@@ -1,0 +1,59 @@
+"""Quantile estimation from range-sum synopses.
+
+A count synopsis induces an approximate CDF — ``F(r) = s~[0, r] /
+s~[0, n-1]`` — so quantiles come from inverting it: the ``q``-quantile
+estimate is the smallest index whose estimated prefix mass reaches
+``q`` of the estimated total.  This is how AQUA-style engines answer
+MEDIAN/PERCENTILE from the same synopses that serve range counts.
+
+Histogram prefix estimates are monotone (non-negative averages), but
+wavelet reconstructions need not be; the inversion therefore runs on the
+running maximum of the prefix estimates, which is sound for any
+estimator and exact for monotone ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.queries.estimators import RangeSumEstimator
+
+
+def prefix_estimates(estimator: RangeSumEstimator, low: int = 0, high: int | None = None) -> np.ndarray:
+    """Estimated prefix masses ``s~[low, r]`` for ``r = low..high``."""
+    if high is None:
+        high = estimator.n - 1
+    highs = np.arange(low, high + 1, dtype=np.int64)
+    lows = np.full(highs.shape, low, dtype=np.int64)
+    return estimator.estimate_many(lows, highs)
+
+
+def estimate_quantile(
+    estimator: RangeSumEstimator,
+    q: float,
+    *,
+    low: int = 0,
+    high: int | None = None,
+) -> int:
+    """Index of the estimated ``q``-quantile within ``[low, high]``.
+
+    Returns the smallest index ``r`` whose estimated cumulative mass
+    (within the window) reaches ``q`` times the estimated window total.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise InvalidParameterError(f"q must be in [0, 1], got {q}")
+    if high is None:
+        high = estimator.n - 1
+    masses = np.maximum.accumulate(prefix_estimates(estimator, low, high))
+    total = max(float(masses[-1]), 0.0)
+    if total <= 0.0:
+        return low
+    target = q * total
+    index = int(np.searchsorted(masses, target, side="left"))
+    return low + min(index, high - low)
+
+
+def estimate_median(estimator: RangeSumEstimator, *, low: int = 0, high: int | None = None) -> int:
+    """Index of the estimated median within ``[low, high]``."""
+    return estimate_quantile(estimator, 0.5, low=low, high=high)

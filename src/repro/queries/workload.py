@@ -1,0 +1,155 @@
+"""Range-query workloads.
+
+A :class:`Workload` is a weighted multiset of inclusive, 0-indexed
+ranges.  The paper's objective weights every possible range equally
+(:func:`all_ranges`); the other factories cover the query families the
+paper contrasts against — equality/point queries (what POINT-OPT and
+classic V-optimal histograms optimise [6]), prefix ranges (the
+hierarchically-restricted case of [9]), and sampled workloads for large
+domains where enumerating all ``n(n+1)/2`` ranges is wasteful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import InvalidParameterError, InvalidQueryError
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A weighted set of inclusive range queries over ``[0, n)``.
+
+    Attributes
+    ----------
+    n:
+        Domain size the ranges refer to.
+    lows, highs:
+        Parallel integer arrays; each query is ``[lows[i], highs[i]]``.
+    weights:
+        Per-query weights used by weighted error metrics; defaults to 1.
+    """
+
+    n: int
+    lows: np.ndarray
+    highs: np.ndarray
+    weights: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        lows = np.asarray(self.lows, dtype=np.int64)
+        highs = np.asarray(self.highs, dtype=np.int64)
+        if lows.shape != highs.shape or lows.ndim != 1:
+            raise InvalidQueryError("lows and highs must be parallel 1-D arrays")
+        if lows.size and (lows.min() < 0 or highs.max() >= self.n or np.any(lows > highs)):
+            raise InvalidQueryError("workload contains out-of-bounds or inverted ranges")
+        weights = self.weights
+        if weights is None:
+            weights = np.ones(lows.size, dtype=np.float64)
+        else:
+            weights = np.asarray(weights, dtype=np.float64)
+            if weights.shape != lows.shape:
+                raise InvalidQueryError("weights must parallel lows/highs")
+            if np.any(weights < 0):
+                raise InvalidQueryError("weights must be non-negative")
+        object.__setattr__(self, "lows", lows)
+        object.__setattr__(self, "highs", highs)
+        object.__setattr__(self, "weights", weights)
+
+    def __len__(self) -> int:
+        return int(self.lows.size)
+
+    def __iter__(self):
+        for low, high in zip(self.lows.tolist(), self.highs.tolist()):
+            yield low, high
+
+    def lengths(self) -> np.ndarray:
+        """Range lengths ``high - low + 1`` per query."""
+        return self.highs - self.lows + 1
+
+
+def _check_n(n: int) -> int:
+    if not isinstance(n, (int, np.integer)) or n < 1:
+        raise InvalidParameterError(f"domain size n must be a positive integer, got {n!r}")
+    return int(n)
+
+
+def all_ranges(n: int) -> Workload:
+    """Every range ``[a, b]`` with ``0 <= a <= b < n`` — the paper's SSE domain."""
+    n = _check_n(n)
+    lows, highs = np.triu_indices(n)
+    return Workload(n=n, lows=lows, highs=highs)
+
+
+def point_queries(n: int, weights=None) -> Workload:
+    """All equality queries ``[i, i]``; the classic V-optimal objective."""
+    n = _check_n(n)
+    idx = np.arange(n, dtype=np.int64)
+    return Workload(n=n, lows=idx, highs=idx, weights=weights)
+
+
+def prefix_ranges(n: int) -> Workload:
+    """All prefix ranges ``[0, b]`` (the hierarchical/prefix-restricted case)."""
+    n = _check_n(n)
+    highs = np.arange(n, dtype=np.int64)
+    return Workload(n=n, lows=np.zeros(n, dtype=np.int64), highs=highs)
+
+
+def fixed_length_ranges(n: int, length: int) -> Workload:
+    """All ranges of a fixed ``length`` — sliding-window aggregates."""
+    n = _check_n(n)
+    if not 1 <= length <= n:
+        raise InvalidParameterError(f"length must be in [1, {n}], got {length}")
+    lows = np.arange(n - length + 1, dtype=np.int64)
+    return Workload(n=n, lows=lows, highs=lows + length - 1)
+
+
+def random_ranges(n: int, count: int, seed: int | None = None) -> Workload:
+    """``count`` ranges sampled uniformly from all ``n(n+1)/2`` ranges.
+
+    Sampling is uniform over the *set of distinct ranges* (matching the
+    all-ranges SSE in expectation), not over independent endpoint pairs.
+    """
+    n = _check_n(n)
+    if count < 1:
+        raise InvalidParameterError(f"count must be >= 1, got {count}")
+    rng = np.random.default_rng(seed)
+    total = n * (n + 1) // 2
+    flat = rng.integers(0, total, size=count)
+    # Invert the triangular enumeration: range id = low * n - low(low-1)/2 + (high - low).
+    lows = np.empty(count, dtype=np.int64)
+    highs = np.empty(count, dtype=np.int64)
+    # Vectorised inversion via the quadratic formula on the row offsets.
+    # Row `a` starts at offset f(a) = a*n - a*(a-1)/2 and has n-a entries.
+    a = np.floor((2 * n + 1 - np.sqrt((2 * n + 1) ** 2 - 8.0 * flat)) / 2.0).astype(np.int64)
+    # Guard boundary rounding of the float square root.
+    def row_start(row):
+        return row * n - row * (row - 1) // 2
+
+    a = np.clip(a, 0, n - 1)
+    too_big = row_start(a) > flat
+    a[too_big] -= 1
+    too_small = row_start(a + 1) <= flat
+    a[too_small] += 1
+    lows[:] = a
+    highs[:] = a + (flat - row_start(a))
+    return Workload(n=n, lows=lows, highs=highs)
+
+
+def biased_ranges(n: int, count: int, seed: int | None = None, short_bias: float = 2.0) -> Workload:
+    """Ranges whose lengths follow a power-law favouring short ranges.
+
+    Realistic query logs hit short ranges far more often than long ones;
+    ``short_bias`` is the decay exponent of ``P(length = L) ∝ L^-bias``.
+    """
+    n = _check_n(n)
+    if count < 1:
+        raise InvalidParameterError(f"count must be >= 1, got {count}")
+    rng = np.random.default_rng(seed)
+    lengths = np.arange(1, n + 1, dtype=np.float64)
+    probs = lengths ** (-float(short_bias))
+    probs /= probs.sum()
+    chosen = rng.choice(np.arange(1, n + 1), size=count, p=probs)
+    lows = np.array([rng.integers(0, n - L + 1) for L in chosen], dtype=np.int64)
+    return Workload(n=n, lows=lows, highs=lows + chosen - 1)

@@ -1,0 +1,15 @@
+"""Sketch-based summary statistics.
+
+Histograms and wavelets are the paper's two synopsis families; sketches
+are the third classic one, included for completeness of comparison and
+for their streaming strengths.  :class:`CountMinSketch` answers point
+queries with one-sided error; :class:`DyadicCountMin` stacks one sketch
+per dyadic level so any range decomposes into O(log n) sketch lookups —
+the standard dyadic trick.  Both support O(depth)-per-update streaming
+maintenance, the regime where they beat the offline-optimal histograms.
+"""
+
+from repro.sketches.countmin import CountMinSketch
+from repro.sketches.dyadic import DyadicCountMin, build_sketch
+
+__all__ = ["CountMinSketch", "DyadicCountMin", "build_sketch"]

@@ -1,0 +1,138 @@
+"""Range sums from Count-Min sketches via dyadic decomposition.
+
+Any range ``[l, r]`` over a power-of-two domain decomposes canonically
+into at most ``2 log2(N)`` dyadic blocks; keeping one Count-Min sketch
+per dyadic level turns a range-sum query into O(log N) point lookups.
+With non-negative data each lookup overcounts only, so so does the
+range estimate — a one-sided guarantee histograms and wavelets lack.
+
+Sketches shine in the streaming regime: a point update touches one
+dyadic block per level (O(depth * log N) counter increments, no
+rebuild), and two sketches over disjoint streams merge by addition.
+Their weakness, shown by ``benchmarks/test_ablations.py``'s A8, is raw
+accuracy per word against the offline-optimal histograms — which is the
+right mental model: sketches buy updatability and mergeability with
+space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError, InvalidQueryError
+from repro.internal.validation import as_frequency_vector
+from repro.queries.estimators import RangeSumEstimator
+from repro.sketches.countmin import CountMinSketch
+from repro.wavelets.haar import next_power_of_two
+
+
+def dyadic_decompose(low: int, high: int, levels: int) -> list[tuple[int, int]]:
+    """Canonical dyadic cover of ``[low, high]``: list of (level, block).
+
+    Level 0 blocks are single positions; level ``k`` blocks have length
+    ``2^k``.  At most 2 blocks per level.
+    """
+    cover: list[tuple[int, int]] = []
+    lo, hi = int(low), int(high) + 1  # half-open [lo, hi)
+    level = 0
+    while lo < hi and level < levels:
+        if lo & (1 << level):
+            cover.append((level, lo >> level))
+            lo += 1 << level
+        if hi & (1 << level):
+            hi -= 1 << level
+            cover.append((level, hi >> level))
+        level += 1
+    while lo < hi:  # top-level blocks
+        cover.append((levels, lo >> levels))
+        lo += 1 << levels
+    return cover
+
+
+class DyadicCountMin(RangeSumEstimator):
+    """Range-sum estimator: one Count-Min sketch per dyadic level.
+
+    Parameters
+    ----------
+    data:
+        Initial frequency vector (may be all zeros for pure streaming).
+    total_budget_words:
+        Word budget split evenly across the ``log2(N) + 1`` levels.
+    depth:
+        Hash rows per sketch (error probability decays as ``e^-depth``).
+    seed:
+        Base seed; level ``k`` uses ``seed + k``.
+    """
+
+    def __init__(self, data, total_budget_words: int, depth: int = 4, seed: int = 0) -> None:
+        data = as_frequency_vector(data)
+        self.n = int(data.size)
+        self.padded_n = next_power_of_two(self.n)
+        self.levels = int(np.log2(self.padded_n))
+        per_level_words = total_budget_words // (self.levels + 1)
+        width = max((per_level_words - 2 * depth) // depth, 1)
+        if width < 4:
+            raise InvalidParameterError(
+                f"budget {total_budget_words} words is too small for "
+                f"{self.levels + 1} dyadic levels at depth {depth}"
+            )
+        self.sketches = [
+            CountMinSketch(width, depth, seed=seed + level)
+            for level in range(self.levels + 1)
+        ]
+        nonzero = np.nonzero(data)[0]
+        if nonzero.size:
+            self._ingest(nonzero, data[nonzero])
+
+    def _ingest(self, positions: np.ndarray, deltas: np.ndarray) -> None:
+        for level, sketch in enumerate(self.sketches):
+            sketch.update_many(positions >> level, deltas)
+
+    # ------------------------------------------------------------------
+    # Streaming maintenance
+    # ------------------------------------------------------------------
+    def update(self, index: int, delta: float = 1.0) -> None:
+        """Apply ``data[index] += delta`` in O(depth * log N)."""
+        if not 0 <= index < self.n:
+            raise InvalidQueryError(f"update index {index} out of range [0, {self.n})")
+        for level, sketch in enumerate(self.sketches):
+            sketch.update(index >> level, delta)
+
+    def merge(self, other: "DyadicCountMin") -> "DyadicCountMin":
+        """Combine with a sketch of identical geometry over another stream."""
+        if self.n != other.n or len(self.sketches) != len(other.sketches):
+            raise InvalidParameterError("can only merge identical dyadic geometries")
+        merged = DyadicCountMin.__new__(DyadicCountMin)
+        merged.n = self.n
+        merged.padded_n = self.padded_n
+        merged.levels = self.levels
+        merged.sketches = [
+            mine.merge(theirs) for mine, theirs in zip(self.sketches, other.sketches)
+        ]
+        return merged
+
+    # ------------------------------------------------------------------
+    # Estimator protocol
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return "SKETCH-CM"
+
+    def storage_words(self) -> int:
+        return sum(sketch.storage_words() for sketch in self.sketches)
+
+    def estimate_many(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
+        lows = np.asarray(lows, dtype=np.int64)
+        highs = np.asarray(highs, dtype=np.int64)
+        result = np.empty(lows.shape, dtype=np.float64)
+        for position, (low, high) in enumerate(zip(lows.tolist(), highs.tolist())):
+            total = 0.0
+            for level, block in dyadic_decompose(low, high, self.levels):
+                total += self.sketches[level].estimate(block)
+            result[position] = total
+        return result
+
+
+def build_sketch(data, total_budget_words: int, depth: int = 4, seed: int = 0) -> DyadicCountMin:
+    """Budget-driven construction of the dyadic Count-Min estimator."""
+    return DyadicCountMin(data, total_budget_words, depth=depth, seed=seed)

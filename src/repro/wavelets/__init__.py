@@ -1,0 +1,37 @@
+"""Wavelet-based summary statistics (Section 3 of the paper).
+
+``haar``          orthonormal Haar transform, inverse, basis evaluation
+``point_topb``    classic largest-B-coefficients synopsis (TOPBB)
+``range_optimal`` Theorem 9: coefficients optimal for range queries via
+                  the structured 2-D transform of the virtual range-sum
+                  matrix ``AA[i, j] = s[i, j]``
+"""
+
+from repro.wavelets.haar import (
+    basis_prefix,
+    basis_value,
+    haar_transform,
+    inverse_haar_transform,
+    next_power_of_two,
+)
+from repro.wavelets.dynamic import DynamicPointWavelet
+from repro.wavelets.point_topb import PointTopBWavelet, build_wavelet_point
+from repro.wavelets.range_optimal import (
+    RangeOptimalWavelet,
+    aa_tensor_coefficients,
+    build_wavelet_range,
+)
+
+__all__ = [
+    "haar_transform",
+    "inverse_haar_transform",
+    "basis_value",
+    "basis_prefix",
+    "next_power_of_two",
+    "PointTopBWavelet",
+    "DynamicPointWavelet",
+    "build_wavelet_point",
+    "RangeOptimalWavelet",
+    "aa_tensor_coefficients",
+    "build_wavelet_range",
+]

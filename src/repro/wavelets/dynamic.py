@@ -1,0 +1,127 @@
+"""Dynamically-maintained Haar synopsis under point updates.
+
+The paper's companion line of work [11] maintains wavelet summaries as
+the underlying relation changes.  A point update ``A[i] += delta``
+touches exactly one basis vector per level — the ``log2(N) + 1``
+coefficients whose support contains ``i`` — so the *full* spectrum can
+be maintained in O(log N) per update.  The synopsis view (the top-B
+coefficients by magnitude) is re-selected lazily at the next query,
+which keeps updates cheap under bursts.
+
+This maintains the exact spectrum (Theta(N) internal state, like the
+histogram builders' inputs); the *synopsis* — what an engine would ship
+to its optimiser — remains the ``2B``-word top-B view, available as a
+frozen :class:`~repro.wavelets.point_topb.PointTopBWavelet` snapshot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError, InvalidQueryError
+from repro.internal.validation import as_frequency_vector, check_bucket_count
+from repro.queries.estimators import RangeSumEstimator
+from repro.wavelets.haar import basis_prefix, haar_transform, next_power_of_two
+from repro.wavelets.point_topb import PointTopBWavelet
+
+
+class DynamicPointWavelet(RangeSumEstimator):
+    """Top-B Haar synopsis with O(log N) point updates.
+
+    Parameters
+    ----------
+    data:
+        Initial frequency vector.
+    n_coefficients:
+        Size of the synopsis view (the B of top-B).
+    """
+
+    def __init__(self, data, n_coefficients: int) -> None:
+        data = as_frequency_vector(data)
+        self.n = int(data.size)
+        self.n_coefficients = check_bucket_count(
+            n_coefficients, self.n, name="n_coefficients"
+        )
+        self.padded_n = next_power_of_two(self.n)
+        self._levels = int(np.log2(self.padded_n))
+        padded = np.zeros(self.padded_n, dtype=np.float64)
+        padded[: self.n] = data
+        self._spectrum = haar_transform(padded)
+        self._dirty = True
+        self._indices = np.empty(0, dtype=np.int64)
+        self._values = np.empty(0, dtype=np.float64)
+        self.update_count = 0
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def touched_coefficients(self, index: int) -> list[int]:
+        """The O(log N) coefficient indices whose support contains ``index``."""
+        touched = [0]
+        for level in range(self._levels):
+            touched.append((1 << level) + (index >> (self._levels - level)))
+        return touched
+
+    def update(self, index: int, delta: float) -> None:
+        """Apply ``A[index] += delta`` in O(log N)."""
+        if not 0 <= index < self.n:
+            raise InvalidQueryError(f"update index {index} out of range [0, {self.n})")
+        delta = float(delta)
+        n = self.padded_n
+        # Scaling coefficient: psi_0(index) = 1/sqrt(N).
+        self._spectrum[0] += delta / np.sqrt(n)
+        for level in range(self._levels):
+            support = n >> level
+            coefficient = (1 << level) + (index >> (self._levels - level))
+            within = index & (support - 1)
+            sign = 1.0 if within < support // 2 else -1.0
+            self._spectrum[coefficient] += sign * delta / np.sqrt(support)
+        self._dirty = True
+        self.update_count += 1
+
+    def apply_batch(self, indices, deltas) -> None:
+        """Apply many point updates (simple loop; updates are O(log N))."""
+        for index, delta in zip(np.asarray(indices).tolist(), np.asarray(deltas).tolist()):
+            self.update(int(index), float(delta))
+
+    def _refresh(self) -> None:
+        if not self._dirty:
+            return
+        order = np.argsort(-np.abs(self._spectrum), kind="stable")
+        kept = np.sort(order[: self.n_coefficients])
+        self._indices = kept.astype(np.int64)
+        self._values = self._spectrum[kept]
+        self._dirty = False
+
+    # ------------------------------------------------------------------
+    # Estimator protocol
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return "TOPBB-DYNAMIC"
+
+    def storage_words(self) -> int:
+        """The shipped synopsis view: index + value per coefficient."""
+        self._refresh()
+        return 2 * int(self._indices.size)
+
+    def estimate_many(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
+        self._refresh()
+        lows = np.asarray(lows, dtype=np.int64)
+        highs = np.asarray(highs, dtype=np.int64)
+        result = np.zeros(lows.shape, dtype=np.float64)
+        for index, value in zip(self._indices.tolist(), self._values.tolist()):
+            upper = basis_prefix(index, highs, self.padded_n)
+            lower = basis_prefix(index, lows - 1, self.padded_n)
+            result += value * (upper - lower)
+        return result
+
+    def snapshot(self) -> PointTopBWavelet:
+        """Freeze the current top-B view as an immutable synopsis."""
+        self._refresh()
+        frozen = PointTopBWavelet.__new__(PointTopBWavelet)
+        frozen.n = self.n
+        frozen.padded_n = self.padded_n
+        frozen.indices = self._indices.copy()
+        frozen.coefficients = self._values.copy()
+        return frozen

@@ -1,0 +1,68 @@
+"""The classic point-wise top-B Haar synopsis (Figure 1's TOPBB).
+
+Keep the ``B`` coefficients of largest absolute value in the orthonormal
+Haar transform of the data — optimal for *point* reconstruction SSE by
+Parseval, which is how prior wavelet work [11, 17] selected summaries.
+Range queries are answered by summing the reconstruction over the range
+via the closed-form basis prefix integrals (O(B) per query, no length-n
+reconstruction).  The paper's point: this selection is *not* optimal for
+range queries — see :mod:`repro.wavelets.range_optimal`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.internal.validation import as_frequency_vector, check_bucket_count
+from repro.queries.estimators import RangeSumEstimator
+from repro.wavelets.haar import basis_prefix, haar_transform, next_power_of_two
+
+
+class PointTopBWavelet(RangeSumEstimator):
+    """Haar synopsis retaining the ``B`` largest-magnitude coefficients.
+
+    Parameters
+    ----------
+    data:
+        Frequency vector; zero-padded internally to a power of two.
+    n_coefficients:
+        Number of retained coefficients (ties broken by index).
+    """
+
+    def __init__(self, data, n_coefficients: int) -> None:
+        data = as_frequency_vector(data)
+        self.n = int(data.size)
+        n_coefficients = check_bucket_count(
+            n_coefficients, self.n, name="n_coefficients"
+        )
+        self.padded_n = next_power_of_two(self.n)
+        padded = np.zeros(self.padded_n, dtype=np.float64)
+        padded[: self.n] = data
+        spectrum = haar_transform(padded)
+        order = np.argsort(-np.abs(spectrum), kind="stable")
+        kept = np.sort(order[:n_coefficients])
+        self.indices = kept.astype(np.int64)
+        self.coefficients = spectrum[kept]
+
+    @property
+    def name(self) -> str:
+        return "TOPBB"
+
+    def storage_words(self) -> int:
+        """Two words per retained coefficient: index and value."""
+        return 2 * int(self.indices.size)
+
+    def estimate_many(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
+        lows = np.asarray(lows, dtype=np.int64)
+        highs = np.asarray(highs, dtype=np.int64)
+        result = np.zeros(lows.shape, dtype=np.float64)
+        for index, coefficient in zip(self.indices.tolist(), self.coefficients.tolist()):
+            upper = basis_prefix(index, highs, self.padded_n)
+            lower = basis_prefix(index, lows - 1, self.padded_n)
+            result += coefficient * (upper - lower)
+        return result
+
+
+def build_wavelet_point(data, n_coefficients: int) -> PointTopBWavelet:
+    """Build the TOPBB point-optimal wavelet synopsis."""
+    return PointTopBWavelet(data, n_coefficients)

@@ -1,0 +1,31 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_data(rng):
+    """A length-12 integral frequency vector with varied structure."""
+    return np.asarray([4, 4, 4, 9, 1, 0, 7, 7, 2, 30, 0, 5], dtype=np.float64)
+
+
+@pytest.fixture
+def medium_data(rng):
+    """Length-64 mixed Zipf-ish vector for moderate-size checks."""
+    from repro.data import zipf_frequencies
+
+    return zipf_frequencies(64, alpha=1.5, scale=300, seed=7, permute=True)
+
+
+@pytest.fixture
+def tiny_data():
+    """The paper's running example array (Section 2.1.1)."""
+    return np.asarray([1, 3, 5, 11, 12, 13], dtype=np.float64)

@@ -1,0 +1,78 @@
+"""Tests for the A0 heuristic and its documented cross-term gap."""
+
+import numpy as np
+import pytest
+
+from repro.core.a0 import a0_objective_rows, build_a0
+from repro.core.opt_a import opt_a_search
+from repro.internal.prefix import PrefixAlgebra
+from repro.queries.evaluation import sse
+from tests.helpers import ReferenceAverageHistogram, brute_sse
+
+
+def a0_objective(data, lefts):
+    algebra = PrefixAlgebra(data)
+    n = data.size
+    total = 0.0
+    for index, a in enumerate(lefts):
+        b = (lefts[index + 1] - 1) if index + 1 < len(lefts) else n - 1
+        row = a0_objective_rows(algebra, a)
+        total += float(row[b - a])
+    return total
+
+
+def cross_terms(data, lefts):
+    """The inter-bucket cross terms A0's DP ignores: 2 * S1(P) * P1(Q)."""
+    algebra = PrefixAlgebra(data)
+    n = data.size
+    rights = [*[left - 1 for left in lefts[1:]], n - 1]
+    s1 = [float(algebra.suffix_error_moments(a, b)[0]) for a, b in zip(lefts, rights)]
+    p1 = [float(algebra.prefix_error_moments(a, b)[0]) for a, b in zip(lefts, rights)]
+    total = 0.0
+    for p in range(len(lefts)):
+        for q in range(p + 1, len(lefts)):
+            total += 2.0 * s1[p] * p1[q]
+    return total
+
+
+class TestA0ObjectiveGap:
+    def test_objective_plus_cross_terms_is_true_sse(self, small_data):
+        """The documented identity: A0's additive objective differs from
+        the un-rounded true SSE by exactly the ignored cross terms."""
+        for lefts in ([0], [0, 4], [0, 3, 8], [0, 2, 5, 9]):
+            hist = ReferenceAverageHistogram(small_data, lefts, rounding="none")
+            true_sse = brute_sse(hist, small_data)
+            objective = a0_objective(small_data, lefts)
+            assert objective + cross_terms(small_data, lefts) == pytest.approx(
+                true_sse, rel=1e-9, abs=1e-6
+            ), lefts
+
+
+class TestA0Builder:
+    def test_never_better_than_opt_a(self, small_data):
+        for buckets in (2, 3, 4):
+            a0_sse = sse(build_a0(small_data, buckets, rounding="per_piece"), small_data)
+            optimal = opt_a_search(small_data, buckets).objective
+            assert a0_sse >= optimal - 1e-6
+
+    def test_close_to_opt_a_on_zipf(self, medium_data):
+        """Section 4's empirical finding: A0 is a strong heuristic."""
+        buckets = 6
+        a0_sse = sse(build_a0(medium_data, buckets), medium_data)
+        optimal = opt_a_search(medium_data, buckets).objective
+        assert a0_sse <= 5.0 * optimal + 1e-6
+
+    def test_label_storage_and_rounding(self, small_data):
+        hist = build_a0(small_data, 3)
+        assert hist.name == "A0"
+        assert hist.storage_words() == 2 * hist.bucket_count  # Theorem 10
+        assert hist.rounding == "per_piece"
+
+    def test_monotone_in_buckets(self, medium_data):
+        errors = [sse(build_a0(medium_data, k), medium_data) for k in (1, 2, 4, 8)]
+        # Heuristic, so only require no catastrophic reversals.
+        assert errors[-1] <= errors[0]
+
+    def test_flat_data_zero_error(self):
+        data = np.full(8, 3.0)
+        assert sse(build_a0(data, 2), data) == 0.0

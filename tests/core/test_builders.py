@@ -1,0 +1,87 @@
+"""Tests for the builder registry and the paper's storage accounting."""
+
+import pytest
+
+from repro.core.builders import (
+    BUILDER_REGISTRY,
+    build_by_name,
+    buckets_for_budget,
+)
+from repro.errors import BudgetExceededError, InvalidParameterError
+
+
+class TestStorageAccounting:
+    """The storage table of Theorems 7, 8 and 10."""
+
+    def test_words_per_unit(self):
+        assert BUILDER_REGISTRY["opt-a"].words_per_unit == 2
+        assert BUILDER_REGISTRY["a0"].words_per_unit == 2
+        assert BUILDER_REGISTRY["point-opt"].words_per_unit == 2
+        assert BUILDER_REGISTRY["sap0"].words_per_unit == 3  # Theorem 7
+        assert BUILDER_REGISTRY["sap1"].words_per_unit == 5  # Theorem 8
+        assert BUILDER_REGISTRY["wavelet-point"].words_per_unit == 2
+        assert BUILDER_REGISTRY["wavelet-range"].words_per_unit == 2
+
+    def test_buckets_for_budget(self):
+        assert buckets_for_budget("sap1", 30) == 6
+        assert buckets_for_budget("sap0", 30) == 10
+        assert buckets_for_budget("opt-a", 30) == 15
+
+    def test_budget_too_small(self):
+        with pytest.raises(BudgetExceededError, match="at least"):
+            buckets_for_budget("sap1", 4)
+
+    def test_unknown_builder(self):
+        with pytest.raises(InvalidParameterError, match="unknown builder"):
+            buckets_for_budget("histogram-9000", 10)
+
+
+class TestBuildByName:
+    @pytest.mark.parametrize(
+        "name",
+        ["naive", "point-opt", "a0", "sap0", "sap1", "wavelet-point", "wavelet-range"],
+    )
+    def test_builds_within_budget(self, medium_data, name):
+        budget = 30
+        estimator = build_by_name(name, medium_data, budget)
+        assert estimator.storage_words() <= budget
+
+    def test_opt_a_small_budget(self, small_data):
+        estimator = build_by_name("opt-a", small_data, 8)
+        assert estimator.name == "OPT-A"
+        assert estimator.storage_words() <= 8
+
+    def test_opt_a_rounded_forwards_kwargs(self, small_data):
+        estimator = build_by_name("opt-a-rounded", small_data, 8, x=2)
+        assert estimator.name == "OPT-A-ROUNDED"
+
+    def test_budget_capped_at_domain(self, small_data):
+        # A lavish budget must not request more buckets than n.
+        estimator = build_by_name("sap0", small_data, 10_000)
+        assert estimator.bucket_count <= small_data.size
+
+    def test_unknown_name_rejected(self, small_data):
+        with pytest.raises(InvalidParameterError, match="unknown builder"):
+            build_by_name("nope", small_data, 16)
+
+
+class TestReoptVariants:
+    def test_registered(self):
+        for base in ("naive", "point-opt", "a0", "opt-a", "opt-a-auto"):
+            assert f"{base}-reopt" in BUILDER_REGISTRY
+
+    def test_reopt_variant_never_worse_than_base(self, medium_data):
+        from repro.queries.evaluation import sse
+
+        budget = 24
+        for base in ("a0", "point-opt"):
+            base_est = build_by_name(base, medium_data, budget)
+            reopt_est = build_by_name(f"{base}-reopt", medium_data, budget)
+            # Compare under the un-rounded objective reopt optimises.
+            base_unrounded = base_est.with_values(base_est.values, rounding="none")
+            assert sse(reopt_est, medium_data) <= sse(base_unrounded, medium_data) + 1e-6
+
+    def test_reopt_label_and_storage(self, medium_data):
+        est = build_by_name("a0-reopt", medium_data, 20)
+        assert est.name == "A0-reopt"
+        assert est.storage_words() == 20

@@ -1,0 +1,102 @@
+"""Tests for equi-width, equi-depth, and the prefix-workload optimum."""
+
+import numpy as np
+import pytest
+
+from repro.core.classic import build_equi_depth, build_equi_width, build_prefix_opt
+from repro.core.sap import build_sap1
+from repro.queries.evaluation import sse
+from repro.queries.workload import prefix_ranges
+from tests.helpers import (
+    ReferenceAverageHistogram,
+    brute_sse,
+    enumerate_lefts_at_most,
+)
+
+
+class TestEquiWidth:
+    def test_equal_bucket_lengths(self):
+        data = np.arange(12, dtype=float)
+        hist = build_equi_width(data, 4)
+        np.testing.assert_array_equal(hist.bucket_lengths, [3, 3, 3, 3])
+
+    def test_uneven_division(self):
+        data = np.arange(10, dtype=float)
+        hist = build_equi_width(data, 3)
+        assert hist.bucket_count == 3
+        assert hist.bucket_lengths.sum() == 10
+        assert hist.bucket_lengths.max() - hist.bucket_lengths.min() <= 1
+
+    def test_more_buckets_than_needed(self):
+        data = np.arange(5, dtype=float)
+        hist = build_equi_width(data, 5)
+        assert hist.bucket_count == 5
+
+    def test_label(self, small_data):
+        assert build_equi_width(small_data, 3).name == "EQUI-WIDTH"
+
+
+class TestEquiDepth:
+    def test_masses_roughly_equal_on_uniform(self):
+        data = np.full(100, 10.0)
+        hist = build_equi_depth(data, 4)
+        masses = [data[a : b + 1].sum() for a, b in hist.bucket_ranges()]
+        assert max(masses) <= 2 * min(masses)
+
+    def test_skew_collapses_buckets(self):
+        # One value holds 99% of mass: fewer distinct boundaries is fine.
+        data = np.asarray([1, 1, 990, 1, 1], dtype=float)
+        hist = build_equi_depth(data, 4)
+        assert 1 <= hist.bucket_count <= 4
+
+    def test_zero_mass_falls_back(self):
+        data = np.zeros(8)
+        hist = build_equi_depth(data, 4)
+        assert hist.bucket_count >= 1
+
+    def test_quantile_boundaries(self):
+        data = np.asarray([10, 10, 10, 10, 10, 10, 10, 10], dtype=float)
+        hist = build_equi_depth(data, 2)
+        assert hist.lefts.tolist() == [0, 4]
+
+    def test_optimised_methods_beat_rules_on_skew(self, medium_data):
+        """The point of the paper: DP construction beats rule-based."""
+        budget_buckets = 6
+        rule = sse(build_equi_width(medium_data, budget_buckets), medium_data)
+        optimised = sse(build_sap1(medium_data, budget_buckets), medium_data)
+        assert optimised < rule
+
+
+class TestPrefixOpt:
+    def test_optimal_for_prefix_workload(self):
+        """Exhaustively verify the [9]-style restricted optimality."""
+        data = np.asarray([4, 0, 9, 9, 1, 6, 2, 2], dtype=float)
+        workload = prefix_ranges(data.size)
+        hist = build_prefix_opt(data, 3)
+        built = sse(hist, data, workload)
+        best = min(
+            brute_sse(
+                ReferenceAverageHistogram(data, lefts, rounding="none"),
+                data,
+                ranges=list(workload),
+            )
+            for lefts in enumerate_lefts_at_most(data.size, 3)
+        )
+        assert built == pytest.approx(best, abs=1e-9)
+
+    def test_beats_all_ranges_optimum_on_prefix_workload(self, medium_data):
+        """Specialising to the restricted workload can only help there."""
+        from repro.core.a0 import build_a0
+
+        workload = prefix_ranges(medium_data.size)
+        specialised = sse(build_prefix_opt(medium_data, 5), medium_data, workload)
+        generic = sse(build_a0(medium_data, 5, rounding="none"), medium_data, workload)
+        assert specialised <= generic + 1e-6
+
+    def test_flat_data_zero_error(self):
+        data = np.full(10, 3.0)
+        hist = build_prefix_opt(data, 2)
+        assert sse(hist, data, prefix_ranges(10)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_label(self, small_data):
+        assert build_prefix_opt(small_data, 3).name == "PREFIX-OPT"

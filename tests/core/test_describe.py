@@ -1,0 +1,40 @@
+"""Tests for synopsis introspection."""
+
+import numpy as np
+
+from repro.core.a0 import build_a0
+from repro.core.describe import describe
+from repro.core.sap import build_sap1
+from repro.core.sap_poly import build_sap_poly
+from repro.queries.exact import ExactRangeSum
+from repro.wavelets.point_topb import PointTopBWavelet
+from repro.wavelets.range_optimal import RangeOptimalWavelet
+
+
+class TestDescribe:
+    def test_average_histogram_table(self, medium_data):
+        hist = build_a0(medium_data, 4)
+        text = describe(hist)
+        assert "A0" in text and "bucket" in text and "value" in text
+        assert text.count("\n") >= 5  # header + rule + 4 buckets
+
+    def test_average_histogram_with_envelopes(self, medium_data):
+        hist = build_a0(medium_data, 4)
+        text = describe(hist, medium_data)
+        assert "max suffix err" in text and "max prefix err" in text
+
+    def test_sap_histogram(self, medium_data):
+        text = describe(build_sap1(medium_data, 3))
+        assert "SAP1" in text and "average" in text
+
+    def test_poly_sap(self, medium_data):
+        text = describe(build_sap_poly(medium_data, 3, degree=2))
+        assert "SAP2" in text
+
+    def test_wavelets(self, medium_data):
+        assert "coefficient" in describe(PointTopBWavelet(medium_data, 5))
+        assert "row basis" in describe(RangeOptimalWavelet(medium_data, 5))
+
+    def test_unknown_estimator_falls_back(self, medium_data):
+        text = describe(ExactRangeSum(medium_data))
+        assert "EXACT" in text and str(medium_data.size) in text

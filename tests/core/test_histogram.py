@@ -1,0 +1,153 @@
+"""Tests for the histogram representations and answering procedures."""
+
+import numpy as np
+import pytest
+
+from repro.core.histogram import AverageHistogram, SapHistogram, validate_lefts
+from repro.errors import InvalidParameterError
+from repro.internal.prefix import PrefixAlgebra
+from tests.helpers import ReferenceAverageHistogram, ReferenceSapHistogram
+
+
+class TestValidateLefts:
+    def test_accepts_valid(self):
+        np.testing.assert_array_equal(validate_lefts([0, 3, 7], 10), [0, 3, 7])
+
+    def test_rejects_nonzero_start(self):
+        with pytest.raises(InvalidParameterError, match="start at 0"):
+            validate_lefts([1, 3], 10)
+
+    def test_rejects_non_increasing(self):
+        with pytest.raises(InvalidParameterError, match="strictly increasing"):
+            validate_lefts([0, 3, 3], 10)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(InvalidParameterError, match="out of range"):
+            validate_lefts([0, 10], 10)
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidParameterError, match="non-empty"):
+            validate_lefts([], 10)
+
+
+class TestBucketBookkeeping:
+    def test_rights_and_lengths(self, small_data):
+        hist = AverageHistogram.from_boundaries(small_data, [0, 4, 9])
+        np.testing.assert_array_equal(hist.rights, [3, 8, 11])
+        np.testing.assert_array_equal(hist.bucket_lengths, [4, 5, 3])
+        assert hist.bucket_ranges() == [(0, 3), (4, 8), (9, 11)]
+
+    def test_bucket_of(self, small_data):
+        hist = AverageHistogram.from_boundaries(small_data, [0, 4, 9])
+        assert hist.bucket_of(0) == 0
+        assert hist.bucket_of(3) == 0
+        assert hist.bucket_of(4) == 1
+        assert hist.bucket_of(11) == 2
+        np.testing.assert_array_equal(hist.bucket_of([0, 5, 9]), [0, 1, 2])
+
+
+@pytest.mark.parametrize("rounding", ["per_piece", "total", "none"])
+class TestAverageHistogramAnswering:
+    def test_matches_reference_implementation(self, small_data, rounding):
+        lefts = [0, 3, 5, 9]
+        hist = AverageHistogram.from_boundaries(small_data, lefts, rounding=rounding)
+        reference = ReferenceAverageHistogram(small_data, lefts, rounding=rounding)
+        for a in range(small_data.size):
+            for b in range(a, small_data.size):
+                assert hist.estimate(a, b) == pytest.approx(
+                    reference.estimate(a, b)
+                ), (a, b)
+
+    def test_arbitrary_values_match_reference(self, small_data, rounding):
+        lefts = [0, 6]
+        values = [2.25, -1.5]
+        hist = AverageHistogram(lefts, values, small_data.size, rounding=rounding)
+        reference = ReferenceAverageHistogram(
+            small_data, lefts, rounding=rounding, values=values
+        )
+        for a, b in [(0, 11), (2, 8), (6, 7), (0, 5), (1, 6)]:
+            assert hist.estimate(a, b) == pytest.approx(reference.estimate(a, b))
+
+
+class TestAverageHistogramProperties:
+    def test_full_range_exact_without_rounding(self, small_data):
+        hist = AverageHistogram.from_boundaries(small_data, [0, 4, 9], rounding="none")
+        assert hist.estimate(0, 11) == pytest.approx(small_data.sum())
+
+    def test_bucket_aligned_queries_exact_without_rounding(self, small_data):
+        hist = AverageHistogram.from_boundaries(small_data, [0, 4, 9], rounding="none")
+        for a, b in [(0, 3), (4, 8), (0, 8), (4, 11), (9, 11)]:
+            assert hist.estimate(a, b) == pytest.approx(small_data[a : b + 1].sum())
+
+    def test_per_piece_rounding_integral_on_integer_data(self, small_data):
+        hist = AverageHistogram.from_boundaries(small_data, [0, 4, 9], rounding="per_piece")
+        for a, b in [(1, 2), (2, 10), (5, 6), (0, 11)]:
+            estimate = hist.estimate(a, b)
+            assert estimate == int(estimate)
+
+    def test_storage_is_two_words_per_bucket(self, small_data):
+        hist = AverageHistogram.from_boundaries(small_data, [0, 4, 9])
+        assert hist.storage_words() == 6
+
+    def test_with_values_replaces_payload(self, small_data):
+        hist = AverageHistogram.from_boundaries(small_data, [0, 6], rounding="none")
+        replaced = hist.with_values([0.0, 0.0], label="ZEROED")
+        assert replaced.estimate(0, 11) == 0.0
+        assert replaced.name == "ZEROED"
+        np.testing.assert_array_equal(replaced.lefts, hist.lefts)
+
+    def test_value_shape_validated(self, small_data):
+        with pytest.raises(InvalidParameterError, match="one entry per bucket"):
+            AverageHistogram([0, 4], [1.0], small_data.size)
+
+    def test_rounding_mode_validated(self, small_data):
+        with pytest.raises(InvalidParameterError, match="rounding"):
+            AverageHistogram([0], [1.0], small_data.size, rounding="sometimes")
+
+
+class TestSapHistogramAnswering:
+    @pytest.mark.parametrize("order", [0, 1])
+    def test_matches_reference_implementation(self, small_data, order):
+        lefts = [0, 3, 7]
+        algebra = PrefixAlgebra(small_data)
+        rights = [2, 6, 11]
+        averages, ss, si, ps, pi = [], [], [], [], []
+        for a, b in zip(lefts, rights):
+            averages.append(algebra.bucket_mean(a, b))
+            if order == 0:
+                suffix_value, _ = algebra.sap0_suffix(a, b)
+                prefix_value, _ = algebra.sap0_prefix(a, b)
+                ss.append(0.0), si.append(float(suffix_value))
+                ps.append(0.0), pi.append(float(prefix_value))
+            else:
+                sf = algebra.sap1_suffix_fit(a, b)
+                pf = algebra.sap1_prefix_fit(a, b)
+                ss.append(sf.slope), si.append(sf.intercept)
+                ps.append(pf.slope), pi.append(pf.intercept)
+        hist = SapHistogram(lefts, averages, ss, si, ps, pi, small_data.size, order=order)
+        reference = ReferenceSapHistogram(small_data, lefts, order=order)
+        for a in range(small_data.size):
+            for b in range(a, small_data.size):
+                assert hist.estimate(a, b) == pytest.approx(
+                    reference.estimate(a, b), abs=1e-8
+                ), (a, b)
+
+    def test_storage_words(self, small_data):
+        zeros = [0.0, 0.0]
+        hist0 = SapHistogram([0, 6], [1.0, 2.0], zeros, zeros, zeros, zeros,
+                             small_data.size, order=0)
+        assert hist0.storage_words() == 6  # 3B, Theorem 7
+        hist1 = SapHistogram([0, 6], [1.0, 2.0], [0.1, 0.2], zeros, zeros, zeros,
+                             small_data.size, order=1)
+        assert hist1.storage_words() == 10  # 5B, Theorem 8
+
+    def test_sap0_rejects_nonzero_slopes(self, small_data):
+        zeros = [0.0, 0.0]
+        with pytest.raises(InvalidParameterError, match="zero slopes"):
+            SapHistogram([0, 6], [1.0, 2.0], [0.5, 0.0], zeros, zeros, zeros,
+                         small_data.size, order=0)
+
+    def test_order_validated(self, small_data):
+        zeros = [0.0]
+        with pytest.raises(InvalidParameterError, match="order"):
+            SapHistogram([0], [1.0], zeros, zeros, zeros, zeros, small_data.size, order=2)

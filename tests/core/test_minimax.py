@@ -1,0 +1,82 @@
+"""Tests for the minimax histogram and the max-combine DP."""
+
+import numpy as np
+import pytest
+
+from repro.core.minimax import build_minimax, max_point_error, minimax_cost_rows
+from repro.internal.dp import interval_dp
+from tests.helpers import enumerate_lefts_at_most
+
+
+def brute_minimax(data, max_buckets):
+    best = np.inf
+    for lefts in enumerate_lefts_at_most(data.size, max_buckets):
+        rights = [*[left - 1 for left in lefts[1:]], data.size - 1]
+        worst = max(
+            (data[a : b + 1].max() - data[a : b + 1].min()) / 2.0
+            for a, b in zip(lefts, rights)
+        )
+        best = min(best, worst)
+    return best
+
+
+class TestMaxCombineDP:
+    def test_matches_exhaustive(self):
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 40, 10).astype(float)
+        for buckets in (1, 2, 3, 4):
+            lefts, value = interval_dp(
+                10, buckets, lambda a: minimax_cost_rows(data, a), combine="max"
+            )
+            assert value == pytest.approx(brute_minimax(data, buckets))
+
+    def test_bad_combine_rejected(self):
+        with pytest.raises(ValueError, match="combine"):
+            interval_dp(4, 2, lambda a: np.ones(4 - a), combine="median")
+
+
+class TestBuildMinimax:
+    def test_objective_attained_by_returned_histogram(self, medium_data):
+        hist = build_minimax(medium_data, 6)
+        brute = brute_minimax(medium_data, 6) if medium_data.size <= 12 else None
+        # Verify the histogram's realised max error equals the DP value
+        # recomputed from its own buckets.
+        realised = max_point_error(hist, medium_data)
+        per_bucket = max(
+            (medium_data[a : b + 1].max() - medium_data[a : b + 1].min()) / 2.0
+            for a, b in hist.bucket_ranges()
+        )
+        assert realised == pytest.approx(per_bucket)
+
+    def test_optimal_on_small_input(self):
+        data = np.asarray([0, 0, 10, 10, 4, 4, 4, 9], dtype=float)
+        hist = build_minimax(data, 3)
+        assert max_point_error(hist, data) == pytest.approx(brute_minimax(data, 3))
+
+    def test_beats_vopt_on_max_error(self, medium_data):
+        """Different norms favour different histograms: minimax wins its
+        own objective against the SSE-optimised builders."""
+        from repro.core.vopt import build_point_opt
+
+        minimax = build_minimax(medium_data, 6)
+        vopt = build_point_opt(medium_data, 6, weights=np.ones(medium_data.size),
+                               rounding="none")
+        assert max_point_error(minimax, medium_data) <= max_point_error(
+            vopt, medium_data
+        ) + 1e-9
+
+    def test_midrange_values(self):
+        data = np.asarray([2.0, 8.0, 5.0], dtype=float)
+        hist = build_minimax(data, 1)
+        assert hist.values[0] == pytest.approx(5.0)
+
+    def test_flat_data_zero_error(self):
+        data = np.full(7, 3.0)
+        assert max_point_error(build_minimax(data, 2), data) == 0.0
+
+    def test_registry_entry(self, medium_data):
+        from repro.core.builders import build_by_name
+
+        hist = build_by_name("minimax", medium_data, 20)
+        assert hist.name == "MINIMAX"
+        assert hist.storage_words() <= 20

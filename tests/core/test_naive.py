@@ -1,0 +1,35 @@
+"""Tests for the NAIVE baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.naive import build_naive
+from repro.core.sap import build_sap1
+from repro.queries.evaluation import sse
+
+
+class TestNaive:
+    def test_single_bucket(self, small_data):
+        hist = build_naive(small_data)
+        assert hist.bucket_count == 1
+        assert hist.storage_words() == 2
+        assert hist.name == "NAIVE"
+
+    def test_stores_global_average(self, small_data):
+        hist = build_naive(small_data, rounding="none")
+        assert hist.values[0] == pytest.approx(small_data.mean())
+        assert hist.estimate(0, small_data.size - 1) == pytest.approx(small_data.sum())
+
+    def test_point_estimate_is_average(self, small_data):
+        hist = build_naive(small_data, rounding="none")
+        assert hist.estimate(4, 4) == pytest.approx(small_data.mean())
+
+    def test_upper_bounds_real_methods(self, medium_data):
+        """Figure 1 includes NAIVE as the SSE upper bound."""
+        naive_sse = sse(build_naive(medium_data), medium_data)
+        sap1_sse = sse(build_sap1(medium_data, 4), medium_data)
+        assert naive_sse > sap1_sse
+
+    def test_flat_data_is_exact(self):
+        data = np.full(9, 4.0)
+        assert sse(build_naive(data), data) == 0.0

@@ -1,0 +1,139 @@
+"""Tests for OPT-A-ROUNDED (Definition 3 / Theorem 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.opt_a import opt_a_search
+from repro.core.opt_a_rounded import (
+    build_opt_a_rounded,
+    choose_rounding_parameter,
+    round_to_multiples,
+)
+from repro.errors import InvalidParameterError
+from repro.queries.evaluation import sse
+
+
+class TestRoundToMultiples:
+    def test_arbitrary_rounds_to_nearest(self):
+        np.testing.assert_array_equal(
+            round_to_multiples([0, 3, 5, 11], 4), [0, 4, 4, 12]
+        )
+
+    def test_multiples_exact(self):
+        data = np.asarray([8, 16, 0, 24], dtype=float)
+        np.testing.assert_array_equal(round_to_multiples(data, 8), data)
+
+    def test_randomized_within_one_multiple(self):
+        data = np.asarray([7, 13, 2, 29], dtype=float)
+        rounded = round_to_multiples(data, 5, mode="randomized", seed=3)
+        assert np.all(np.abs(rounded - data) < 5)
+        assert np.all(rounded % 5 == 0)
+
+    def test_randomized_unbiased(self):
+        data = np.full(40_000, 2.0)
+        rounded = round_to_multiples(data, 4, mode="randomized", seed=0)
+        assert rounded.mean() == pytest.approx(2.0, abs=0.05)
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(InvalidParameterError, match="mode"):
+            round_to_multiples([1.0], 2, mode="up")
+
+
+class TestChooseRoundingParameter:
+    def test_at_least_one(self, medium_data):
+        assert choose_rounding_parameter(medium_data, 4, epsilon=0.01) >= 1
+
+    def test_larger_epsilon_allows_coarser_rounding(self, medium_data):
+        fine = choose_rounding_parameter(medium_data, 4, epsilon=0.05)
+        coarse = choose_rounding_parameter(medium_data, 4, epsilon=50.0)
+        assert coarse >= fine
+
+    def test_flat_data_returns_one(self):
+        assert choose_rounding_parameter(np.full(8, 6.0), 2, epsilon=0.1) == 1
+
+
+class TestBuildOptARounded:
+    def test_x_equal_one_matches_exact(self, small_data):
+        exact = opt_a_search(small_data, 3)
+        rounded = build_opt_a_rounded(small_data, 3, x=1)
+        assert sse(rounded, small_data) == pytest.approx(exact.objective, abs=1e-6)
+
+    def test_quality_degrades_gracefully(self, medium_data):
+        exact = opt_a_search(medium_data, 5).objective
+        for x in (2, 4, 8):
+            approx_sse = sse(build_opt_a_rounded(medium_data, 5, x=x), medium_data)
+            # Coarse rounding may lose, but not catastrophically.
+            assert approx_sse <= 10.0 * exact + 100.0, x
+
+    def test_rebuild_original_uses_exact_averages(self, medium_data):
+        hist = build_opt_a_rounded(medium_data, 4, x=4, rebuild="original")
+        prefix = np.concatenate(([0.0], np.cumsum(medium_data)))
+        for bucket, (a, b) in enumerate(hist.bucket_ranges()):
+            mean = (prefix[b + 1] - prefix[a]) / (b - a + 1)
+            assert hist.values[bucket] == pytest.approx(mean)
+
+    def test_rebuild_scaled_values_are_multiples_of_x_over_len(self, medium_data):
+        hist = build_opt_a_rounded(medium_data, 4, x=4, rebuild="scaled")
+        # Scaled values are x * (rounded-instance averages).
+        for bucket, (a, b) in enumerate(hist.bucket_ranges()):
+            length = b - a + 1
+            assert (hist.values[bucket] * length / 4) == pytest.approx(
+                round(hist.values[bucket] * length / 4), abs=1e-9
+            )
+
+    def test_epsilon_and_x_mutually_exclusive(self, small_data):
+        with pytest.raises(InvalidParameterError, match="at most one"):
+            build_opt_a_rounded(small_data, 2, x=2, epsilon=0.1)
+
+    def test_bad_rebuild_rejected(self, small_data):
+        with pytest.raises(InvalidParameterError, match="rebuild"):
+            build_opt_a_rounded(small_data, 2, rebuild="other")
+
+    def test_bad_x_rejected(self, small_data):
+        with pytest.raises(InvalidParameterError, match="positive integer"):
+            build_opt_a_rounded(small_data, 2, x=0)
+
+    def test_epsilon_path_runs(self, medium_data):
+        hist = build_opt_a_rounded(medium_data, 4, epsilon=0.5)
+        # With a tight epsilon the chosen x may be 1, in which case the
+        # build is exact OPT-A and labelled accordingly.
+        assert hist.name in ("OPT-A", "OPT-A-ROUNDED")
+        assert hist.bucket_count <= 4
+
+    def test_labels_reflect_exactness(self, small_data):
+        assert build_opt_a_rounded(small_data, 2, x=1).name == "OPT-A"
+        assert build_opt_a_rounded(small_data, 2, x=2).name == "OPT-A-ROUNDED"
+
+    def test_randomized_mode_deterministic_with_seed(self, medium_data):
+        h1 = build_opt_a_rounded(medium_data, 4, x=4, mode="randomized", seed=1)
+        h2 = build_opt_a_rounded(medium_data, 4, x=4, mode="randomized", seed=1)
+        np.testing.assert_array_equal(h1.lefts, h2.lefts)
+        np.testing.assert_array_equal(h1.values, h2.values)
+
+
+class TestBuildOptAAuto:
+    def test_exact_when_it_fits(self, small_data):
+        from repro.core.opt_a import opt_a_search
+        from repro.core.opt_a_rounded import build_opt_a_auto
+
+        exact = opt_a_search(small_data, 3).objective
+        hist = build_opt_a_auto(small_data, 3)
+        assert sse(hist, small_data) == pytest.approx(exact, abs=1e-6)
+
+    def test_falls_back_to_rounding_on_heavy_data(self):
+        """A heavy instance exceeds a tiny state budget at x=1; the auto
+        builder escalates the rounding instead of failing."""
+        from repro.core.opt_a_rounded import build_opt_a_auto
+        from repro.data.distributions import gaussian_mixture_frequencies
+
+        data = gaussian_mixture_frequencies(64, modes=4, scale=800, seed=11)
+        hist = build_opt_a_auto(data, 6, max_states=5_000)
+        assert hist.bucket_count <= 6
+        assert sse(hist, data) >= 0.0
+
+    def test_raises_past_max_x(self, medium_data):
+        from repro.core.opt_a_rounded import build_opt_a_auto
+        from repro.errors import BudgetExceededError
+
+        with pytest.raises(BudgetExceededError):
+            build_opt_a_auto(medium_data, 8, max_states=1, max_x=2)

@@ -1,0 +1,54 @@
+"""Tests for local-search boundary refinement."""
+
+import numpy as np
+import pytest
+
+from repro.core.histogram import AverageHistogram
+from repro.core.opt_a import opt_a_search
+from repro.core.refine import refine_boundaries
+from repro.queries.evaluation import sse
+from repro.queries.workload import random_ranges
+
+
+class TestRefineBoundaries:
+    def test_never_worse_than_start(self, medium_data):
+        start = [0, 10, 20, 30, 40]
+        base = AverageHistogram.from_boundaries(medium_data, start)
+        base_sse = sse(base, medium_data)
+        _, _, refined_sse = refine_boundaries(medium_data, start)
+        assert refined_sse <= base_sse + 1e-9
+
+    def test_improves_bad_boundaries(self, medium_data):
+        """Evenly-spaced boundaries on skewed data leave obvious moves."""
+        start = [0, 16, 32, 48]
+        base = AverageHistogram.from_boundaries(medium_data, start)
+        _, lefts, refined_sse = refine_boundaries(medium_data, start)
+        assert refined_sse < sse(base, medium_data)
+        assert lefts[0] == 0 and (np.diff(lefts) > 0).all()
+
+    def test_cannot_beat_exact_optimum(self, small_data):
+        optimal = opt_a_search(small_data, 3).objective
+        _, _, refined_sse = refine_boundaries(small_data, [0, 4, 8])
+        assert refined_sse >= optimal - 1e-6
+
+    def test_fixed_point_of_optimum(self, small_data):
+        """Starting at the optimum, local search stays there."""
+        result = opt_a_search(small_data, 3)
+        _, _, refined_sse = refine_boundaries(small_data, result.lefts)
+        assert refined_sse == pytest.approx(result.objective, abs=1e-6)
+
+    def test_custom_build_and_workload(self, medium_data):
+        workload = random_ranges(medium_data.size, 200, seed=8)
+
+        def build(data, lefts):
+            return AverageHistogram.from_boundaries(data, lefts, rounding="none")
+
+        estimator, _, refined_sse = refine_boundaries(
+            medium_data, [0, 20, 40], build=build, workload=workload
+        )
+        assert refined_sse == pytest.approx(sse(estimator, medium_data, workload))
+
+    def test_single_bucket_is_noop(self, small_data):
+        estimator, lefts, _ = refine_boundaries(small_data, [0])
+        assert lefts.tolist() == [0]
+        assert estimator.bucket_count == 1

@@ -1,0 +1,90 @@
+"""Tests for Section 5's value re-optimisation."""
+
+import numpy as np
+import pytest
+
+from repro.core.a0 import build_a0
+from repro.core.histogram import AverageHistogram
+from repro.core.naive import build_naive
+from repro.core.reopt import coverage_matrix, reopt_quadratic, reoptimize_values
+from repro.queries.evaluation import sse
+from repro.queries.workload import Workload, all_ranges
+
+
+class TestCoverageMatrix:
+    def test_matches_brute_force(self, small_data):
+        n = small_data.size
+        lefts = [0, 4, 9]
+        rights = [3, 8, 11]
+        workload = all_ranges(n)
+        matrix = coverage_matrix(lefts, n, workload)
+        for q, (low, high) in enumerate(zip(workload.lows, workload.highs)):
+            for p, (a, b) in enumerate(zip(lefts, rights)):
+                expected = len(set(range(low, high + 1)) & set(range(a, b + 1)))
+                assert matrix[q, p] == expected
+
+    def test_rows_sum_to_range_length(self, small_data):
+        n = small_data.size
+        workload = all_ranges(n)
+        matrix = coverage_matrix([0, 5], n, workload)
+        np.testing.assert_array_equal(matrix.sum(axis=1), workload.lengths())
+
+
+class TestReoptQuadratic:
+    def test_quadratic_evaluates_to_sse(self, small_data):
+        """x Q x + g x + c equals the un-rounded SSE of any value vector."""
+        lefts = [0, 4, 9]
+        q, g, c = reopt_quadratic(lefts, small_data)
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            x = rng.normal(size=3) * 10
+            hist = AverageHistogram(lefts, x, small_data.size, rounding="none")
+            direct = sse(hist, small_data)
+            quadratic = float(x @ q @ x + g @ x + c)
+            assert quadratic == pytest.approx(direct, rel=1e-9, abs=1e-6)
+
+    def test_stationary_point_matches_lstsq_solution(self, small_data):
+        lefts = [0, 4, 9]
+        q, g, _ = reopt_quadratic(lefts, small_data)
+        base = AverageHistogram.from_boundaries(small_data, lefts, rounding="none")
+        solved = reoptimize_values(base, small_data)
+        # 2 Q x + g = 0 at the optimum (paper's normal equations).
+        residual = 2.0 * q @ solved.values + g
+        np.testing.assert_allclose(residual, 0.0, atol=1e-6)
+
+
+class TestReoptimizeValues:
+    def test_never_worse_than_averages(self, medium_data):
+        """The averages are one feasible value vector, so the optimum
+        cannot lose (under the un-rounded objective it optimises)."""
+        for buckets in (2, 4, 7):
+            base = build_a0(medium_data, buckets, rounding="none")
+            improved = reoptimize_values(base, medium_data)
+            assert sse(improved, medium_data) <= sse(base, medium_data) + 1e-6
+
+    def test_improves_naive(self, medium_data):
+        base = build_naive(medium_data, rounding="none")
+        improved = reoptimize_values(base, medium_data)
+        assert sse(improved, medium_data) < sse(base, medium_data)
+
+    def test_respects_weighted_workload(self, small_data):
+        """With all weight on one query, reopt answers it exactly."""
+        base = build_naive(small_data, rounding="none")
+        workload = Workload(n=small_data.size, lows=[2], highs=[9], weights=[1.0])
+        improved = reoptimize_values(base, small_data, workload=workload)
+        assert improved.estimate(2, 9) == pytest.approx(small_data[2:10].sum())
+
+    def test_label_and_boundaries_preserved(self, small_data):
+        base = build_a0(small_data, 3)
+        improved = reoptimize_values(base, small_data)
+        assert improved.name == "A0-reopt"
+        np.testing.assert_array_equal(improved.lefts, base.lefts)
+
+    def test_exact_when_buckets_match_plateaus(self):
+        from repro.data.distributions import step_frequencies
+
+        data = step_frequencies(16, steps=2, seed=0)
+        change = int(np.nonzero(np.diff(data))[0][0]) + 1 if np.any(np.diff(data)) else 8
+        base = AverageHistogram.from_boundaries(data, [0, change], rounding="none")
+        improved = reoptimize_values(base, data)
+        assert sse(improved, data) == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,119 @@
+"""Tests for SAP0/SAP1: optimality, the Decomposition Lemma, DP consistency."""
+
+import numpy as np
+import pytest
+
+from repro.core.sap import build_sap0, build_sap1
+from repro.internal.prefix import PrefixAlgebra
+from repro.queries.evaluation import sse
+from tests.helpers import (
+    ReferenceSapHistogram,
+    brute_sse,
+    enumerate_lefts_at_most,
+)
+
+
+def sap_cost_from_lemma(data, lefts, order):
+    """Per-bucket additive cost the Decomposition Lemma promises."""
+    algebra = PrefixAlgebra(data)
+    n = data.size
+    rights = [*[left - 1 for left in lefts[1:]], n - 1]
+    total = 0.0
+    for a, b in zip(lefts, rights):
+        if order == 0:
+            _, var_s = algebra.sap0_suffix(a, b)
+            _, var_p = algebra.sap0_prefix(a, b)
+        else:
+            var_s = algebra.sap1_suffix_ssr(a, b)
+            var_p = algebra.sap1_prefix_ssr(a, b)
+        total += float(algebra.intra_sse(a, b)) + (n - 1 - b) * float(var_s) + a * float(var_p)
+    return total
+
+
+@pytest.mark.parametrize("order,build", [(0, build_sap0), (1, build_sap1)])
+class TestDecompositionLemma:
+    def test_additive_cost_equals_true_sse(self, small_data, order, build):
+        """Lemma 5: with optimal summaries, cross terms vanish, so the
+        bucket-additive DP objective equals the histogram's exact SSE."""
+        for lefts in ([0], [0, 5], [0, 3, 8], [0, 2, 6, 9]):
+            reference = ReferenceSapHistogram(small_data, lefts, order=order)
+            true_sse = brute_sse(reference, small_data)
+            lemma_cost = sap_cost_from_lemma(small_data, lefts, order)
+            assert lemma_cost == pytest.approx(true_sse, rel=1e-9, abs=1e-6), lefts
+
+    def test_builder_sse_matches_lemma_cost(self, small_data, order, build):
+        hist = build(small_data, 3)
+        assert sse(hist, small_data) == pytest.approx(
+            sap_cost_from_lemma(small_data, hist.lefts.tolist(), order), abs=1e-6
+        )
+
+
+class TestSuffixPrefixOptimality:
+    def test_suffix_errors_sum_to_zero(self, small_data):
+        """Lemma 5's key mechanism: optimal summaries centre the errors."""
+        algebra = PrefixAlgebra(small_data)
+        for a, b in [(0, 4), (2, 7), (5, 11)]:
+            suffix_value, _ = algebra.sap0_suffix(a, b)
+            suffix_sums = [small_data[l : b + 1].sum() for l in range(a, b + 1)]
+            assert sum(s - suffix_value for s in suffix_sums) == pytest.approx(0.0, abs=1e-9)
+
+    def test_mean_beats_other_constants(self, small_data):
+        """Part 2 of Lemma 5: the mean minimises the summed square error."""
+        algebra = PrefixAlgebra(small_data)
+        a, b = 2, 9
+        value, var = algebra.sap0_suffix(a, b)
+        suffix_sums = np.asarray([small_data[l : b + 1].sum() for l in range(a, b + 1)])
+        for other in (value - 1.0, value + 0.5, 0.0):
+            assert ((suffix_sums - other) ** 2).sum() >= var - 1e-9
+
+
+@pytest.mark.parametrize("order,build", [(0, build_sap0), (1, build_sap1)])
+class TestGlobalOptimality:
+    def test_optimal_over_all_bucketings(self, order, build):
+        """The DP's histogram is globally SSE-optimal (small n, exhaustive)."""
+        data = np.asarray([4, 0, 9, 9, 1, 6, 2, 2], dtype=float)
+        max_buckets = 3
+        hist = build(data, max_buckets)
+        built_sse = sse(hist, data)
+        best = min(
+            brute_sse(ReferenceSapHistogram(data, lefts, order=order), data)
+            for lefts in enumerate_lefts_at_most(data.size, max_buckets)
+        )
+        assert built_sse == pytest.approx(best, rel=1e-9, abs=1e-6)
+
+    def test_monotone_in_buckets(self, medium_data, order, build):
+        errors = [sse(build(medium_data, k), medium_data) for k in (1, 2, 4, 8)]
+        assert all(e1 >= e2 - 1e-6 for e1, e2 in zip(errors, errors[1:]))
+
+    def test_step_data_behaviour(self, order, build):
+        """SAP1's linear fits represent constant plateaus exactly (zero
+        error once buckets align with steps); SAP0's *constant* suffix
+        summaries cannot track suffix sums that grow linearly in the
+        piece length, so it keeps nonzero error even on step data — the
+        very insensitivity Section 4 blames for SAP0's poor showing."""
+        from repro.data.distributions import step_frequencies
+
+        data = step_frequencies(24, steps=3, seed=2)
+        hist = build(data, 6)
+        if order == 1:
+            assert sse(hist, data) == pytest.approx(0.0, abs=1e-6)
+        else:
+            assert sse(hist, data) > 0.0
+
+
+class TestSapRelationships:
+    def test_sap1_never_worse_than_sap0_summaries_on_same_boundaries(self, medium_data):
+        """Linear fits generalise constants, so per-boundary SAP1 <= SAP0."""
+        hist0 = build_sap0(medium_data, 5)
+        lemma0 = sap_cost_from_lemma(medium_data, hist0.lefts.tolist(), 0)
+        lemma1 = sap_cost_from_lemma(medium_data, hist0.lefts.tolist(), 1)
+        assert lemma1 <= lemma0 + 1e-9
+
+    def test_single_bucket_sap0(self, small_data):
+        hist = build_sap0(small_data, 1)
+        assert hist.bucket_count == 1
+        assert hist.storage_words() == 3
+
+    def test_labels(self, small_data):
+        assert build_sap0(small_data, 2).name == "SAP0"
+        assert build_sap1(small_data, 2).name == "SAP1"

@@ -1,0 +1,142 @@
+"""Tests for higher-order SAP histograms (degree >= 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.sap import build_sap1
+from repro.core.sap_poly import (
+    PolySapHistogram,
+    _PolyMoments,
+    _ssr_rows,
+    build_sap_poly,
+)
+from repro.errors import InvalidParameterError
+from repro.queries.evaluation import sse
+from tests.helpers import enumerate_lefts_at_most
+
+
+def reference_ssr(xs, ys, degree):
+    """Residual sum of squares of a centred polyfit."""
+    if xs.size <= degree:
+        return 0.0
+    centre = (xs.size + 1) / 2.0
+    x = xs - centre
+    coefficients = np.polyfit(x, ys, degree)
+    residuals = ys - np.polyval(coefficients, x)
+    return float((residuals**2).sum())
+
+
+@pytest.mark.parametrize("degree", [2, 3])
+class TestResidualClosedForms:
+    def test_match_polyfit(self, degree):
+        rng = np.random.default_rng(1)
+        data = rng.integers(0, 40, 16).astype(float)
+        moments = _PolyMoments(data, degree)
+        for a in range(0, 16, 3):
+            ssr_suffix, _ = _ssr_rows(moments, a, "suffix")
+            ssr_prefix, _ = _ssr_rows(moments, a, "prefix")
+            for offset, b in enumerate(range(a, 16)):
+                L = b - a + 1
+                suffix_sums = np.asarray([data[l : b + 1].sum() for l in range(a, b + 1)])
+                prefix_sums = np.asarray([data[a : r + 1].sum() for r in range(a, b + 1)])
+                suffix_lens = np.arange(L, 0, -1, dtype=float)
+                prefix_lens = np.arange(1, L + 1, dtype=float)
+                assert ssr_suffix[offset] == pytest.approx(
+                    reference_ssr(suffix_lens, suffix_sums, degree), rel=1e-6, abs=1e-3
+                ), (a, b)
+                assert ssr_prefix[offset] == pytest.approx(
+                    reference_ssr(prefix_lens, prefix_sums, degree), rel=1e-6, abs=1e-3
+                ), (a, b)
+
+
+class TestBuildSapPoly:
+    def test_degree_ladder_never_worse(self, medium_data):
+        """Richer summaries can only help at equal bucket counts."""
+        buckets = 5
+        ladder = [
+            sse(build_sap1(medium_data, buckets), medium_data),
+            sse(build_sap_poly(medium_data, buckets, degree=2), medium_data),
+            sse(build_sap_poly(medium_data, buckets, degree=3), medium_data),
+        ]
+        assert ladder[0] >= ladder[1] - 1e-6 >= ladder[2] - 2e-6
+
+    def test_optimal_over_all_bucketings(self):
+        """Small-n exhaustive check: the DP finds the global optimum of
+        its own representation class."""
+        data = np.asarray([4, 0, 9, 9, 1, 6, 2, 2, 7], dtype=float)
+        hist = build_sap_poly(data, 3, degree=2)
+        built = sse(hist, data)
+        moments = _PolyMoments(data, 2)
+        best = np.inf
+        for lefts in enumerate_lefts_at_most(data.size, 3):
+            rights = [*[left - 1 for left in lefts[1:]], data.size - 1]
+            total = 0.0
+            for a, b in zip(lefts, rights):
+                bs = np.arange(a, data.size)
+                ssr_s, _ = _ssr_rows(moments, a, "suffix")
+                ssr_p, _ = _ssr_rows(moments, a, "prefix")
+                offset = b - a
+                total += (
+                    float(moments.algebra.intra_sse(a, b))
+                    + (data.size - 1 - b) * float(ssr_s[offset])
+                    + a * float(ssr_p[offset])
+                )
+            best = min(best, total)
+        assert built == pytest.approx(best, rel=1e-6, abs=1e-4)
+
+    def test_objective_equals_true_sse(self, medium_data):
+        """Decomposition Lemma at higher degree: the additive objective
+        recomputed from the final buckets equals the evaluated SSE."""
+        hist = build_sap_poly(medium_data, 4, degree=2)
+        moments = _PolyMoments(medium_data, 2)
+        n = medium_data.size
+        total = 0.0
+        for a, b in hist.bucket_ranges():
+            ssr_s, _ = _ssr_rows(moments, a, "suffix")
+            ssr_p, _ = _ssr_rows(moments, a, "prefix")
+            offset = b - a
+            total += (
+                float(moments.algebra.intra_sse(a, b))
+                + (n - 1 - b) * float(ssr_s[offset])
+                + a * float(ssr_p[offset])
+            )
+        assert sse(hist, medium_data) == pytest.approx(total, rel=1e-6, abs=1e-3)
+
+    def test_storage_words(self, medium_data):
+        assert build_sap_poly(medium_data, 4, degree=2).storage_words() == 28
+        assert build_sap_poly(medium_data, 4, degree=3).storage_words() == 36
+
+    def test_names(self, medium_data):
+        assert build_sap_poly(medium_data, 3, degree=2).name == "SAP2"
+        assert build_sap_poly(medium_data, 3, degree=3).name == "SAP3"
+
+    def test_degree_validated(self, medium_data):
+        with pytest.raises(InvalidParameterError, match="degree"):
+            build_sap_poly(medium_data, 3, degree=1)
+        with pytest.raises(InvalidParameterError, match="degree"):
+            build_sap_poly(medium_data, 3, degree=9)
+
+    def test_coefficient_shape_validated(self, medium_data):
+        with pytest.raises(InvalidParameterError, match="shape"):
+            PolySapHistogram([0], [1.0], [[1.0]], [[1.0, 2.0, 3.0]],
+                             medium_data.size, degree=2)
+
+    def test_registry(self, medium_data):
+        from repro.core.builders import build_by_name
+
+        hist = build_by_name("sap2", medium_data, 35)
+        assert hist.name == "SAP2" and hist.storage_words() <= 35
+        hist = build_by_name("sap3", medium_data, 36)
+        assert hist.name == "SAP3" and hist.storage_words() <= 36
+
+    def test_serialization_round_trip(self, medium_data):
+        from repro.engine.storage import deserialize_estimator, serialize_estimator
+
+        original = build_sap_poly(medium_data, 4, degree=3)
+        restored = deserialize_estimator(serialize_estimator(original))
+        lows, highs = np.triu_indices(medium_data.size)
+        np.testing.assert_allclose(
+            restored.estimate_many(lows, highs),
+            original.estimate_many(lows, highs),
+        )
+        assert restored.storage_words() == original.storage_words()

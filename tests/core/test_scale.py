@@ -1,0 +1,116 @@
+"""Tests for large-domain restricted-boundary construction."""
+
+import numpy as np
+import pytest
+
+from repro.core.sap import build_sap1
+from repro.core.scale import (
+    SCALABLE_METHODS,
+    _cost_row_factory,
+    build_scaled,
+    default_candidates,
+    restricted_interval_dp,
+)
+from repro.data.distributions import zipf_frequencies
+from repro.errors import InvalidParameterError
+from repro.internal.dp import interval_dp
+from repro.queries.evaluation import sse
+from repro.queries.workload import random_ranges
+
+
+class TestRestrictedDP:
+    def test_full_candidate_set_equals_exact_dp(self):
+        data = zipf_frequencies(48, alpha=1.6, scale=400, seed=11)
+        cost_row = _cost_row_factory("sap1", data)
+        restricted_lefts, restricted_value = restricted_interval_dp(
+            48, 5, cost_row, np.arange(48)
+        )
+        exact_lefts, exact_value = interval_dp(48, 5, cost_row)
+        assert restricted_value == pytest.approx(exact_value)
+        np.testing.assert_array_equal(restricted_lefts, exact_lefts)
+
+    def test_subset_never_beats_exact(self):
+        data = zipf_frequencies(48, alpha=1.6, scale=400, seed=3)
+        cost_row = _cost_row_factory("a0", data)
+        _, exact_value = interval_dp(48, 4, cost_row)
+        _, restricted_value = restricted_interval_dp(
+            48, 4, cost_row, np.arange(0, 48, 4)
+        )
+        assert restricted_value >= exact_value - 1e-9
+
+    def test_candidates_validated(self):
+        data = zipf_frequencies(16, seed=0)
+        cost_row = _cost_row_factory("a0", data)
+        with pytest.raises(InvalidParameterError, match="candidates"):
+            restricted_interval_dp(16, 2, cost_row, np.asarray([1, 5]))
+        with pytest.raises(InvalidParameterError, match="candidates"):
+            restricted_interval_dp(16, 2, cost_row, np.asarray([0, 16]))
+
+
+class TestDefaultCandidates:
+    def test_small_domain_full_resolution(self):
+        data = zipf_frequencies(100, seed=1)
+        np.testing.assert_array_equal(default_candidates(data, 8), np.arange(100))
+
+    def test_includes_spike_neighbourhoods(self):
+        data = np.ones(4000)
+        data[2357] = 5000.0
+        candidates = default_candidates(data, 8, target=256)
+        assert 2357 in candidates and 2358 in candidates
+
+    def test_size_near_target(self):
+        data = zipf_frequencies(8000, alpha=1.3, scale=9999, seed=2, permute=True)
+        candidates = default_candidates(data, 16, target=256)
+        assert 256 <= candidates.size <= 256 + 4 * 16 * 4 + 8
+        assert candidates[0] == 0 and candidates[-1] < 8000
+
+
+class TestBuildScaled:
+    @pytest.fixture(scope="class")
+    def big_data(self):
+        return zipf_frequencies(2048, alpha=1.6, scale=10_000, seed=4)
+
+    def test_matches_direct_quality_on_smooth_data(self, big_data):
+        """The adaptive candidates recover (nearly) the exact optimum."""
+        workload = random_ranges(big_data.size, 3000, seed=5)
+        scaled = build_scaled(big_data, 16, method="sap1", seed=5)
+        direct = build_sap1(big_data, 16)
+        assert sse(scaled, big_data, workload) <= 1.5 * sse(direct, big_data, workload)
+
+    def test_sap_methods_return_sap_representation(self, big_data):
+        from repro.core.histogram import SapHistogram
+
+        scaled = build_scaled(big_data, 10, method="sap1", refine=False)
+        assert isinstance(scaled, SapHistogram)
+        assert scaled.name == "SAP1-SCALED"
+
+    def test_average_methods_return_average_representation(self, big_data):
+        from repro.core.histogram import AverageHistogram
+
+        scaled = build_scaled(big_data, 10, method="a0", refine=False)
+        assert isinstance(scaled, AverageHistogram)
+        assert scaled.name == "A0-SCALED"
+
+    @pytest.mark.parametrize("method", SCALABLE_METHODS)
+    def test_every_scalable_method_builds(self, big_data, method):
+        scaled = build_scaled(big_data, 8, method=method, refine=False)
+        assert scaled.bucket_count <= 8
+        assert np.isfinite(scaled.estimate(10, 1500))
+
+    def test_refine_never_hurts_on_its_workload(self, big_data):
+        workload_seed = 9
+        refined = build_scaled(big_data, 12, method="a0", seed=workload_seed)
+        rough = build_scaled(big_data, 12, method="a0", refine=False)
+        workload = random_ranges(big_data.size, 4000, seed=workload_seed)
+        assert sse(refined, big_data, workload) <= sse(rough, big_data, workload) + 1e-6
+
+    def test_unsupported_method_rejected(self, big_data):
+        with pytest.raises(InvalidParameterError, match="not scalable"):
+            build_scaled(big_data, 8, method="wavelet-point")
+
+    def test_explicit_candidates(self, big_data):
+        candidates = np.arange(0, big_data.size, 16)
+        scaled = build_scaled(
+            big_data, 8, method="a0", candidates=candidates, refine=False
+        )
+        assert set(scaled.lefts.tolist()) <= set(candidates.tolist())

@@ -1,0 +1,89 @@
+"""Tests for the POINT-OPT (V-optimal) histogram."""
+
+import numpy as np
+import pytest
+
+from repro.core.vopt import build_point_opt, range_participation_weights
+from repro.internal.prefix import WeightedPointCost
+from repro.queries.evaluation import sse
+from repro.queries.workload import point_queries
+from tests.helpers import enumerate_lefts_at_most
+
+
+def weighted_point_sse(data, lefts, weights):
+    """Brute-force weighted point SSE with weighted bucket means."""
+    n = data.size
+    rights = [*[left - 1 for left in lefts[1:]], n - 1]
+    total = 0.0
+    for a, b in zip(lefts, rights):
+        w = weights[a : b + 1]
+        v = data[a : b + 1]
+        mu = (w * v).sum() / w.sum() if w.sum() > 0 else v.mean()
+        total += (w * (v - mu) ** 2).sum()
+    return total
+
+
+class TestRangeParticipationWeights:
+    def test_normalised(self):
+        assert range_participation_weights(10).sum() == pytest.approx(1.0)
+
+    def test_symmetric_and_peaked_in_middle(self):
+        w = range_participation_weights(9)
+        np.testing.assert_allclose(w, w[::-1])
+        assert w.argmax() == 4
+
+    def test_matches_counting_argument(self):
+        # P(i covered) = (i+1)(n-i) / (n(n+1)/2) for uniform ranges.
+        n = 7
+        w = range_participation_weights(n)
+        counts = np.asarray(
+            [sum(1 for a in range(n) for b in range(a, n) if a <= i <= b) for i in range(n)],
+            dtype=float,
+        )
+        np.testing.assert_allclose(w, counts / counts.sum())
+
+
+class TestPointOpt:
+    def test_optimal_for_weighted_point_objective(self):
+        data = np.asarray([3, 3, 10, 10, 0, 5, 5, 5], dtype=float)
+        weights = range_participation_weights(data.size)
+        hist = build_point_opt(data, 3)
+        built = weighted_point_sse(data, hist.lefts.tolist(), weights)
+        best = min(
+            weighted_point_sse(data, lefts, weights)
+            for lefts in enumerate_lefts_at_most(data.size, 3)
+        )
+        assert built == pytest.approx(best, abs=1e-9)
+
+    def test_unweighted_equals_classic_vopt(self):
+        data = np.asarray([1, 1, 1, 8, 8, 2, 2, 9], dtype=float)
+        ones = np.ones(data.size)
+        hist = build_point_opt(data, 3, weights=ones, rounding="none")
+        built = weighted_point_sse(data, hist.lefts.tolist(), ones)
+        best = min(
+            weighted_point_sse(data, lefts, ones)
+            for lefts in enumerate_lefts_at_most(data.size, 3)
+        )
+        assert built == pytest.approx(best, abs=1e-9)
+
+    def test_point_query_sse_matches_bucket_cost(self):
+        data = np.asarray([1, 1, 1, 8, 8, 2, 2, 9], dtype=float)
+        ones = np.ones(data.size)
+        hist = build_point_opt(data, 3, weights=ones, rounding="none")
+        # Point-query SSE through the estimator == the DP's objective.
+        point_sse = sse(hist, data, point_queries(data.size))
+        assert point_sse == pytest.approx(
+            weighted_point_sse(data, hist.lefts.tolist(), ones), abs=1e-9
+        )
+
+    def test_stores_weighted_means(self):
+        data = np.asarray([0, 10, 0, 10], dtype=float)
+        weights = np.asarray([1.0, 3.0, 1.0, 3.0])
+        hist = build_point_opt(data, 1, weights=weights)
+        costs = WeightedPointCost(data, weights)
+        assert hist.values[0] == pytest.approx(costs.bucket_value(0, 3))
+
+    def test_label_and_storage(self, small_data):
+        hist = build_point_opt(small_data, 4)
+        assert hist.name == "POINT-OPT"
+        assert hist.storage_words() == 2 * hist.bucket_count

@@ -1,0 +1,152 @@
+"""Tests for workload-aware histogram construction.
+
+The load-bearing checks reduce the general machinery to the three
+special cases with independent implementations:
+
+* unit weights over all ranges  == A0's objective;
+* point workloads               == weighted V-optimal (exact);
+* prefix workloads              == prefix-opt (exact);
+
+plus a brute-force validation of the weighted bucket cost itself.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.a0 import a0_objective_rows, build_a0
+from repro.core.classic import build_prefix_opt
+from repro.core.vopt import build_point_opt
+from repro.core.workload_aware import WorkloadCosts, build_workload_aware
+from repro.errors import InvalidParameterError
+from repro.internal.prefix import PrefixAlgebra
+from repro.queries.evaluation import sse
+from repro.queries.workload import (
+    Workload,
+    all_ranges,
+    point_queries,
+    prefix_ranges,
+    random_ranges,
+)
+
+
+def brute_cost(data, workload, a, b):
+    """The module's documented bucket cost, by direct enumeration."""
+    data = np.asarray(data, dtype=float)
+    mean = data[a : b + 1].mean()
+    total = 0.0
+    for (low, high), weight in zip(workload, workload.weights):
+        if low >= a and high <= b:  # intra
+            err = data[low : high + 1].sum() - (high - low + 1) * mean
+            total += weight * err * err
+        elif a <= low <= b < high:  # left endpoint here, crosses right
+            err = data[low : b + 1].sum() - (b - low + 1) * mean
+            total += weight * err * err
+        elif low < a <= high <= b:  # right endpoint here, crosses left
+            err = data[a : high + 1].sum() - (high - a + 1) * mean
+            total += weight * err * err
+    return total
+
+
+class TestWorkloadCosts:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_cost_rows_match_brute_force(self, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 25, 10).astype(float)
+        workload = random_ranges(10, 40, seed=seed)
+        # Attach non-trivial weights.
+        workload = Workload(
+            n=10,
+            lows=workload.lows,
+            highs=workload.highs,
+            weights=rng.random(40) + 0.1,
+        )
+        costs = WorkloadCosts(data, workload)
+        for a in range(10):
+            row = costs.cost_row(a)
+            for offset, b in enumerate(range(a, 10)):
+                assert row[offset] == pytest.approx(
+                    brute_cost(data, workload, a, b), rel=1e-9, abs=1e-7
+                ), (a, b)
+
+    def test_all_ranges_reduces_to_a0(self, small_data):
+        algebra = PrefixAlgebra(small_data)
+        costs = WorkloadCosts(small_data, all_ranges(small_data.size))
+        for a in range(small_data.size):
+            np.testing.assert_allclose(
+                costs.cost_row(a), a0_objective_rows(algebra, a), rtol=1e-9, atol=1e-7
+            )
+
+    def test_domain_mismatch_rejected(self, small_data):
+        with pytest.raises(InvalidParameterError, match="does not match"):
+            WorkloadCosts(small_data, all_ranges(small_data.size + 1))
+
+    def test_domain_guard(self):
+        from repro.core.workload_aware import MAX_DOMAIN
+
+        big = np.ones(MAX_DOMAIN + 1)
+        with pytest.raises(InvalidParameterError, match="domains up to"):
+            WorkloadCosts(big, point_queries(MAX_DOMAIN + 1))
+
+
+class TestBuildWorkloadAware:
+    def test_point_workload_close_to_vopt(self, medium_data):
+        """Every query intra-bucket => no cross terms => the DP is exact
+        for its answering procedure.  V-opt stores *weighted* bucket
+        means (optimal for the weighted point objective) where equation
+        (1) fixes plain averages, so V-opt lower-bounds us but only by
+        the mean-vs-weighted-mean slack."""
+        weights = np.random.default_rng(3).random(medium_data.size) + 0.1
+        workload = point_queries(medium_data.size, weights=weights)
+        ours = build_workload_aware(medium_data, 5, workload)
+        vopt = build_point_opt(medium_data, 5, weights=weights, rounding="none")
+        ours_sse = sse(ours, medium_data, workload)
+        vopt_sse = sse(vopt, medium_data, workload)
+        assert vopt_sse <= ours_sse + 1e-6
+        assert ours_sse <= 1.05 * vopt_sse
+
+    def test_unweighted_point_workload_matches_vopt_exactly(self, medium_data):
+        """With unit weights the weighted mean IS the plain average, so
+        the two constructions coincide."""
+        workload = point_queries(medium_data.size)
+        ours = build_workload_aware(medium_data, 5, workload)
+        vopt = build_point_opt(
+            medium_data, 5, weights=np.ones(medium_data.size), rounding="none"
+        )
+        assert sse(ours, medium_data, workload) == pytest.approx(
+            sse(vopt, medium_data, workload), rel=1e-9, abs=1e-7
+        )
+
+    def test_prefix_workload_matches_prefix_opt(self, medium_data):
+        workload = prefix_ranges(medium_data.size)
+        ours = build_workload_aware(medium_data, 6, workload)
+        specialised = build_prefix_opt(medium_data, 6)
+        assert sse(ours, medium_data, workload) == pytest.approx(
+            sse(specialised, medium_data, workload), rel=1e-9, abs=1e-6
+        )
+
+    def test_all_ranges_matches_a0_boundaries_quality(self, medium_data):
+        workload = all_ranges(medium_data.size)
+        ours = build_workload_aware(medium_data, 5, workload)
+        a0 = build_a0(medium_data, 5, rounding="none")
+        assert sse(ours, medium_data) == pytest.approx(sse(a0, medium_data), rel=1e-9)
+
+    def test_adapts_to_hot_region(self):
+        """A workload hammering one region should place boundaries
+        there, beating the uniform-workload construction on it."""
+        rng = np.random.default_rng(9)
+        data = rng.integers(0, 50, 64).astype(float)
+        lows = rng.integers(40, 56, 300)
+        highs = lows + rng.integers(0, 8, 300)
+        workload = Workload(n=64, lows=lows, highs=np.minimum(highs, 63))
+        ours = build_workload_aware(data, 4, workload)
+        generic = build_a0(data, 4, rounding="none")
+        assert sse(ours, data, workload) <= sse(generic, data, workload) + 1e-6
+
+    def test_label(self, small_data):
+        hist = build_workload_aware(small_data, 3, all_ranges(small_data.size))
+        assert hist.name == "WORKLOAD-A0"
+
+
+def test_missing_workload_rejected(small_data):
+    with pytest.raises(InvalidParameterError, match="query log"):
+        build_workload_aware(small_data, 3)

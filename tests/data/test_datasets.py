@@ -1,0 +1,28 @@
+"""Tests for the named paper dataset."""
+
+import numpy as np
+
+from repro.data.datasets import PAPER_ALPHA, PAPER_DOMAIN, paper_dataset
+
+
+class TestPaperDataset:
+    def test_has_127_keys(self):
+        assert paper_dataset().shape == (PAPER_DOMAIN,) == (127,)
+
+    def test_deterministic_by_default(self):
+        np.testing.assert_array_equal(paper_dataset(), paper_dataset())
+
+    def test_different_seed_differs(self):
+        assert not np.array_equal(paper_dataset(), paper_dataset(seed=1))
+
+    def test_zipf_shape(self):
+        data = paper_dataset()
+        # Rank-1 frequency dwarfs the tail for alpha = 1.8.
+        assert PAPER_ALPHA == 1.8
+        assert data[0] == data.max()
+        assert data[0] > 10 * np.median(data)
+
+    def test_integral_counts(self):
+        data = paper_dataset()
+        np.testing.assert_array_equal(data, np.round(data))
+        assert (data >= 0).all()

@@ -1,0 +1,127 @@
+"""Tests for the synthetic data generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.distributions import (
+    gaussian_mixture_frequencies,
+    random_rounding,
+    step_frequencies,
+    uniform_frequencies,
+    zipf_frequencies,
+)
+from repro.errors import InvalidParameterError
+
+
+class TestRandomRounding:
+    def test_output_is_integral(self):
+        values = np.asarray([0.2, 1.7, 3.0, 9.49])
+        rounded = random_rounding(values, seed=0)
+        np.testing.assert_array_equal(rounded, np.round(rounded))
+
+    def test_within_one_of_input(self):
+        values = np.linspace(0, 10, 50)
+        rounded = random_rounding(values, seed=1)
+        assert np.all(np.abs(rounded - values) < 1.0 + 1e-12)
+
+    def test_integers_unchanged(self):
+        values = np.asarray([0.0, 3.0, 7.0])
+        np.testing.assert_array_equal(random_rounding(values, seed=2), values)
+
+    def test_never_negative(self):
+        rounded = random_rounding(np.asarray([0.4, 0.1]), seed=3)
+        assert (rounded >= 0).all()
+
+    def test_roughly_unbiased(self):
+        values = np.full(20_000, 2.5)
+        rounded = random_rounding(values, seed=4)
+        assert rounded.mean() == pytest.approx(2.5, abs=0.02)
+
+
+class TestZipf:
+    def test_shape_and_integrality(self):
+        data = zipf_frequencies(127, alpha=1.8, seed=0)
+        assert data.shape == (127,)
+        np.testing.assert_array_equal(data, np.round(data))
+        assert (data >= 0).all()
+
+    def test_head_dominates_tail(self):
+        data = zipf_frequencies(100, alpha=1.8, scale=1000, seed=0)
+        assert data[0] > data[50:].sum()
+
+    def test_reproducible(self):
+        a = zipf_frequencies(50, seed=11)
+        b = zipf_frequencies(50, seed=11)
+        np.testing.assert_array_equal(a, b)
+
+    def test_permute_shuffles_but_preserves_multiset(self):
+        sorted_version = zipf_frequencies(60, seed=5, permute=False)
+        permuted = zipf_frequencies(60, seed=5, permute=True)
+        assert not np.array_equal(sorted_version, permuted)
+        # Rounding draws differ after the shuffle, so compare only coarsely.
+        assert permuted.sum() == pytest.approx(sorted_version.sum(), rel=0.05)
+
+    def test_parameter_validation(self):
+        with pytest.raises(InvalidParameterError):
+            zipf_frequencies(0)
+        with pytest.raises(InvalidParameterError):
+            zipf_frequencies(10, alpha=0.0)
+        with pytest.raises(InvalidParameterError):
+            zipf_frequencies(10, scale=-1.0)
+
+
+class TestUniform:
+    def test_bounds_respected(self):
+        data = uniform_frequencies(500, low=3, high=9, seed=0)
+        assert data.min() >= 3 and data.max() <= 9
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            uniform_frequencies(10, low=5, high=4)
+        with pytest.raises(InvalidParameterError):
+            uniform_frequencies(10, low=-1, high=4)
+
+
+class TestGaussianMixture:
+    def test_integral_and_non_negative(self):
+        data = gaussian_mixture_frequencies(80, modes=3, seed=0)
+        np.testing.assert_array_equal(data, np.round(data))
+        assert (data >= 0).all()
+
+    def test_has_mass(self):
+        assert gaussian_mixture_frequencies(80, seed=1).sum() > 0
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            gaussian_mixture_frequencies(10, modes=0)
+
+
+class TestStep:
+    def test_exactly_steps_plateaus(self):
+        data = step_frequencies(40, steps=4, seed=3)
+        changes = int((np.diff(data) != 0).sum())
+        assert changes <= 3  # adjacent plateaus may share a level
+
+    def test_step_data_is_piecewise_constant(self):
+        data = step_frequencies(30, steps=3, seed=1)
+        # Number of distinct values is at most the number of plateaus.
+        assert np.unique(data).size <= 3
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            step_frequencies(10, steps=11)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=300),
+    alpha=st.floats(min_value=0.5, max_value=3.0),
+    seed=st.integers(min_value=0, max_value=999),
+)
+def test_property_zipf_always_valid_frequency_vector(n, alpha, seed):
+    data = zipf_frequencies(n, alpha=alpha, seed=seed)
+    assert data.shape == (n,)
+    assert (data >= 0).all()
+    np.testing.assert_array_equal(data, np.round(data))

@@ -1,0 +1,81 @@
+"""Tests for the synopsis advisor."""
+
+import numpy as np
+import pytest
+
+from repro.data.distributions import zipf_frequencies
+from repro.engine.advisor import AdvisorChoice, best_method, recommend
+from repro.errors import ReproError
+from repro.queries.workload import point_queries
+
+
+@pytest.fixture(scope="module")
+def data():
+    return zipf_frequencies(64, alpha=1.8, scale=500, seed=5)
+
+
+class TestRecommend:
+    def test_returns_ranked_choices(self, data):
+        ranked = recommend(data, 30)
+        assert all(isinstance(choice, AdvisorChoice) for choice in ranked)
+        scores = [choice.sse for choice in ranked]
+        assert scores == sorted(scores)
+
+    def test_all_candidates_present(self, data):
+        from repro.engine.advisor import DEFAULT_CANDIDATES
+
+        ranked = recommend(data, 30)
+        assert {choice.method for choice in ranked} == set(DEFAULT_CANDIDATES)
+
+    def test_budget_respected_by_winner(self, data):
+        winner = recommend(data, 24)[0]
+        assert winner.storage_words <= 24
+
+    def test_failed_candidates_sort_last(self, data):
+        ranked = recommend(data, 4, candidates=("a0", "sap1"))
+        # SAP1 needs 5 words per bucket; with 4 it fails but is reported.
+        failed = [choice for choice in ranked if choice.error is not None]
+        assert failed and failed[-1] is ranked[-1]
+        assert ranked[0].method == "a0"
+
+    def test_workload_changes_ranking_inputs(self, data):
+        """A point-query workload should favour the point-optimised
+        builder over the range-optimised ones."""
+        ranked = recommend(
+            data,
+            30,
+            workload=point_queries(data.size),
+            candidates=("point-opt", "sap0"),
+        )
+        assert ranked[0].method == "point-opt"
+
+    def test_custom_candidates(self, data):
+        ranked = recommend(data, 30, candidates=("naive",))
+        assert len(ranked) == 1 and ranked[0].method == "naive"
+
+
+class TestBestMethod:
+    def test_returns_a_name(self, data):
+        assert best_method(data, 30) in set(
+            __import__("repro.engine.advisor", fromlist=["DEFAULT_CANDIDATES"]).DEFAULT_CANDIDATES
+        )
+
+    def test_raises_when_all_fail(self, data):
+        with pytest.raises(ReproError, match="failed"):
+            best_method(data, 2, candidates=("sap1",))
+
+
+class TestEngineAuto:
+    def test_auto_method_builds_winner(self):
+        from repro.engine import ApproximateQueryEngine, Table
+
+        rng = np.random.default_rng(9)
+        engine = ApproximateQueryEngine()
+        engine.register_table(Table("t", {"v": rng.integers(1, 50, 3000)}))
+        engine.build_synopsis("t", "v", method="auto", budget_words=40)
+        catalog = engine.synopsis_catalog()
+        assert catalog[0]["method"] != "auto"
+        assert catalog[0]["method"] in {
+            "a0", "a0-reopt", "opt-a-auto", "sap0", "sap1", "point-opt",
+            "wavelet-point", "equi-depth",
+        }

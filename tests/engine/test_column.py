@@ -1,0 +1,101 @@
+"""Tests for attribute-value distribution extraction."""
+
+import numpy as np
+import pytest
+
+from repro.engine.column import ColumnStatistics
+from repro.errors import InvalidDataError
+
+
+class TestFromValues:
+    def test_basic_counts(self):
+        stats = ColumnStatistics.from_values([3, 5, 3, 3, 7])
+        assert stats.lo == 3 and stats.hi == 7
+        np.testing.assert_array_equal(stats.count_frequencies, [3, 0, 1, 0, 1])
+        assert stats.row_count == 5
+
+    def test_sum_frequencies(self):
+        stats = ColumnStatistics.from_values([3, 5, 3])
+        np.testing.assert_array_equal(stats.sum_frequencies, [6, 0, 5])
+        assert stats.sum_frequencies.sum() == pytest.approx(11)
+
+    def test_negative_domain_supported(self):
+        stats = ColumnStatistics.from_values([-2, 0, -2, 1])
+        assert stats.lo == -2 and stats.hi == 1
+        np.testing.assert_array_equal(stats.count_frequencies, [2, 0, 1, 1])
+        np.testing.assert_array_equal(stats.sum_frequencies, [-4, 0, 0, 1])
+
+    def test_float_integers_accepted(self):
+        stats = ColumnStatistics.from_values(np.asarray([1.0, 2.0, 2.0]))
+        np.testing.assert_array_equal(stats.count_frequencies, [1, 2])
+
+    def test_true_floats_get_rank_layout(self):
+        stats = ColumnStatistics.from_values([1.5, 2.0, 1.5])
+        assert stats.layout == "rank"
+        np.testing.assert_array_equal(stats.values_axis, [1.5, 2.0])
+        np.testing.assert_array_equal(stats.count_frequencies, [2, 1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidDataError, match="non-empty"):
+            ColumnStatistics.from_values([])
+
+    def test_domain_size(self):
+        stats = ColumnStatistics.from_values([10, 20])
+        assert stats.domain_size == 11
+
+
+class TestClipRange:
+    def setup_method(self):
+        self.stats = ColumnStatistics.from_values([5, 6, 7, 8, 9, 9])
+
+    def test_inside(self):
+        assert self.stats.clip_range(6, 8) == (1, 3)
+
+    def test_clips_to_domain(self):
+        assert self.stats.clip_range(0, 100) == (0, 4)
+
+    def test_open_endpoints(self):
+        assert self.stats.clip_range(None, 7) == (0, 2)
+        assert self.stats.clip_range(7, None) == (2, 4)
+        assert self.stats.clip_range(None, None) == (0, 4)
+
+    def test_empty_intersection(self):
+        assert self.stats.clip_range(100, 200) is None
+        assert self.stats.clip_range(0, 4) is None
+
+    def test_fractional_bounds_tighten_inward(self):
+        # x BETWEEN 5.5 AND 7.5 covers integer values 6 and 7.
+        assert self.stats.clip_range(5.5, 7.5) == (1, 2)
+
+
+class TestRankLayout:
+    def test_wide_integer_domain_uses_ranks(self):
+        stats = ColumnStatistics.from_values([0, 10_000_000, 10_000_000, 5])
+        assert stats.layout == "rank"
+        assert stats.domain_size == 3
+        np.testing.assert_array_equal(stats.values_axis, [0, 5, 10_000_000])
+        np.testing.assert_array_equal(stats.count_frequencies, [1, 1, 2])
+
+    def test_sum_frequencies_weighted_by_value(self):
+        stats = ColumnStatistics.from_values([0, 10_000_000, 10_000_000, 5])
+        np.testing.assert_array_equal(stats.sum_frequencies, [0, 5, 20_000_000])
+
+    def test_clip_range_maps_to_ranks(self):
+        stats = ColumnStatistics.from_values([10, 500, 90_000_000, 500])
+        assert stats.layout == "rank"
+        assert stats.clip_range(100, 1_000_000) == (1, 1)   # just the 500s
+        assert stats.clip_range(None, None) == (0, 2)
+        assert stats.clip_range(600, 700) is None
+
+    def test_value_at(self):
+        stats = ColumnStatistics.from_values([10, 500, 90_000_000])
+        assert stats.value_at(1) == 500
+
+    def test_dense_layout_value_at(self):
+        stats = ColumnStatistics.from_values([3, 5, 7])
+        assert stats.layout == "dense"
+        assert stats.value_at(2) == 5
+
+    def test_threshold_configurable(self):
+        stats = ColumnStatistics.from_values([1, 2, 9], max_dense_domain=4)
+        assert stats.layout == "rank"

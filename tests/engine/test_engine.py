@@ -1,0 +1,312 @@
+"""End-to-end tests of the approximate query engine."""
+
+import numpy as np
+import pytest
+
+from repro.engine.engine import AggregateQuery, ApproximateQueryEngine
+from repro.engine.table import Table
+from repro.errors import InvalidParameterError, InvalidQueryError
+
+
+@pytest.fixture
+def engine():
+    rng = np.random.default_rng(77)
+    prices = rng.integers(1, 100, 4000)
+    quantities = rng.integers(1, 20, 4000)
+    engine = ApproximateQueryEngine()
+    engine.register_table(Table("sales", {"price": prices, "qty": quantities}))
+    return engine
+
+
+class TestCatalog:
+    def test_register_and_lookup(self, engine):
+        assert engine.table("sales").row_count == 4000
+        with pytest.raises(InvalidQueryError, match="unknown table"):
+            engine.table("nope")
+
+    def test_build_synopsis_and_catalog(self, engine):
+        engine.build_synopsis("sales", "price", method="sap1", budget_words=60)
+        catalog = engine.synopsis_catalog()
+        assert len(catalog) == 1
+        entry = catalog[0]
+        assert entry["table"] == "sales" and entry["column"] == "price"
+        assert entry["method"] == "sap1"
+        assert entry["count_words"] <= 30 and entry["sum_words"] <= 30
+
+    def test_build_all_synopses(self, engine):
+        engine.build_all_synopses(method="a0", total_budget_words=120)
+        assert len(engine.synopsis_catalog()) == 2
+
+    def test_reregister_drops_synopses(self, engine):
+        engine.build_all_synopses(method="a0", total_budget_words=120)
+        engine.register_table(Table("sales", {"price": [1, 2, 3]}))
+        assert engine.synopsis_catalog() == []
+
+    def test_unknown_method_rejected(self, engine):
+        with pytest.raises(InvalidParameterError, match="unknown synopsis method"):
+            engine.build_synopsis("sales", "price", method="magic")
+
+
+class TestExactExecutor:
+    def test_count(self, engine):
+        query = AggregateQuery("sales", "price", "count", 10, 20)
+        prices = engine.table("sales").column("price")
+        expected = int(((prices >= 10) & (prices <= 20)).sum())
+        assert engine.execute_exact(query) == expected
+
+    def test_sum_and_avg(self, engine):
+        prices = engine.table("sales").column("price")
+        mask = (prices >= 30) & (prices <= 60)
+        assert engine.execute_exact(
+            AggregateQuery("sales", "price", "sum", 30, 60)
+        ) == pytest.approx(prices[mask].sum())
+        assert engine.execute_exact(
+            AggregateQuery("sales", "price", "avg", 30, 60)
+        ) == pytest.approx(prices[mask].mean())
+
+    def test_open_ranges(self, engine):
+        prices = engine.table("sales").column("price")
+        assert engine.execute_exact(
+            AggregateQuery("sales", "price", "count", None, None)
+        ) == prices.size
+
+    def test_empty_selection_avg_is_zero(self, engine):
+        assert engine.execute_exact(
+            AggregateQuery("sales", "price", "avg", 2000, 3000)
+        ) == 0.0
+
+
+class TestApproximateExecutor:
+    def test_estimates_close_to_exact(self, engine):
+        engine.build_synopsis("sales", "price", method="sap1", budget_words=120)
+        for low, high in [(1, 99), (10, 30), (50, 90), (25, 25)]:
+            result = engine.execute(
+                AggregateQuery("sales", "price", "count", low, high), with_exact=True
+            )
+            assert result.exact is not None
+            # Generous tolerance: approximate answering, near-uniform data.
+            assert result.relative_error < 0.25, (low, high, result)
+
+    def test_full_domain_count_is_near_exact(self, engine):
+        engine.build_synopsis("sales", "price", method="sap0", budget_words=90)
+        result = engine.execute(
+            AggregateQuery("sales", "price", "count", None, None), with_exact=True
+        )
+        assert result.estimate == pytest.approx(result.exact, rel=0.02)
+
+    def test_out_of_domain_range_estimates_zero(self, engine):
+        engine.build_synopsis("sales", "price", method="a0", budget_words=40)
+        result = engine.execute(AggregateQuery("sales", "price", "count", 500, 900))
+        assert result.estimate == 0.0
+
+    def test_avg_derived_from_sum_and_count(self, engine):
+        engine.build_synopsis("sales", "price", method="sap1", budget_words=200)
+        result = engine.execute(
+            AggregateQuery("sales", "price", "avg", 20, 80), with_exact=True
+        )
+        assert result.estimate == pytest.approx(result.exact, rel=0.15)
+
+    def test_query_without_synopsis_rejected(self, engine):
+        with pytest.raises(InvalidQueryError, match="no synopsis"):
+            engine.execute(AggregateQuery("sales", "price", "count", 1, 2))
+
+    def test_result_provenance(self, engine):
+        engine.build_synopsis("sales", "price", method="sap1", budget_words=60)
+        result = engine.execute(AggregateQuery("sales", "price", "count", 5, 50))
+        assert result.synopsis_name == "SAP1"
+        assert result.synopsis_words > 0
+        assert result.exact is None and result.relative_error is None
+
+
+class TestSqlEndToEnd:
+    def test_count_sql(self, engine):
+        engine.build_synopsis("sales", "price", method="sap1", budget_words=150)
+        result = engine.execute_sql(
+            "SELECT COUNT(*) FROM sales WHERE price BETWEEN 10 AND 40",
+            with_exact=True,
+        )
+        assert result.relative_error < 0.2
+
+    def test_sum_sql(self, engine):
+        engine.build_synopsis("sales", "price", method="sap1", budget_words=150)
+        result = engine.execute_sql(
+            "SELECT SUM(price) FROM sales WHERE price >= 50", with_exact=True
+        )
+        assert result.relative_error < 0.2
+
+
+class TestAggregateQueryValidation:
+    def test_bad_aggregate(self):
+        with pytest.raises(InvalidQueryError, match="aggregate"):
+            AggregateQuery("t", "c", "median", 1, 2)
+
+    def test_inverted_bounds(self):
+        with pytest.raises(InvalidQueryError, match="inverted"):
+            AggregateQuery("t", "c", "count", 5, 2)
+
+
+class TestDataEvolution:
+    def test_append_marks_stale(self, engine):
+        engine.build_synopsis("sales", "price", method="a0", budget_words=40)
+        engine.build_synopsis("sales", "qty", method="a0", budget_words=40)
+        assert engine.stale_synopses() == []
+        engine.append_rows(
+            "sales", {"price": np.asarray([10, 20]), "qty": np.asarray([1, 2])}
+        )
+        assert engine.stale_synopses() == [("sales", "price"), ("sales", "qty")]
+        assert engine.table("sales").row_count == 4002
+
+    def test_stale_policies(self, engine):
+        engine.build_synopsis("sales", "price", method="sap1", budget_words=120)
+        engine.append_rows(
+            "sales",
+            {"price": np.full(2000, 55), "qty": np.full(2000, 3)},
+        )
+        query = AggregateQuery("sales", "price", "count", 50, 60)
+
+        # serve: answers from the pre-append synopsis.
+        served = engine.execute(query, with_exact=True, on_stale="serve")
+        assert served.exact is not None
+
+        # error: refuses.
+        with pytest.raises(InvalidQueryError, match="stale"):
+            engine.execute(query, on_stale="error")
+
+        # rebuild: refreshes and the heavy append shows up.
+        rebuilt = engine.execute(query, with_exact=True, on_stale="rebuild")
+        assert rebuilt.relative_error < served.relative_error
+        assert engine.stale_synopses() == []
+
+    def test_refresh_stale_rebuilds_all(self, engine):
+        engine.build_all_synopses(method="a0", total_budget_words=160)
+        engine.append_rows(
+            "sales", {"price": np.asarray([7]), "qty": np.asarray([7])}
+        )
+        assert engine.refresh_stale() == 2
+        assert engine.stale_synopses() == []
+
+    def test_append_requires_all_columns(self, engine):
+        from repro.errors import InvalidDataError
+
+        with pytest.raises(InvalidDataError, match="cover exactly"):
+            engine.append_rows("sales", {"price": np.asarray([1])})
+
+    def test_bad_on_stale_rejected(self, engine):
+        engine.build_synopsis("sales", "price", method="a0", budget_words=40)
+        with pytest.raises(InvalidParameterError, match="on_stale"):
+            engine.execute(
+                AggregateQuery("sales", "price", "count", 1, 5), on_stale="maybe"
+            )
+
+    def test_workload_aware_method_via_engine(self, engine):
+        """The registry forwards builder kwargs, so the workload-aware
+        builder plugs into the engine when given its workload."""
+        from repro.queries.workload import random_ranges
+
+        stats_domain = int(
+            engine.table("sales").column("price").max()
+            - engine.table("sales").column("price").min()
+            + 1
+        )
+        workload = random_ranges(stats_domain, 200, seed=4)
+        engine.build_synopsis(
+            "sales", "price", method="workload-a0", budget_words=40, workload=workload
+        )
+        result = engine.execute(
+            AggregateQuery("sales", "price", "count", 10, 50), with_exact=True
+        )
+        assert result.relative_error < 0.5
+
+
+class TestGuaranteedBounds:
+    def test_bound_attached_and_sound(self, engine):
+        engine.build_synopsis("sales", "price", method="a0", budget_words=60)
+        result = engine.execute(
+            AggregateQuery("sales", "price", "count", 10, 70),
+            with_exact=True,
+            with_bound=True,
+        )
+        assert result.guaranteed_bound is not None
+        assert result.absolute_error <= result.guaranteed_bound + 1e-9
+
+    def test_bound_sound_over_many_queries(self, engine):
+        rng = np.random.default_rng(6)
+        engine.build_synopsis("sales", "price", method="a0", budget_words=40)
+        for _ in range(50):
+            low, high = sorted(rng.integers(1, 100, 2).tolist())
+            result = engine.execute(
+                AggregateQuery("sales", "price", "count", low, high),
+                with_exact=True,
+                with_bound=True,
+            )
+            assert result.absolute_error <= result.guaranteed_bound + 1e-9
+
+    def test_sum_bound(self, engine):
+        engine.build_synopsis("sales", "price", method="a0", budget_words=60)
+        result = engine.execute(
+            AggregateQuery("sales", "price", "sum", 20, 80),
+            with_exact=True,
+            with_bound=True,
+        )
+        assert result.absolute_error <= result.guaranteed_bound + 1e-9
+
+    def test_no_bound_for_avg_or_sap(self, engine):
+        engine.build_synopsis("sales", "price", method="sap1", budget_words=60)
+        sap_result = engine.execute(
+            AggregateQuery("sales", "price", "count", 10, 40), with_bound=True
+        )
+        assert sap_result.guaranteed_bound is None
+        engine.build_synopsis("sales", "price", method="a0", budget_words=60)
+        avg_result = engine.execute(
+            AggregateQuery("sales", "price", "avg", 10, 40), with_bound=True
+        )
+        assert avg_result.guaranteed_bound is None
+
+    def test_bound_not_computed_by_default(self, engine):
+        engine.build_synopsis("sales", "price", method="a0", budget_words=60)
+        result = engine.execute(AggregateQuery("sales", "price", "count", 10, 40))
+        assert result.guaranteed_bound is None
+
+
+class TestQuantiles:
+    def test_median_sql(self, engine):
+        engine.build_synopsis("sales", "price", method="sap1", budget_words=120)
+        result = engine.execute_sql("SELECT MEDIAN(price) FROM sales", with_exact=True)
+        assert abs(result.estimate - result.exact) <= 3
+        assert result.q == 0.5
+
+    def test_quantile_sql_with_window(self, engine):
+        engine.build_synopsis("sales", "price", method="sap1", budget_words=120)
+        result = engine.execute_sql(
+            "SELECT QUANTILE(price, 0.9) FROM sales WHERE price BETWEEN 20 AND 80",
+            with_exact=True,
+        )
+        assert 20 <= result.estimate <= 80
+        assert abs(result.estimate - result.exact) <= 5
+
+    def test_quantile_api(self, engine):
+        engine.build_synopsis("sales", "price", method="a0", budget_words=80)
+        result = engine.execute_quantile("sales", "price", 0.25, with_exact=True)
+        assert result.absolute_error <= 5
+
+    def test_quantile_without_synopsis_rejected(self, engine):
+        with pytest.raises(InvalidQueryError, match="no synopsis"):
+            engine.execute_quantile("sales", "price", 0.5)
+
+    def test_quantile_window_outside_domain_rejected(self, engine):
+        engine.build_synopsis("sales", "price", method="a0", budget_words=80)
+        with pytest.raises(InvalidQueryError, match="does not intersect"):
+            engine.execute_quantile("sales", "price", 0.5, low=5000, high=9000)
+
+    def test_quantile_predicate_column_must_match(self):
+        from repro.engine.sql import parse_query
+        from repro.errors import SQLSyntaxError
+
+        with pytest.raises(SQLSyntaxError, match="must match"):
+            parse_query("SELECT MEDIAN(price) FROM t WHERE qty BETWEEN 1 AND 2")
+
+    def test_bad_q_rejected(self):
+        from repro.engine.engine import QuantileQuery
+
+        with pytest.raises(InvalidQueryError, match="quantile"):
+            QuantileQuery("t", "c", 1.2)

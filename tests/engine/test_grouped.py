@@ -1,0 +1,116 @@
+"""Tests for GROUP BY support."""
+
+import numpy as np
+import pytest
+
+from repro.engine import ApproximateQueryEngine, GroupedAggregateQuery, Table, parse_query
+from repro.errors import InvalidParameterError, InvalidQueryError, SQLSyntaxError
+
+
+@pytest.fixture
+def engine():
+    rng = np.random.default_rng(33)
+    n = 12_000
+    engine = ApproximateQueryEngine()
+    engine.register_table(
+        Table(
+            "sales",
+            {
+                "price": rng.integers(1, 150, n),
+                "region": rng.integers(1, 5, n),
+            },
+        )
+    )
+    return engine
+
+
+class TestBuildGroupedSynopsis:
+    def test_builds_per_group(self, engine):
+        engine.build_grouped_synopsis("sales", "price", "region", budget_words=400)
+        catalog = engine._grouped_synopses[("sales", "price", "region")]
+        assert sorted(catalog) == [1, 2, 3, 4]
+
+    def test_too_many_groups_rejected(self, engine):
+        # price has ~149 distinct values; with max_groups=10 it must refuse.
+        with pytest.raises(InvalidParameterError, match="distinct values"):
+            engine.build_grouped_synopsis(
+                "sales", "region", "price", budget_words=400, max_groups=10
+            )
+
+    def test_unknown_method_rejected(self, engine):
+        with pytest.raises(InvalidParameterError, match="unknown synopsis method"):
+            engine.build_grouped_synopsis(
+                "sales", "price", "region", method="magic"
+            )
+
+
+class TestExecuteGrouped:
+    def test_count_accuracy_per_group(self, engine):
+        engine.build_grouped_synopsis("sales", "price", "region", budget_words=600)
+        rows = engine.execute_grouped(
+            GroupedAggregateQuery("sales", "price", "count", "region", 40, 100),
+            with_exact=True,
+        )
+        assert len(rows) == 4
+        for row in rows:
+            assert row.absolute_error <= 0.1 * max(row.exact, 10)
+
+    def test_group_totals_sum_to_ungrouped(self, engine):
+        engine.build_grouped_synopsis("sales", "price", "region", budget_words=600)
+        rows = engine.execute_grouped(
+            GroupedAggregateQuery("sales", "price", "count", "region", None, None),
+            with_exact=True,
+        )
+        assert sum(row.exact for row in rows) == 12_000
+
+    def test_sum_and_avg(self, engine):
+        engine.build_grouped_synopsis("sales", "price", "region", budget_words=800)
+        for aggregate in ("sum", "avg"):
+            rows = engine.execute_grouped(
+                GroupedAggregateQuery("sales", "price", aggregate, "region", 20, 90),
+                with_exact=True,
+            )
+            for row in rows:
+                assert row.estimate == pytest.approx(row.exact, rel=0.15)
+
+    def test_missing_catalog_rejected(self, engine):
+        with pytest.raises(InvalidQueryError, match="no grouped synopsis"):
+            engine.execute_grouped(
+                GroupedAggregateQuery("sales", "price", "count", "region", 1, 2)
+            )
+
+
+class TestGroupedSql:
+    def test_parse(self):
+        query = parse_query(
+            "SELECT COUNT(*) FROM t WHERE x BETWEEN 1 AND 9 GROUP BY g"
+        )
+        assert isinstance(query, GroupedAggregateQuery)
+        assert query.group_by == "g" and query.column == "x"
+
+    def test_sum_group_by(self):
+        query = parse_query("SELECT SUM(x) FROM t WHERE x >= 3 GROUP BY g")
+        assert query.aggregate == "sum" and query.low == 3.0 and query.high is None
+
+    def test_group_by_same_column_rejected(self):
+        with pytest.raises(InvalidQueryError, match="must differ"):
+            parse_query("SELECT COUNT(*) FROM t WHERE g BETWEEN 1 AND 2 GROUP BY g")
+
+    def test_end_to_end(self, engine):
+        engine.build_grouped_synopsis("sales", "price", "region", budget_words=600)
+        rows = engine.execute_sql(
+            "SELECT COUNT(*) FROM sales WHERE price BETWEEN 10 AND 60 GROUP BY region",
+            with_exact=True,
+        )
+        assert len(rows) == 4
+        assert all(row.exact is not None for row in rows)
+
+
+class TestValidation:
+    def test_bad_aggregate(self):
+        with pytest.raises(InvalidQueryError):
+            GroupedAggregateQuery("t", "x", "median", "g")
+
+    def test_inverted_bounds(self):
+        with pytest.raises(InvalidQueryError, match="inverted"):
+            GroupedAggregateQuery("t", "x", "count", "g", 9, 1)

@@ -1,0 +1,174 @@
+"""Tests for joint (two-column) predicates in the engine."""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    ApproximateQueryEngine,
+    JointAggregateQuery,
+    JointColumnStatistics,
+    Table,
+    parse_query,
+)
+from repro.errors import InvalidDataError, InvalidParameterError, InvalidQueryError, SQLSyntaxError
+
+
+@pytest.fixture
+def engine():
+    rng = np.random.default_rng(21)
+    n = 8000
+    day = rng.integers(1, 41, n)
+    price = np.clip((day + rng.normal(0, 5, n)).astype(int), 1, 60)
+    engine = ApproximateQueryEngine()
+    engine.register_table(Table("sales", {"day": day, "price": price}))
+    return engine
+
+
+class TestJointColumnStatistics:
+    def test_grid_counts(self):
+        stats = JointColumnStatistics.from_values([1, 1, 2, 3], [5, 6, 5, 5])
+        assert stats.count_grid.shape == (3, 2)
+        assert stats.count_grid[0, 0] == 1  # (1, 5)
+        assert stats.count_grid[0, 1] == 1  # (1, 6)
+        assert stats.count_grid[1, 0] == 1  # (2, 5)
+        assert stats.row_count == 4
+
+    def test_grid_sums_to_rows(self):
+        rng = np.random.default_rng(3)
+        x = rng.integers(0, 20, 500)
+        y = rng.integers(0, 15, 500)
+        stats = JointColumnStatistics.from_values(x, y)
+        assert stats.count_grid.sum() == 500
+
+    def test_clip_rectangle(self):
+        stats = JointColumnStatistics.from_values([10, 20], [100, 200])
+        assert stats.clip_rectangle(0, 15, 150, 500) == (0, 50, 5, 100)
+        assert stats.clip_rectangle(50, 60, None, None) is None
+
+    def test_cell_guard(self):
+        x = np.arange(2000).repeat(2)
+        y = np.tile(np.arange(2000), 2)
+        with pytest.raises(InvalidDataError, match="cells"):
+            JointColumnStatistics.from_values(x, y)
+
+    def test_wide_domains_fall_back_to_ranks(self):
+        stats = JointColumnStatistics.from_values(
+            [0, 9_000_000, 9_000_000], [1, 1, 2]
+        )
+        assert stats.count_grid.shape == (2, 2)
+        assert stats.count_grid[1, 0] == 1  # (9e6, 1)
+        assert stats.count_grid[1, 1] == 1  # (9e6, 2)
+
+    def test_length_mismatch(self):
+        with pytest.raises(InvalidDataError):
+            JointColumnStatistics.from_values([1, 2], [1])
+
+
+class TestJointQueries:
+    @pytest.mark.parametrize("method", ["wavelet2d-point", "wavelet2d-range", "grid"])
+    def test_methods_build_and_answer(self, engine, method):
+        engine.build_joint_synopsis(
+            "sales", "day", "price", method=method, budget_words=400
+        )
+        result = engine.execute_joint(
+            JointAggregateQuery("sales", "day", "price", 5, 25, 5, 30),
+            with_exact=True,
+        )
+        assert result.exact is not None
+        assert result.relative_error < 0.6, method
+
+    def test_wavelet_point_is_accurate(self, engine):
+        engine.build_joint_synopsis(
+            "sales", "day", "price", method="wavelet2d-point", budget_words=400
+        )
+        result = engine.execute_joint(
+            JointAggregateQuery("sales", "day", "price", 10, 30, 8, 35),
+            with_exact=True,
+        )
+        assert result.relative_error < 0.15
+
+    def test_reversed_column_order_answers(self, engine):
+        engine.build_joint_synopsis("sales", "day", "price", budget_words=300)
+        forward = engine.execute_joint(
+            JointAggregateQuery("sales", "day", "price", 5, 20, 10, 30)
+        )
+        backward = engine.execute_joint(
+            JointAggregateQuery("sales", "price", "day", 10, 30, 5, 20)
+        )
+        assert forward.estimate == pytest.approx(backward.estimate)
+
+    def test_out_of_domain_rectangle(self, engine):
+        engine.build_joint_synopsis("sales", "day", "price", budget_words=200)
+        result = engine.execute_joint(
+            JointAggregateQuery("sales", "day", "price", 900, 999, 1, 5)
+        )
+        assert result.estimate == 0.0
+
+    def test_missing_synopsis_rejected(self, engine):
+        with pytest.raises(InvalidQueryError, match="no joint synopsis"):
+            engine.execute_joint(JointAggregateQuery("sales", "day", "price", 1, 2, 1, 2))
+
+    def test_unknown_method_rejected(self, engine):
+        with pytest.raises(InvalidParameterError, match="unknown joint"):
+            engine.build_joint_synopsis("sales", "day", "price", method="cube")
+
+    def test_joint_catalog(self, engine):
+        engine.build_joint_synopsis("sales", "day", "price", budget_words=100)
+        catalog = engine.joint_catalog()
+        assert len(catalog) == 1
+        assert catalog[0]["columns"] == ("day", "price")
+        assert catalog[0]["words"] <= 100
+
+    def test_exact_executor(self, engine):
+        query = JointAggregateQuery("sales", "day", "price", 5, 20, 10, 30)
+        day = engine.table("sales").column("day")
+        price = engine.table("sales").column("price")
+        expected = int(((day >= 5) & (day <= 20) & (price >= 10) & (price <= 30)).sum())
+        assert engine.execute_joint_exact(query) == expected
+
+
+class TestJointValidation:
+    def test_same_column_rejected(self):
+        with pytest.raises(InvalidQueryError, match="distinct"):
+            JointAggregateQuery("t", "a", "a", 1, 2, 3, 4)
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(InvalidQueryError, match="inverted"):
+            JointAggregateQuery("t", "a", "b", 5, 2, 1, 3)
+
+    def test_swapped(self):
+        query = JointAggregateQuery("t", "a", "b", 1, 2, 3, 4)
+        swapped = query.swapped()
+        assert swapped.column_x == "b" and swapped.x_low == 3
+        assert swapped.column_y == "a" and swapped.y_high == 2
+
+
+class TestJointSql:
+    def test_parse_double_between(self):
+        query = parse_query(
+            "SELECT COUNT(*) FROM t WHERE a BETWEEN 1 AND 5 AND b BETWEEN 2 AND 9"
+        )
+        assert isinstance(query, JointAggregateQuery)
+        assert (query.column_x, query.column_y) == ("a", "b")
+        assert (query.x_low, query.x_high, query.y_low, query.y_high) == (1, 5, 2, 9)
+
+    def test_same_column_double_between_stays_single(self):
+        # Degenerate conjunction on one column is not a joint query.
+        with pytest.raises(SQLSyntaxError):
+            parse_query(
+                "SELECT COUNT(*) FROM t WHERE a BETWEEN 1 AND 5 AND a BETWEEN 2 AND 9"
+            )
+
+    def test_sum_with_joint_predicate_rejected(self):
+        with pytest.raises(SQLSyntaxError, match="COUNT"):
+            parse_query(
+                "SELECT SUM(a) FROM t WHERE a BETWEEN 1 AND 5 AND b BETWEEN 2 AND 9"
+            )
+
+    def test_sql_end_to_end(self, engine):
+        engine.build_joint_synopsis("sales", "day", "price", budget_words=400)
+        result = engine.execute_sql(
+            "SELECT COUNT(*) FROM sales WHERE day BETWEEN 5 AND 25 AND price BETWEEN 5 AND 30",
+            with_exact=True,
+        )
+        assert result.relative_error < 0.2

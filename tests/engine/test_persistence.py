@@ -1,0 +1,110 @@
+"""Tests for catalog persistence."""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    AggregateQuery,
+    ApproximateQueryEngine,
+    Table,
+    load_catalog,
+    save_catalog,
+)
+from repro.errors import InvalidQueryError, SerializationError
+
+
+@pytest.fixture
+def engine():
+    rng = np.random.default_rng(44)
+    engine = ApproximateQueryEngine()
+    engine.register_table(
+        Table("sales", {"price": rng.integers(1, 120, 8000), "qty": rng.integers(1, 9, 8000)})
+    )
+    return engine
+
+
+class TestRoundTrip:
+    def test_estimates_survive_restart(self, engine, tmp_path):
+        engine.build_synopsis("sales", "price", method="sap1", budget_words=90)
+        engine.build_synopsis("sales", "qty", method="a0", budget_words=40)
+        query = AggregateQuery("sales", "price", "count", 30, 90)
+        before = engine.execute(query).estimate
+
+        path = tmp_path / "catalog.npz"
+        assert save_catalog(engine, path) == 2
+
+        fresh = ApproximateQueryEngine()  # no tables registered at all
+        assert load_catalog(fresh, path) == 2
+        after = fresh.execute(query).estimate
+        assert after == pytest.approx(before)
+
+    def test_all_aggregates_after_reload(self, engine, tmp_path):
+        engine.build_synopsis("sales", "price", method="sap1", budget_words=90)
+        path = tmp_path / "catalog.npz"
+        save_catalog(engine, path)
+        fresh = ApproximateQueryEngine()
+        load_catalog(fresh, path)
+        for aggregate in ("count", "sum", "avg"):
+            value = fresh.execute(
+                AggregateQuery("sales", "price", aggregate, 10, 100)
+            ).estimate
+            assert np.isfinite(value)
+
+    def test_quantiles_after_reload(self, engine, tmp_path):
+        engine.build_synopsis("sales", "price", method="sap1", budget_words=90)
+        path = tmp_path / "catalog.npz"
+        save_catalog(engine, path)
+        fresh = ApproximateQueryEngine()
+        load_catalog(fresh, path)
+        result = fresh.execute_quantile("sales", "price", 0.5)
+        assert 1 <= result.estimate <= 120
+
+    def test_rank_layout_round_trips(self, tmp_path):
+        engine = ApproximateQueryEngine()
+        engine.register_table(
+            Table("t", {"v": np.asarray([5, 9_000_000, 9_000_000, 120, 5])})
+        )
+        engine.build_synopsis("t", "v", method="a0", budget_words=12)
+        path = tmp_path / "catalog.npz"
+        save_catalog(engine, path)
+        fresh = ApproximateQueryEngine()
+        load_catalog(fresh, path)
+        entry = fresh._synopses[("t", "v")]
+        assert entry.statistics.layout == "rank"
+        assert fresh.execute(AggregateQuery("t", "v", "count", 0, 200)).estimate >= 0
+
+    def test_stale_flag_not_persisted(self, engine, tmp_path):
+        engine.build_synopsis("sales", "price", method="a0", budget_words=40)
+        engine.append_rows(
+            "sales", {"price": np.asarray([5]), "qty": np.asarray([1])}
+        )
+        assert engine.stale_synopses()
+        path = tmp_path / "catalog.npz"
+        save_catalog(engine, path)
+        fresh = ApproximateQueryEngine()
+        load_catalog(fresh, path)
+        assert fresh.stale_synopses() == []
+
+    def test_exact_requires_table(self, engine, tmp_path):
+        engine.build_synopsis("sales", "price", method="a0", budget_words=40)
+        path = tmp_path / "catalog.npz"
+        save_catalog(engine, path)
+        fresh = ApproximateQueryEngine()
+        load_catalog(fresh, path)
+        with pytest.raises(InvalidQueryError, match="unknown table"):
+            fresh.execute(
+                AggregateQuery("sales", "price", "count", 1, 5), with_exact=True
+            )
+
+    def test_empty_catalog(self, tmp_path):
+        engine = ApproximateQueryEngine()
+        path = tmp_path / "empty.npz"
+        assert save_catalog(engine, path) == 0
+        fresh = ApproximateQueryEngine()
+        assert load_catalog(fresh, path) == 0
+
+    def test_not_a_catalog_rejected(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, stuff=np.arange(3))
+        with pytest.raises(SerializationError, match="not a repro catalog"):
+            load_catalog(ApproximateQueryEngine(), path)

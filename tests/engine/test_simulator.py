@@ -1,0 +1,73 @@
+"""Tests for the query-traffic simulator."""
+
+import numpy as np
+import pytest
+
+from repro.engine import ApproximateQueryEngine, Table, TrafficSpec, simulate_traffic
+from repro.errors import InvalidParameterError
+
+
+@pytest.fixture
+def engine():
+    rng = np.random.default_rng(55)
+    engine = ApproximateQueryEngine()
+    engine.register_table(Table("sales", {"price": rng.integers(1, 100, 6000)}))
+    engine.build_synopsis("sales", "price", method="sap1", budget_words=100)
+    return engine
+
+
+class TestSimulateTraffic:
+    def test_basic_replay(self, engine):
+        spec = TrafficSpec(table="sales", column="price", query_count=60, seed=1)
+        report = simulate_traffic(engine, spec)
+        assert report.queries == 60
+        assert report.inserts == 0
+        assert 0.0 <= report.mean_relative_error < 0.5
+        assert report.p95_relative_error >= report.mean_relative_error / 10
+
+    def test_reproducible(self, engine):
+        spec = TrafficSpec(table="sales", column="price", query_count=40, seed=2)
+        first = simulate_traffic(engine, spec)
+        second = simulate_traffic(engine, spec)
+        assert first.relative_errors == second.relative_errors
+
+    def test_inserts_tracked(self, engine):
+        spec = TrafficSpec(
+            table="sales", column="price", query_count=30,
+            insert_every=10, insert_batch=50, seed=3,
+        )
+        report = simulate_traffic(engine, spec)
+        assert report.inserts == 100  # steps 10 and 20
+        assert engine.table("sales").row_count == 6100
+
+    def test_rebuild_policy_beats_serve_under_drift(self):
+        """With heavy inserts, rebuilding on staleness keeps errors lower."""
+        rng = np.random.default_rng(4)
+
+        def fresh_engine():
+            engine = ApproximateQueryEngine()
+            engine.register_table(
+                Table("sales", {"price": rng.integers(1, 100, 4000)})
+            )
+            engine.build_synopsis("sales", "price", method="sap1", budget_words=100)
+            return engine
+
+        spec = TrafficSpec(
+            table="sales", column="price", query_count=80,
+            insert_every=5, insert_batch=800, seed=5,
+        )
+        served = simulate_traffic(fresh_engine(), spec, on_stale="serve")
+        rebuilt = simulate_traffic(fresh_engine(), spec, on_stale="rebuild")
+        assert rebuilt.median_relative_error <= served.median_relative_error + 1e-9
+        assert rebuilt.rebuilds > 0
+
+    def test_summary_renders(self, engine):
+        spec = TrafficSpec(table="sales", column="price", query_count=10, seed=6)
+        summary = simulate_traffic(engine, spec).summary()
+        assert "queries" in summary and "rel.err" in summary and "median" in summary
+
+    def test_bad_count(self, engine):
+        with pytest.raises(InvalidParameterError):
+            simulate_traffic(
+                engine, TrafficSpec(table="sales", column="price", query_count=0)
+            )

@@ -1,0 +1,64 @@
+"""Tests for the mini SQL parser."""
+
+import pytest
+
+from repro.engine.sql import parse_query
+from repro.errors import SQLSyntaxError
+
+
+class TestParseQuery:
+    def test_count_between(self):
+        q = parse_query("SELECT COUNT(*) FROM sales WHERE price BETWEEN 10 AND 20")
+        assert (q.table, q.column, q.aggregate) == ("sales", "price", "count")
+        assert (q.low, q.high) == (10.0, 20.0)
+
+    def test_sum_between(self):
+        q = parse_query("select sum(price) from sales where price between 1 and 5;")
+        assert q.aggregate == "sum"
+        assert (q.low, q.high) == (1.0, 5.0)
+
+    def test_avg(self):
+        q = parse_query("SELECT AVG(price) FROM sales WHERE price >= 3")
+        assert q.aggregate == "avg"
+        assert q.low == 3.0 and q.high is None
+
+    def test_equality_predicate(self):
+        q = parse_query("SELECT COUNT(*) FROM t WHERE x = 7")
+        assert (q.low, q.high) == (7.0, 7.0)
+
+    def test_ge_and_le(self):
+        q = parse_query("SELECT COUNT(*) FROM t WHERE x >= 2 AND x <= 9")
+        assert (q.low, q.high) == (2.0, 9.0)
+
+    def test_le_only(self):
+        q = parse_query("SELECT COUNT(*) FROM t WHERE x <= 9")
+        assert q.low is None and q.high == 9.0
+
+    def test_sum_without_where_is_full_domain(self):
+        q = parse_query("SELECT SUM(price) FROM sales")
+        assert q.low is None and q.high is None
+        assert q.column == "price"
+
+    def test_negative_and_decimal_literals(self):
+        q = parse_query("SELECT COUNT(*) FROM t WHERE x BETWEEN -5 AND 2.5")
+        assert (q.low, q.high) == (-5.0, 2.5)
+
+    def test_count_without_where_rejected(self):
+        with pytest.raises(SQLSyntaxError, match="needs a WHERE"):
+            parse_query("SELECT COUNT(*) FROM t")
+
+    def test_mismatched_columns_rejected(self):
+        with pytest.raises(SQLSyntaxError, match="must match"):
+            parse_query("SELECT SUM(price) FROM t WHERE qty BETWEEN 1 AND 2")
+
+    def test_mixed_predicate_columns_rejected(self):
+        with pytest.raises(SQLSyntaxError, match="mixes columns"):
+            parse_query("SELECT COUNT(*) FROM t WHERE a >= 1 AND b <= 2")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_query("DELETE FROM t")
+        with pytest.raises(SQLSyntaxError):
+            parse_query("")
+        with pytest.raises(SQLSyntaxError, match="WHERE clause"):
+            parse_query("SELECT COUNT(*) FROM t WHERE x LIKE 'a%'")

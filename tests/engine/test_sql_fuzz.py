@@ -1,0 +1,95 @@
+"""Property-based fuzzing of the SQL dialect parser.
+
+Two directions: (1) every statement the grammar can produce parses into
+the expected query object; (2) random garbage never crashes with
+anything other than the documented :class:`SQLSyntaxError`.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.engine import AggregateQuery, QuantileQuery
+from repro.engine.grouped import GroupedAggregateQuery
+from repro.engine.joint import JointAggregateQuery
+from repro.engine.sql import parse_query
+from repro.errors import InvalidQueryError, SQLSyntaxError
+
+identifiers = st.from_regex(r"[A-Za-z_][A-Za-z_0-9]{0,8}", fullmatch=True).filter(
+    lambda s: s.lower() not in {"select", "from", "where", "and", "between", "group", "by"}
+)
+numbers = st.integers(min_value=-1000, max_value=1000)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    table=identifiers,
+    column=identifiers,
+    low=numbers,
+    high=numbers,
+    agg=st.sampled_from(["COUNT(*)", "sum", "avg"]),
+)
+def test_property_valid_between_statements_parse(table, column, low, high, agg):
+    low, high = sorted((low, high))
+    select = agg if agg == "COUNT(*)" else f"{agg}({column})"
+    statement = f"SELECT {select} FROM {table} WHERE {column} BETWEEN {low} AND {high}"
+    query = parse_query(statement)
+    assert isinstance(query, AggregateQuery)
+    assert query.table == table and query.column == column
+    assert query.low == low and query.high == high
+
+
+@settings(max_examples=40, deadline=None)
+@given(table=identifiers, column=identifiers, q=st.floats(min_value=0.0, max_value=1.0))
+def test_property_quantile_statements_parse(table, column, q):
+    query = parse_query(f"SELECT QUANTILE({column}, {q:.4f}) FROM {table}")
+    assert isinstance(query, QuantileQuery)
+    assert query.q == pytest.approx(round(q, 4), abs=1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    table=identifiers,
+    column=identifiers,
+    group=identifiers,
+    low=numbers,
+    high=numbers,
+)
+def test_property_group_by_statements_parse(table, column, group, low, high):
+    if column.lower() == group.lower():
+        return
+    low, high = sorted((low, high))
+    query = parse_query(
+        f"SELECT COUNT(*) FROM {table} WHERE {column} BETWEEN {low} AND {high} "
+        f"GROUP BY {group}"
+    )
+    assert isinstance(query, GroupedAggregateQuery)
+    assert query.group_by == group
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    table=identifiers,
+    col_a=identifiers,
+    col_b=identifiers,
+    bounds=st.tuples(numbers, numbers, numbers, numbers),
+)
+def test_property_joint_statements_parse(table, col_a, col_b, bounds):
+    if col_a.lower() == col_b.lower():
+        return
+    a_lo, a_hi = sorted(bounds[:2])
+    b_lo, b_hi = sorted(bounds[2:])
+    query = parse_query(
+        f"SELECT COUNT(*) FROM {table} WHERE {col_a} BETWEEN {a_lo} AND {a_hi} "
+        f"AND {col_b} BETWEEN {b_lo} AND {b_hi}"
+    )
+    assert isinstance(query, JointAggregateQuery)
+
+
+@settings(max_examples=80, deadline=None)
+@given(garbage=st.text(max_size=120))
+def test_property_garbage_never_crashes_unexpectedly(garbage):
+    try:
+        parse_query(garbage)
+    except (SQLSyntaxError, InvalidQueryError):
+        pass  # the two documented rejections

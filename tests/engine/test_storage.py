@@ -1,0 +1,87 @@
+"""Round-trip tests for synopsis serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.core.a0 import build_a0
+from repro.core.sap import build_sap0, build_sap1
+from repro.engine.storage import deserialize_estimator, serialize_estimator
+from repro.errors import SerializationError
+from repro.queries.evaluation import sse
+from repro.queries.exact import ExactRangeSum
+from repro.wavelets.point_topb import PointTopBWavelet
+from repro.wavelets.range_optimal import RangeOptimalWavelet
+
+
+def assert_equivalent(original, restored, data):
+    """Same answers on every range, same storage, same name."""
+    n = int(np.asarray(data).size)
+    lows, highs = np.triu_indices(n)
+    np.testing.assert_allclose(
+        restored.estimate_many(lows, highs), original.estimate_many(lows, highs)
+    )
+    assert restored.storage_words() == original.storage_words()
+    assert restored.name == original.name
+
+
+@pytest.fixture
+def data(medium_data):
+    return medium_data
+
+
+class TestRoundTrips:
+    def test_average_histogram(self, data):
+        original = build_a0(data, 5)
+        restored = deserialize_estimator(serialize_estimator(original))
+        assert_equivalent(original, restored, data)
+        assert restored.rounding == original.rounding
+
+    def test_sap0_histogram(self, data):
+        original = build_sap0(data, 4)
+        restored = deserialize_estimator(serialize_estimator(original))
+        assert_equivalent(original, restored, data)
+        assert restored.order == 0
+
+    def test_sap1_histogram(self, data):
+        original = build_sap1(data, 4)
+        restored = deserialize_estimator(serialize_estimator(original))
+        assert_equivalent(original, restored, data)
+        assert restored.order == 1
+
+    def test_point_wavelet(self, data):
+        original = PointTopBWavelet(data, 9)
+        restored = deserialize_estimator(serialize_estimator(original))
+        assert_equivalent(original, restored, data)
+
+    def test_range_wavelet(self, data):
+        original = RangeOptimalWavelet(data, 9)
+        restored = deserialize_estimator(serialize_estimator(original))
+        assert_equivalent(original, restored, data)
+
+    def test_sse_preserved(self, data):
+        original = build_sap1(data, 6)
+        restored = deserialize_estimator(serialize_estimator(original))
+        assert sse(restored, data) == pytest.approx(sse(original, data))
+
+
+class TestErrorHandling:
+    def test_bad_magic(self):
+        with pytest.raises(SerializationError, match="magic"):
+            deserialize_estimator(b"NOPE" + b"\x00" * 20)
+
+    def test_truncated_stream(self, data):
+        blob = serialize_estimator(build_a0(data, 3))
+        with pytest.raises(SerializationError, match="truncated"):
+            deserialize_estimator(blob[: len(blob) // 2])
+
+    def test_unknown_tag(self):
+        with pytest.raises(SerializationError, match="unknown synopsis type"):
+            deserialize_estimator(b"RPR1\xff")
+
+    def test_unsupported_type(self, data):
+        with pytest.raises(SerializationError, match="cannot serialise"):
+            serialize_estimator(ExactRangeSum(data))
+
+    def test_empty_blob(self):
+        with pytest.raises(SerializationError):
+            deserialize_estimator(b"")

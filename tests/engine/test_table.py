@@ -1,0 +1,36 @@
+"""Tests for the in-memory column store."""
+
+import numpy as np
+import pytest
+
+from repro.engine.table import Table
+from repro.errors import InvalidDataError, InvalidQueryError
+
+
+class TestTable:
+    def test_basic_construction(self):
+        table = Table("sales", {"price": [1, 2, 3], "qty": [4, 5, 6]})
+        assert len(table) == 3
+        assert table.column_names() == ["price", "qty"]
+        np.testing.assert_array_equal(table.column("price"), [1, 2, 3])
+
+    def test_unequal_lengths_rejected(self):
+        with pytest.raises(InvalidDataError, match="rows"):
+            Table("t", {"a": [1, 2], "b": [1]})
+
+    def test_empty_tables_rejected(self):
+        with pytest.raises(InvalidDataError, match="at least one column"):
+            Table("t", {})
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(InvalidDataError, match="name"):
+            Table("", {"a": [1]})
+
+    def test_2d_column_rejected(self):
+        with pytest.raises(InvalidDataError, match="1-D"):
+            Table("t", {"a": [[1, 2], [3, 4]]})
+
+    def test_unknown_column(self):
+        table = Table("t", {"a": [1]})
+        with pytest.raises(InvalidQueryError, match="no column"):
+            table.column("b")

@@ -1,0 +1,67 @@
+"""Tests for the claims and runtime harnesses on small instances."""
+
+import pytest
+
+from repro.data.distributions import zipf_frequencies
+from repro.experiments.claims import (
+    RatioClaim,
+    claim_opta_vs_sap1,
+    claim_pointopt_vs_opta,
+    claim_reopt_gain,
+    claim_sap0_inferior,
+)
+from repro.experiments.runtimes import run_construction_timing
+
+
+@pytest.fixture(scope="module")
+def data():
+    return zipf_frequencies(48, alpha=1.8, scale=300, seed=9)
+
+
+class TestClaims:
+    def test_pointopt_claim_structure(self, data):
+        claim = claim_pointopt_vs_opta(data, budgets=(12, 20))
+        assert isinstance(claim, RatioClaim)
+        assert len(claim.ratios) == 2
+        assert claim.max_ratio >= claim.mean_ratio / 2
+        assert min(claim.ratios) >= 1.0 - 1e-9  # OPT-A is optimal
+
+    def test_sap1_claim(self, data):
+        claim = claim_opta_vs_sap1(data, budgets=(20, 30))
+        assert min(claim.ratios) >= 1.0 - 1e-9
+
+    def test_sap0_claim_rows(self, data):
+        result = claim_sap0_inferior(data, budgets=(18, 30))
+        assert set(result["rows"]) == {18, 30}
+        for row in result["rows"].values():
+            assert set(row) == {"sap0", "sap1", "a0", "opt-a"}
+
+    def test_reopt_claim(self, data):
+        claim = claim_reopt_gain(data, budgets=(12, 16))
+        for budget in claim.budgets:
+            assert claim.reopt_sse[budget] <= claim.base_sse[budget] + 1e-6
+            assert claim.improvements_pct[budget] >= -1e-9
+
+
+class TestRuntimes:
+    def test_timing_points(self):
+        points = run_construction_timing(sizes=(32,), include_opt_a_up_to=32)
+        methods = {p.method for p in points}
+        assert "opt-a" in methods and "sap1" in methods
+        assert all(p.seconds >= 0 for p in points)
+
+    def test_opt_a_excluded_beyond_cutoff(self):
+        points = run_construction_timing(sizes=(32, 64), include_opt_a_up_to=32)
+        assert not any(p.method == "opt-a" and p.n == 64 for p in points)
+        assert any(p.method == "opt-a" and p.n == 32 for p in points)
+
+
+class TestGenerateReport:
+    def test_report_structure(self, data):
+        from repro.experiments.report import generate_report
+
+        text = generate_report(data, include_figure1=False)
+        for heading in ("# Reproduction report", "Claim C1", "Claim C2",
+                        "Claim C3", "Claim C4"):
+            assert heading in text
+        assert "Measured" in text

@@ -1,0 +1,60 @@
+"""Tests for the Figure 1 harness (small instances; the full-dataset run
+lives in benchmarks/test_figure1.py)."""
+
+import numpy as np
+import pytest
+
+from repro.data.distributions import zipf_frequencies
+from repro.experiments.figure1 import FigureOnePoint, figure1_table, run_figure1
+
+
+@pytest.fixture(scope="module")
+def small_points():
+    data = zipf_frequencies(24, alpha=1.5, scale=100, seed=2)
+    return run_figure1(
+        data, budgets=(10, 16), methods=("naive", "a0", "sap0", "wavelet-point")
+    )
+
+
+class TestRunFigure1:
+    def test_point_fields(self, small_points):
+        for point in small_points:
+            assert isinstance(point, FigureOnePoint)
+            assert point.sse >= 0.0
+            assert point.actual_words <= point.budget_words
+            assert point.units >= 1
+
+    def test_naive_has_single_point(self, small_points):
+        assert sum(1 for p in small_points if p.method == "naive") == 1
+
+    def test_other_methods_have_one_point_per_budget(self, small_points):
+        for method in ("a0", "sap0", "wavelet-point"):
+            assert sum(1 for p in small_points if p.method == method) == 2
+
+    def test_skips_infeasible_budgets(self):
+        data = zipf_frequencies(24, alpha=1.5, scale=100, seed=2)
+        points = run_figure1(data, budgets=(4,), methods=("sap1",))
+        # 4 words cannot host a 5-word SAP1 bucket.
+        assert points == []
+
+    def test_builder_kwargs_forwarded(self):
+        data = zipf_frequencies(16, alpha=1.2, scale=40, seed=1)
+        points = run_figure1(
+            data, budgets=(8,), methods=("opt-a",), **{"opt-a": {"max_states": 10**6}}
+        )
+        assert len(points) == 1
+
+
+class TestFigure1Table:
+    def test_table_contains_all_methods_and_budgets(self, small_points):
+        table = figure1_table(small_points)
+        for token in ("naive", "a0", "sap0", "wavelet-point", "10", "16"):
+            assert token in table
+
+    def test_missing_cells_render_dash(self):
+        points = [
+            FigureOnePoint("a0", 10, 10, 5, 123.0),
+            FigureOnePoint("sap1", 20, 20, 4, 456.0),
+        ]
+        table = figure1_table(points)
+        assert "-" in table

@@ -1,0 +1,56 @@
+"""Tests for experiment table rendering."""
+
+from repro.experiments.reporting import format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        text = format_table(["name", "value"], [["alpha", 1.5], ["b", 22.25]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert "alpha" in lines[2] and "1.50" in lines[2]
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="My title")
+        assert text.splitlines()[0] == "My title"
+
+    def test_large_and_small_floats_use_compact_notation(self):
+        text = format_table(["v"], [[1.23e9], [1e-6], [0.0]])
+        assert "1.23e+09" in text
+        assert "1e-06" in text
+        assert "\n0" in text
+
+    def test_mixed_types(self):
+        text = format_table(["a", "b"], [[3, "-"], ["x", 2.0]])
+        assert "-" in text and "2.00" in text
+
+    def test_column_width_expands_to_longest_cell(self):
+        text = format_table(["h"], [["a-very-long-cell-value"]])
+        header, rule, row = text.splitlines()
+        assert len(rule) == len(row.rstrip()) == len("a-very-long-cell-value")
+
+
+class TestAsciiLogChart:
+    def test_basic_render(self):
+        from repro.experiments.reporting import ascii_log_chart
+
+        chart = ascii_log_chart(
+            {"naive": {10: 1e9, 20: 1e9}, "a0": {10: 1e4, 20: 1e3}},
+            title="t",
+        )
+        lines = chart.splitlines()
+        assert lines[0] == "t"
+        assert "N" in chart and "A" in chart
+        assert "legend: N=naive  A=a0" in chart
+
+    def test_empty_series(self):
+        from repro.experiments.reporting import ascii_log_chart
+
+        assert "no positive data" in ascii_log_chart({"x": {1: 0.0}})
+
+    def test_single_point(self):
+        from repro.experiments.reporting import ascii_log_chart
+
+        chart = ascii_log_chart({"solo": {5: 100.0}})
+        assert "S" in chart

@@ -1,0 +1,84 @@
+"""Tests for the generic interval dynamic program."""
+
+import numpy as np
+import pytest
+
+from repro.internal.dp import interval_dp
+from tests.helpers import enumerate_lefts_at_most
+
+
+def brute_best(n, max_buckets, cost):
+    best = np.inf
+    best_lefts = None
+    for lefts in enumerate_lefts_at_most(n, max_buckets):
+        rights = [*[left - 1 for left in lefts[1:]], n - 1]
+        total = sum(cost(a, b) for a, b in zip(lefts, rights))
+        if total < best:
+            best, best_lefts = total, lefts
+    return best, best_lefts
+
+
+class TestIntervalDP:
+    def test_matches_exhaustive_enumeration(self):
+        rng = np.random.default_rng(42)
+        n = 9
+        cost_matrix = rng.random((n, n)) * 10
+
+        def cost_row(a):
+            return cost_matrix[a, a:]
+
+        for max_buckets in (1, 2, 3, 4):
+            lefts, total = interval_dp(n, max_buckets, cost_row)
+            brute_total, _ = brute_best(n, max_buckets, lambda a, b: cost_matrix[a, b])
+            assert total == pytest.approx(brute_total)
+            # The returned bucketing must realise the claimed total.
+            rights = np.concatenate((lefts[1:] - 1, [n - 1]))
+            realised = sum(cost_matrix[a, b] for a, b in zip(lefts, rights))
+            assert realised == pytest.approx(total)
+
+    def test_uses_fewer_buckets_when_cheaper(self):
+        # Splitting is strictly penalised: optimal solution is one bucket.
+        n = 6
+
+        def cost_row(a):
+            return np.ones(n - a) * 5.0  # every bucket costs 5
+
+        lefts, total = interval_dp(n, 4, cost_row)
+        assert lefts.tolist() == [0]
+        assert total == 5.0
+
+    def test_monotone_in_bucket_budget(self):
+        rng = np.random.default_rng(3)
+        n = 10
+        cost_matrix = rng.random((n, n))
+
+        def cost_row(a):
+            return cost_matrix[a, a:]
+
+        totals = [interval_dp(n, k, cost_row)[1] for k in range(1, 6)]
+        assert all(t1 >= t2 - 1e-12 for t1, t2 in zip(totals, totals[1:]))
+
+    def test_single_bucket(self):
+        def cost_row(a):
+            return np.arange(a, 4, dtype=float) + 1
+
+        lefts, total = interval_dp(4, 1, cost_row)
+        assert lefts.tolist() == [0]
+        assert total == 4.0  # cost(0, 3) = 4
+
+    def test_n_buckets_equal_n(self):
+        # With n singleton buckets of zero cost, total is zero.
+        n = 5
+
+        def cost_row(a):
+            row = np.ones(n - a)
+            row[0] = 0.0  # singleton [a, a] free
+            return row
+
+        lefts, total = interval_dp(n, n, cost_row)
+        assert total == 0.0
+        assert lefts.tolist() == list(range(n))
+
+    def test_bad_row_length_rejected(self):
+        with pytest.raises(ValueError, match="length"):
+            interval_dp(4, 2, lambda a: np.ones(1))

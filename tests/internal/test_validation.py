@@ -1,0 +1,104 @@
+"""Tests for input validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidDataError, InvalidParameterError, InvalidQueryError
+from repro.internal.validation import (
+    as_frequency_vector,
+    check_bucket_count,
+    check_positive,
+    check_range,
+)
+
+
+class TestAsFrequencyVector:
+    def test_converts_lists_to_float64(self):
+        result = as_frequency_vector([1, 2, 3])
+        assert result.dtype == np.float64
+        assert result.tolist() == [1.0, 2.0, 3.0]
+
+    def test_accepts_numpy_integers(self):
+        result = as_frequency_vector(np.arange(5, dtype=np.int32))
+        assert result.dtype == np.float64
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidDataError, match="non-empty"):
+            as_frequency_vector([])
+
+    def test_rejects_2d(self):
+        with pytest.raises(InvalidDataError, match="one-dimensional"):
+            as_frequency_vector([[1, 2], [3, 4]])
+
+    def test_rejects_nan(self):
+        with pytest.raises(InvalidDataError, match="NaN or infinite"):
+            as_frequency_vector([1.0, np.nan])
+
+    def test_rejects_inf(self):
+        with pytest.raises(InvalidDataError, match="NaN or infinite"):
+            as_frequency_vector([1.0, np.inf])
+
+    def test_rejects_negative(self):
+        with pytest.raises(InvalidDataError, match="negative"):
+            as_frequency_vector([1.0, -0.5])
+
+    def test_name_appears_in_message(self):
+        with pytest.raises(InvalidDataError, match="frequencies"):
+            as_frequency_vector([], name="frequencies")
+
+
+class TestCheckBucketCount:
+    def test_accepts_valid(self):
+        assert check_bucket_count(3, 10) == 3
+
+    def test_accepts_numpy_integer(self):
+        assert check_bucket_count(np.int64(3), 10) == 3
+
+    def test_rejects_zero(self):
+        with pytest.raises(InvalidParameterError, match=">= 1"):
+            check_bucket_count(0, 10)
+
+    def test_rejects_more_than_n(self):
+        with pytest.raises(InvalidParameterError, match="<= array length"):
+            check_bucket_count(11, 10)
+
+    def test_rejects_float(self):
+        with pytest.raises(InvalidParameterError, match="integer"):
+            check_bucket_count(2.5, 10)
+
+
+class TestCheckRange:
+    def test_accepts_valid(self):
+        assert check_range(0, 9, 10) == (0, 9)
+
+    def test_accepts_point(self):
+        assert check_range(4, 4, 10) == (4, 4)
+
+    def test_rejects_inverted(self):
+        with pytest.raises(InvalidQueryError, match="low must be <= high"):
+            check_range(5, 4, 10)
+
+    def test_rejects_out_of_bounds(self):
+        with pytest.raises(InvalidQueryError, match="out of bounds"):
+            check_range(0, 10, 10)
+        with pytest.raises(InvalidQueryError, match="out of bounds"):
+            check_range(-1, 3, 10)
+
+    def test_rejects_non_integer(self):
+        with pytest.raises(InvalidQueryError, match="integers"):
+            check_range(0.5, 4, 10)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(0.25, name="epsilon") == 0.25
+
+    def test_rejects_zero_and_negative(self):
+        with pytest.raises(InvalidParameterError):
+            check_positive(0.0, name="epsilon")
+        with pytest.raises(InvalidParameterError):
+            check_positive(-1.0, name="epsilon")
+
+    def test_rejects_nan(self):
+        with pytest.raises(InvalidParameterError):
+            check_positive(float("nan"), name="epsilon")

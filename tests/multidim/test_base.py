@@ -1,0 +1,67 @@
+"""Tests for the 2-D oracle and workloads."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidDataError, InvalidParameterError, InvalidQueryError
+from repro.multidim.base import ExactRangeSum2D, as_frequency_grid
+from repro.multidim.workload import Workload2D, all_rectangles, random_rectangles
+
+
+@pytest.fixture
+def grid():
+    return np.arange(20, dtype=float).reshape(4, 5)
+
+
+class TestExactRangeSum2D:
+    def test_all_rectangles_exact(self, grid):
+        oracle = ExactRangeSum2D(grid)
+        for x1 in range(4):
+            for x2 in range(x1, 4):
+                for y1 in range(5):
+                    for y2 in range(y1, 5):
+                        assert oracle.estimate(x1, y1, x2, y2) == pytest.approx(
+                            grid[x1 : x2 + 1, y1 : y2 + 1].sum()
+                        )
+
+    def test_bounds_checked(self, grid):
+        oracle = ExactRangeSum2D(grid)
+        with pytest.raises(InvalidQueryError):
+            oracle.estimate(0, 0, 4, 0)
+        with pytest.raises(InvalidQueryError):
+            oracle.estimate(2, 3, 1, 3)
+
+    def test_grid_validation(self):
+        with pytest.raises(InvalidDataError):
+            as_frequency_grid([1.0, 2.0])
+        with pytest.raises(InvalidDataError):
+            as_frequency_grid([[1.0, -2.0]])
+        with pytest.raises(InvalidDataError):
+            as_frequency_grid([[np.nan]])
+
+
+class TestWorkload2D:
+    def test_all_rectangles_count(self):
+        workload = all_rectangles((3, 4))
+        assert len(workload) == (3 * 4 // 2) * (4 * 5 // 2)
+
+    def test_all_rectangles_guard(self):
+        with pytest.raises(InvalidParameterError, match="too large"):
+            all_rectangles((100, 100))
+
+    def test_random_rectangles_valid(self):
+        workload = random_rectangles((10, 7), 500, seed=1)
+        assert len(workload) == 500
+        assert (workload.x1 <= workload.x2).all()
+        assert (workload.y1 <= workload.y2).all()
+        assert workload.x2.max() < 10 and workload.y2.max() < 7
+
+    def test_random_rectangles_reproducible(self):
+        a = random_rectangles((6, 6), 50, seed=3)
+        b = random_rectangles((6, 6), 50, seed=3)
+        np.testing.assert_array_equal(a.x1, b.x1)
+        np.testing.assert_array_equal(a.y2, b.y2)
+
+    def test_inverted_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            Workload2D(shape=(4, 4), x1=[2], y1=[0], x2=[1], y2=[3])

@@ -1,0 +1,95 @@
+"""Tests for the 2-D Haar transform and point top-B synopsis."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.multidim.evaluation import sse_2d
+from repro.multidim.haar2d import (
+    PointTopBWavelet2D,
+    haar_transform_2d,
+    inverse_haar_transform_2d,
+)
+from repro.multidim.workload import all_rectangles
+
+
+class TestTransform2D:
+    def test_round_trip(self):
+        rng = np.random.default_rng(0)
+        matrix = rng.normal(size=(8, 16))
+        np.testing.assert_allclose(
+            inverse_haar_transform_2d(haar_transform_2d(matrix)), matrix, atol=1e-10
+        )
+
+    def test_parseval(self):
+        rng = np.random.default_rng(1)
+        matrix = rng.normal(size=(16, 8))
+        spectrum = haar_transform_2d(matrix)
+        assert (spectrum**2).sum() == pytest.approx((matrix**2).sum())
+
+    def test_constant_matrix_single_coefficient(self):
+        spectrum = haar_transform_2d(np.full((8, 8), 2.0))
+        assert spectrum[0, 0] == pytest.approx(2.0 * 8.0)
+        spectrum[0, 0] = 0.0
+        np.testing.assert_allclose(spectrum, 0.0, atol=1e-12)
+
+    def test_matches_tensor_inner_products(self):
+        from repro.wavelets.haar import basis_value
+
+        rng = np.random.default_rng(2)
+        matrix = rng.normal(size=(4, 4))
+        spectrum = haar_transform_2d(matrix)
+        xs = np.arange(4)
+        for row in range(4):
+            for col in range(4):
+                tensor = np.outer(basis_value(row, xs, 4), basis_value(col, xs, 4))
+                assert spectrum[row, col] == pytest.approx(
+                    float((tensor * matrix).sum()), abs=1e-10
+                )
+
+
+class TestPointTopB2D:
+    def test_full_budget_exact(self):
+        rng = np.random.default_rng(3)
+        grid = rng.integers(0, 30, (8, 8)).astype(float)
+        synopsis = PointTopBWavelet2D(grid, 64)
+        workload = all_rectangles((8, 8))
+        assert sse_2d(synopsis, grid, workload) == pytest.approx(0.0, abs=1e-8)
+
+    def test_point_sse_optimal_among_subsets(self):
+        rng = np.random.default_rng(4)
+        grid = rng.integers(0, 20, (4, 4)).astype(float)
+        budget = 3
+        synopsis = PointTopBWavelet2D(grid, budget)
+        spectrum = haar_transform_2d(grid)
+        kept_energy = float((synopsis.coefficients**2).sum())
+        flat = np.sort(np.abs(spectrum).ravel())[::-1]
+        assert kept_energy == pytest.approx(float((flat[:budget] ** 2).sum()))
+
+    def test_padding_non_power_of_two(self):
+        rng = np.random.default_rng(5)
+        grid = rng.integers(0, 10, (5, 7)).astype(float)
+        synopsis = PointTopBWavelet2D(grid, 20)
+        from repro.multidim.base import ExactRangeSum2D
+
+        exact = ExactRangeSum2D(grid)
+        estimate = synopsis.estimate(1, 2, 4, 6)
+        assert np.isfinite(estimate)
+        # Generous: a 20-coefficient synopsis of a 5x7 grid is near-exact.
+        assert abs(estimate - exact.estimate(1, 2, 4, 6)) < grid.sum()
+
+    def test_monotone_in_budget(self):
+        rng = np.random.default_rng(6)
+        grid = rng.integers(0, 25, (8, 8)).astype(float)
+        workload = all_rectangles((8, 8))
+        errors = [
+            sse_2d(PointTopBWavelet2D(grid, b), grid, workload) for b in (4, 16, 64)
+        ]
+        assert errors[0] >= errors[1] >= errors[2] - 1e-9
+
+    def test_storage_and_name(self):
+        grid = np.ones((4, 4))
+        synopsis = PointTopBWavelet2D(grid, 5)
+        assert synopsis.storage_words() == 10
+        assert synopsis.name == "TOPBB-2D"

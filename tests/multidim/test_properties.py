@@ -1,0 +1,86 @@
+"""Property-based tests for the 2-D package."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.multidim.base import ExactRangeSum2D
+from repro.multidim.grid_histogram import GridHistogram
+from repro.multidim.haar2d import haar_transform_2d, inverse_haar_transform_2d
+from repro.multidim.range_optimal2d import (
+    RangeOptimalWavelet2D,
+    aa_tensor_coefficients_2d,
+)
+
+grids = st.tuples(
+    st.integers(min_value=1, max_value=3),  # log2 rows
+    st.integers(min_value=1, max_value=3),  # log2 cols
+    st.integers(min_value=0, max_value=10_000),  # seed
+).map(
+    lambda spec: np.random.default_rng(spec[2])
+    .integers(0, 30, (2 ** spec[0], 2 ** spec[1]))
+    .astype(float)
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(grid=grids)
+def test_property_2d_transform_round_trip_and_parseval(grid):
+    spectrum = haar_transform_2d(grid)
+    np.testing.assert_allclose(inverse_haar_transform_2d(spectrum), grid, atol=1e-8)
+    assert (spectrum**2).sum() == pytest.approx((grid**2).sum())
+
+
+@settings(max_examples=20, deadline=None)
+@given(grid=grids)
+def test_property_aa_tensor_full_reconstruction(grid):
+    """Keeping every nonzero AA coefficient reconstructs all rectangles."""
+    _, values = aa_tensor_coefficients_2d(grid)
+    synopsis = RangeOptimalWavelet2D(grid, values.size)
+    exact = ExactRangeSum2D(grid)
+    rows, cols = grid.shape
+    rng = np.random.default_rng(0)
+    for _ in range(10):
+        x1, x2 = sorted(rng.integers(0, rows, 2).tolist())
+        y1, y2 = sorted(rng.integers(0, cols, 2).tolist())
+        assert synopsis.estimate(x1, y1, x2, y2) == pytest.approx(
+            exact.estimate(x1, y1, x2, y2), abs=1e-7
+        )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    grid=grids,
+    row_cuts=st.integers(min_value=1, max_value=3),
+    col_cuts=st.integers(min_value=1, max_value=3),
+)
+def test_property_grid_histogram_cell_aligned_exact(grid, row_cuts, col_cuts):
+    """Queries aligned to grid cells are answered exactly."""
+    rows, cols = grid.shape
+    row_lefts = np.unique(np.linspace(0, rows, row_cuts + 1)[:-1].astype(int))
+    col_lefts = np.unique(np.linspace(0, cols, col_cuts + 1)[:-1].astype(int))
+    hist = GridHistogram(grid, row_lefts, col_lefts)
+    exact = ExactRangeSum2D(grid)
+    row_rights = np.concatenate((row_lefts[1:] - 1, [rows - 1]))
+    col_rights = np.concatenate((col_lefts[1:] - 1, [cols - 1]))
+    for a, b in zip(row_lefts.tolist(), row_rights.tolist()):
+        for c, d in zip(col_lefts.tolist(), col_rights.tolist()):
+            assert hist.estimate(a, c, b, d) == pytest.approx(
+                exact.estimate(a, c, b, d), abs=1e-8
+            )
+
+
+@settings(max_examples=20, deadline=None)
+@given(grid=grids)
+def test_property_exact_oracle_additivity(grid):
+    """Disjoint vertical splits add up to the full rectangle."""
+    rows, cols = grid.shape
+    exact = ExactRangeSum2D(grid)
+    if cols < 2:
+        return
+    split = cols // 2
+    whole = exact.estimate(0, 0, rows - 1, cols - 1)
+    left = exact.estimate(0, 0, rows - 1, split - 1)
+    right = exact.estimate(0, split, rows - 1, cols - 1)
+    assert whole == pytest.approx(left + right)

@@ -1,0 +1,131 @@
+"""Tests for the 2-D range-optimal wavelet (Theorem 9 generalised)."""
+
+import numpy as np
+import pytest
+
+from repro.multidim.base import ExactRangeSum2D
+from repro.multidim.evaluation import sse_2d
+from repro.multidim.range_optimal2d import (
+    RangeOptimalWavelet2D,
+    aa_tensor_coefficients_2d,
+)
+from repro.multidim.workload import all_rectangles
+from repro.wavelets.haar import basis_value
+
+
+def dense_aa_tensor(grid):
+    """Reference: materialise the 4-D AA tensor and transform it densely.
+
+    Only viable for tiny grids; returns a dict (a,b,c,d) -> coefficient
+    of every nonzero entry.
+    """
+    n, m = grid.shape
+    pp = np.zeros((n + 1, m + 1))
+    pp[1:, 1:] = np.cumsum(np.cumsum(grid, axis=0), axis=1)
+    xs_n = np.arange(n)
+    xs_m = np.arange(m)
+    aa = np.empty((n, m, n, m))
+    for x1 in range(n):
+        for y1 in range(m):
+            for x2 in range(n):
+                for y2 in range(m):
+                    aa[x1, y1, x2, y2] = (
+                        pp[x2 + 1, y2 + 1] - pp[x1, y2 + 1] - pp[x2 + 1, y1] + pp[x1, y1]
+                    )
+    coefficients = {}
+    for a in range(n):
+        va = basis_value(a, xs_n, n)
+        for b in range(m):
+            vb = basis_value(b, xs_m, m)
+            for c in range(n):
+                vc = basis_value(c, xs_n, n)
+                for d in range(m):
+                    vd = basis_value(d, xs_m, m)
+                    value = np.einsum("i,j,k,l,ijkl->", va, vb, vc, vd, aa)
+                    if abs(value) > 1e-9:
+                        coefficients[(a, b, c, d)] = value
+    return coefficients
+
+
+class TestStructuredTensor:
+    def test_matches_dense_four_dimensional_transform(self):
+        rng = np.random.default_rng(0)
+        grid = rng.integers(0, 9, (4, 4)).astype(float)
+        dense = dense_aa_tensor(grid)
+        keys, values = aa_tensor_coefficients_2d(grid)
+        sparse = {
+            tuple(key): value
+            for key, value in zip(keys.tolist(), values.tolist())
+            if abs(value) > 1e-9
+        }
+        assert set(sparse) == set(dense)
+        for key, value in dense.items():
+            assert sparse[key] == pytest.approx(value, abs=1e-8), key
+
+    def test_nonzeros_live_on_four_planes(self):
+        rng = np.random.default_rng(1)
+        grid = rng.integers(0, 9, (4, 4)).astype(float)
+        dense = dense_aa_tensor(grid)
+        for a, b, c, d in dense:
+            assert (
+                (a == 0 and b == 0)
+                or (b == 0 and c == 0)
+                or (a == 0 and d == 0)
+                or (c == 0 and d == 0)
+            ), (a, b, c, d)
+
+    def test_candidate_count_linear_in_grid(self):
+        grid = np.random.default_rng(2).integers(1, 9, (8, 8)).astype(float)
+        keys, values = aa_tensor_coefficients_2d(grid)
+        assert values.size <= 4 * 64
+
+
+class TestRangeOptimalWavelet2D:
+    def test_full_budget_reconstructs_all_rectangles(self):
+        rng = np.random.default_rng(3)
+        grid = rng.integers(0, 20, (8, 8)).astype(float)
+        _, values = aa_tensor_coefficients_2d(grid)
+        synopsis = RangeOptimalWavelet2D(grid, values.size)
+        workload = all_rectangles((8, 8))
+        exact = ExactRangeSum2D(grid)
+        np.testing.assert_allclose(
+            synopsis.estimate_many(workload.x1, workload.y1, workload.x2, workload.y2),
+            exact.estimate_many(workload.x1, workload.y1, workload.x2, workload.y2),
+            atol=1e-8,
+        )
+
+    def test_selection_is_energy_optimal(self):
+        rng = np.random.default_rng(4)
+        grid = rng.integers(0, 15, (4, 4)).astype(float)
+        budget = 6
+        keys, values = aa_tensor_coefficients_2d(grid)
+        synopsis = RangeOptimalWavelet2D(grid, budget)
+        kept = float((synopsis.coefficients**2).sum())
+        best = float((np.sort(np.abs(values))[::-1][:budget] ** 2).sum())
+        assert kept == pytest.approx(best)
+
+    def test_non_power_of_two_grid(self):
+        rng = np.random.default_rng(5)
+        grid = rng.integers(0, 9, (5, 6)).astype(float)
+        keys, values = aa_tensor_coefficients_2d(grid)
+        synopsis = RangeOptimalWavelet2D(grid, values.size)
+        exact = ExactRangeSum2D(grid)
+        for rect in [(0, 0, 4, 5), (1, 2, 3, 4), (2, 2, 2, 2)]:
+            assert synopsis.estimate(*rect) == pytest.approx(
+                exact.estimate(*rect), abs=1e-8
+            )
+
+    def test_monotone_in_budget(self):
+        rng = np.random.default_rng(6)
+        grid = rng.integers(0, 25, (8, 8)).astype(float)
+        workload = all_rectangles((8, 8))
+        errors = [
+            sse_2d(RangeOptimalWavelet2D(grid, b), grid, workload)
+            for b in (8, 64, 225)
+        ]
+        assert errors[-1] <= errors[0]
+
+    def test_storage_and_name(self):
+        synopsis = RangeOptimalWavelet2D(np.ones((4, 4)), 7)
+        assert synopsis.storage_words() == 14
+        assert synopsis.name == "WAVE-RANGE-2D"

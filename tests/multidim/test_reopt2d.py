@@ -1,0 +1,62 @@
+"""Tests for 2-D value re-optimisation."""
+
+import numpy as np
+import pytest
+
+from repro.multidim.base import ExactRangeSum2D
+from repro.multidim.evaluation import sse_2d
+from repro.multidim.grid_histogram import GridHistogram, build_grid_histogram
+from repro.multidim.reopt2d import grid_coverage_design, reoptimize_grid_values
+from repro.multidim.workload import Workload2D, all_rectangles, random_rectangles
+
+
+@pytest.fixture
+def grid():
+    rng = np.random.default_rng(5)
+    return rng.integers(0, 25, (12, 12)).astype(float)
+
+
+class TestCoverageDesign:
+    def test_design_reproduces_estimates(self, grid):
+        hist = build_grid_histogram(grid, 3, 3, method="sap1")
+        workload = random_rectangles(grid.shape, 50, seed=1)
+        design = grid_coverage_design(hist, workload)
+        direct = hist.estimate_many(workload.x1, workload.y1, workload.x2, workload.y2)
+        via_design = design @ hist.cell_averages.ravel()
+        np.testing.assert_allclose(via_design, direct, atol=1e-8)
+
+
+class TestReoptimizeGridValues:
+    def test_never_worse_on_optimised_workload(self, grid):
+        hist = GridHistogram(grid, [0, 4, 8], [0, 6])
+        workload = all_rectangles(grid.shape)
+        improved = reoptimize_grid_values(hist, grid, workload=workload)
+        assert sse_2d(improved, grid, workload) <= sse_2d(hist, grid, workload) + 1e-6
+
+    def test_improves_generic_grid(self, grid):
+        hist = GridHistogram(grid, [0, 3, 6, 9], [0, 3, 6, 9])
+        workload = all_rectangles(grid.shape)
+        improved = reoptimize_grid_values(hist, grid, workload=workload)
+        assert sse_2d(improved, grid, workload) < sse_2d(hist, grid, workload)
+
+    def test_single_query_answered_exactly(self, grid):
+        hist = GridHistogram(grid, [0, 6], [0, 6])
+        workload = Workload2D(shape=grid.shape, x1=[2], y1=[3], x2=[9], y2=[10])
+        improved = reoptimize_grid_values(hist, grid, workload=workload)
+        exact = ExactRangeSum2D(grid).estimate(2, 3, 9, 10)
+        assert improved.estimate(2, 3, 9, 10) == pytest.approx(exact)
+
+    def test_boundaries_preserved(self, grid):
+        hist = GridHistogram(grid, [0, 4, 8], [0, 6])
+        improved = reoptimize_grid_values(hist, grid, sample_queries=200)
+        np.testing.assert_array_equal(improved.row_lefts, hist.row_lefts)
+        np.testing.assert_array_equal(improved.col_lefts, hist.col_lefts)
+
+    def test_block_structured_data_becomes_exact(self):
+        grid = np.zeros((8, 8))
+        grid[:4, :4] = 7.0
+        grid[4:, 4:] = 3.0
+        hist = GridHistogram(grid, [0, 4], [0, 4])
+        workload = all_rectangles(grid.shape)
+        improved = reoptimize_grid_values(hist, grid, workload=workload)
+        assert sse_2d(improved, grid, workload) == pytest.approx(0.0, abs=1e-9)

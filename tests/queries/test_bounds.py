@@ -1,0 +1,97 @@
+"""Tests for the deterministic error envelopes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.a0 import build_a0
+from repro.core.histogram import AverageHistogram
+from repro.core.naive import build_naive
+from repro.queries.bounds import compute_error_envelope, guaranteed_bounds
+from repro.queries.exact import ExactRangeSum
+
+
+def actual_errors(histogram, data):
+    n = data.size
+    lows, highs = np.triu_indices(n)
+    truth = ExactRangeSum(data).estimate_many(lows, highs)
+    approx = histogram.estimate_many(lows, highs)
+    return lows, highs, np.abs(approx - truth)
+
+
+class TestSoundness:
+    @pytest.mark.parametrize("rounding", ["per_piece", "total", "none"])
+    def test_bound_dominates_every_query(self, medium_data, rounding):
+        histogram = build_a0(medium_data, 6, rounding=rounding)
+        lows, highs, errors = actual_errors(histogram, medium_data)
+        bounds = guaranteed_bounds(histogram, medium_data, lows, highs)
+        assert np.all(bounds >= errors - 1e-9)
+
+    def test_bound_dominates_for_arbitrary_values(self, small_data):
+        """Non-average stored values make even the middle buckets err;
+        the envelope's middle term must cover that."""
+        histogram = AverageHistogram([0, 5, 9], [3.7, -1.0, 12.0],
+                                     small_data.size, rounding="none")
+        lows, highs, errors = actual_errors(histogram, small_data)
+        bounds = guaranteed_bounds(histogram, small_data, lows, highs)
+        assert np.all(bounds >= errors - 1e-9)
+
+    def test_naive_bound(self, small_data):
+        histogram = build_naive(small_data, rounding="none")
+        lows, highs, errors = actual_errors(histogram, small_data)
+        bounds = guaranteed_bounds(histogram, small_data, lows, highs)
+        assert np.all(bounds >= errors - 1e-9)
+
+
+class TestTightness:
+    def test_intra_maximum_is_attained(self, medium_data):
+        """The envelope is exact, not just an upper bound: some query
+        attains each bucket's intra maximum."""
+        histogram = build_a0(medium_data, 5, rounding="none")
+        envelope = compute_error_envelope(histogram, medium_data)
+        lows, highs, errors = actual_errors(histogram, medium_data)
+        bucket_low = histogram.bucket_of(lows)
+        bucket_high = histogram.bucket_of(highs)
+        same = bucket_low == bucket_high
+        for bucket in range(histogram.bucket_count):
+            mask = same & (bucket_low == bucket)
+            if mask.any():
+                assert errors[mask].max() == pytest.approx(
+                    envelope.max_intra_error[bucket], abs=1e-8
+                )
+
+    def test_flat_data_zero_envelope(self):
+        data = np.full(10, 4.0)
+        histogram = build_a0(data, 2, rounding="none")
+        envelope = compute_error_envelope(histogram, data)
+        np.testing.assert_allclose(envelope.max_suffix_error, 0.0, atol=1e-12)
+        np.testing.assert_allclose(envelope.max_intra_error, 0.0, atol=1e-12)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    data=st.lists(st.integers(0, 40), min_size=3, max_size=24).map(
+        lambda xs: np.asarray(xs, dtype=np.float64)
+    ),
+    buckets=st.integers(min_value=1, max_value=4),
+)
+def test_property_bounds_always_sound(data, buckets):
+    buckets = min(buckets, data.size)
+    histogram = build_a0(data, buckets, rounding="per_piece")
+    lows, highs = np.triu_indices(data.size)
+    truth = ExactRangeSum(data).estimate_many(lows, highs)
+    errors = np.abs(histogram.estimate_many(lows, highs) - truth)
+    bounds = guaranteed_bounds(histogram, data, lows, highs)
+    assert np.all(bounds >= errors - 1e-9)
+
+
+class TestReoptBounds:
+    def test_bounds_cover_reopt_values(self, medium_data):
+        from repro.core.reopt import reoptimize_values
+
+        base = build_a0(medium_data, 6, rounding="none")
+        improved = reoptimize_values(base, medium_data)
+        lows, highs, errors = actual_errors(improved, medium_data)
+        bounds = guaranteed_bounds(improved, medium_data, lows, highs)
+        assert np.all(bounds >= errors - 1e-9)

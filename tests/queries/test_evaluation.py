@@ -1,0 +1,80 @@
+"""Tests for the evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.queries.estimators import RangeSumEstimator
+from repro.queries.evaluation import evaluate, sse
+from repro.queries.exact import ExactRangeSum
+from repro.queries.workload import Workload, all_ranges
+from tests.helpers import brute_sse
+
+
+class ConstantEstimator(RangeSumEstimator):
+    """Answers every query with a fixed constant; for metric checks."""
+
+    def __init__(self, n, constant):
+        self.n = n
+        self.constant = float(constant)
+
+    def estimate_many(self, lows, highs):
+        return np.full(np.asarray(lows).shape, self.constant)
+
+    def storage_words(self):
+        return 1
+
+
+class TestSse:
+    def test_exact_estimator_has_zero_sse(self, small_data):
+        assert sse(ExactRangeSum(small_data), small_data) == 0.0
+
+    def test_matches_brute_force(self, small_data):
+        est = ConstantEstimator(small_data.size, 7.0)
+        assert sse(est, small_data) == pytest.approx(brute_sse(est, small_data))
+
+    def test_custom_workload(self, small_data):
+        est = ConstantEstimator(small_data.size, 0.0)
+        w = Workload(n=small_data.size, lows=[0, 1], highs=[2, 3])
+        expected = small_data[0:3].sum() ** 2 + small_data[1:4].sum() ** 2
+        assert sse(est, small_data, w) == pytest.approx(expected)
+
+    def test_weights_scale_contributions(self, small_data):
+        est = ConstantEstimator(small_data.size, 0.0)
+        w1 = Workload(n=small_data.size, lows=[0], highs=[3], weights=[1.0])
+        w2 = Workload(n=small_data.size, lows=[0], highs=[3], weights=[2.5])
+        assert sse(est, small_data, w2) == pytest.approx(2.5 * sse(est, small_data, w1))
+
+    def test_domain_mismatch_rejected(self, small_data):
+        est = ConstantEstimator(small_data.size + 3, 0.0)
+        with pytest.raises(ValueError, match="does not match"):
+            sse(est, small_data)
+
+
+class TestEvaluate:
+    def test_report_fields_consistent(self, small_data):
+        est = ConstantEstimator(small_data.size, 5.0)
+        report = evaluate(est, small_data)
+        n_queries = small_data.size * (small_data.size + 1) // 2
+        assert report.query_count == n_queries
+        assert report.mse == pytest.approx(report.sse / n_queries)
+        assert report.rmse == pytest.approx(np.sqrt(report.mse))
+        assert report.storage_words == 1
+        assert report.estimator_name == "ConstantEstimator"
+
+    def test_max_abs_error(self, small_data):
+        est = ConstantEstimator(small_data.size, 0.0)
+        report = evaluate(est, small_data)
+        assert report.max_abs_error == pytest.approx(small_data.sum())
+
+    def test_zero_error_report(self, small_data):
+        report = evaluate(ExactRangeSum(small_data), small_data)
+        assert report.sse == 0.0
+        assert report.max_abs_error == 0.0
+        assert report.mean_abs_error == 0.0
+        assert report.total_relative_error == 0.0
+
+    def test_default_workload_is_all_ranges(self, small_data):
+        est = ConstantEstimator(small_data.size, 3.0)
+        explicit = evaluate(est, small_data, all_ranges(small_data.size))
+        implicit = evaluate(est, small_data)
+        assert explicit.sse == pytest.approx(implicit.sse)

@@ -1,0 +1,43 @@
+"""Tests for the exact range-sum oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidQueryError
+from repro.queries.exact import ExactRangeSum
+
+
+class TestExactRangeSum:
+    def test_scalar_estimates(self, small_data):
+        oracle = ExactRangeSum(small_data)
+        for a in range(small_data.size):
+            for b in range(a, small_data.size):
+                assert oracle.estimate(a, b) == pytest.approx(small_data[a : b + 1].sum())
+
+    def test_vectorised_estimates(self, small_data):
+        oracle = ExactRangeSum(small_data)
+        lows = np.asarray([0, 2, 5])
+        highs = np.asarray([3, 2, 11])
+        expected = [small_data[l : h + 1].sum() for l, h in zip(lows, highs)]
+        np.testing.assert_allclose(oracle.estimate_many(lows, highs), expected)
+
+    def test_rejects_bad_ranges(self, small_data):
+        oracle = ExactRangeSum(small_data)
+        with pytest.raises(InvalidQueryError):
+            oracle.estimate(3, 1)
+        with pytest.raises(InvalidQueryError):
+            oracle.estimate(0, small_data.size)
+
+    def test_storage_and_name(self, small_data):
+        oracle = ExactRangeSum(small_data)
+        assert oracle.storage_words() == small_data.size + 1
+        assert oracle.name == "EXACT"
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=40))
+def test_property_full_range_is_total(data):
+    oracle = ExactRangeSum(data)
+    assert oracle.estimate(0, len(data) - 1) == pytest.approx(float(sum(data)))

@@ -1,0 +1,113 @@
+"""Tests for join-size estimation."""
+
+import numpy as np
+import pytest
+
+from repro.core.a0 import build_a0
+from repro.core.naive import build_naive
+from repro.errors import InvalidParameterError, InvalidQueryError
+from repro.queries.joins import (
+    estimate_join_size,
+    exact_join_size,
+    join_size_from_engine,
+)
+
+
+class TestExactJoinSize:
+    def test_inner_product(self):
+        assert exact_join_size([1, 2, 0], [3, 1, 5]) == 5.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(InvalidParameterError, match="share a domain"):
+            exact_join_size([1, 2], [1, 2, 3])
+
+
+class TestEstimateJoinSize:
+    def test_exact_for_aligned_constant_histograms(self):
+        data_r = np.asarray([4, 4, 4, 2, 2, 2], dtype=float)
+        data_s = np.asarray([1, 1, 1, 5, 5, 5], dtype=float)
+        hist_r = build_a0(data_r, 2, rounding="none")
+        hist_s = build_a0(data_s, 2, rounding="none")
+        # With boundaries at the plateau edges, the estimate is exact.
+        assert estimate_join_size(hist_r, hist_s) == pytest.approx(
+            exact_join_size(data_r, data_s)
+        )
+
+    def test_close_on_realistic_data(self):
+        rng = np.random.default_rng(7)
+        data_r = rng.integers(0, 40, 96).astype(float)
+        data_s = rng.integers(0, 40, 96).astype(float)
+        hist_r = build_a0(data_r, 12, rounding="none")
+        hist_s = build_a0(data_s, 12, rounding="none")
+        truth = exact_join_size(data_r, data_s)
+        estimate = estimate_join_size(hist_r, hist_s)
+        assert estimate == pytest.approx(truth, rel=0.25)
+
+    def test_merge_equals_bruteforce_density_product(self):
+        rng = np.random.default_rng(8)
+        data_r = rng.integers(0, 20, 32).astype(float)
+        data_s = rng.integers(0, 20, 32).astype(float)
+        hist_r = build_a0(data_r, 5, rounding="none")
+        hist_s = build_naive(data_s, rounding="none")
+        idx = np.arange(32)
+        brute = float(
+            (
+                hist_r.values[hist_r.bucket_of(idx)]
+                * hist_s.values[hist_s.bucket_of(idx)]
+            ).sum()
+        )
+        assert estimate_join_size(hist_r, hist_s) == pytest.approx(brute)
+
+    def test_domain_mismatch(self):
+        hist_r = build_naive(np.ones(8), rounding="none")
+        hist_s = build_naive(np.ones(9), rounding="none")
+        with pytest.raises(InvalidParameterError, match="share a domain"):
+            estimate_join_size(hist_r, hist_s)
+
+
+class TestEngineJoinSize:
+    @pytest.fixture
+    def engine(self):
+        from repro.engine import ApproximateQueryEngine, Table
+
+        rng = np.random.default_rng(9)
+        engine = ApproximateQueryEngine()
+        engine.register_table(Table("orders", {"cust": rng.integers(1, 200, 20_000)}))
+        engine.register_table(Table("visits", {"cust": rng.integers(50, 260, 30_000)}))
+        engine.build_synopsis("orders", "cust", method="a0", budget_words=60)
+        engine.build_synopsis("visits", "cust", method="a0", budget_words=60)
+        return engine
+
+    def test_estimate_close_to_exact(self, engine):
+        estimate, exact = join_size_from_engine(
+            engine, "orders", "cust", "visits", "cust", with_exact=True
+        )
+        assert exact > 0
+        assert estimate == pytest.approx(exact, rel=0.15)
+
+    def test_disjoint_domains_give_zero(self):
+        from repro.engine import ApproximateQueryEngine, Table
+
+        engine = ApproximateQueryEngine()
+        engine.register_table(Table("a", {"v": np.arange(1, 50)}))
+        engine.register_table(Table("b", {"v": np.arange(100, 150)}))
+        engine.build_synopsis("a", "v", method="a0", budget_words=20)
+        engine.build_synopsis("b", "v", method="a0", budget_words=20)
+        estimate, exact = join_size_from_engine(engine, "a", "v", "b", "v", with_exact=True)
+        assert estimate == 0.0 and exact == 0.0
+
+    def test_requires_synopses(self, engine):
+        with pytest.raises(InvalidQueryError, match="synopses"):
+            join_size_from_engine(engine, "orders", "cust", "nope", "cust")
+
+    def test_requires_histogram_method(self):
+        from repro.engine import ApproximateQueryEngine, Table
+
+        engine = ApproximateQueryEngine()
+        rng = np.random.default_rng(1)
+        engine.register_table(Table("a", {"v": rng.integers(1, 40, 1000)}))
+        engine.register_table(Table("b", {"v": rng.integers(1, 40, 1000)}))
+        engine.build_synopsis("a", "v", method="sap1", budget_words=40)
+        engine.build_synopsis("b", "v", method="a0", budget_words=40)
+        with pytest.raises(InvalidParameterError, match="average-histogram"):
+            join_size_from_engine(engine, "a", "v", "b", "v")

@@ -1,0 +1,76 @@
+"""Tests for online progressive range aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.core.a0 import build_a0
+from repro.errors import InvalidParameterError
+from repro.queries.online import OnlineRangeEstimator
+
+
+@pytest.fixture
+def setup(medium_data):
+    histogram = build_a0(medium_data, 5, rounding="none")
+    return medium_data, OnlineRangeEstimator(medium_data, histogram, chunk=8)
+
+
+class TestRefine:
+    def test_every_interval_contains_truth(self, setup):
+        data, online = setup
+        for low, high in [(0, 63), (5, 50), (20, 21), (10, 40)]:
+            truth = data[low : high + 1].sum()
+            for step in online.refine(low, high):
+                lo, hi = step.interval
+                assert lo - 1e-6 <= truth <= hi + 1e-6, (low, high, step)
+
+    def test_final_step_is_exact(self, setup):
+        data, online = setup
+        steps = list(online.refine(7, 44))
+        assert steps[-1].estimate == pytest.approx(data[7:45].sum())
+        assert steps[-1].bound == 0.0
+        assert steps[-1].fraction_scanned == pytest.approx(1.0)
+
+    def test_first_step_scans_nothing(self, setup):
+        _, online = setup
+        first = next(iter(online.refine(0, 63)))
+        assert first.fraction_scanned == 0.0
+
+    def test_fraction_monotone(self, setup):
+        _, online = setup
+        fractions = [step.fraction_scanned for step in online.refine(3, 58)]
+        assert fractions == sorted(fractions)
+
+    def test_step_count_matches_chunking(self, setup):
+        _, online = setup
+        steps = list(online.refine(0, 31))  # 32 values, chunk 8
+        assert len(steps) == 1 + 4
+
+    def test_point_query(self, setup):
+        data, online = setup
+        steps = list(online.refine(13, 13))
+        assert steps[-1].estimate == pytest.approx(data[13])
+
+
+class TestAnswer:
+    def test_stops_at_tolerance(self, setup):
+        data, online = setup
+        result = online.answer(0, 60, tolerance=1e12)
+        assert result.fraction_scanned == 0.0  # synopsis alone suffices
+
+    def test_zero_tolerance_scans_everything(self, setup):
+        data, online = setup
+        result = online.answer(4, 59, tolerance=0.0)
+        assert result.bound == 0.0
+        assert result.estimate == pytest.approx(data[4:60].sum())
+
+
+class TestValidation:
+    def test_chunk_validated(self, medium_data):
+        histogram = build_a0(medium_data, 3)
+        with pytest.raises(InvalidParameterError, match="chunk"):
+            OnlineRangeEstimator(medium_data, histogram, chunk=0)
+
+    def test_domain_mismatch(self, medium_data):
+        histogram = build_a0(medium_data[:32], 3)
+        with pytest.raises(InvalidParameterError, match="does not match"):
+            OnlineRangeEstimator(medium_data, histogram)

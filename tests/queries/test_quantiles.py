@@ -1,0 +1,84 @@
+"""Tests for quantile estimation from synopses."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sap import build_sap1
+from repro.errors import InvalidParameterError
+from repro.queries.exact import ExactRangeSum
+from repro.queries.quantiles import estimate_median, estimate_quantile, prefix_estimates
+from repro.wavelets.point_topb import PointTopBWavelet
+
+
+def exact_quantile_index(data, q, low=0, high=None):
+    """Smallest index whose cumulative mass reaches q of the window total."""
+    data = np.asarray(data, dtype=float)
+    high = data.size - 1 if high is None else high
+    window = data[low : high + 1]
+    cumulative = np.cumsum(window)
+    total = cumulative[-1]
+    if total <= 0:
+        return low
+    return low + int(np.searchsorted(cumulative, q * total, side="left"))
+
+
+class TestWithExactOracle:
+    """With the exact oracle the inversion must be exact."""
+
+    def test_matches_reference(self, medium_data):
+        oracle = ExactRangeSum(medium_data)
+        for q in (0.0, 0.1, 0.5, 0.9, 1.0):
+            assert estimate_quantile(oracle, q) == exact_quantile_index(medium_data, q)
+
+    def test_windowed(self, medium_data):
+        oracle = ExactRangeSum(medium_data)
+        assert estimate_quantile(oracle, 0.5, low=10, high=40) == exact_quantile_index(
+            medium_data, 0.5, low=10, high=40
+        )
+
+    def test_median_alias(self, medium_data):
+        oracle = ExactRangeSum(medium_data)
+        assert estimate_median(oracle) == estimate_quantile(oracle, 0.5)
+
+
+class TestWithSynopses:
+    def test_histogram_quantile_close(self, medium_data):
+        synopsis = build_sap1(medium_data, 8)
+        truth = exact_quantile_index(medium_data, 0.5)
+        estimate = estimate_quantile(synopsis, 0.5)
+        assert abs(estimate - truth) <= medium_data.size // 8
+
+    def test_wavelet_nonmonotone_prefix_handled(self, medium_data):
+        """Wavelet prefix reconstructions can dip; the running-max
+        inversion must still return an in-range, sane index."""
+        synopsis = PointTopBWavelet(medium_data, 6)
+        estimates = prefix_estimates(synopsis)
+        index = estimate_quantile(synopsis, 0.5)
+        assert 0 <= index < medium_data.size
+
+    def test_zero_mass_window(self):
+        data = np.zeros(16)
+        data[10] = 5.0
+        synopsis = ExactRangeSum(data)
+        assert estimate_quantile(synopsis, 0.5, low=0, high=5) == 0
+
+    def test_q_bounds_validated(self, medium_data):
+        with pytest.raises(InvalidParameterError):
+            estimate_quantile(ExactRangeSum(medium_data), 1.5)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    data=st.lists(st.integers(0, 50), min_size=2, max_size=40).map(
+        lambda xs: np.asarray(xs, dtype=float)
+    ),
+    q=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_property_exact_oracle_inversion(data, q):
+    oracle = ExactRangeSum(data)
+    index = estimate_quantile(oracle, q)
+    assert 0 <= index < data.size
+    if data.sum() > 0:
+        assert index == exact_quantile_index(data, q)

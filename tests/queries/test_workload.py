@@ -1,0 +1,128 @@
+"""Tests for workload factories."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError, InvalidQueryError
+from repro.queries.workload import (
+    Workload,
+    all_ranges,
+    biased_ranges,
+    fixed_length_ranges,
+    point_queries,
+    prefix_ranges,
+    random_ranges,
+)
+
+
+class TestWorkloadValidation:
+    def test_accepts_valid(self):
+        w = Workload(n=5, lows=[0, 1], highs=[2, 4])
+        assert len(w) == 2
+        assert list(w) == [(0, 2), (1, 4)]
+
+    def test_default_weights_are_ones(self):
+        w = Workload(n=5, lows=[0], highs=[4])
+        np.testing.assert_array_equal(w.weights, [1.0])
+
+    def test_rejects_inverted(self):
+        with pytest.raises(InvalidQueryError):
+            Workload(n=5, lows=[3], highs=[1])
+
+    def test_rejects_out_of_bounds(self):
+        with pytest.raises(InvalidQueryError):
+            Workload(n=5, lows=[0], highs=[5])
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(InvalidQueryError):
+            Workload(n=5, lows=[0], highs=[1], weights=[-1.0])
+
+    def test_rejects_mismatched_weights(self):
+        with pytest.raises(InvalidQueryError):
+            Workload(n=5, lows=[0], highs=[1], weights=[1.0, 2.0])
+
+    def test_lengths(self):
+        w = Workload(n=6, lows=[0, 2], highs=[0, 5])
+        np.testing.assert_array_equal(w.lengths(), [1, 4])
+
+
+class TestAllRanges:
+    def test_count_is_triangular(self):
+        for n in (1, 2, 5, 13):
+            assert len(all_ranges(n)) == n * (n + 1) // 2
+
+    def test_covers_every_range_once(self):
+        w = all_ranges(6)
+        seen = set(zip(w.lows.tolist(), w.highs.tolist()))
+        expected = {(a, b) for a in range(6) for b in range(a, 6)}
+        assert seen == expected
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(InvalidParameterError):
+            all_ranges(0)
+
+
+class TestSpecialWorkloads:
+    def test_point_queries(self):
+        w = point_queries(4)
+        assert list(w) == [(0, 0), (1, 1), (2, 2), (3, 3)]
+
+    def test_prefix_ranges(self):
+        w = prefix_ranges(4)
+        assert list(w) == [(0, 0), (0, 1), (0, 2), (0, 3)]
+
+    def test_fixed_length(self):
+        w = fixed_length_ranges(5, 3)
+        assert list(w) == [(0, 2), (1, 3), (2, 4)]
+
+    def test_fixed_length_bounds(self):
+        with pytest.raises(InvalidParameterError):
+            fixed_length_ranges(5, 6)
+        with pytest.raises(InvalidParameterError):
+            fixed_length_ranges(5, 0)
+
+
+class TestRandomRanges:
+    def test_reproducible_with_seed(self):
+        w1 = random_ranges(50, 100, seed=9)
+        w2 = random_ranges(50, 100, seed=9)
+        np.testing.assert_array_equal(w1.lows, w2.lows)
+        np.testing.assert_array_equal(w1.highs, w2.highs)
+
+    def test_all_ranges_valid(self):
+        w = random_ranges(37, 5000, seed=1)
+        assert (w.lows <= w.highs).all()
+        assert w.lows.min() >= 0
+        assert w.highs.max() < 37
+
+    def test_uniform_over_distinct_ranges(self):
+        # Each of the 6 ranges of n=3 should appear ~1/6 of the time.
+        w = random_ranges(3, 60_000, seed=2)
+        _, counts = np.unique(w.lows * 3 + w.highs, return_counts=True)
+        assert counts.size == 6
+        np.testing.assert_allclose(counts / 60_000, 1 / 6, atol=0.01)
+
+    def test_rejects_bad_count(self):
+        with pytest.raises(InvalidParameterError):
+            random_ranges(5, 0)
+
+
+class TestBiasedRanges:
+    def test_short_ranges_dominate(self):
+        w = biased_ranges(100, 3000, seed=4, short_bias=2.0)
+        assert np.median(w.lengths()) <= 5
+
+    def test_valid_ranges(self):
+        w = biased_ranges(64, 1000, seed=5)
+        assert (w.lows <= w.highs).all()
+        assert w.highs.max() < 64
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(min_value=1, max_value=200), count=st.integers(min_value=1, max_value=500))
+def test_property_random_ranges_in_bounds(n, count):
+    w = random_ranges(n, count, seed=0)
+    assert len(w) == count
+    assert (0 <= w.lows).all() and (w.lows <= w.highs).all() and (w.highs < n).all()

@@ -1,0 +1,103 @@
+"""Tests for the Count-Min sketch."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.sketches.countmin import CountMinSketch
+
+
+class TestBasics:
+    def test_single_key(self):
+        sketch = CountMinSketch(width=64, depth=4, seed=0)
+        sketch.update(42, 5.0)
+        sketch.update(42, 2.0)
+        assert sketch.estimate(42) == pytest.approx(7.0)
+
+    def test_unseen_key_can_only_collide_upward(self):
+        sketch = CountMinSketch(width=1024, depth=4, seed=1)
+        sketch.update_many(np.arange(10), np.ones(10))
+        assert sketch.estimate(999_999) >= 0.0
+
+    def test_never_undercounts(self):
+        rng = np.random.default_rng(2)
+        keys = rng.integers(0, 500, 2000)
+        sketch = CountMinSketch(width=128, depth=4, seed=3)
+        sketch.update_many(keys, np.ones(keys.size))
+        truth = np.bincount(keys, minlength=500)
+        estimates = sketch.estimate_many(np.arange(500))
+        assert np.all(estimates >= truth - 1e-9)
+
+    def test_exact_when_width_dwarfs_keys(self):
+        rng = np.random.default_rng(4)
+        keys = rng.integers(0, 20, 300)
+        sketch = CountMinSketch(width=4096, depth=5, seed=5)
+        sketch.update_many(keys, np.ones(keys.size))
+        truth = np.bincount(keys, minlength=20)
+        np.testing.assert_allclose(sketch.estimate_many(np.arange(20)), truth)
+
+    def test_classic_error_bound_holds_statistically(self):
+        """Overcount <= e * total / width for the vast majority of keys."""
+        rng = np.random.default_rng(6)
+        keys = rng.integers(0, 5000, 20_000)
+        width, depth = 256, 5
+        sketch = CountMinSketch(width, depth, seed=7)
+        sketch.update_many(keys, np.ones(keys.size))
+        truth = np.bincount(keys, minlength=5000)
+        probe = np.arange(5000)
+        over = sketch.estimate_many(probe) - truth
+        bound = np.e * keys.size / width
+        assert (over <= bound).mean() > 0.98
+
+    def test_total_tracked(self):
+        sketch = CountMinSketch(16, 3, seed=0)
+        sketch.update_many([1, 2, 3], [1.0, 2.0, 3.0])
+        assert sketch.total == pytest.approx(6.0)
+
+    def test_storage_words(self):
+        sketch = CountMinSketch(width=100, depth=4)
+        assert sketch.storage_words() == 408
+
+    def test_geometry_validated(self):
+        with pytest.raises(InvalidParameterError):
+            CountMinSketch(0, 4)
+        with pytest.raises(InvalidParameterError):
+            CountMinSketch(8, 0)
+
+
+class TestMerge:
+    def test_merge_equals_union_stream(self):
+        rng = np.random.default_rng(8)
+        keys_a = rng.integers(0, 100, 500)
+        keys_b = rng.integers(0, 100, 700)
+        a = CountMinSketch(64, 4, seed=9)
+        b = CountMinSketch(64, 4, seed=9)
+        a.update_many(keys_a, np.ones(keys_a.size))
+        b.update_many(keys_b, np.ones(keys_b.size))
+        union = CountMinSketch(64, 4, seed=9)
+        union.update_many(np.concatenate((keys_a, keys_b)), np.ones(1200))
+        merged = a.merge(b)
+        np.testing.assert_allclose(merged.table, union.table)
+        assert merged.total == pytest.approx(union.total)
+
+    def test_mismatched_geometry_rejected(self):
+        with pytest.raises(InvalidParameterError, match="identical"):
+            CountMinSketch(64, 4, seed=0).merge(CountMinSketch(32, 4, seed=0))
+        with pytest.raises(InvalidParameterError, match="identical"):
+            CountMinSketch(64, 4, seed=0).merge(CountMinSketch(64, 4, seed=1))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    keys=st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=200),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_property_one_sided_error(keys, seed):
+    sketch = CountMinSketch(width=64, depth=4, seed=seed)
+    keys = np.asarray(keys)
+    sketch.update_many(keys, np.ones(keys.size))
+    unique, counts = np.unique(keys, return_counts=True)
+    estimates = sketch.estimate_many(unique)
+    assert np.all(estimates >= counts - 1e-9)

@@ -1,0 +1,127 @@
+"""Tests for the dyadic Count-Min range estimator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError, InvalidQueryError
+from repro.queries.exact import ExactRangeSum
+from repro.sketches.dyadic import DyadicCountMin, build_sketch, dyadic_decompose
+
+
+class TestDyadicDecompose:
+    def test_covers_exactly_every_range(self):
+        levels = 5  # domain 32
+        for low in range(32):
+            for high in range(low, 32):
+                covered = []
+                for level, block in dyadic_decompose(low, high, levels):
+                    start = block << level
+                    covered.extend(range(start, start + (1 << level)))
+                assert sorted(covered) == list(range(low, high + 1)), (low, high)
+
+    def test_block_count_logarithmic(self):
+        levels = 10  # domain 1024
+        for low, high in [(0, 1023), (1, 1022), (511, 512), (3, 900)]:
+            cover = dyadic_decompose(low, high, levels)
+            assert len(cover) <= 2 * levels + 1
+
+    def test_aligned_range_single_block(self):
+        assert dyadic_decompose(0, 31, 5) == [(5, 0)]
+        assert dyadic_decompose(16, 23, 5) == [(3, 2)]
+
+
+class TestDyadicCountMin:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        from repro.data.datasets import paper_dataset
+
+        data = paper_dataset()
+        sketch = DyadicCountMin(data, total_budget_words=2500, depth=4, seed=1)
+        return data, sketch
+
+    def test_never_undercounts(self, setup):
+        data, sketch = setup
+        exact = ExactRangeSum(data)
+        lows, highs = np.triu_indices(data.size)
+        estimates = sketch.estimate_many(lows, highs)
+        truth = exact.estimate_many(lows, highs)
+        assert np.all(estimates >= truth - 1e-9)
+
+    def test_reasonable_accuracy_at_generous_budget(self, setup):
+        data, sketch = setup
+        exact = ExactRangeSum(data)
+        lows, highs = np.triu_indices(data.size)
+        err = sketch.estimate_many(lows, highs) - exact.estimate_many(lows, highs)
+        # Mean overcount stays well below the total mass.
+        assert err.mean() < 0.05 * data.sum()
+
+    def test_streaming_equals_batch(self, setup):
+        data, batch = setup
+        stream = DyadicCountMin(
+            np.zeros(data.size), total_budget_words=2500, depth=4, seed=1
+        )
+        for index, value in enumerate(data):
+            if value:
+                stream.update(index, float(value))
+        lows, highs = np.triu_indices(data.size)
+        np.testing.assert_allclose(
+            stream.estimate_many(lows, highs), batch.estimate_many(lows, highs)
+        )
+
+    def test_merge_streams(self):
+        rng = np.random.default_rng(3)
+        data_a = rng.integers(0, 9, 64).astype(float)
+        data_b = rng.integers(0, 9, 64).astype(float)
+        a = DyadicCountMin(data_a, 1200, depth=4, seed=2)
+        b = DyadicCountMin(data_b, 1200, depth=4, seed=2)
+        union = DyadicCountMin(data_a + data_b, 1200, depth=4, seed=2)
+        merged = a.merge(b)
+        lows, highs = np.triu_indices(64)
+        np.testing.assert_allclose(
+            merged.estimate_many(lows, highs), union.estimate_many(lows, highs)
+        )
+
+    def test_merge_geometry_checked(self):
+        a = DyadicCountMin(np.zeros(64), 1200, seed=0)
+        b = DyadicCountMin(np.zeros(128), 1200, seed=0)
+        with pytest.raises(InvalidParameterError):
+            a.merge(b)
+
+    def test_update_bounds_checked(self, setup):
+        _, sketch = setup
+        with pytest.raises(InvalidQueryError):
+            sketch.update(9999, 1.0)
+
+    def test_budget_too_small(self):
+        with pytest.raises(InvalidParameterError, match="too small"):
+            DyadicCountMin(np.zeros(1024), total_budget_words=50)
+
+    def test_storage_within_budget_order(self, setup):
+        _, sketch = setup
+        assert sketch.storage_words() <= 2500
+
+    def test_registry(self, setup):
+        from repro.core.builders import build_by_name
+
+        data, _ = setup
+        estimator = build_by_name("sketch-cm", data, 2000)
+        assert estimator.name == "SKETCH-CM"
+        assert estimator.storage_words() <= 2000
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    data=st.lists(st.integers(0, 20), min_size=4, max_size=64).map(
+        lambda xs: np.asarray(xs, dtype=float)
+    ),
+    seed=st.integers(min_value=0, max_value=500),
+)
+def test_property_one_sided_range_error(data, seed):
+    sketch = DyadicCountMin(data, total_budget_words=1500, depth=4, seed=seed)
+    exact = ExactRangeSum(data)
+    lows, highs = np.triu_indices(data.size)
+    estimates = sketch.estimate_many(lows, highs)
+    truth = exact.estimate_many(lows, highs)
+    assert np.all(estimates >= truth - 1e-9)

@@ -1,0 +1,126 @@
+"""Tests for the command-line interface."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def sales_csv(tmp_path):
+    path = tmp_path / "sales.csv"
+    rng = np.random.default_rng(0)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["price", "qty"])
+        for price, qty in zip(rng.integers(1, 60, 500), rng.integers(1, 9, 500)):
+            writer.writerow([int(price), int(qty)])
+    return path
+
+
+class TestCompare:
+    def test_synthetic(self, capsys):
+        assert main(["compare", "--generate", "zipf", "--n", "48", "--seed", "3",
+                     "--budget", "24"]) == 0
+        out = capsys.readouterr().out
+        assert "Synopsis comparison" in out
+        assert "opt-a-auto" in out and "sap1" in out
+
+    def test_csv_column(self, sales_csv, capsys):
+        assert main(["compare", "--csv", str(sales_csv), "--column", "price",
+                     "--budget", "24"]) == 0
+        out = capsys.readouterr().out
+        assert "all-ranges SSE" in out
+
+    def test_missing_column_fails_cleanly(self, sales_csv, capsys):
+        assert main(["compare", "--csv", str(sales_csv), "--column", "nope"]) == 1
+        assert "not found" in capsys.readouterr().err
+
+
+class TestFigure1:
+    def test_small_sweep(self, capsys):
+        assert main([
+            "figure1", "--generate", "uniform", "--n", "32", "--seed", "1",
+            "--budgets", "12", "20",
+            "--methods", "naive", "a0", "sap1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "a0" in out
+
+
+class TestEstimate:
+    def test_count_query(self, sales_csv, capsys):
+        assert main([
+            "estimate", "--csv", str(sales_csv), "--column", "price",
+            "--table", "sales", "--method", "sap1", "--budget", "40",
+            "--query", "SELECT COUNT(*) FROM sales WHERE price BETWEEN 10 AND 30",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "estimate:" in out and "exact:" in out and "rel.err:" in out
+
+    def test_no_exact_flag(self, sales_csv, capsys):
+        assert main([
+            "estimate", "--csv", str(sales_csv), "--column", "price",
+            "--query", "SELECT SUM(price) FROM t WHERE price >= 20",
+            "--no-exact",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "estimate:" in out and "exact:" not in out
+
+    def test_bad_sql_fails_cleanly(self, sales_csv, capsys):
+        assert main([
+            "estimate", "--csv", str(sales_csv), "--column", "price",
+            "--query", "DROP TABLE t",
+        ]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestTiming:
+    def test_tiny_timing(self, capsys):
+        assert main(["timing", "--sizes", "32", "--opt-a-up-to", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "Construction time" in out
+        assert "sap1" in out
+
+
+class TestAdvise:
+    def test_ranking_printed(self, capsys):
+        assert main(["advise", "--generate", "uniform", "--n", "40", "--seed", "2",
+                     "--budget", "24"]) == 0
+        out = capsys.readouterr().out
+        assert "Advisor ranking" in out
+        assert "a0" in out
+
+
+class TestFigureChart:
+    def test_ascii_chart(self, capsys):
+        assert main([
+            "figure1", "--generate", "uniform", "--n", "32", "--seed", "1",
+            "--budgets", "12", "20", "--methods", "naive", "a0", "--chart",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "log10(SSE)" in out and "legend:" in out
+
+
+class TestInspect:
+    def test_bucket_table(self, capsys):
+        assert main(["inspect", "--generate", "zipf", "--n", "32", "--seed", "4",
+                     "--method", "a0", "--budget", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "bucket" in out and "max suffix err" in out
+
+
+class TestReport:
+    def test_report_to_file(self, tmp_path, capsys, monkeypatch):
+        # Patch the harness onto a small dataset so the test stays fast.
+        import repro.experiments.report as report_module
+
+        small = __import__("repro").data.zipf_frequencies(32, seed=1)
+        monkeypatch.setattr(report_module, "paper_dataset", lambda: small)
+        target = tmp_path / "report.md"
+        assert main(["report", "--output", str(target)]) == 0
+        text = target.read_text()
+        assert "# Reproduction report" in text and "Claim C4" in text

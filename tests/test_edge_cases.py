@@ -1,0 +1,114 @@
+"""Degenerate-input sweep across every builder and estimator.
+
+The inputs that break synopsis code in practice: single-element
+domains, all-zero mass, one spike, constants, and the tiniest budgets.
+Every registered builder must construct, answer finitely, and respect
+its storage accounting on all of them.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.builders import BUILDER_REGISTRY, build_by_name
+from repro.errors import ReproError
+
+DEGENERATE_DATASETS = {
+    "single": np.asarray([7.0]),
+    "pair": np.asarray([0.0, 5.0]),
+    "zeros": np.zeros(16),
+    "spike": np.asarray([0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1000.0]),
+    "constant": np.full(9, 3.0),
+    "alternating": np.asarray([0.0, 9.0] * 8),
+}
+
+#: Word budget generous enough for every method's minimum unit.
+BUDGET = 64
+
+ALL_METHODS = sorted(BUILDER_REGISTRY)
+
+
+@pytest.mark.parametrize("dataset_name", sorted(DEGENERATE_DATASETS))
+@pytest.mark.parametrize("method", ALL_METHODS)
+def test_every_builder_survives_degenerate_data(method, dataset_name):
+    data = DEGENERATE_DATASETS[dataset_name]
+    kwargs = (
+        {"workload": repro.all_ranges(data.size)} if method == "workload-a0" else {}
+    )
+    try:
+        estimator = build_by_name(method, data, BUDGET, **kwargs)
+    except ReproError as error:
+        # The only acceptable refusals are explicit budget/size guards.
+        assert "words" in str(error) or "too small" in str(error), (method, error)
+        return
+    value = estimator.estimate(0, data.size - 1)
+    assert np.isfinite(value), (method, dataset_name)
+    assert estimator.storage_words() > 0
+    # Point query at each end.
+    assert np.isfinite(estimator.estimate(0, 0))
+    assert np.isfinite(estimator.estimate(data.size - 1, data.size - 1))
+
+
+@pytest.mark.parametrize("method", ["a0", "sap0", "sap1", "point-opt", "minimax"])
+def test_zero_mass_builders_are_exact(method):
+    """All-zero data: every bucketed method must answer 0 everywhere."""
+    data = np.zeros(12)
+    estimator = build_by_name(method, data, 20)
+    lows, highs = np.triu_indices(12)
+    np.testing.assert_allclose(estimator.estimate_many(lows, highs), 0.0, atol=1e-9)
+
+
+def test_single_element_domain_everything():
+    """n = 1: the whole pipeline collapses gracefully."""
+    data = np.asarray([42.0])
+    hist = repro.build_a0(data, 1)
+    assert hist.estimate(0, 0) == pytest.approx(42.0)
+    assert repro.sse(hist, data) == pytest.approx(0.0)
+    report = repro.evaluate(hist, data)
+    assert report.query_count == 1
+
+    from repro.core.opt_a import opt_a_search
+
+    result = opt_a_search(data, 1)
+    assert result.objective == 0.0
+
+    wavelet = repro.build_wavelet_point(data, 1)
+    assert wavelet.estimate(0, 0) == pytest.approx(42.0)
+
+
+def test_spike_data_optimal_isolation():
+    """Optimal builders isolate a lone spike into its own bucket."""
+    data = DEGENERATE_DATASETS["spike"]
+    hist = repro.build_opt_a(data, 3)
+    spike_bucket = hist.bucket_of(11)
+    a, b = hist.bucket_ranges()[int(spike_bucket)]
+    assert a == b == 11
+    assert repro.sse(hist, data) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_constant_data_one_bucket_suffices():
+    data = DEGENERATE_DATASETS["constant"]
+    for build in (repro.build_a0, repro.build_sap0, repro.build_sap1):
+        estimator = build(data, 3)
+        assert repro.sse(estimator, data) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_engine_on_single_valued_column():
+    from repro.engine import AggregateQuery, ApproximateQueryEngine, Table
+
+    engine = ApproximateQueryEngine()
+    engine.register_table(Table("t", {"v": np.full(100, 5)}))
+    engine.build_synopsis("t", "v", method="a0", budget_words=8)
+    result = engine.execute(AggregateQuery("t", "v", "count", 5, 5), with_exact=True)
+    assert result.estimate == pytest.approx(100.0)
+    assert result.exact == 100.0
+
+
+def test_minimum_budgets_reject_cleanly():
+    data = np.arange(1, 9, dtype=float)
+    for method in ("sap1", "sap0", "sap2", "sap3"):
+        words = BUILDER_REGISTRY[method].words_per_unit
+        estimator = build_by_name(method, data, words)  # exactly one unit
+        assert estimator.storage_words() == words
+        with pytest.raises(ReproError):
+            build_by_name(method, data, words - 1)

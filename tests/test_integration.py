@@ -1,0 +1,114 @@
+"""End-to-end integration flows across modules.
+
+These tests exercise the paths a downstream user actually runs: data
+generation -> synopsis construction -> engine queries -> serialisation
+-> reload, and the experiment harnesses on small instances.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.engine import (
+    AggregateQuery,
+    ApproximateQueryEngine,
+    Table,
+    deserialize_estimator,
+    serialize_estimator,
+)
+from repro.experiments.claims import claim_reopt_gain
+from repro.experiments.figure1 import figure1_table, run_figure1
+
+
+class TestFullPipeline:
+    def test_csv_like_flow(self):
+        """Raw values -> engine -> SQL -> serialise -> reload -> same answers."""
+        rng = np.random.default_rng(11)
+        prices = rng.integers(1, 80, 5000)
+        engine = ApproximateQueryEngine()
+        engine.register_table(Table("orders", {"price": prices}))
+        engine.build_synopsis("orders", "price", method="sap1", budget_words=90)
+
+        live = engine.execute_sql(
+            "SELECT COUNT(*) FROM orders WHERE price BETWEEN 20 AND 60",
+            with_exact=True,
+        )
+        assert live.relative_error < 0.1
+
+        # Serialise the underlying count synopsis, reload, and compare
+        # on the raw frequency domain.
+        from repro.engine.column import ColumnStatistics
+
+        stats = ColumnStatistics.from_values(prices)
+        synopsis = repro.build_by_name("sap1", stats.count_frequencies, 45)
+        restored = deserialize_estimator(serialize_estimator(synopsis))
+        lows, highs = np.triu_indices(stats.domain_size)
+        np.testing.assert_allclose(
+            restored.estimate_many(lows, highs),
+            synopsis.estimate_many(lows, highs),
+        )
+
+    def test_every_registry_builder_round_trips_through_engine(self):
+        rng = np.random.default_rng(12)
+        values = rng.integers(0, 50, 3000)
+        engine = ApproximateQueryEngine()
+        engine.register_table(Table("t", {"v": values}))
+        for method in ("a0", "sap0", "sap1", "wavelet-point", "equi-depth",
+                       "point-opt", "a0-reopt"):
+            engine.build_synopsis("t", "v", method=method, budget_words=60)
+            result = engine.execute(
+                AggregateQuery("t", "v", "count", 10, 40), with_exact=True
+            )
+            assert result.relative_error < 0.5, method
+
+    def test_figure1_harness_on_small_instance(self):
+        data = repro.data.zipf_frequencies(32, alpha=1.5, scale=200, seed=4)
+        points = run_figure1(
+            data,
+            budgets=(12, 20),
+            methods=("naive", "a0", "sap1", "wavelet-point"),
+        )
+        table = figure1_table(points)
+        assert "a0" in table and "sap1" in table
+        a0 = {p.budget_words: p.sse for p in points if p.method == "a0"}
+        naive = [p.sse for p in points if p.method == "naive"][0]
+        assert all(value < naive for value in a0.values())
+
+    def test_claims_harness_on_small_instance(self):
+        data = repro.data.zipf_frequencies(48, alpha=1.8, scale=400, seed=6)
+        claim = claim_reopt_gain(data, budgets=(12, 20))
+        for budget in claim.budgets:
+            assert claim.reopt_sse[budget] <= claim.base_sse[budget] + 1e-6
+
+    def test_mixed_one_and_two_dimensional_catalog(self):
+        rng = np.random.default_rng(13)
+        day = rng.integers(1, 31, 4000)
+        price = rng.integers(1, 50, 4000)
+        engine = ApproximateQueryEngine()
+        engine.register_table(Table("sales", {"day": day, "price": price}))
+        engine.build_all_synopses(method="a0", total_budget_words=160)
+        engine.build_joint_synopsis("sales", "day", "price", budget_words=300)
+
+        single = engine.execute_sql(
+            "SELECT COUNT(*) FROM sales WHERE price BETWEEN 10 AND 30",
+            with_exact=True,
+        )
+        joint = engine.execute_sql(
+            "SELECT COUNT(*) FROM sales WHERE day BETWEEN 5 AND 20 "
+            "AND price BETWEEN 10 AND 30",
+            with_exact=True,
+        )
+        assert single.relative_error < 0.2
+        assert joint.relative_error < 0.2
+        # Conjunction can only shrink the count.
+        assert joint.exact <= single.exact
+
+    def test_workload_specialisation_pipeline(self):
+        """Generate a biased log, build a workload-aware synopsis +
+        reopt, confirm it beats the generic build on that log."""
+        data = repro.data.zipf_frequencies(96, alpha=1.6, scale=600, seed=8)
+        log = repro.queries.workload.biased_ranges(96, 1500, seed=3)
+        generic = repro.build_a0(data, 8, rounding="none")
+        aware = repro.build_workload_aware(data, 8, log)
+        tuned = repro.reoptimize_values(aware, data, workload=log)
+        assert repro.sse(tuned, data, log) <= repro.sse(generic, data, log) + 1e-6

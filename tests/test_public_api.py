@@ -1,0 +1,58 @@
+"""Sanity checks of the top-level public API surface."""
+
+import numpy as np
+import pytest
+
+import repro
+
+
+class TestPublicSurface:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_readme_style_quickstart(self):
+        data = repro.data.zipf_frequencies(64, alpha=1.8, seed=7)
+        hist = repro.build_sap1(data, n_buckets=8)
+        estimate = hist.estimate(10, 50)
+        exact = data[10:51].sum()
+        assert abs(estimate - exact) <= max(0.2 * exact, 50.0)
+        report = repro.evaluate(hist, data)
+        assert report.sse >= 0.0
+        assert report.storage_words == 40
+
+    def test_figure1_ordering_on_small_instance(self):
+        """The qualitative Figure 1 ordering on a small Zipf instance:
+        NAIVE is by far the worst; the range-optimised histograms beat
+        POINT-OPT."""
+        data = repro.data.zipf_frequencies(48, alpha=1.8, scale=500, seed=3)
+        budget = 24  # words
+        naive = repro.sse(repro.build_naive(data), data)
+        point = repro.sse(
+            repro.build_by_name("point-opt", data, budget), data
+        )
+        opt_a = repro.sse(repro.build_by_name("opt-a", data, budget), data)
+        sap1 = repro.sse(repro.build_by_name("sap1", data, budget), data)
+        assert naive > point
+        assert opt_a < point
+        assert sap1 < naive
+
+    def test_estimators_share_protocol(self):
+        data = repro.data.uniform_frequencies(32, seed=1)
+        estimators = [
+            repro.build_naive(data),
+            repro.build_a0(data, 4),
+            repro.build_sap0(data, 4),
+            repro.build_sap1(data, 4),
+            repro.build_wavelet_point(data, 4),
+            repro.build_wavelet_range(data, 4),
+            repro.ExactRangeSum(data),
+        ]
+        for estimator in estimators:
+            assert estimator.n == 32
+            value = estimator.estimate(3, 20)
+            assert np.isfinite(value)
+            assert estimator.storage_words() > 0

@@ -1,0 +1,132 @@
+"""Tests for the Haar transform and basis evaluation."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.wavelets.haar import (
+    basis_prefix,
+    basis_value,
+    haar_transform,
+    inverse_haar_transform,
+    next_power_of_two,
+)
+
+
+def explicit_basis_vector(index, n):
+    """Basis vector via the inverse transform of a unit impulse."""
+    impulse = np.zeros(n)
+    impulse[index] = 1.0
+    return inverse_haar_transform(impulse)
+
+
+class TestNextPowerOfTwo:
+    def test_values(self):
+        assert next_power_of_two(1) == 1
+        assert next_power_of_two(2) == 2
+        assert next_power_of_two(3) == 4
+        assert next_power_of_two(127) == 128
+        assert next_power_of_two(128) == 128
+
+    def test_rejects_zero(self):
+        with pytest.raises(InvalidParameterError):
+            next_power_of_two(0)
+
+
+class TestTransform:
+    def test_round_trip(self):
+        rng = np.random.default_rng(0)
+        for n in (1, 2, 4, 8, 32, 128):
+            signal = rng.normal(size=n)
+            np.testing.assert_allclose(
+                inverse_haar_transform(haar_transform(signal)), signal, atol=1e-10
+            )
+
+    def test_parseval(self):
+        rng = np.random.default_rng(1)
+        signal = rng.normal(size=64)
+        spectrum = haar_transform(signal)
+        assert (spectrum**2).sum() == pytest.approx((signal**2).sum())
+
+    def test_constant_signal_has_single_coefficient(self):
+        spectrum = haar_transform(np.full(16, 3.0))
+        assert spectrum[0] == pytest.approx(3.0 * 4.0)  # 3 * sqrt(16)
+        np.testing.assert_allclose(spectrum[1:], 0.0, atol=1e-12)
+
+    def test_known_small_case(self):
+        spectrum = haar_transform([1.0, 0.0, 0.0, 0.0])
+        np.testing.assert_allclose(spectrum, [0.5, 0.5, np.sqrt(0.5), 0.0])
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(InvalidParameterError, match="power of two"):
+            haar_transform([1.0, 2.0, 3.0])
+
+    def test_linearity(self):
+        rng = np.random.default_rng(2)
+        x, y = rng.normal(size=16), rng.normal(size=16)
+        np.testing.assert_allclose(
+            haar_transform(2.0 * x + y),
+            2.0 * haar_transform(x) + haar_transform(y),
+            atol=1e-10,
+        )
+
+
+class TestBasisVectors:
+    def test_orthonormality(self):
+        n = 16
+        basis = np.array([explicit_basis_vector(i, n) for i in range(n)])
+        np.testing.assert_allclose(basis @ basis.T, np.eye(n), atol=1e-10)
+
+    def test_basis_value_matches_explicit_vectors(self):
+        n = 16
+        positions = np.arange(n)
+        for index in range(n):
+            np.testing.assert_allclose(
+                basis_value(index, positions, n),
+                explicit_basis_vector(index, n),
+                atol=1e-10,
+            )
+
+    def test_transform_is_inner_product_with_basis(self):
+        rng = np.random.default_rng(3)
+        n = 32
+        signal = rng.normal(size=n)
+        spectrum = haar_transform(signal)
+        for index in (0, 1, 2, 5, 17, 31):
+            vector = basis_value(index, np.arange(n), n)
+            assert spectrum[index] == pytest.approx(float(vector @ signal))
+
+    def test_basis_prefix_matches_cumsum(self):
+        n = 32
+        positions = np.arange(n)
+        for index in range(n):
+            vector = basis_value(index, positions, n)
+            np.testing.assert_allclose(
+                basis_prefix(index, positions, n), np.cumsum(vector), atol=1e-10
+            )
+
+    def test_basis_prefix_at_minus_one_is_zero(self):
+        for index in (0, 1, 3, 9):
+            assert basis_prefix(index, np.asarray([-1]), 16)[0] == 0.0
+
+    def test_details_sum_to_zero(self):
+        n = 16
+        for index in range(1, n):
+            assert basis_value(index, np.arange(n), n).sum() == pytest.approx(0.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    exponent=st.integers(min_value=0, max_value=7),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_round_trip_and_parseval(exponent, seed):
+    n = 2**exponent
+    signal = np.random.default_rng(seed).normal(size=n)
+    spectrum = haar_transform(signal)
+    np.testing.assert_allclose(inverse_haar_transform(spectrum), signal, atol=1e-8)
+    assert (spectrum**2).sum() == pytest.approx((signal**2).sum())

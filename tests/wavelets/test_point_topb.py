@@ -1,0 +1,79 @@
+"""Tests for the point top-B wavelet synopsis (TOPBB)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.queries.evaluation import sse
+from repro.queries.workload import point_queries
+from repro.wavelets.haar import haar_transform, inverse_haar_transform
+from repro.wavelets.point_topb import PointTopBWavelet
+
+
+class TestPointTopB:
+    def test_all_coefficients_reconstruct_exactly(self, small_data):
+        synopsis = PointTopBWavelet(small_data, small_data.size)
+        # Padded length is 16, but 12 coefficients may not suffice;
+        # compare against the best-12 reconstruction instead of exact.
+        padded = np.zeros(16)
+        padded[:12] = small_data
+        spectrum = haar_transform(padded)
+        keep = np.sort(np.argsort(-np.abs(spectrum), kind="stable")[:12])
+        truncated = spectrum.copy()
+        mask = np.ones(16, dtype=bool)
+        mask[keep] = False
+        truncated[mask] = 0.0
+        reconstruction = inverse_haar_transform(truncated)
+        for a in range(12):
+            for b in range(a, 12):
+                assert synopsis.estimate(a, b) == pytest.approx(
+                    reconstruction[a : b + 1].sum(), abs=1e-8
+                )
+
+    def test_power_of_two_exact_with_full_budget(self):
+        rng = np.random.default_rng(1)
+        data = rng.integers(0, 50, 16).astype(float)
+        synopsis = PointTopBWavelet(data, 16)
+        for a, b in [(0, 15), (3, 9), (7, 7), (0, 0)]:
+            assert synopsis.estimate(a, b) == pytest.approx(data[a : b + 1].sum())
+
+    def test_point_sse_optimal_among_subsets(self):
+        """Parseval: top-B by |coefficient| minimises point SSE over all
+        size-B subsets (verified by enumeration on a small signal)."""
+        rng = np.random.default_rng(2)
+        data = rng.integers(0, 30, 8).astype(float)
+        budget = 3
+        synopsis = PointTopBWavelet(data, budget)
+        workload = point_queries(8)
+        best_sse = sse(synopsis, data, workload)
+        spectrum = haar_transform(data)
+        for subset in itertools.combinations(range(8), budget):
+            truncated = np.zeros(8)
+            for index in subset:
+                truncated[index] = spectrum[index]
+            reconstruction = inverse_haar_transform(truncated)
+            subset_sse = float(((reconstruction - data) ** 2).sum())
+            assert best_sse <= subset_sse + 1e-8
+
+    def test_storage_words(self, small_data):
+        synopsis = PointTopBWavelet(small_data, 5)
+        assert synopsis.storage_words() == 10
+        assert synopsis.name == "TOPBB"
+
+    def test_monotone_quality_in_budget(self, medium_data):
+        errors = [
+            sse(PointTopBWavelet(medium_data, b), medium_data, point_queries(64))
+            for b in (2, 8, 32, 64)
+        ]
+        assert all(e1 >= e2 - 1e-8 for e1, e2 in zip(errors, errors[1:]))
+
+    def test_budget_validation(self, small_data):
+        with pytest.raises(InvalidParameterError):
+            PointTopBWavelet(small_data, 0)
+
+    def test_constant_data_one_coefficient_enough(self):
+        data = np.full(16, 9.0)
+        synopsis = PointTopBWavelet(data, 1)
+        assert synopsis.estimate(2, 13) == pytest.approx(data[2:14].sum())
