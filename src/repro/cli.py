@@ -167,19 +167,96 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _print_engine_stats(engine: ApproximateQueryEngine) -> None:
+    stats = engine.stats()
+    hits = stats.pop("synopsis_hits")
+    print("engine stats:")
+    for key in sorted(stats):
+        value = stats[key]
+        rendered = f"{value:.6g}" if isinstance(value, float) else value
+        print(f"  {key}: {rendered}")
+    for column, count in sorted(hits.items()):
+        print(f"  hits[{column}]: {count}")
+
+
+def _print_query_result(result, prefix: str = "") -> None:
+    if isinstance(result, list):  # GROUP BY → list[GroupResult]
+        for row in result:
+            line = f"{prefix}group {row.group:g}: estimate {row.estimate:.2f}"
+            if row.exact is not None:
+                line += f"  exact {row.exact:.2f}"
+            print(line)
+        return
+    print(f"{prefix}estimate: {result.estimate:.2f}")
+    if result.exact is not None:
+        print(f"{prefix}exact:    {result.exact:.2f}")
+        relative = getattr(result, "relative_error", None)
+        if relative is not None:
+            print(f"{prefix}rel.err:  {relative:.2%}")
+    words = getattr(result, "synopsis_words", None)
+    suffix = f" ({words} words)" if words is not None else ""
+    print(f"{prefix}synopsis: {result.synopsis_name}{suffix}")
+
+
 def _cmd_estimate(args) -> int:
+    from repro.engine.engine import AggregateQuery
+    from repro.engine.sql import parse_query
+
     raw = _read_csv_column(args.csv, args.column)
     engine = ApproximateQueryEngine()
     engine.register_table(Table(args.table, {args.column: np.round(raw).astype(np.int64)}))
     engine.build_synopsis(
         args.table, args.column, method=args.method, budget_words=args.budget
     )
-    result = engine.execute_sql(args.query, with_exact=not args.no_exact)
-    print(f"estimate: {result.estimate:.2f}")
-    if result.exact is not None:
-        print(f"exact:    {result.exact:.2f}")
-        print(f"rel.err:  {result.relative_error:.2%}")
-    print(f"synopsis: {result.synopsis_name} ({result.synopsis_words} words)")
+    statements = args.query
+    if len(statements) == 1:
+        result = engine.execute_sql(statements[0], with_exact=not args.no_exact)
+        _print_query_result(result)
+    else:
+        parsed = [parse_query(statement) for statement in statements]
+        if all(isinstance(query, AggregateQuery) for query in parsed):
+            results = engine.execute_batch(parsed, with_exact=not args.no_exact)
+        else:
+            results = [
+                engine.execute_sql(statement, with_exact=not args.no_exact)
+                for statement in statements
+            ]
+        for statement, result in zip(statements, results):
+            print(f"-- {statement}")
+            _print_query_result(result, prefix="   ")
+    if args.stats:
+        _print_engine_stats(engine)
+    return 0
+
+
+def _cmd_bench_batch(args) -> int:
+    from repro.experiments.batching import run_batch_benchmark
+
+    result = run_batch_benchmark(
+        row_count=args.rows,
+        domain=args.domain,
+        query_count=args.queries,
+        method=args.method,
+        budget_words=args.budget,
+    )
+    rows = [
+        ["scalar execute() loop", result.scalar_seconds, result.scalar_qps],
+        ["execute_batch()", result.batch_seconds, result.batch_qps],
+    ]
+    print(
+        format_table(
+            ["path", "seconds", "queries/sec"],
+            rows,
+            title=(
+                f"Batch pipeline ({result.query_count} queries, "
+                f"{result.row_count} rows, {args.method})"
+            ),
+        )
+    )
+    print(
+        f"speedup: {result.speedup:.1f}x   "
+        f"max |estimate diff|: {result.max_abs_difference:.3g}"
+    )
     return 0
 
 
@@ -245,9 +322,28 @@ def build_parser() -> argparse.ArgumentParser:
     estimate.add_argument("--table", default="t", help="table name used in the query")
     estimate.add_argument("--method", default="sap1", choices=sorted(BUILDER_REGISTRY))
     estimate.add_argument("--budget", type=int, default=64)
-    estimate.add_argument("--query", required=True, help="e.g. 'SELECT COUNT(*) FROM t WHERE x BETWEEN 1 AND 9'")
+    estimate.add_argument(
+        "--query",
+        required=True,
+        action="append",
+        help="e.g. 'SELECT COUNT(*) FROM t WHERE x BETWEEN 1 AND 9'; "
+        "repeat to answer several (aggregates ride the batch pipeline)",
+    )
     estimate.add_argument("--no-exact", action="store_true", help="skip the exact scan")
+    estimate.add_argument(
+        "--stats", action="store_true", help="print the engine's execution counters"
+    )
     estimate.set_defaults(handler=_cmd_estimate)
+
+    bench_batch = commands.add_parser(
+        "bench-batch", help="time scalar execute() against execute_batch()"
+    )
+    bench_batch.add_argument("--rows", type=int, default=100_000)
+    bench_batch.add_argument("--domain", type=int, default=1024)
+    bench_batch.add_argument("--queries", type=int, default=10_000)
+    bench_batch.add_argument("--method", default="sap1", choices=sorted(BUILDER_REGISTRY))
+    bench_batch.add_argument("--budget", type=int, default=128)
+    bench_batch.set_defaults(handler=_cmd_bench_batch)
 
     report = commands.add_parser("report", help="full reproduction report (markdown)")
     report.add_argument("--output", help="write to a file instead of stdout")

@@ -10,6 +10,7 @@ under a global space budget with exact and approximate executors
 and binary (de)serialisation of synopses (:mod:`storage`).
 """
 
+from repro.engine.batch import BatchQuery
 from repro.engine.column import ColumnStatistics, JointColumnStatistics
 from repro.engine.table import Table
 from repro.engine.engine import (
@@ -28,6 +29,7 @@ from repro.engine.sql import parse_query
 from repro.engine.storage import deserialize_estimator, serialize_estimator
 
 __all__ = [
+    "BatchQuery",
     "ColumnStatistics",
     "JointColumnStatistics",
     "JointAggregateQuery",

@@ -133,6 +133,24 @@ class ColumnStatistics:
             return None
         return low_index, high_index
 
+    def clip_range_many(
+        self, lows, highs
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorised :meth:`clip_range` over parallel bound arrays.
+
+        ``-inf`` / ``+inf`` stand in for open endpoints.  Returns
+        ``(low_idx, high_idx, valid)``; entries with ``valid[i] False``
+        select no domain value and their indices are meaningless.
+        """
+        lows = np.asarray(lows, dtype=np.float64)
+        highs = np.asarray(highs, dtype=np.float64)
+        low_idx = np.searchsorted(self.values_axis, lows, side="left").astype(np.int64)
+        high_idx = (
+            np.searchsorted(self.values_axis, highs, side="right").astype(np.int64) - 1
+        )
+        valid = (low_idx <= high_idx) & (low_idx < self.domain_size) & (high_idx >= 0)
+        return low_idx, high_idx, valid
+
 
 @dataclass(frozen=True)
 class JointColumnStatistics:

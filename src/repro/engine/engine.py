@@ -14,8 +14,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.builders import BUILDER_REGISTRY, build_by_name
+from repro.engine.batch import BatchExecutionMixin, BatchQuery  # noqa: F401  (re-exported)
 from repro.engine.column import ColumnStatistics
-from repro.engine.grouped import GroupedAggregateQuery, GroupedSynopsisMixin
+from repro.engine.grouped import GroupedAggregateQuery, GroupedSynopsisMixin, GroupResult
 from repro.engine.joint import JointAggregateQuery, JointSynopsisMixin
 from repro.engine.table import Table
 from repro.errors import InvalidParameterError, InvalidQueryError
@@ -94,6 +95,10 @@ class QuantileQuery:
     def __post_init__(self) -> None:
         if not 0.0 <= self.q <= 1.0:
             raise InvalidQueryError(f"quantile must be in [0, 1], got {self.q}")
+        if self.low is not None and self.high is not None and self.low > self.high:
+            raise InvalidQueryError(
+                f"BETWEEN bounds are inverted: [{self.low}, {self.high}]"
+            )
 
 
 @dataclass(frozen=True)
@@ -141,12 +146,45 @@ class _ColumnSynopses:
         return compute_error_envelope(estimator, frequencies), estimator
 
 
-class ApproximateQueryEngine(JointSynopsisMixin, GroupedSynopsisMixin):
+def _build_column_entry(
+    values, method: str, budget_words: int, **builder_kwargs
+) -> _ColumnSynopses:
+    """Build one column's COUNT and SUM synopses from its raw values.
+
+    Pure function of its inputs — safe to run in worker threads for
+    :meth:`ApproximateQueryEngine.build_all_synopses` (``parallel=True``).
+    """
+    statistics = ColumnStatistics.from_values(values)
+    if method == "auto":
+        from repro.engine.advisor import best_method
+
+        method = best_method(statistics.count_frequencies, max(budget_words // 2, 4))
+    if method not in BUILDER_REGISTRY:
+        raise InvalidParameterError(
+            f"unknown synopsis method {method!r}; available: "
+            f"{sorted(BUILDER_REGISTRY)} or 'auto'"
+        )
+    half = max(budget_words // 2, BUILDER_REGISTRY[method].words_per_unit)
+    count_est = build_by_name(method, statistics.count_frequencies, half, **builder_kwargs)
+    sum_est = build_by_name(method, statistics.sum_frequencies, half, **builder_kwargs)
+    return _ColumnSynopses(
+        statistics=statistics,
+        count_estimator=count_est,
+        sum_estimator=sum_est,
+        method=method,
+        budget_words=budget_words,
+        builder_kwargs=dict(builder_kwargs),
+    )
+
+
+class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSynopsisMixin):
     """Catalog of tables and per-column synopses answering range aggregates.
 
     Single-column range aggregates (COUNT/SUM/AVG) answer from 1-D
     synopses; two-column conjunctive predicates answer from 2-D joint
-    synopses via :class:`repro.engine.joint.JointSynopsisMixin`.
+    synopses via :class:`repro.engine.joint.JointSynopsisMixin`; bulk
+    workloads ride :meth:`execute_batch` from
+    :class:`repro.engine.batch.BatchExecutionMixin`.
     """
 
     def __init__(self) -> None:
@@ -154,17 +192,45 @@ class ApproximateQueryEngine(JointSynopsisMixin, GroupedSynopsisMixin):
         self._synopses: dict[tuple[str, str], _ColumnSynopses] = {}
         self._stale: set[tuple[str, str]] = set()
         self._joint_synopses: dict[tuple[str, str, str], object] = {}
+        self._stale_joint: set[tuple[str, str, str]] = set()
         self._grouped_synopses: dict[tuple[str, str, str], dict] = {}
+        self._grouped_configs: dict[tuple[str, str, str], dict] = {}
+        self._stale_grouped: set[tuple[str, str, str]] = set()
+        self._stats: dict = {
+            "queries": 0,
+            "batch_queries": 0,
+            "batches": 0,
+            "joint_queries": 0,
+            "grouped_queries": 0,
+            "exact_scans": 0,
+            "stale_served": 0,
+            "rebuilds": 0,
+            "synopsis_hits": {},
+            "last_batch_seconds": 0.0,
+            "last_batch_qps": 0.0,
+            "total_batch_seconds": 0.0,
+        }
 
     # ------------------------------------------------------------------
     # Catalog management
     # ------------------------------------------------------------------
     def register_table(self, table: Table) -> None:
-        """Add (or replace) a table; drops its previous synopses."""
+        """Add (or replace) a table; drops its previous synopses.
+
+        Every kind of synopsis for the table is dropped — 1-D, joint,
+        and grouped — since all of them summarise the replaced data.
+        """
         self._tables[table.name] = table
         for key in [key for key in self._synopses if key[0] == table.name]:
             del self._synopses[key]
             self._stale.discard(key)
+        for key in [key for key in self._joint_synopses if key[0] == table.name]:
+            del self._joint_synopses[key]
+            self._stale_joint.discard(key)
+        for key in [key for key in self._grouped_synopses if key[0] == table.name]:
+            del self._grouped_synopses[key]
+            self._grouped_configs.pop(key, None)
+            self._stale_grouped.discard(key)
 
     def table(self, name: str) -> Table:
         if name not in self._tables:
@@ -189,38 +255,31 @@ class ApproximateQueryEngine(JointSynopsisMixin, GroupedSynopsisMixin):
         derived as SUM/COUNT).
         """
         table = self.table(table_name)
-        statistics = ColumnStatistics.from_values(table.column(column_name))
-        if method == "auto":
-            from repro.engine.advisor import best_method
-
-            method = best_method(
-                statistics.count_frequencies, max(budget_words // 2, 4)
-            )
-        if method not in BUILDER_REGISTRY:
-            raise InvalidParameterError(
-                f"unknown synopsis method {method!r}; available: "
-                f"{sorted(BUILDER_REGISTRY)} or 'auto'"
-            )
-        half = max(budget_words // 2, BUILDER_REGISTRY[method].words_per_unit)
-        count_est = build_by_name(method, statistics.count_frequencies, half, **builder_kwargs)
-        sum_est = build_by_name(method, statistics.sum_frequencies, half, **builder_kwargs)
-        self._synopses[(table_name, column_name)] = _ColumnSynopses(
-            statistics=statistics,
-            count_estimator=count_est,
-            sum_estimator=sum_est,
-            method=method,
-            budget_words=budget_words,
-            builder_kwargs=dict(builder_kwargs),
+        entry = _build_column_entry(
+            table.column(column_name), method, budget_words, **builder_kwargs
         )
+        self._synopses[(table_name, column_name)] = entry
         self._stale.discard((table_name, column_name))
 
     def build_all_synopses(
-        self, *, method: str = "sap1", total_budget_words: int = 512, **builder_kwargs
+        self,
+        *,
+        method: str = "sap1",
+        total_budget_words: int = 512,
+        parallel: bool = False,
+        max_workers: int | None = None,
+        **builder_kwargs,
     ) -> None:
         """Build synopses for every column of every table, splitting a
         global word budget evenly across columns (a simple catalog
         policy; callers needing weighted budgets use
-        :meth:`build_synopsis` per column)."""
+        :meth:`build_synopsis` per column).
+
+        ``parallel=True`` runs the per-column builds in a thread pool —
+        they are independent of each other and the heavy numpy kernels
+        release the GIL, so a multi-column catalog builds concurrently.
+        The resulting catalog is identical to a serial build.
+        """
         columns = [
             (table.name, column)
             for table in self._tables.values()
@@ -229,6 +288,24 @@ class ApproximateQueryEngine(JointSynopsisMixin, GroupedSynopsisMixin):
         if not columns:
             return
         per_column = max(total_budget_words // len(columns), 4)
+        if parallel and len(columns) > 1:
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                futures = {
+                    key: pool.submit(
+                        _build_column_entry,
+                        self._tables[key[0]].column(key[1]),
+                        method,
+                        per_column,
+                        **builder_kwargs,
+                    )
+                    for key in columns
+                }
+            for key, future in futures.items():
+                self._synopses[key] = future.result()
+                self._stale.discard(key)
+            return
         for table_name, column_name in columns:
             self.build_synopsis(
                 table_name,
@@ -256,27 +333,39 @@ class ApproximateQueryEngine(JointSynopsisMixin, GroupedSynopsisMixin):
     # Data evolution
     # ------------------------------------------------------------------
     def append_rows(self, table_name: str, rows: dict) -> None:
-        """Append rows to a table; its synopses become *stale*.
+        """Append rows to a table; *all* its synopses become *stale*.
 
-        Stale synopses still answer (they summarise the pre-append
-        data); :meth:`execute` takes an ``on_stale`` policy and
-        :meth:`refresh_stale` rebuilds them with their original method
-        and budget.
+        Staleness covers the 1-D, joint, and grouped synopses of the
+        table alike — each summarises the pre-append data.  Stale
+        synopses still answer; the execute paths take an ``on_stale``
+        policy and :meth:`refresh_stale` rebuilds them with their
+        original method and budget.
         """
         table = self.table(table_name)
         self._tables[table_name] = table.with_appended(rows)
         for key in self._synopses:
             if key[0] == table_name:
                 self._stale.add(key)
+        for key in self._joint_synopses:
+            if key[0] == table_name:
+                self._stale_joint.add(key)
+        for key in self._grouped_synopses:
+            if key[0] == table_name:
+                self._stale_grouped.add(key)
 
     def stale_synopses(self) -> list[tuple[str, str]]:
-        """The (table, column) pairs whose synopses predate appends."""
+        """The (table, column) pairs whose 1-D synopses predate appends.
+
+        Joint and grouped staleness is reported by
+        :meth:`stale_joint_synopses` / :meth:`stale_grouped_synopses`.
+        """
         return sorted(self._stale)
 
     def refresh_stale(self) -> int:
         """Rebuild every stale synopsis with its recorded configuration.
 
-        Returns the number of synopses rebuilt.
+        Covers 1-D, joint, and grouped synopses; returns the number of
+        synopses rebuilt.
         """
         rebuilt = 0
         for key in list(self._stale):
@@ -289,6 +378,21 @@ class ApproximateQueryEngine(JointSynopsisMixin, GroupedSynopsisMixin):
                 **entry.builder_kwargs,
             )
             rebuilt += 1
+        for key in list(self._stale_joint):
+            entry = self._joint_synopses[key]
+            self.build_joint_synopsis(
+                key[0],
+                key[1],
+                key[2],
+                method=entry.method,
+                budget_words=entry.budget_words,
+            )
+            rebuilt += 1
+        for key in list(self._stale_grouped):
+            config = self._grouped_configs[key]
+            self.build_grouped_synopsis(key[0], key[1], key[2], **config)
+            rebuilt += 1
+        self._stats["rebuilds"] += rebuilt
         return rebuilt
 
     # ------------------------------------------------------------------
@@ -310,6 +414,63 @@ class ApproximateQueryEngine(JointSynopsisMixin, GroupedSynopsisMixin):
             return float(selected.sum())
         return float(selected.mean()) if selected.size else 0.0
 
+    def _resolve_synopsis(
+        self, table_name: str, column_name: str, on_stale: str
+    ) -> _ColumnSynopses:
+        """Look up a 1-D synopsis, applying the staleness policy.
+
+        Shared by the scalar and batch execute paths; ``on_stale`` must
+        already be validated by the caller.
+        """
+        key = (table_name, column_name)
+        if key not in self._synopses:
+            raise InvalidQueryError(
+                f"no synopsis built for {table_name}.{column_name}; "
+                "call build_synopsis first"
+            )
+        if key in self._stale:
+            if on_stale == "error":
+                raise InvalidQueryError(
+                    f"synopsis for {table_name}.{column_name} is stale "
+                    "(rows appended since build); refresh_stale() or pass "
+                    "on_stale='rebuild'"
+                )
+            if on_stale == "rebuild":
+                entry = self._synopses[key]
+                self.build_synopsis(
+                    key[0],
+                    key[1],
+                    method=entry.method,
+                    budget_words=entry.budget_words,
+                    **entry.builder_kwargs,
+                )
+                self._stats["rebuilds"] += 1
+            else:
+                self._stats["stale_served"] += 1
+        return self._synopses[key]
+
+    def stats(self) -> dict:
+        """A snapshot of the engine's execution counters.
+
+        Keys: scalar/batch/joint/grouped query counts, ``batches``,
+        ``exact_scans``, ``stale_served``, ``rebuilds``, per-column
+        ``synopsis_hits``, the last batch's wall time and queries/sec
+        (``last_batch_seconds`` / ``last_batch_qps``), cumulative
+        ``total_batch_seconds``, and the current stale-set sizes.
+        """
+        snapshot = dict(self._stats)
+        snapshot["synopsis_hits"] = dict(self._stats["synopsis_hits"])
+        snapshot["total_queries"] = (
+            snapshot["queries"]
+            + snapshot["batch_queries"]
+            + snapshot["joint_queries"]
+            + snapshot["grouped_queries"]
+        )
+        snapshot["stale_1d"] = len(self._stale)
+        snapshot["stale_joint"] = len(self._stale_joint)
+        snapshot["stale_grouped"] = len(self._stale_grouped)
+        return snapshot
+
     def execute(
         self,
         query: AggregateQuery,
@@ -329,29 +490,13 @@ class ApproximateQueryEngine(JointSynopsisMixin, GroupedSynopsisMixin):
             raise InvalidParameterError(
                 f"on_stale must be serve, rebuild, or error, got {on_stale!r}"
             )
-        key = (query.table, query.column)
-        if key not in self._synopses:
-            raise InvalidQueryError(
-                f"no synopsis built for {query.table}.{query.column}; "
-                "call build_synopsis first"
-            )
-        if key in self._stale:
-            if on_stale == "error":
-                raise InvalidQueryError(
-                    f"synopsis for {query.table}.{query.column} is stale "
-                    "(rows appended since build); refresh_stale() or pass "
-                    "on_stale='rebuild'"
-                )
-            if on_stale == "rebuild":
-                entry = self._synopses[key]
-                self.build_synopsis(
-                    key[0],
-                    key[1],
-                    method=entry.method,
-                    budget_words=entry.budget_words,
-                    **entry.builder_kwargs,
-                )
-        entry = self._synopses[key]
+        entry = self._resolve_synopsis(query.table, query.column, on_stale)
+        self._stats["queries"] += 1
+        hits = self._stats["synopsis_hits"]
+        hit_key = f"{query.table}.{query.column}"
+        hits[hit_key] = hits.get(hit_key, 0) + 1
+        if with_exact:
+            self._stats["exact_scans"] += 1
         clipped = entry.statistics.clip_range(query.low, query.high)
         if clipped is None:
             estimate = 0.0
@@ -445,11 +590,16 @@ class ApproximateQueryEngine(JointSynopsisMixin, GroupedSynopsisMixin):
             synopsis_name=entry.count_estimator.name,
         )
 
-    def execute_sql(self, statement: str, *, with_exact: bool = False) -> QueryResult:
+    def execute_sql(
+        self, statement: str, *, with_exact: bool = False
+    ) -> QueryResult | QuantileResult | list[GroupResult]:
         """Parse and run one statement of the mini SQL dialect.
 
         Single-column predicates route to the 1-D synopses; two-column
-        BETWEEN conjunctions route to the joint synopses.
+        BETWEEN conjunctions route to the joint synopses.  Aggregates
+        return a :class:`QueryResult`, quantile/median statements a
+        :class:`QuantileResult`, and GROUP BY statements a list of
+        :class:`~repro.engine.grouped.GroupResult`.
         """
         from repro.engine.sql import parse_query
 

@@ -57,7 +57,13 @@ class GroupResult:
 
 
 class GroupedSynopsisMixin:
-    """Per-group synopsis catalog; mixed into the engine."""
+    """Per-group synopsis catalog; mixed into the engine.
+
+    Relies on the host class providing ``self.table(name)`` plus the
+    ``self._grouped_synopses`` / ``self._grouped_configs`` dicts,
+    ``self._stale_grouped`` set, and ``self._stats`` counters
+    initialised in ``__init__``.
+    """
 
     def build_grouped_synopsis(
         self,
@@ -111,12 +117,36 @@ class GroupedSynopsisMixin:
                 budget_words=per_group * 2,
                 builder_kwargs={},
             )
-        self._grouped_synopses[(table_name, column_name, group_by)] = catalog
+        key = (table_name, column_name, group_by)
+        self._grouped_synopses[key] = catalog
+        self._grouped_configs[key] = {
+            "method": method,
+            "budget_words": budget_words,
+            "max_groups": max_groups,
+        }
+        self._stale_grouped.discard(key)
+
+    def stale_grouped_synopses(self) -> list[tuple[str, str, str]]:
+        """The (table, column, group_by) triples whose grouped synopses predate appends."""
+        return sorted(self._stale_grouped)
 
     def execute_grouped(
-        self, query: GroupedAggregateQuery, *, with_exact: bool = False
+        self,
+        query: GroupedAggregateQuery,
+        *,
+        with_exact: bool = False,
+        on_stale: str = "serve",
     ) -> list[GroupResult]:
-        """Answer one grouped aggregate; one :class:`GroupResult` per group."""
+        """Answer one grouped aggregate; one :class:`GroupResult` per group.
+
+        ``on_stale`` matches the 1-D execute path: ``"serve"`` answers
+        from stale per-group synopses, ``"rebuild"`` refreshes the whole
+        grouped catalog first, ``"error"`` refuses.
+        """
+        if on_stale not in ("serve", "rebuild", "error"):
+            raise InvalidParameterError(
+                f"on_stale must be serve, rebuild, or error, got {on_stale!r}"
+            )
         key = (query.table, query.column, query.group_by)
         catalog = self._grouped_synopses.get(key)
         if catalog is None:
@@ -124,6 +154,22 @@ class GroupedSynopsisMixin:
                 f"no grouped synopsis for {query.table}.{query.column} "
                 f"GROUP BY {query.group_by}; call build_grouped_synopsis first"
             )
+        if key in self._stale_grouped:
+            if on_stale == "error":
+                raise InvalidQueryError(
+                    f"grouped synopsis for {key[0]}.{key[1]} GROUP BY {key[2]} "
+                    "is stale (rows appended since build); refresh_stale() or "
+                    "pass on_stale='rebuild'"
+                )
+            if on_stale == "rebuild":
+                self.build_grouped_synopsis(
+                    key[0], key[1], key[2], **self._grouped_configs[key]
+                )
+                self._stats["rebuilds"] += 1
+                catalog = self._grouped_synopses[key]
+            else:
+                self._stats["stale_served"] += 1
+        self._stats["grouped_queries"] += 1
         results = []
         for group, entry in sorted(catalog.items()):
             clipped = entry.statistics.clip_range(query.low, query.high)

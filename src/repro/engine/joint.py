@@ -87,13 +87,15 @@ class _JointSynopses:
     statistics: object  # JointColumnStatistics
     estimator: object  # Estimator2D
     method: str
+    budget_words: int
 
 
 class JointSynopsisMixin:
     """Joint-predicate catalog and executors for the engine.
 
-    Relies on the host class providing ``self.table(name)`` and a
-    ``self._joint_synopses`` dict initialised in ``__init__``.
+    Relies on the host class providing ``self.table(name)`` plus the
+    ``self._joint_synopses`` dict, ``self._stale_joint`` set, and
+    ``self._stats`` counters initialised in ``__init__``.
     """
 
     def build_joint_synopsis(
@@ -113,9 +115,18 @@ class JointSynopsisMixin:
             table.column(column_x), table.column(column_y)
         )
         estimator = _build_joint(method, statistics.count_grid, budget_words)
-        self._joint_synopses[(table_name, column_x, column_y)] = _JointSynopses(
-            statistics=statistics, estimator=estimator, method=method
+        key = (table_name, column_x, column_y)
+        self._joint_synopses[key] = _JointSynopses(
+            statistics=statistics,
+            estimator=estimator,
+            method=method,
+            budget_words=budget_words,
         )
+        self._stale_joint.discard(key)
+
+    def stale_joint_synopses(self) -> list[tuple[str, str, str]]:
+        """The (table, col_x, col_y) triples whose joint synopses predate appends."""
+        return sorted(self._stale_joint)
 
     def joint_catalog(self) -> list[dict]:
         """One row per joint synopsis."""
@@ -130,10 +141,25 @@ class JointSynopsisMixin:
             for (table, cx, cy), entry in sorted(self._joint_synopses.items())
         ]
 
-    def execute_joint(self, query: JointAggregateQuery, *, with_exact: bool = False):
-        """Answer a two-column COUNT from the joint synopsis."""
+    def execute_joint(
+        self,
+        query: JointAggregateQuery,
+        *,
+        with_exact: bool = False,
+        on_stale: str = "serve",
+    ):
+        """Answer a two-column COUNT from the joint synopsis.
+
+        ``on_stale`` matches the 1-D execute path: ``"serve"`` answers
+        from a stale synopsis, ``"rebuild"`` refreshes it first,
+        ``"error"`` refuses.
+        """
         from repro.engine.engine import QueryResult
 
+        if on_stale not in ("serve", "rebuild", "error"):
+            raise InvalidParameterError(
+                f"on_stale must be serve, rebuild, or error, got {on_stale!r}"
+            )
         key = (query.table, query.column_x, query.column_y)
         entry = self._joint_synopses.get(key)
         if entry is None:
@@ -145,6 +171,27 @@ class JointSynopsisMixin:
                     f"{query.column_y}); call build_joint_synopsis first"
                 )
             query = query.swapped()
+            key = reversed_key
+        if key in self._stale_joint:
+            if on_stale == "error":
+                raise InvalidQueryError(
+                    f"joint synopsis for {key[0]}.({key[1]}, {key[2]}) is stale "
+                    "(rows appended since build); refresh_stale() or pass "
+                    "on_stale='rebuild'"
+                )
+            if on_stale == "rebuild":
+                self.build_joint_synopsis(
+                    key[0],
+                    key[1],
+                    key[2],
+                    method=entry.method,
+                    budget_words=entry.budget_words,
+                )
+                self._stats["rebuilds"] += 1
+                entry = self._joint_synopses[key]
+            else:
+                self._stats["stale_served"] += 1
+        self._stats["joint_queries"] += 1
 
         clipped = entry.statistics.clip_rectangle(
             query.x_low, query.x_high, query.y_low, query.y_high

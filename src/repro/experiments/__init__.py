@@ -4,9 +4,11 @@
 ``claims``    the quantitative in-text claims (POINT-OPT ratios, SAP1
               ratios, SAP0 inferiority, the 41% reopt gain)
 ``runtimes``  the construction-time study the paper omitted
+``batching``  throughput of scalar vs batched engine execution
 ``reporting`` plain-text table rendering shared by the benchmarks
 """
 
+from repro.experiments.batching import BatchBenchmarkResult, run_batch_benchmark
 from repro.experiments.figure1 import FigureOnePoint, figure1_table, run_figure1
 from repro.experiments.claims import (
     claim_opta_vs_sap1,
@@ -27,6 +29,8 @@ __all__ = [
     "claim_sap0_inferior",
     "claim_reopt_gain",
     "run_construction_timing",
+    "run_batch_benchmark",
+    "BatchBenchmarkResult",
     "format_table",
     "generate_report",
 ]

@@ -1,0 +1,114 @@
+"""Batch-vs-scalar execution study.
+
+The engine's scalar :meth:`~repro.engine.engine.ApproximateQueryEngine.execute`
+pays python overhead per query; :meth:`execute_batch` amortises it into
+one vectorised synopsis call per (table, column, aggregate) group.  This
+harness measures both paths on the same workload — the throughput
+counterpart of the construction-time study in :mod:`runtimes` — and is
+what the ``bench-batch`` CLI command and the batch-pipeline benchmark
+report.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.engine import AggregateQuery, ApproximateQueryEngine
+from repro.engine.table import Table
+from repro.errors import InvalidParameterError
+from repro.queries.workload import random_ranges
+
+
+@dataclass(frozen=True)
+class BatchBenchmarkResult:
+    """Timings of one scalar-vs-batch comparison on a shared workload."""
+
+    row_count: int
+    domain: int
+    query_count: int
+    scalar_seconds: float
+    batch_seconds: float
+    max_abs_difference: float
+
+    @property
+    def speedup(self) -> float:
+        return self.scalar_seconds / self.batch_seconds if self.batch_seconds else 0.0
+
+    @property
+    def scalar_qps(self) -> float:
+        return self.query_count / self.scalar_seconds if self.scalar_seconds else 0.0
+
+    @property
+    def batch_qps(self) -> float:
+        return self.query_count / self.batch_seconds if self.batch_seconds else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.query_count} queries over {self.row_count} rows: "
+            f"scalar {self.scalar_seconds:.3f}s ({self.scalar_qps:,.0f} q/s), "
+            f"batch {self.batch_seconds:.4f}s ({self.batch_qps:,.0f} q/s), "
+            f"speedup {self.speedup:.1f}x"
+        )
+
+
+def run_batch_benchmark(
+    *,
+    row_count: int = 100_000,
+    domain: int = 1024,
+    query_count: int = 10_000,
+    method: str = "sap1",
+    budget_words: int = 128,
+    aggregates: tuple = ("count", "sum"),
+    seed: int = 11,
+) -> BatchBenchmarkResult:
+    """Time a scalar ``execute`` loop against one ``execute_batch`` call.
+
+    Builds one synopsis over a uniform integer column, draws
+    ``query_count`` random ranges, assigns the ``aggregates`` mix
+    round-robin, and runs the identical query list down both paths.
+    ``max_abs_difference`` is the largest estimate discrepancy between
+    the two (zero: they share the synopsis code path).
+    """
+    if query_count < 1 or row_count < 1:
+        raise InvalidParameterError("row_count and query_count must be >= 1")
+    rng = np.random.default_rng(seed)
+    values = rng.integers(0, domain, row_count)
+    engine = ApproximateQueryEngine()
+    engine.register_table(Table("traffic", {"value": values}))
+    engine.build_synopsis("traffic", "value", method=method, budget_words=budget_words)
+
+    workload = random_ranges(domain, query_count, seed=seed + 1)
+    queries = [
+        AggregateQuery(
+            "traffic",
+            "value",
+            aggregates[index % len(aggregates)],
+            float(low),
+            float(high),
+        )
+        for index, (low, high) in enumerate(workload)
+    ]
+
+    start = time.perf_counter()
+    scalar_results = [engine.execute(query) for query in queries]
+    scalar_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batch_results = engine.execute_batch(queries)
+    batch_seconds = time.perf_counter() - start
+
+    max_abs_difference = max(
+        abs(scalar.estimate - batched.estimate)
+        for scalar, batched in zip(scalar_results, batch_results)
+    )
+    return BatchBenchmarkResult(
+        row_count=row_count,
+        domain=domain,
+        query_count=query_count,
+        scalar_seconds=scalar_seconds,
+        batch_seconds=batch_seconds,
+        max_abs_difference=max_abs_difference,
+    )

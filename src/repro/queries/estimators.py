@@ -19,22 +19,41 @@ from repro.internal.validation import check_range
 class RangeSumEstimator(abc.ABC):
     """Abstract base class for range-sum synopses.
 
-    Subclasses must set :attr:`n` (the domain size) and implement
-    :meth:`estimate_many`; the scalar :meth:`estimate` and storage
-    accounting are provided here.
+    Subclasses must set :attr:`n` (the domain size) and override at
+    least one of :meth:`estimate` / :meth:`estimate_many`; each has a
+    default written in terms of the other, so a vectorised synopsis gets
+    the scalar entry point for free and a scalar-only synopsis still
+    qualifies for the engine's batch execution path (via a per-range
+    fallback loop).
     """
 
     #: Domain size (number of attribute values); set by subclasses.
     n: int
 
-    @abc.abstractmethod
     def estimate_many(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
         """Vectorised estimates for parallel arrays of inclusive ranges.
 
         Implementations may assume the ranges were validated; public
         entry points go through :meth:`estimate` or the evaluation
         helpers, which validate once.
+
+        The default falls back to one :meth:`estimate` call per range,
+        so subclasses that only answer scalar queries still satisfy the
+        batch protocol (at scalar speed).
         """
+        if type(self).estimate is RangeSumEstimator.estimate:
+            raise NotImplementedError(
+                f"{type(self).__name__} must override estimate() or estimate_many()"
+            )
+        lows = np.asarray(lows)
+        highs = np.asarray(highs)
+        return np.asarray(
+            [
+                self.estimate(int(low), int(high))
+                for low, high in zip(lows.tolist(), highs.tolist())
+            ],
+            dtype=np.float64,
+        )
 
     @abc.abstractmethod
     def storage_words(self) -> int:

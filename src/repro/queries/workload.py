@@ -68,6 +68,35 @@ class Workload:
         """Range lengths ``high - low + 1`` per query."""
         return self.highs - self.lows + 1
 
+    def as_batch(self, table: str, column: str, aggregate: str = "count",
+                 values_axis=None):
+        """The workload as an engine batch over ``table.column``.
+
+        The bridge from the paper's index-space workloads to the
+        engine's raw-value queries: each range becomes one query of a
+        :class:`~repro.engine.batch.BatchQuery`, with the endpoints
+        taken verbatim (when the column's values *are* the 0-indexed
+        domain) or mapped through ``values_axis`` (e.g. a
+        :class:`~repro.engine.column.ColumnStatistics` ``values_axis``)
+        otherwise.
+        """
+        from repro.engine.batch import BatchQuery
+
+        if values_axis is None:
+            lows = self.lows.astype(np.float64)
+            highs = self.highs.astype(np.float64)
+        else:
+            axis = np.asarray(values_axis, dtype=np.float64)
+            if self.highs.size and int(self.highs.max()) >= axis.size:
+                raise InvalidQueryError(
+                    f"workload ranges exceed the {axis.size}-value axis"
+                )
+            lows = axis[self.lows]
+            highs = axis[self.highs]
+        return BatchQuery(
+            table=table, column=column, aggregate=aggregate, lows=lows, highs=highs
+        )
+
 
 def _check_n(n: int) -> int:
     if not isinstance(n, (int, np.integer)) or n < 1:

@@ -1,0 +1,162 @@
+"""Regression tests: synopsis invalidation across data evolution.
+
+Three bugs these pin down: ``register_table`` used to leave joint and
+grouped synopses of the replaced table in the catalog (answering from
+dropped data), ``append_rows`` marked only 1-D synopses stale, and
+``QuantileQuery`` accepted inverted BETWEEN bounds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    ApproximateQueryEngine,
+    GroupedAggregateQuery,
+    JointAggregateQuery,
+    QuantileQuery,
+    Table,
+)
+from repro.errors import InvalidParameterError, InvalidQueryError
+
+
+def _make_engine(rows=3000, seed=9):
+    rng = np.random.default_rng(seed)
+    engine = ApproximateQueryEngine()
+    engine.register_table(
+        Table(
+            "sales",
+            {
+                "price": rng.integers(1, 60, rows),
+                "qty": rng.integers(1, 40, rows),
+                "region": rng.integers(1, 5, rows),
+            },
+        )
+    )
+    return engine
+
+
+@pytest.fixture
+def engine():
+    engine = _make_engine()
+    engine.build_synopsis("sales", "price", budget_words=60)
+    engine.build_joint_synopsis("sales", "price", "qty", budget_words=200)
+    engine.build_grouped_synopsis("sales", "price", "region", budget_words=400)
+    return engine
+
+
+FULL_JOINT = JointAggregateQuery("sales", "price", "qty", None, None, None, None)
+FULL_GROUPED = GroupedAggregateQuery("sales", "price", "count", "region", None, None)
+
+
+def _append(engine, rows=2000, seed=10):
+    rng = np.random.default_rng(seed)
+    engine.append_rows(
+        "sales",
+        {
+            "price": rng.integers(1, 60, rows),
+            "qty": rng.integers(1, 40, rows),
+            "region": rng.integers(1, 5, rows),
+        },
+    )
+
+
+class TestRegisterTableDropsEverything:
+    def test_joint_and_grouped_synopses_dropped(self, engine):
+        engine.register_table(Table("sales", {"price": [1, 2], "qty": [1, 2], "region": [1, 1]}))
+        assert engine.synopsis_catalog() == []
+        assert engine.joint_catalog() == []
+        with pytest.raises(InvalidQueryError, match="no joint synopsis"):
+            engine.execute_joint(FULL_JOINT)
+        with pytest.raises(InvalidQueryError, match="no grouped synopsis"):
+            engine.execute_grouped(FULL_GROUPED)
+
+    def test_stale_marks_cleared_on_reregister(self, engine):
+        _append(engine)
+        engine.register_table(Table("sales", {"price": [1], "qty": [1], "region": [1]}))
+        assert engine.stale_synopses() == []
+        assert engine.stale_joint_synopses() == []
+        assert engine.stale_grouped_synopses() == []
+        assert engine.refresh_stale() == 0
+
+    def test_other_tables_untouched(self, engine):
+        other = _make_engine()
+        engine.register_table(Table("inventory", {"level": np.arange(100)}))
+        engine.build_synopsis("inventory", "level", budget_words=20)
+        engine.register_table(Table("sales", {"price": [1], "qty": [1], "region": [1]}))
+        assert [entry["table"] for entry in engine.synopsis_catalog()] == ["inventory"]
+        del other
+
+
+class TestAppendMarksJointAndGroupedStale:
+    def test_stale_sets_cover_all_kinds(self, engine):
+        _append(engine)
+        assert engine.stale_synopses() == [("sales", "price")]
+        assert engine.stale_joint_synopses() == [("sales", "price", "qty")]
+        assert engine.stale_grouped_synopses() == [("sales", "price", "region")]
+
+    def test_joint_on_stale_policies(self, engine):
+        before = engine.execute_joint(FULL_JOINT, with_exact=True)
+        _append(engine)
+        served = engine.execute_joint(FULL_JOINT, with_exact=True)
+        # "serve" answers from the pre-append synopsis: estimate stays
+        # put while the exact count has grown by the appended volume.
+        assert served.estimate == pytest.approx(before.estimate)
+        assert served.exact == before.exact + 2000
+        with pytest.raises(InvalidQueryError, match="stale"):
+            engine.execute_joint(FULL_JOINT, on_stale="error")
+        rebuilt = engine.execute_joint(FULL_JOINT, with_exact=True, on_stale="rebuild")
+        assert rebuilt.estimate == pytest.approx(rebuilt.exact, rel=0.05)
+        assert engine.stale_joint_synopses() == []
+
+    def test_joint_stale_respected_for_swapped_columns(self, engine):
+        _append(engine)
+        swapped = JointAggregateQuery("sales", "qty", "price", None, None, None, None)
+        with pytest.raises(InvalidQueryError, match="stale"):
+            engine.execute_joint(swapped, on_stale="error")
+        engine.execute_joint(swapped, on_stale="rebuild")
+        assert engine.stale_joint_synopses() == []
+
+    def test_grouped_on_stale_policies(self, engine):
+        before = sum(r.estimate for r in engine.execute_grouped(FULL_GROUPED))
+        _append(engine)
+        served = sum(r.estimate for r in engine.execute_grouped(FULL_GROUPED))
+        assert served == pytest.approx(before)
+        with pytest.raises(InvalidQueryError, match="stale"):
+            engine.execute_grouped(FULL_GROUPED, on_stale="error")
+        rows = engine.execute_grouped(FULL_GROUPED, with_exact=True, on_stale="rebuild")
+        assert sum(r.exact for r in rows) == 5000
+        assert sum(r.estimate for r in rows) == pytest.approx(5000, rel=0.05)
+        assert engine.stale_grouped_synopses() == []
+
+    def test_bad_on_stale_rejected(self, engine):
+        with pytest.raises(InvalidParameterError, match="on_stale"):
+            engine.execute_joint(FULL_JOINT, on_stale="maybe")
+        with pytest.raises(InvalidParameterError, match="on_stale"):
+            engine.execute_grouped(FULL_GROUPED, on_stale="maybe")
+
+    def test_refresh_stale_rebuilds_all_kinds(self, engine):
+        _append(engine)
+        assert engine.refresh_stale() == 3
+        assert engine.stale_synopses() == []
+        assert engine.stale_joint_synopses() == []
+        assert engine.stale_grouped_synopses() == []
+        rebuilt = engine.execute_joint(FULL_JOINT, with_exact=True)
+        assert rebuilt.estimate == pytest.approx(rebuilt.exact, rel=0.05)
+
+    def test_rebuild_keeps_recorded_configuration(self, engine):
+        _append(engine)
+        engine.refresh_stale()
+        joint = engine.joint_catalog()[0]
+        assert joint["method"] == "wavelet2d-point"
+        catalog = engine._grouped_synopses[("sales", "price", "region")]
+        assert sorted(catalog) == [1, 2, 3, 4]
+
+
+class TestQuantileValidation:
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(InvalidQueryError, match="inverted"):
+            QuantileQuery("sales", "price", 0.5, low=9, high=1)
+
+    def test_valid_bounds_accepted(self):
+        query = QuantileQuery("sales", "price", 0.5, low=1, high=9)
+        assert query.low == 1 and query.high == 9

@@ -1,0 +1,47 @@
+"""The RangeSumEstimator ABC's default scalar/vector bridging."""
+
+import numpy as np
+import pytest
+
+from repro.queries.estimators import RangeSumEstimator
+
+
+class _ScalarOnly(RangeSumEstimator):
+    """Implements only the scalar protocol; relies on the default loop."""
+
+    name = "scalar-only"
+
+    def estimate(self, low, high):
+        return float(high - low + 1)
+
+    def storage_words(self):
+        return 0
+
+
+class _Neither(RangeSumEstimator):
+    """Implements neither estimate() nor estimate_many()."""
+
+    name = "neither"
+
+    def storage_words(self):
+        return 0
+
+
+def test_estimate_many_falls_back_to_scalar_loop():
+    estimator = _ScalarOnly()
+    lows = np.array([0, 3, 5])
+    highs = np.array([2, 3, 9])
+    result = estimator.estimate_many(lows, highs)
+    assert result.dtype == np.float64
+    np.testing.assert_array_equal(result, [3.0, 1.0, 5.0])
+
+
+def test_fallback_accepts_plain_lists():
+    estimator = _ScalarOnly()
+    np.testing.assert_array_equal(estimator.estimate_many([1, 2], [4, 2]), [4.0, 1.0])
+
+
+def test_implementing_neither_method_raises():
+    estimator = _Neither()
+    with pytest.raises(NotImplementedError, match="_Neither"):
+        estimator.estimate_many([0], [1])
