@@ -17,7 +17,17 @@ Quickstart
 >>> repro.evaluate(hist, data).sse  # doctest: +SKIP
 """
 
-from repro import core, data, engine, errors, multidim, queries, sketches, wavelets
+from repro import (
+    core,
+    data,
+    engine,
+    errors,
+    multidim,
+    observability,
+    queries,
+    sketches,
+    wavelets,
+)
 from repro.core import (
     AverageHistogram,
     SapHistogram,
@@ -61,6 +71,7 @@ __all__ = [
     "data",
     "engine",
     "multidim",
+    "observability",
     "sketches",
     "errors",
     "queries",

@@ -260,6 +260,43 @@ def _cmd_bench_batch(args) -> int:
     return 0
 
 
+def _cmd_dump_metrics(args) -> int:
+    """Replay a workload against a fresh engine and emit its metrics.
+
+    COUNT and SUM batches ride the batch pipeline with the requested
+    ``--audit-rate``, so the dump contains populated error windows, an
+    error report, and batch timings — the artifact the CI benchmark job
+    uploads, and the JSON/Prometheus surface a scraper would poll on a
+    long-lived engine.
+    """
+    from repro.queries.workload import random_ranges
+
+    data = _frequencies_from_args(args)
+    counts = np.maximum(np.round(np.asarray(data)).astype(np.int64), 0)
+    values = np.repeat(np.arange(counts.size), counts)
+    if values.size == 0:
+        raise ReproError("dataset has no mass; nothing to register")
+    engine = ApproximateQueryEngine()
+    engine.register_table(Table(args.table, {args.column_name: values}))
+    engine.build_synopsis(
+        args.table, args.column_name, method=args.method, budget_words=args.budget
+    )
+    workload = random_ranges(counts.size, args.queries, seed=args.seed or 0)
+    for aggregate in ("count", "sum"):
+        engine.execute_batch(
+            workload.as_batch(args.table, args.column_name, aggregate=aggregate),
+            audit_rate=args.audit_rate,
+        )
+    text = engine.dump_metrics(format=args.format)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"metrics written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
 def _cmd_report(args) -> int:
     from repro.experiments.report import generate_report
 
@@ -344,6 +381,28 @@ def build_parser() -> argparse.ArgumentParser:
     bench_batch.add_argument("--method", default="sap1", choices=sorted(BUILDER_REGISTRY))
     bench_batch.add_argument("--budget", type=int, default=128)
     bench_batch.set_defaults(handler=_cmd_bench_batch)
+
+    dump = commands.add_parser(
+        "dump-metrics",
+        help="replay a workload and emit engine metrics (JSON or Prometheus text)",
+    )
+    _add_dataset_arguments(dump)
+    dump.add_argument("--method", default="sap1", choices=sorted(BUILDER_REGISTRY))
+    dump.add_argument("--budget", type=int, default=64)
+    dump.add_argument("--queries", type=int, default=1000)
+    dump.add_argument(
+        "--audit-rate",
+        type=float,
+        default=1.0,
+        help="fraction of queries audited against exact answers (default: 1.0)",
+    )
+    dump.add_argument("--format", choices=("json", "prometheus"), default="json")
+    dump.add_argument("--table", default="t", help="table name used in the dump")
+    dump.add_argument(
+        "--column-name", default="value", help="column name used in the dump"
+    )
+    dump.add_argument("--output", help="write to a file instead of stdout")
+    dump.set_defaults(handler=_cmd_dump_metrics)
 
     report = commands.add_parser("report", help="full reproduction report (markdown)")
     report.add_argument("--output", help="write to a file instead of stdout")

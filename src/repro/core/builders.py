@@ -133,6 +133,67 @@ def build_by_name(name: str, data, budget_words: int, **kwargs):
     return spec.build(data, min(units, cap), **kwargs)
 
 
+@dataclass(frozen=True)
+class ErrorPrediction:
+    """A builder's error model for one synopsis, frozen at build time.
+
+    ``sse_per_query`` is the mean squared error over the all-ranges
+    workload — exactly the builder's optimisation objective divided by
+    ``n(n+1)/2`` when ``exact`` is True, and an unbiased sampled
+    estimate of it otherwise (large domains, where enumerating every
+    range at build time would dominate construction).  The engine's
+    online auditor compares live observed error against this number to
+    detect synopses that have started lying (see
+    :meth:`repro.engine.engine.ApproximateQueryEngine.error_report`).
+    """
+
+    sse_per_query: float
+    query_count: int
+    sampled_queries: int
+    exact: bool
+
+
+#: Largest all-ranges workload enumerated exactly by :func:`predict_sse_per_query`.
+MAX_PREDICTION_QUERIES = 8192
+
+
+def predict_sse_per_query(
+    estimator,
+    data,
+    *,
+    max_queries: int = MAX_PREDICTION_QUERIES,
+    seed: int = 0,
+) -> ErrorPrediction:
+    """The builder-reported SSE-per-query of ``estimator`` on ``data``.
+
+    Evaluates the paper's objective over all ``n(n+1)/2`` ranges when
+    that population fits in ``max_queries``; otherwise over a seeded
+    uniform sample of ``max_queries`` ranges (cheap and reproducible, so
+    a drift check against it is stable across calls).
+    """
+    import numpy as np
+
+    from repro.queries import evaluation
+    from repro.queries.workload import all_ranges, random_ranges
+
+    data = np.asarray(data, dtype=np.float64)
+    n = int(estimator.n)
+    query_count = n * (n + 1) // 2
+    if query_count <= max_queries:
+        workload = all_ranges(n)
+        exact = True
+    else:
+        workload = random_ranges(n, max_queries, seed=seed)
+        exact = False
+    total = evaluation.sse(estimator, data, workload)
+    return ErrorPrediction(
+        sse_per_query=total / len(workload),
+        query_count=query_count,
+        sampled_queries=len(workload),
+        exact=exact,
+    )
+
+
 def _reopt_variant(base_name: str):
     """Builder for the paper's ``A-reopt`` family: build the base
     histogram, then re-optimise its stored values for the all-ranges

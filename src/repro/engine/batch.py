@@ -136,6 +136,7 @@ class BatchExecutionMixin:
         *,
         with_exact: bool = False,
         on_stale: str = "serve",
+        audit_rate: float = 0.0,
     ) -> list:
         """Answer many aggregates at once; results parallel the input.
 
@@ -144,8 +145,10 @@ class BatchExecutionMixin:
         grouped by (table, column, aggregate) and each group is answered
         with one vectorised synopsis call; ``with_exact`` computes every
         group's ground truth from a single sorted scan of the column.
-        ``on_stale`` has :meth:`~repro.engine.engine.ApproximateQueryEngine.execute`
-        semantics, applied per group.
+        ``on_stale`` and ``audit_rate`` have
+        :meth:`~repro.engine.engine.ApproximateQueryEngine.execute`
+        semantics; auditing samples each group vectorised and never
+        changes the returned results.
         """
         from repro.engine.engine import AggregateQuery, QueryResult
 
@@ -153,6 +156,7 @@ class BatchExecutionMixin:
             raise InvalidParameterError(
                 f"on_stale must be serve, rebuild, or error, got {on_stale!r}"
             )
+        audit_rate = self._check_audit_rate(audit_rate)
         if isinstance(queries, BatchQuery):
             query_list = queries.queries()
         else:
@@ -170,39 +174,54 @@ class BatchExecutionMixin:
             groups.setdefault(
                 (query.table, query.column, query.aggregate), []
             ).append(position)
-        for (table_name, column_name, aggregate), positions in groups.items():
-            entry = self._resolve_synopsis(table_name, column_name, on_stale)
-            group_queries = [query_list[i] for i in positions]
-            lows = np.array(
-                [-np.inf if q.low is None else q.low for q in group_queries],
-                dtype=np.float64,
-            )
-            highs = np.array(
-                [np.inf if q.high is None else q.high for q in group_queries],
-                dtype=np.float64,
-            )
-            estimates = _estimate_group(entry, aggregate, lows, highs).tolist()
-            exacts = (
-                self._exact_batch(table_name, column_name, aggregate, lows, highs).tolist()
-                if with_exact
-                else None
-            )
-            synopsis_name = entry.count_estimator.name
-            synopsis_words = (
-                entry.count_estimator.storage_words()
-                + entry.sum_estimator.storage_words()
-            )
-            hits = self._stats["synopsis_hits"]
-            hit_key = f"{table_name}.{column_name}"
-            hits[hit_key] = hits.get(hit_key, 0) + len(positions)
-            for offset, position in enumerate(positions):
-                results[position] = QueryResult(
-                    query=group_queries[offset],
-                    estimate=estimates[offset],
-                    exact=exacts[offset] if exacts is not None else None,
-                    synopsis_name=synopsis_name,
-                    synopsis_words=synopsis_words,
+        with self.tracer.span(
+            "batch", queries=len(query_list), groups=len(groups)
+        ):
+            for (table_name, column_name, aggregate), positions in groups.items():
+                entry = self._resolve_synopsis(table_name, column_name, on_stale)
+                group_queries = [query_list[i] for i in positions]
+                lows = np.array(
+                    [-np.inf if q.low is None else q.low for q in group_queries],
+                    dtype=np.float64,
                 )
+                highs = np.array(
+                    [np.inf if q.high is None else q.high for q in group_queries],
+                    dtype=np.float64,
+                )
+                estimate_array = _estimate_group(entry, aggregate, lows, highs)
+                exact_array = (
+                    self._exact_batch(table_name, column_name, aggregate, lows, highs)
+                    if with_exact
+                    else None
+                )
+                if audit_rate > 0.0:
+                    self._audit_batch_group(
+                        (table_name, column_name, aggregate),
+                        entry,
+                        estimate_array,
+                        exact_array,
+                        lows,
+                        highs,
+                        audit_rate,
+                    )
+                estimates = estimate_array.tolist()
+                exacts = exact_array.tolist() if exact_array is not None else None
+                synopsis_name = entry.count_estimator.name
+                synopsis_words = (
+                    entry.count_estimator.storage_words()
+                    + entry.sum_estimator.storage_words()
+                )
+                hits = self._stats["synopsis_hits"]
+                hit_key = f"{table_name}.{column_name}"
+                hits[hit_key] = hits.get(hit_key, 0) + len(positions)
+                for offset, position in enumerate(positions):
+                    results[position] = QueryResult(
+                        query=group_queries[offset],
+                        estimate=estimates[offset],
+                        exact=exacts[offset] if exacts is not None else None,
+                        synopsis_name=synopsis_name,
+                        synopsis_words=synopsis_words,
+                    )
         elapsed = time.perf_counter() - start
         self._stats["batches"] += 1
         self._stats["batch_queries"] += len(query_list)
@@ -211,6 +230,8 @@ class BatchExecutionMixin:
             len(query_list) / elapsed if elapsed > 0 else 0.0
         )
         self._stats["total_batch_seconds"] += elapsed
+        self.metrics.counter("batch_queries_total").inc(len(query_list))
+        self.metrics.histogram("batch_seconds").observe(elapsed)
         if with_exact:
             self._stats["exact_scans"] += len(query_list)
         return results

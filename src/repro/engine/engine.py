@@ -9,6 +9,10 @@ their estimates.
 
 from __future__ import annotations
 
+import copy
+import json
+import math
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -20,6 +24,8 @@ from repro.engine.grouped import GroupedAggregateQuery, GroupedSynopsisMixin, Gr
 from repro.engine.joint import JointAggregateQuery, JointSynopsisMixin
 from repro.engine.table import Table
 from repro.errors import InvalidParameterError, InvalidQueryError
+from repro.observability import ErrorAuditor, MetricsRegistry, SystemClock, TraceRecorder
+from repro.observability.metrics import ERROR_BUCKETS
 from repro.queries.estimators import RangeSumEstimator
 
 #: Aggregates the engine understands.
@@ -127,6 +133,10 @@ class _ColumnSynopses:
     method: str
     budget_words: int
     builder_kwargs: dict
+    #: Builder-reported error model per aggregate ("count"/"sum"),
+    #: frozen at build time so later corruption or drift is detectable;
+    #: None for catalogs predating prediction (e.g. loaded from disk).
+    predicted: dict | None = None
 
     def envelope_for(self, aggregate: str):
         """Lazily-computed error envelope, if the synopsis supports it."""
@@ -147,13 +157,18 @@ class _ColumnSynopses:
 
 
 def _build_column_entry(
-    values, method: str, budget_words: int, **builder_kwargs
+    values, method: str, budget_words: int, *, predict_errors: bool = True, **builder_kwargs
 ) -> _ColumnSynopses:
     """Build one column's COUNT and SUM synopses from its raw values.
 
     Pure function of its inputs — safe to run in worker threads for
     :meth:`ApproximateQueryEngine.build_all_synopses` (``parallel=True``).
+    ``predict_errors`` additionally evaluates each synopsis's
+    SSE-per-query error model (frozen into the entry for the online
+    auditor; sampled on large domains, so the cost stays bounded).
     """
+    from repro.core.builders import predict_sse_per_query
+
     statistics = ColumnStatistics.from_values(values)
     if method == "auto":
         from repro.engine.advisor import best_method
@@ -167,6 +182,12 @@ def _build_column_entry(
     half = max(budget_words // 2, BUILDER_REGISTRY[method].words_per_unit)
     count_est = build_by_name(method, statistics.count_frequencies, half, **builder_kwargs)
     sum_est = build_by_name(method, statistics.sum_frequencies, half, **builder_kwargs)
+    predicted = None
+    if predict_errors:
+        predicted = {
+            "count": predict_sse_per_query(count_est, statistics.count_frequencies),
+            "sum": predict_sse_per_query(sum_est, statistics.sum_frequencies),
+        }
     return _ColumnSynopses(
         statistics=statistics,
         count_estimator=count_est,
@@ -174,7 +195,17 @@ def _build_column_entry(
         method=method,
         budget_words=budget_words,
         builder_kwargs=dict(builder_kwargs),
+        predicted=predicted,
     )
+
+
+def _timed_build_column_entry(values, method, budget_words, predict_errors, builder_kwargs):
+    """Worker-thread wrapper timing one column build (wall clock)."""
+    start = time.perf_counter()
+    entry = _build_column_entry(
+        values, method, budget_words, predict_errors=predict_errors, **builder_kwargs
+    )
+    return entry, time.perf_counter() - start
 
 
 class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSynopsisMixin):
@@ -187,7 +218,15 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
     :class:`repro.engine.batch.BatchExecutionMixin`.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        *,
+        clock=None,
+        trace_capacity: int = 2048,
+        audit_window: int = 4096,
+        audit_seed: int = 0,
+        predict_errors: bool = True,
+    ) -> None:
         self._tables: dict[str, Table] = {}
         self._synopses: dict[tuple[str, str], _ColumnSynopses] = {}
         self._stale: set[tuple[str, str]] = set()
@@ -196,7 +235,21 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
         self._grouped_synopses: dict[tuple[str, str, str], dict] = {}
         self._grouped_configs: dict[tuple[str, str, str], dict] = {}
         self._stale_grouped: set[tuple[str, str, str]] = set()
-        self._stats: dict = {
+        self.clock = clock if clock is not None else SystemClock()
+        self.tracer = TraceRecorder(self.clock, capacity=trace_capacity)
+        self.metrics = MetricsRegistry()
+        self.auditor = ErrorAuditor(window=audit_window)
+        self.predict_errors = bool(predict_errors)
+        self._audit_rng = np.random.default_rng(audit_seed)
+        #: Per-synopsis lifecycle: built_at, build_seconds, stale_since.
+        self._build_meta: dict[tuple[str, str], dict] = {}
+        #: Pinned error models for entries lacking a build-time one.
+        self._prediction_cache: dict[tuple, object] = {}
+        self._stats: dict = self._fresh_stats()
+
+    @staticmethod
+    def _fresh_stats() -> dict:
+        return {
             "queries": 0,
             "batch_queries": 0,
             "batches": 0,
@@ -205,11 +258,22 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
             "exact_scans": 0,
             "stale_served": 0,
             "rebuilds": 0,
+            "audited_queries": 0,
+            "drift_flags": 0,
             "synopsis_hits": {},
             "last_batch_seconds": 0.0,
             "last_batch_qps": 0.0,
             "total_batch_seconds": 0.0,
         }
+
+    @staticmethod
+    def _check_audit_rate(audit_rate) -> float:
+        rate = float(audit_rate)
+        if not 0.0 <= rate <= 1.0 or math.isnan(rate):
+            raise InvalidParameterError(
+                f"audit_rate must be in [0, 1], got {audit_rate!r}"
+            )
+        return rate
 
     # ------------------------------------------------------------------
     # Catalog management
@@ -224,6 +288,9 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
         for key in [key for key in self._synopses if key[0] == table.name]:
             del self._synopses[key]
             self._stale.discard(key)
+            self._build_meta.pop(key, None)
+            self._prediction_cache.pop((key, "count"), None)
+            self._prediction_cache.pop((key, "sum"), None)
         for key in [key for key in self._joint_synopses if key[0] == table.name]:
             del self._joint_synopses[key]
             self._stale_joint.discard(key)
@@ -255,11 +322,37 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
         derived as SUM/COUNT).
         """
         table = self.table(table_name)
-        entry = _build_column_entry(
-            table.column(column_name), method, budget_words, **builder_kwargs
-        )
-        self._synopses[(table_name, column_name)] = entry
-        self._stale.discard((table_name, column_name))
+        with self.tracer.span(
+            "build",
+            table=table_name,
+            column=column_name,
+            method=method,
+            budget_words=budget_words,
+        ) as span:
+            entry = _build_column_entry(
+                table.column(column_name),
+                method,
+                budget_words,
+                predict_errors=self.predict_errors,
+                **builder_kwargs,
+            )
+            span.set(resolved_method=entry.method)
+        elapsed = span.duration or 0.0
+        key = (table_name, column_name)
+        self._synopses[key] = entry
+        self._stale.discard(key)
+        self._prediction_cache.pop((key, "count"), None)
+        self._prediction_cache.pop((key, "sum"), None)
+        self._record_build(key, entry.method, elapsed)
+
+    def _record_build(self, key: tuple[str, str], method: str, seconds: float) -> None:
+        self._build_meta[key] = {
+            "built_at": self.clock.now(),
+            "build_seconds": seconds,
+            "stale_since": None,
+        }
+        self.metrics.counter("builds_total", method=method).inc()
+        self.metrics.histogram("build_seconds").observe(seconds)
 
     def build_all_synopses(
         self,
@@ -288,32 +381,43 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
         if not columns:
             return
         per_column = max(total_budget_words // len(columns), 4)
-        if parallel and len(columns) > 1:
-            from concurrent.futures import ThreadPoolExecutor
+        with self.tracer.span(
+            "build_all",
+            columns=len(columns),
+            method=method,
+            parallel=bool(parallel and len(columns) > 1),
+        ):
+            if parallel and len(columns) > 1:
+                from concurrent.futures import ThreadPoolExecutor
 
-            with ThreadPoolExecutor(max_workers=max_workers) as pool:
-                futures = {
-                    key: pool.submit(
-                        _build_column_entry,
-                        self._tables[key[0]].column(key[1]),
-                        method,
-                        per_column,
-                        **builder_kwargs,
-                    )
-                    for key in columns
-                }
-            for key, future in futures.items():
-                self._synopses[key] = future.result()
-                self._stale.discard(key)
-            return
-        for table_name, column_name in columns:
-            self.build_synopsis(
-                table_name,
-                column_name,
-                method=method,
-                budget_words=per_column,
-                **builder_kwargs,
-            )
+                with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                    futures = {
+                        key: pool.submit(
+                            _timed_build_column_entry,
+                            self._tables[key[0]].column(key[1]),
+                            method,
+                            per_column,
+                            self.predict_errors,
+                            builder_kwargs,
+                        )
+                        for key in columns
+                    }
+                for key, future in futures.items():
+                    entry, seconds = future.result()
+                    self._synopses[key] = entry
+                    self._stale.discard(key)
+                    self._prediction_cache.pop((key, "count"), None)
+                    self._prediction_cache.pop((key, "sum"), None)
+                    self._record_build(key, entry.method, seconds)
+                return
+            for table_name, column_name in columns:
+                self.build_synopsis(
+                    table_name,
+                    column_name,
+                    method=method,
+                    budget_words=per_column,
+                    **builder_kwargs,
+                )
 
     def synopsis_catalog(self) -> list[dict]:
         """One row per built synopsis: location, method, true storage."""
@@ -343,9 +447,14 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
         """
         table = self.table(table_name)
         self._tables[table_name] = table.with_appended(rows)
+        now = self.clock.now()
+        self.metrics.counter("appends_total").inc()
         for key in self._synopses:
             if key[0] == table_name:
                 self._stale.add(key)
+                meta = self._build_meta.get(key)
+                if meta is not None and meta.get("stale_since") is None:
+                    meta["stale_since"] = now
         for key in self._joint_synopses:
             if key[0] == table_name:
                 self._stale_joint.add(key)
@@ -368,31 +477,34 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
         synopses rebuilt.
         """
         rebuilt = 0
-        for key in list(self._stale):
-            entry = self._synopses[key]
-            self.build_synopsis(
-                key[0],
-                key[1],
-                method=entry.method,
-                budget_words=entry.budget_words,
-                **entry.builder_kwargs,
-            )
-            rebuilt += 1
-        for key in list(self._stale_joint):
-            entry = self._joint_synopses[key]
-            self.build_joint_synopsis(
-                key[0],
-                key[1],
-                key[2],
-                method=entry.method,
-                budget_words=entry.budget_words,
-            )
-            rebuilt += 1
-        for key in list(self._stale_grouped):
-            config = self._grouped_configs[key]
-            self.build_grouped_synopsis(key[0], key[1], key[2], **config)
-            rebuilt += 1
+        with self.tracer.span("rebuild", trigger="refresh_stale") as span:
+            for key in list(self._stale):
+                entry = self._synopses[key]
+                self.build_synopsis(
+                    key[0],
+                    key[1],
+                    method=entry.method,
+                    budget_words=entry.budget_words,
+                    **entry.builder_kwargs,
+                )
+                rebuilt += 1
+            for key in list(self._stale_joint):
+                entry = self._joint_synopses[key]
+                self.build_joint_synopsis(
+                    key[0],
+                    key[1],
+                    key[2],
+                    method=entry.method,
+                    budget_words=entry.budget_words,
+                )
+                rebuilt += 1
+            for key in list(self._stale_grouped):
+                config = self._grouped_configs[key]
+                self.build_grouped_synopsis(key[0], key[1], key[2], **config)
+                rebuilt += 1
+            span.set(rebuilt=rebuilt)
         self._stats["rebuilds"] += rebuilt
+        self.metrics.counter("rebuilds_total").inc(rebuilt)
         return rebuilt
 
     # ------------------------------------------------------------------
@@ -450,16 +562,20 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
         return self._synopses[key]
 
     def stats(self) -> dict:
-        """A snapshot of the engine's execution counters.
+        """An immutable snapshot of the engine's execution counters.
 
         Keys: scalar/batch/joint/grouped query counts, ``batches``,
-        ``exact_scans``, ``stale_served``, ``rebuilds``, per-column
+        ``exact_scans``, ``stale_served``, ``rebuilds``,
+        ``audited_queries``, ``drift_flags``, per-column
         ``synopsis_hits``, the last batch's wall time and queries/sec
         (``last_batch_seconds`` / ``last_batch_qps``), cumulative
         ``total_batch_seconds``, and the current stale-set sizes.
+
+        The snapshot is a deep copy — mutating it (or the nested
+        ``synopsis_hits`` dict) never touches the live counters — and
+        :meth:`reset_stats` zeroes the live counters between windows.
         """
-        snapshot = dict(self._stats)
-        snapshot["synopsis_hits"] = dict(self._stats["synopsis_hits"])
+        snapshot = copy.deepcopy(self._stats)
         snapshot["total_queries"] = (
             snapshot["queries"]
             + snapshot["batch_queries"]
@@ -471,6 +587,18 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
         snapshot["stale_grouped"] = len(self._stale_grouped)
         return snapshot
 
+    def reset_stats(self) -> dict:
+        """Zero the execution counters; returns the final pre-reset snapshot.
+
+        Only the counters reset — synopses, staleness, metrics
+        instruments, traces, and audit windows are untouched (they have
+        their own lifecycles: ``metrics.reset()``, ``tracer.clear()``,
+        ``auditor.clear()``).
+        """
+        snapshot = self.stats()
+        self._stats = self._fresh_stats()
+        return snapshot
+
     def execute(
         self,
         query: AggregateQuery,
@@ -478,6 +606,7 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
         with_exact: bool = False,
         with_bound: bool = False,
         on_stale: str = "serve",
+        audit_rate: float = 0.0,
     ) -> QueryResult:
         """Answer from the synopses; optionally attach the exact answer.
 
@@ -485,42 +614,59 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
         the synopsis was built: ``"serve"`` answers from the stale
         synopsis (default — estimates drift with the appended volume),
         ``"rebuild"`` refreshes it first, ``"error"`` refuses.
+
+        ``audit_rate`` samples that fraction of queries for online error
+        auditing: the exact answer is computed alongside (from the
+        build-time snapshot when the synopsis is fresh, a live scan when
+        stale) and the observed error feeds :meth:`error_report`.
+        Auditing never changes the returned result.
         """
         if on_stale not in ("serve", "rebuild", "error"):
             raise InvalidParameterError(
                 f"on_stale must be serve, rebuild, or error, got {on_stale!r}"
             )
-        entry = self._resolve_synopsis(query.table, query.column, on_stale)
-        self._stats["queries"] += 1
-        hits = self._stats["synopsis_hits"]
-        hit_key = f"{query.table}.{query.column}"
-        hits[hit_key] = hits.get(hit_key, 0) + 1
-        if with_exact:
-            self._stats["exact_scans"] += 1
-        clipped = entry.statistics.clip_range(query.low, query.high)
-        if clipped is None:
-            estimate = 0.0
-        else:
-            low, high = clipped
-            if query.aggregate == "count":
-                estimate = entry.count_estimator.estimate(low, high)
-            elif query.aggregate == "sum":
-                estimate = entry.sum_estimator.estimate(low, high)
-            else:  # avg
-                count = entry.count_estimator.estimate(low, high)
-                total = entry.sum_estimator.estimate(low, high)
-                estimate = total / count if count > 0 else 0.0
-        exact = self.execute_exact(query) if with_exact else None
-        bound = None
-        if with_bound and clipped is not None and query.aggregate in ("count", "sum"):
-            envelope, estimator = entry.envelope_for(query.aggregate)
-            if envelope is not None:
+        audit_rate = self._check_audit_rate(audit_rate)
+        with self.tracer.span(
+            "query",
+            table=query.table,
+            column=query.column,
+            aggregate=query.aggregate,
+        ):
+            entry = self._resolve_synopsis(query.table, query.column, on_stale)
+            self._stats["queries"] += 1
+            hits = self._stats["synopsis_hits"]
+            hit_key = f"{query.table}.{query.column}"
+            hits[hit_key] = hits.get(hit_key, 0) + 1
+            if with_exact:
+                self._stats["exact_scans"] += 1
+            clipped = entry.statistics.clip_range(query.low, query.high)
+            if clipped is None:
+                estimate = 0.0
+            else:
                 low, high = clipped
-                bound = float(
-                    envelope.bound(
-                        estimator, np.asarray([low]), np.asarray([high])
-                    )[0]
-                )
+                if query.aggregate == "count":
+                    estimate = entry.count_estimator.estimate(low, high)
+                elif query.aggregate == "sum":
+                    estimate = entry.sum_estimator.estimate(low, high)
+                else:  # avg
+                    count = entry.count_estimator.estimate(low, high)
+                    total = entry.sum_estimator.estimate(low, high)
+                    estimate = total / count if count > 0 else 0.0
+            exact = self.execute_exact(query) if with_exact else None
+            bound = None
+            if with_bound and clipped is not None and query.aggregate in ("count", "sum"):
+                envelope, estimator = entry.envelope_for(query.aggregate)
+                if envelope is not None:
+                    low, high = clipped
+                    bound = float(
+                        envelope.bound(
+                            estimator, np.asarray([low]), np.asarray([high])
+                        )[0]
+                    )
+            if audit_rate > 0.0 and (
+                audit_rate >= 1.0 or float(self._audit_rng.random()) < audit_rate
+            ):
+                self._audit_scalar(query, entry, clipped, float(estimate), exact)
         return QueryResult(
             query=query,
             estimate=float(estimate),
@@ -529,6 +675,248 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
             synopsis_words=entry.count_estimator.storage_words()
             + entry.sum_estimator.storage_words(),
             guaranteed_bound=bound,
+        )
+
+    # ------------------------------------------------------------------
+    # Observability: auditing, error reports, exports
+    # ------------------------------------------------------------------
+    def _audit_scalar(
+        self,
+        query: AggregateQuery,
+        entry: _ColumnSynopses,
+        clipped: tuple[int, int] | None,
+        estimate: float,
+        exact: float | None,
+    ) -> None:
+        """Record one audited query into the error windows."""
+        if exact is None:
+            if (query.table, query.column) in self._stale:
+                exact = self.execute_exact(query)
+            elif clipped is None:
+                exact = 0.0
+            else:
+                exact = entry.statistics.snapshot_aggregate(
+                    query.aggregate, clipped[0], clipped[1]
+                )
+        absolute_error = self.auditor.record(
+            (query.table, query.column, query.aggregate), estimate, exact
+        )
+        self._stats["audited_queries"] += 1
+        self.metrics.counter("audited_total", aggregate=query.aggregate).inc()
+        self.metrics.histogram("audit_abs_error", buckets=ERROR_BUCKETS).observe(
+            absolute_error
+        )
+
+    def _audit_batch_group(
+        self,
+        key: tuple[str, str, str],
+        entry: _ColumnSynopses,
+        estimates: np.ndarray,
+        exacts: np.ndarray | None,
+        lows: np.ndarray,
+        highs: np.ndarray,
+        audit_rate: float,
+    ) -> None:
+        """Audit a sampled subset of one homogeneous batch group."""
+        table_name, column_name, aggregate = key
+        count = int(estimates.size)
+        if audit_rate >= 1.0:
+            mask = np.ones(count, dtype=bool)
+        else:
+            mask = self._audit_rng.random(count) < audit_rate
+        audited = int(mask.sum())
+        if not audited:
+            return
+        if exacts is not None:
+            audit_exacts = np.asarray(exacts, dtype=np.float64)[mask]
+        elif (table_name, column_name) in self._stale:
+            audit_exacts = self._exact_batch(
+                table_name, column_name, aggregate, lows[mask], highs[mask]
+            )
+        else:
+            audit_exacts = self._snapshot_exact_many(
+                entry, aggregate, lows[mask], highs[mask]
+            )
+        absolute_errors = self.auditor.record_many(
+            key, np.asarray(estimates, dtype=np.float64)[mask], audit_exacts
+        )
+        self._stats["audited_queries"] += audited
+        self.metrics.counter("audited_total", aggregate=aggregate).inc(audited)
+        error_histogram = self.metrics.histogram(
+            "audit_abs_error", buckets=ERROR_BUCKETS
+        )
+        for value in absolute_errors.tolist():
+            error_histogram.observe(value)
+
+    @staticmethod
+    def _snapshot_exact_many(
+        entry: _ColumnSynopses, aggregate: str, lows: np.ndarray, highs: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised exact answers from the build-time snapshot."""
+        low_idx, high_idx, valid = entry.statistics.clip_range_many(lows, highs)
+        counts = np.zeros(lows.shape, dtype=np.float64)
+        if valid.any():
+            counts[valid] = entry.statistics.range_totals(
+                "count", low_idx[valid], high_idx[valid]
+            )
+        if aggregate == "count":
+            return counts
+        totals = np.zeros(lows.shape, dtype=np.float64)
+        if valid.any():
+            totals[valid] = entry.statistics.range_totals(
+                "sum", low_idx[valid], high_idx[valid]
+            )
+        if aggregate == "sum":
+            return totals
+        return np.divide(totals, counts, out=np.zeros_like(totals), where=counts > 0)
+
+    def _predicted_for(self, key: tuple[str, str], aggregate: str):
+        """The frozen builder error model for one (synopsis, aggregate).
+
+        AVG has no direct model (it is SUM/COUNT of two synopses).
+        Entries without a build-time prediction (catalogs loaded from
+        disk) get one computed on first use and pinned, so subsequent
+        corruption is still detectable.
+        """
+        if aggregate not in ("count", "sum"):
+            return None
+        entry = self._synopses.get(key)
+        if entry is None:
+            return None
+        if entry.predicted is not None:
+            return entry.predicted.get(aggregate)
+        cache_key = (key, aggregate)
+        if cache_key not in self._prediction_cache:
+            from repro.core.builders import predict_sse_per_query
+
+            estimator = (
+                entry.count_estimator if aggregate == "count" else entry.sum_estimator
+            )
+            data = (
+                entry.statistics.count_frequencies
+                if aggregate == "count"
+                else entry.statistics.sum_frequencies
+            )
+            self._prediction_cache[cache_key] = predict_sse_per_query(estimator, data)
+        return self._prediction_cache[cache_key]
+
+    def error_report(
+        self,
+        *,
+        drift_threshold: float = 2.0,
+        drift_floor: float = 1e-6,
+        min_samples: int = 1,
+        mark_stale: bool = False,
+    ) -> dict:
+        """Observed-vs-predicted error per audited (table, column, aggregate).
+
+        A synopsis is *drifting* when its windowed observed
+        SSE-per-query exceeds ``drift_threshold`` times the builder's
+        predicted SSE-per-query plus ``drift_floor`` (the floor absorbs
+        float noise and keeps exactly-zero predictions meaningful), with
+        at least ``min_samples`` audited queries in the window.
+        ``mark_stale=True`` feeds drifting synopses into the existing
+        staleness machinery, so the usual ``on_stale`` policies and
+        :meth:`refresh_stale` take over.
+        """
+        if drift_threshold <= 0:
+            raise InvalidParameterError(
+                f"drift_threshold must be > 0, got {drift_threshold}"
+            )
+        rows = []
+        for key in self.auditor.keys():
+            table_name, column_name, aggregate = key
+            observed = self.auditor.observed(key)
+            synopsis_key = (table_name, column_name)
+            entry = self._synopses.get(synopsis_key)
+            prediction = self._predicted_for(synopsis_key, aggregate)
+            predicted_value = None if prediction is None else prediction.sse_per_query
+            ratio = None
+            drifting = False
+            if predicted_value is not None and observed.samples >= min_samples:
+                if predicted_value > 0:
+                    ratio = observed.sse_per_query / predicted_value
+                else:
+                    ratio = math.inf if observed.sse_per_query > drift_floor else 1.0
+                drifting = (
+                    observed.sse_per_query
+                    > drift_threshold * predicted_value + drift_floor
+                )
+            if drifting:
+                self._stats["drift_flags"] += 1
+                self.metrics.counter("drift_flags_total").inc()
+                if mark_stale and entry is not None:
+                    self._stale.add(synopsis_key)
+                    meta = self._build_meta.get(synopsis_key)
+                    if meta is not None and meta.get("stale_since") is None:
+                        meta["stale_since"] = self.clock.now()
+            rows.append(
+                {
+                    "table": table_name,
+                    "column": column_name,
+                    "aggregate": aggregate,
+                    "method": entry.method if entry is not None else None,
+                    "samples": observed.samples,
+                    "observed_sse_per_query": observed.sse_per_query,
+                    "predicted_sse_per_query": predicted_value,
+                    "predicted_exact": None if prediction is None else prediction.exact,
+                    "ratio": ratio,
+                    "mean_abs_error": observed.mean_abs_error,
+                    "max_abs_error": observed.max_abs_error,
+                    "mean_relative_error": observed.mean_relative_error,
+                    "stale": synopsis_key in self._stale,
+                    "drifting": drifting,
+                }
+            )
+        return {
+            "synopses": rows,
+            "audited_queries": self.auditor.total_audited,
+            "window": self.auditor.window,
+            "drift_threshold": drift_threshold,
+        }
+
+    def staleness_ages(self) -> dict[str, float]:
+        """Seconds each currently-stale 1-D synopsis has been stale."""
+        now = self.clock.now()
+        ages: dict[str, float] = {}
+        for key in self._stale:
+            meta = self._build_meta.get(key)
+            if meta is not None and meta.get("stale_since") is not None:
+                ages[f"{key[0]}.{key[1]}"] = now - meta["stale_since"]
+        return ages
+
+    def observability_snapshot(self) -> dict:
+        """One structured, JSON-ready view of everything observable."""
+        return {
+            "stats": self.stats(),
+            "metrics": self.metrics.snapshot(),
+            "error_report": self.error_report(),
+            "staleness_ages": self.staleness_ages(),
+            "synopsis_catalog": self.synopsis_catalog(),
+            "spans_recorded": len(self.tracer),
+        }
+
+    def dump_metrics(self, format: str = "json") -> str:
+        """Render the observability state for export.
+
+        ``"json"`` emits :meth:`observability_snapshot`;
+        ``"prometheus"`` emits the metrics registry in Prometheus text
+        format with the engine counters and staleness ages mirrored in
+        as gauges (one scrape target, no extra deps).
+        """
+        if format == "json":
+            return json.dumps(
+                self.observability_snapshot(), indent=2, sort_keys=True, default=str
+            )
+        if format == "prometheus":
+            for name, value in self.stats().items():
+                if isinstance(value, (int, float)):
+                    self.metrics.gauge(f"stat_{name}").set(float(value))
+            for column, age in self.staleness_ages().items():
+                self.metrics.gauge("staleness_age_seconds", column=column).set(age)
+            return self.metrics.render_prometheus()
+        raise InvalidParameterError(
+            f"format must be json or prometheus, got {format!r}"
         )
 
     def execute_quantile(

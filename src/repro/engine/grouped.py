@@ -171,24 +171,41 @@ class GroupedSynopsisMixin:
                 self._stats["stale_served"] += 1
         self._stats["grouped_queries"] += 1
         results = []
-        for group, entry in sorted(catalog.items()):
-            clipped = entry.statistics.clip_range(query.low, query.high)
-            if clipped is None:
-                estimate = 0.0
-            else:
-                low, high = clipped
-                if query.aggregate == "count":
-                    estimate = entry.count_estimator.estimate(low, high)
-                elif query.aggregate == "sum":
-                    estimate = entry.sum_estimator.estimate(low, high)
+        with self.tracer.span(
+            "grouped_query",
+            table=query.table,
+            column=query.column,
+            group_by=query.group_by,
+            aggregate=query.aggregate,
+            groups=len(catalog),
+        ):
+            self.metrics.counter("grouped_queries_total").inc()
+            for group, entry in sorted(catalog.items()):
+                clipped = entry.statistics.clip_range(query.low, query.high)
+                if clipped is None:
+                    estimate = 0.0
                 else:
-                    count = entry.count_estimator.estimate(low, high)
-                    total = entry.sum_estimator.estimate(low, high)
-                    estimate = total / count if count > 0 else 0.0
-            exact = (
-                self._grouped_exact(query, group) if with_exact else None
-            )
-            results.append(GroupResult(group=group, estimate=float(estimate), exact=exact))
+                    low, high = clipped
+                    if query.aggregate == "count":
+                        estimate = entry.count_estimator.estimate(low, high)
+                    elif query.aggregate == "sum":
+                        estimate = entry.sum_estimator.estimate(low, high)
+                    else:
+                        count = entry.count_estimator.estimate(low, high)
+                        total = entry.sum_estimator.estimate(low, high)
+                        estimate = total / count if count > 0 else 0.0
+                exact = (
+                    self._grouped_exact(query, group) if with_exact else None
+                )
+                if exact is not None:
+                    from repro.observability.metrics import ERROR_BUCKETS
+
+                    self.metrics.histogram(
+                        "grouped_abs_error", buckets=ERROR_BUCKETS
+                    ).observe(abs(float(estimate) - exact))
+                results.append(
+                    GroupResult(group=group, estimate=float(estimate), exact=exact)
+                )
         return results
 
     def _grouped_exact(self, query: GroupedAggregateQuery, group) -> float:

@@ -193,15 +193,28 @@ class JointSynopsisMixin:
                 self._stats["stale_served"] += 1
         self._stats["joint_queries"] += 1
 
-        clipped = entry.statistics.clip_rectangle(
-            query.x_low, query.x_high, query.y_low, query.y_high
-        )
-        if clipped is None:
-            estimate = 0.0
-        else:
-            x1, y1, x2, y2 = clipped
-            estimate = entry.estimator.estimate(x1, y1, x2, y2)
-        exact = self.execute_joint_exact(query) if with_exact else None
+        with self.tracer.span(
+            "joint_query",
+            table=query.table,
+            column_x=query.column_x,
+            column_y=query.column_y,
+        ):
+            self.metrics.counter("joint_queries_total").inc()
+            clipped = entry.statistics.clip_rectangle(
+                query.x_low, query.x_high, query.y_low, query.y_high
+            )
+            if clipped is None:
+                estimate = 0.0
+            else:
+                x1, y1, x2, y2 = clipped
+                estimate = entry.estimator.estimate(x1, y1, x2, y2)
+            exact = self.execute_joint_exact(query) if with_exact else None
+            if exact is not None:
+                from repro.observability.metrics import ERROR_BUCKETS
+
+                self.metrics.histogram(
+                    "joint_abs_error", buckets=ERROR_BUCKETS
+                ).observe(abs(float(estimate) - exact))
         return QueryResult(
             query=query,  # type: ignore[arg-type]
             estimate=float(estimate),

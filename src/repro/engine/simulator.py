@@ -75,14 +75,17 @@ def simulate_traffic(
     spec: TrafficSpec,
     *,
     on_stale: str = "serve",
+    audit_rate: float = 0.0,
 ) -> SimulationReport:
     """Replay a synthetic stream and collect the error profile.
 
     Ranges are drawn uniformly over the column's observed raw domain;
     inserts draw from the same empirical distribution (so the data
-    drifts in volume but not in shape).  ``on_stale`` is forwarded to
+    drifts in volume but not in shape).  ``on_stale`` and ``audit_rate``
+    are forwarded to
     :meth:`~repro.engine.engine.ApproximateQueryEngine.execute`, which
-    is what makes the staleness policies comparable.
+    is what makes the staleness policies comparable and lets a replay
+    exercise the online error auditor end to end.
     """
     if spec.query_count < 1:
         raise InvalidParameterError("query_count must be >= 1")
@@ -116,6 +119,7 @@ def simulate_traffic(
             AggregateQuery(spec.table, spec.column, aggregate, low, high),
             with_exact=True,
             on_stale=on_stale,
+            audit_rate=audit_rate,
         )
         if was_stale and on_stale == "rebuild":
             report.rebuilds += 1

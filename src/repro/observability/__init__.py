@@ -1,0 +1,34 @@
+"""Observability for the approximate query engine.
+
+Three cooperating pieces, all dependency-free and cheap enough to stay
+on the hot path:
+
+* :mod:`tracing` — nested build/query/batch/rebuild spans with parent
+  linkage, recorded into a bounded ring buffer;
+* :mod:`metrics` — a registry of counters, gauges, and error/latency
+  histograms with JSON and Prometheus-text exports;
+* :mod:`audit` — rolling windows of observed-vs-exact error per
+  ``(table, column, aggregate)``, the substrate of
+  :meth:`~repro.engine.engine.ApproximateQueryEngine.error_report`.
+
+:mod:`clock` supplies the time source; tests inject
+:class:`~repro.observability.clock.FakeClock` for deterministic spans.
+"""
+
+from repro.observability.audit import AuditObservation, ErrorAuditor
+from repro.observability.clock import FakeClock, SystemClock
+from repro.observability.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.observability.tracing import Span, TraceRecorder
+
+__all__ = [
+    "AuditObservation",
+    "ErrorAuditor",
+    "FakeClock",
+    "SystemClock",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "TraceRecorder",
+]

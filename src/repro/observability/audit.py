@@ -1,0 +1,98 @@
+"""Online error auditing: observed vs builder-predicted error.
+
+The paper's builders minimise SSE over all ranges *at build time*; this
+module is the production-side check that the promise still holds.  The
+engine samples a fraction of live queries (``audit_rate``), runs the
+exact answer alongside the estimate, and feeds the pair into an
+:class:`ErrorAuditor`, which keeps a rolling window of squared errors
+per ``(table, column, aggregate)``.  Comparing the windowed mean squared
+error against the builder's predicted SSE-per-query is how the engine
+notices a synopsis that has started lying — corrupted bytes, drifted
+data, a builder bug — before users do.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+#: Default rolling-window size per audited key.
+DEFAULT_WINDOW = 4096
+
+
+@dataclass(frozen=True)
+class AuditObservation:
+    """Windowed error statistics for one audited key."""
+
+    samples: int
+    sse_per_query: float
+    mean_abs_error: float
+    max_abs_error: float
+    mean_relative_error: float
+
+
+class ErrorAuditor:
+    """Rolling observed-error windows keyed by ``(table, column, aggregate)``."""
+
+    def __init__(self, window: int = DEFAULT_WINDOW) -> None:
+        if window < 1:
+            raise InvalidParameterError(f"window must be >= 1, got {window}")
+        self.window = int(window)
+        self._errors: dict[tuple, deque] = {}
+        self._exacts: dict[tuple, deque] = {}
+        self.total_audited = 0
+
+    def record(self, key: tuple, estimate: float, exact: float) -> float:
+        """Add one audited (estimate, exact) pair; returns the abs error."""
+        error = float(estimate) - float(exact)
+        self._errors.setdefault(key, deque(maxlen=self.window)).append(error)
+        self._exacts.setdefault(key, deque(maxlen=self.window)).append(float(exact))
+        self.total_audited += 1
+        return abs(error)
+
+    def record_many(self, key: tuple, estimates, exacts) -> np.ndarray:
+        """Vectorised :meth:`record`; returns the abs errors."""
+        estimates = np.asarray(estimates, dtype=np.float64)
+        exacts = np.asarray(exacts, dtype=np.float64)
+        if estimates.shape != exacts.shape:
+            raise InvalidParameterError("estimates and exacts must be parallel arrays")
+        errors = estimates - exacts
+        error_window = self._errors.setdefault(key, deque(maxlen=self.window))
+        exact_window = self._exacts.setdefault(key, deque(maxlen=self.window))
+        error_window.extend(errors.tolist())
+        exact_window.extend(exacts.tolist())
+        self.total_audited += int(estimates.size)
+        return np.abs(errors)
+
+    def keys(self) -> list[tuple]:
+        return sorted(self._errors)
+
+    def observed(self, key: tuple) -> AuditObservation | None:
+        """Windowed statistics for one key; None if never audited."""
+        errors = self._errors.get(key)
+        if not errors:
+            return None
+        err = np.asarray(errors, dtype=np.float64)
+        exact = np.asarray(self._exacts[key], dtype=np.float64)
+        abs_err = np.abs(err)
+        rel = abs_err / np.maximum(np.abs(exact), 1.0)
+        return AuditObservation(
+            samples=int(err.size),
+            sse_per_query=float(np.mean(err * err)),
+            mean_abs_error=float(abs_err.mean()),
+            max_abs_error=float(abs_err.max()),
+            mean_relative_error=float(rel.mean()),
+        )
+
+    def clear(self, key: tuple | None = None) -> None:
+        """Drop one key's window (or every window)."""
+        if key is None:
+            self._errors.clear()
+            self._exacts.clear()
+            return
+        self._errors.pop(key, None)
+        self._exacts.pop(key, None)

@@ -1,0 +1,45 @@
+"""Clocks for the observability layer.
+
+Every duration and staleness age in :mod:`repro.observability` flows
+through a clock object with a single ``now()`` method, so tests can
+substitute :class:`FakeClock` and assert on exact span durations —
+there is no wall-clock flakiness anywhere in the span/metrics tests.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import InvalidParameterError
+
+
+class SystemClock:
+    """Monotonic wall clock (``time.perf_counter``)."""
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+
+class FakeClock:
+    """Deterministic clock for tests: time moves only via :meth:`advance`.
+
+    Optionally ``tick`` seconds elapse on every ``now()`` call, so code
+    that brackets work with two ``now()`` reads observes a positive
+    duration without any explicit ``advance``.
+    """
+
+    def __init__(self, start: float = 0.0, tick: float = 0.0) -> None:
+        if tick < 0:
+            raise InvalidParameterError(f"tick must be >= 0, got {tick}")
+        self._now = float(start)
+        self.tick = float(tick)
+
+    def now(self) -> float:
+        current = self._now
+        self._now += self.tick
+        return current
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise InvalidParameterError(f"cannot advance by {seconds} (< 0)")
+        self._now += float(seconds)

@@ -1,0 +1,213 @@
+"""Pluggable metrics: counters, gauges, and histograms with exports.
+
+A :class:`MetricsRegistry` is a flat namespace of named, labelled
+instruments.  ``snapshot()`` returns a JSON-ready dict; and
+``render_prometheus()`` emits the Prometheus text exposition format, so
+``repro dump-metrics`` (and any scraper pointed at its output) can watch
+the engine without new dependencies.
+
+Instruments are plain python objects — looking one up is a dict access,
+updating one is an attribute increment — cheap enough to sit on the
+query path.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import InvalidParameterError
+
+#: Default histogram buckets (seconds-flavoured exponential ladder).
+DEFAULT_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Buckets sized for absolute/relative error magnitudes.
+ERROR_BUCKETS = (
+    0.001, 0.01, 0.1, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0,
+    64.0, 256.0, 1024.0, 4096.0, 65536.0,
+)
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted(labels.items()))
+
+
+def _render_labels(labels: tuple) -> str:
+    if not labels:
+        return ""
+    body = ",".join(f'{name}="{value}"' for name, value in labels)
+    return "{" + body + "}"
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise InvalidParameterError(f"counters only go up, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (e.g. staleness age)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram tracking count/sum/min/max.
+
+    ``bucket_counts[i]`` counts observations ``<= bounds[i]``
+    (cumulative at render time, per Prometheus convention; stored
+    per-bucket here).  The last implicit bucket is ``+Inf``.
+    """
+
+    __slots__ = ("bounds", "bucket_counts", "count", "total", "minimum", "maximum")
+
+    def __init__(self, bounds=DEFAULT_BUCKETS) -> None:
+        bounds = tuple(float(bound) for bound in bounds)
+        if not bounds or any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise InvalidParameterError("histogram bounds must be strictly increasing")
+        self.bounds = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        position = 0
+        for bound in self.bounds:
+            if value <= bound:
+                break
+            position += 1
+        self.bucket_counts[position] += 1
+        self.count += 1
+        self.total += value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.minimum if self.count else None,
+            "max": self.maximum if self.count else None,
+            "buckets": {
+                "le": list(self.bounds),
+                "counts": list(self.bucket_counts),
+            },
+        }
+
+
+class MetricsRegistry:
+    """Named, labelled instruments with JSON and Prometheus exports."""
+
+    def __init__(self, prefix: str = "repro") -> None:
+        self.prefix = prefix
+        self._counters: dict[str, dict[tuple, Counter]] = {}
+        self._gauges: dict[str, dict[tuple, Gauge]] = {}
+        self._histograms: dict[str, dict[tuple, Histogram]] = {}
+
+    def counter(self, name: str, **labels) -> Counter:
+        series = self._counters.setdefault(name, {})
+        key = _label_key(labels)
+        if key not in series:
+            series[key] = Counter()
+        return series[key]
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        series = self._gauges.setdefault(name, {})
+        key = _label_key(labels)
+        if key not in series:
+            series[key] = Gauge()
+        return series[key]
+
+    def histogram(self, name: str, buckets=DEFAULT_BUCKETS, **labels) -> Histogram:
+        series = self._histograms.setdefault(name, {})
+        key = _label_key(labels)
+        if key not in series:
+            series[key] = Histogram(buckets)
+        return series[key]
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    def snapshot(self) -> dict:
+        """All instruments as one JSON-ready dict (a deep copy)."""
+
+        def series_map(series, render):
+            return {
+                name: {
+                    _render_labels(key) or "": render(instrument)
+                    for key, instrument in sorted(instruments.items())
+                }
+                for name, instruments in sorted(series.items())
+            }
+
+        return {
+            "counters": series_map(self._counters, lambda c: c.value),
+            "gauges": series_map(self._gauges, lambda g: g.value),
+            "histograms": series_map(self._histograms, lambda h: h.as_dict()),
+        }
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: list[str] = []
+        for name, instruments in sorted(self._counters.items()):
+            metric = f"{self.prefix}_{name}"
+            lines.append(f"# TYPE {metric} counter")
+            for key, counter in sorted(instruments.items()):
+                lines.append(f"{metric}{_render_labels(key)} {counter.value:g}")
+        for name, instruments in sorted(self._gauges.items()):
+            metric = f"{self.prefix}_{name}"
+            lines.append(f"# TYPE {metric} gauge")
+            for key, gauge in sorted(instruments.items()):
+                lines.append(f"{metric}{_render_labels(key)} {gauge.value:g}")
+        for name, instruments in sorted(self._histograms.items()):
+            metric = f"{self.prefix}_{name}"
+            lines.append(f"# TYPE {metric} histogram")
+            for key, histogram in sorted(instruments.items()):
+                cumulative = 0
+                for bound, bucket in zip(
+                    histogram.bounds, histogram.bucket_counts
+                ):
+                    cumulative += bucket
+                    bucket_labels = _render_labels(key + (("le", f"{bound:g}"),))
+                    lines.append(f"{metric}_bucket{bucket_labels} {cumulative}")
+                inf_labels = _render_labels(key + (("le", "+Inf"),))
+                lines.append(f"{metric}_bucket{inf_labels} {histogram.count}")
+                lines.append(
+                    f"{metric}_sum{_render_labels(key)} {histogram.total:g}"
+                )
+                lines.append(
+                    f"{metric}_count{_render_labels(key)} {histogram.count}"
+                )
+        return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,129 @@
+"""Lightweight span/trace recording for the query path.
+
+A :class:`TraceRecorder` hands out :class:`Span` objects through a
+context manager; spans opened while another span is active become its
+children (``parent_id`` linkage), giving nested build → query → rebuild
+traces without any external dependency.  Finished spans land in a
+bounded ring buffer so a long-lived engine never grows its trace memory
+without bound.
+
+The recorder is deliberately tiny — opening a span is two clock reads
+and a list append — so it can stay enabled on the hot path; disable it
+(``enabled = False``) to reduce the cost to a single branch.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.errors import InvalidParameterError
+from repro.observability.clock import SystemClock
+
+#: Default capacity of the finished-span ring buffer.
+DEFAULT_SPAN_CAPACITY = 2048
+
+
+@dataclass
+class Span:
+    """One timed operation, optionally nested under a parent span."""
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    start: float
+    end: float | None = None
+    attributes: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float | None:
+        """Seconds between start and end; ``None`` while still open."""
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+    def set(self, **attributes) -> None:
+        """Attach attributes discovered while the span is running."""
+        self.attributes.update(attributes)
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "attributes": dict(self.attributes),
+        }
+
+
+class _NullSpan:
+    """Stand-in yielded while recording is disabled."""
+
+    __slots__ = ()
+    attributes: dict = {}
+
+    def set(self, **attributes) -> None:
+        del attributes
+
+
+NULL_SPAN = _NullSpan()
+
+
+class TraceRecorder:
+    """Collects nested spans into a bounded ring buffer.
+
+    Not thread-safe: the parent stack is shared, so concurrent builders
+    (``build_all_synopses(parallel=True)``) record only their enclosing
+    span plus per-phase metrics, never per-thread child spans.
+    """
+
+    def __init__(self, clock=None, capacity: int = DEFAULT_SPAN_CAPACITY) -> None:
+        if capacity < 1:
+            raise InvalidParameterError(f"capacity must be >= 1, got {capacity}")
+        self.clock = clock if clock is not None else SystemClock()
+        self.enabled = True
+        self._ids = itertools.count(1)
+        self._stack: list[Span] = []
+        self._finished: deque[Span] = deque(maxlen=capacity)
+
+    @contextmanager
+    def span(self, name: str, **attributes):
+        """Open a span; nested calls become children of the current span."""
+        if not self.enabled:
+            yield NULL_SPAN
+            return
+        parent = self._stack[-1] if self._stack else None
+        record = Span(
+            name=name,
+            span_id=next(self._ids),
+            parent_id=parent.span_id if parent is not None else None,
+            start=self.clock.now(),
+            attributes=dict(attributes),
+        )
+        self._stack.append(record)
+        try:
+            yield record
+        finally:
+            record.end = self.clock.now()
+            self._stack.pop()
+            self._finished.append(record)
+
+    def spans(self, name: str | None = None) -> list[Span]:
+        """Finished spans in completion order, optionally filtered by name."""
+        if name is None:
+            return list(self._finished)
+        return [span for span in self._finished if span.name == name]
+
+    def export(self) -> list[dict]:
+        """Finished spans as JSON-ready dicts."""
+        return [span.as_dict() for span in self._finished]
+
+    def clear(self) -> None:
+        self._finished.clear()
+
+    def __len__(self) -> int:
+        return len(self._finished)

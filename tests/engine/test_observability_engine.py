@@ -1,0 +1,330 @@
+"""Engine observability: auditing, error reports, drift, spans, exports.
+
+The acceptance check from the issue lives here: with ``audit_rate=1.0``
+over the full all-ranges workload (n=99 → 4950 ranges), the observed
+SSE-per-query must reproduce the builder's frozen prediction within
+1e-6 for the exact builders, and a corrupted synopsis must be flagged
+as drifting.
+"""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.engine.engine import AggregateQuery, ApproximateQueryEngine
+from repro.engine.table import Table
+from repro.errors import InvalidParameterError
+from repro.observability import FakeClock
+from repro.queries.workload import all_ranges
+
+DOMAIN = 99  # all-ranges population 99*100/2 = 4950 — the "5k-query workload"
+
+
+def make_engine(**kwargs) -> ApproximateQueryEngine:
+    rng = np.random.default_rng(11)
+    counts = rng.integers(1, 6, DOMAIN)
+    values = np.repeat(np.arange(DOMAIN), counts)
+    engine = ApproximateQueryEngine(audit_window=8192, **kwargs)
+    engine.register_table(Table("t", {"x": values}))
+    return engine
+
+
+class TestAuditRate:
+    def test_rejected_outside_unit_interval(self):
+        engine = make_engine()
+        engine.build_synopsis("t", "x", method="sap1", budget_words=40)
+        query = AggregateQuery("t", "x", "count", 5, 60)
+        for bad in (-0.1, 1.5, float("nan")):
+            with pytest.raises(InvalidParameterError):
+                engine.execute(query, audit_rate=bad)
+
+    def test_zero_rate_audits_nothing(self):
+        engine = make_engine()
+        engine.build_synopsis("t", "x", method="sap1", budget_words=40)
+        engine.execute(AggregateQuery("t", "x", "count", 5, 60), audit_rate=0.0)
+        assert engine.auditor.keys() == []
+        assert engine.stats()["audited_queries"] == 0
+
+    def test_full_rate_audits_everything(self):
+        engine = make_engine()
+        engine.build_synopsis("t", "x", method="sap1", budget_words=40)
+        for _ in range(5):
+            engine.execute(
+                AggregateQuery("t", "x", "count", 5, 60), audit_rate=1.0
+            )
+        assert engine.stats()["audited_queries"] == 5
+        assert engine.auditor.observed(("t", "x", "count")).samples == 5
+
+    def test_fractional_rate_samples_roughly_that_share(self):
+        engine = make_engine(audit_seed=3)
+        engine.build_synopsis("t", "x", method="sap1", budget_words=40)
+        query = AggregateQuery("t", "x", "count", 5, 60)
+        for _ in range(400):
+            engine.execute(query, audit_rate=0.25)
+        audited = engine.stats()["audited_queries"]
+        assert 50 <= audited <= 150  # ~100 expected; seeded, so stable
+
+
+class TestAcceptance:
+    """error_report reproduces the builder's frozen predictions."""
+
+    @pytest.mark.parametrize("method", ["opt-a", "sap0", "sap1"])
+    def test_observed_matches_predicted_for_exact_builders(self, method):
+        engine = make_engine()
+        engine.build_synopsis("t", "x", method=method, budget_words=40)
+        batch = all_ranges(DOMAIN)
+        for aggregate in ("count", "sum"):
+            engine.execute_batch(
+                batch.as_batch("t", "x", aggregate), audit_rate=1.0
+            )
+        report = engine.error_report()
+        assert report["audited_queries"] == 2 * 4950
+        rows = {row["aggregate"]: row for row in report["synopses"]}
+        assert set(rows) == {"count", "sum"}
+        for row in rows.values():
+            assert row["method"] == method
+            assert row["samples"] == 4950
+            assert row["predicted_exact"] is True
+            assert row["observed_sse_per_query"] == pytest.approx(
+                row["predicted_sse_per_query"], abs=1e-6, rel=1e-9
+            )
+            assert not row["drifting"]
+
+    def test_scalar_path_reproduces_prediction_too(self):
+        engine = make_engine()
+        engine.build_synopsis("t", "x", method="sap1", budget_words=40)
+        for query in all_ranges(DOMAIN).as_batch("t", "x", "count").queries():
+            engine.execute(query, audit_rate=1.0)
+        row = engine.error_report()["synopses"][0]
+        assert row["observed_sse_per_query"] == pytest.approx(
+            row["predicted_sse_per_query"], abs=1e-6, rel=1e-9
+        )
+
+
+class TestDrift:
+    def corrupt(self, engine):
+        """Scramble the stored count values behind the engine's back."""
+        key = ("t", "x")
+        entry = engine._synopses[key]
+        garbage = np.asarray(entry.count_estimator.values) + 50.0
+        engine._synopses[key] = dataclasses.replace(
+            entry, count_estimator=entry.count_estimator.with_values(garbage)
+        )
+
+    def run_audited_workload(self, engine, aggregate="count"):
+        engine.execute_batch(
+            all_ranges(DOMAIN).as_batch("t", "x", aggregate), audit_rate=1.0
+        )
+
+    def test_corrupted_synopsis_flagged(self):
+        engine = make_engine()
+        engine.build_synopsis("t", "x", method="opt-a", budget_words=40)
+        self.corrupt(engine)
+        self.run_audited_workload(engine)
+        report = engine.error_report()
+        row = next(
+            r for r in report["synopses"] if r["aggregate"] == "count"
+        )
+        assert row["drifting"] is True
+        assert row["ratio"] > 2.0
+        assert engine.stats()["drift_flags"] >= 1
+
+    def test_healthy_synopsis_not_flagged(self):
+        engine = make_engine()
+        engine.build_synopsis("t", "x", method="opt-a", budget_words=40)
+        self.run_audited_workload(engine)
+        assert not any(r["drifting"] for r in engine.error_report()["synopses"])
+
+    def test_mark_stale_feeds_staleness_machinery(self):
+        engine = make_engine()
+        engine.build_synopsis("t", "x", method="opt-a", budget_words=40)
+        self.corrupt(engine)
+        self.run_audited_workload(engine)
+        assert engine.stale_synopses() == []
+        engine.error_report(mark_stale=True)
+        assert engine.stale_synopses() == [("t", "x")]
+        # The normal repair path then rebuilds it into health.
+        assert engine.refresh_stale() == 1
+        engine.auditor.clear()
+        self.run_audited_workload(engine)
+        assert not any(r["drifting"] for r in engine.error_report()["synopses"])
+
+    def test_data_drift_observed_through_live_scans(self):
+        """A stale synopsis is audited against the live table, so
+        appended volume shows up as observed error."""
+        engine = make_engine()
+        engine.build_synopsis("t", "x", method="sap1", budget_words=40)
+        engine.append_rows("t", {"x": np.repeat(np.arange(DOMAIN), 30)})
+        self.run_audited_workload(engine)
+        row = engine.error_report(min_samples=1)["synopses"][0]
+        assert row["stale"] is True
+        assert row["drifting"] is True
+
+    def test_min_samples_gate(self):
+        engine = make_engine()
+        engine.build_synopsis("t", "x", method="opt-a", budget_words=40)
+        self.corrupt(engine)
+        engine.execute(
+            AggregateQuery("t", "x", "count", 10.0, 70.0), audit_rate=1.0
+        )
+        report = engine.error_report(min_samples=100)
+        assert not any(r["drifting"] for r in report["synopses"])
+
+
+class TestStatsLifecycle:
+    def test_snapshots_are_immutable_copies(self):
+        engine = make_engine()
+        engine.build_synopsis("t", "x", method="sap1", budget_words=40)
+        engine.execute(AggregateQuery("t", "x", "count", 5, 60))
+        snapshot = engine.stats()
+        snapshot["queries"] = 999
+        snapshot["synopsis_hits"]["t.x"] = 999
+        fresh = engine.stats()
+        assert fresh["queries"] == 1
+        assert fresh["synopsis_hits"]["t.x"] == 1
+
+    def test_reset_returns_final_snapshot_and_zeroes(self):
+        engine = make_engine()
+        engine.build_synopsis("t", "x", method="sap1", budget_words=40)
+        engine.execute(AggregateQuery("t", "x", "count", 5, 60), audit_rate=1.0)
+        final = engine.reset_stats()
+        assert final["queries"] == 1
+        assert final["audited_queries"] == 1
+        after = engine.stats()
+        assert after["queries"] == 0
+        assert after["audited_queries"] == 0
+        assert after["synopsis_hits"] == {}
+
+    def test_reset_keeps_synopses_and_audit_windows(self):
+        engine = make_engine()
+        engine.build_synopsis("t", "x", method="sap1", budget_words=40)
+        engine.execute(AggregateQuery("t", "x", "count", 5, 60), audit_rate=1.0)
+        engine.reset_stats()
+        assert len(engine.synopsis_catalog()) == 1
+        assert engine.auditor.keys() == [("t", "x", "count")]
+
+
+class TestEngineSpans:
+    def test_build_query_rebuild_span_tree(self):
+        engine = make_engine(clock=FakeClock(tick=1.0))
+        engine.build_synopsis("t", "x", method="sap1", budget_words=40)
+        engine.execute(AggregateQuery("t", "x", "count", 5, 60))
+        engine.append_rows("t", {"x": [3, 4, 5]})
+        engine.refresh_stale()
+        spans = {span.name: span for span in engine.tracer.spans()}
+        assert {"build", "query", "rebuild"} <= set(spans)
+        assert spans["query"].parent_id is None
+        rebuild = spans["rebuild"]
+        rebuilt_children = [
+            span
+            for span in engine.tracer.spans("build")
+            if span.parent_id == rebuild.span_id
+        ]
+        assert len(rebuilt_children) == 1
+        assert rebuild.attributes["rebuilt"] == 1
+        for span in spans.values():
+            assert span.duration is not None and span.duration > 0
+        assert rebuild.duration >= rebuilt_children[0].duration
+
+    def test_on_stale_rebuild_nests_build_under_query(self):
+        engine = make_engine(clock=FakeClock(tick=1.0))
+        engine.build_synopsis("t", "x", method="sap1", budget_words=40)
+        engine.append_rows("t", {"x": [3, 4, 5]})
+        engine.execute(
+            AggregateQuery("t", "x", "count", 5, 60), on_stale="rebuild"
+        )
+        query = engine.tracer.spans("query")[-1]
+        nested = [
+            span
+            for span in engine.tracer.spans("build")
+            if span.parent_id == query.span_id
+        ]
+        assert len(nested) == 1
+        assert query.duration > nested[0].duration
+
+    def test_batch_span_attributes(self):
+        engine = make_engine(clock=FakeClock(tick=1.0))
+        engine.build_synopsis("t", "x", method="sap1", budget_words=40)
+        engine.execute_batch(
+            all_ranges(10).as_batch("t", "x", "count")
+        )
+        batch = engine.tracer.spans("batch")[0]
+        assert batch.attributes == {"queries": 55, "groups": 1}
+
+    def test_build_all_wraps_per_column_builds(self):
+        rng = np.random.default_rng(5)
+        engine = ApproximateQueryEngine(clock=FakeClock(tick=1.0))
+        engine.register_table(
+            Table(
+                "t",
+                {
+                    "x": rng.integers(0, 30, 500),
+                    "y": rng.integers(0, 30, 500),
+                },
+            )
+        )
+        engine.build_all_synopses(method="sap1", total_budget_words=120)
+        build_all = engine.tracer.spans("build_all")[0]
+        children = [
+            span
+            for span in engine.tracer.spans("build")
+            if span.parent_id == build_all.span_id
+        ]
+        assert len(children) == 2
+
+
+class TestStalenessAges:
+    def test_ages_tick_with_the_clock(self):
+        clock = FakeClock()
+        engine = make_engine(clock=clock)
+        engine.build_synopsis("t", "x", method="sap1", budget_words=40)
+        assert engine.staleness_ages() == {}
+        engine.append_rows("t", {"x": [1, 2]})
+        clock.advance(30.0)
+        ages = engine.staleness_ages()
+        assert ages["t.x"] == pytest.approx(30.0)
+        engine.refresh_stale()
+        assert engine.staleness_ages() == {}
+
+
+class TestExports:
+    def test_dump_metrics_json(self):
+        engine = make_engine()
+        engine.build_synopsis("t", "x", method="sap1", budget_words=40)
+        engine.execute_batch(
+            all_ranges(20).as_batch("t", "x", "count"), audit_rate=1.0
+        )
+        payload = json.loads(engine.dump_metrics(format="json"))
+        assert set(payload) >= {
+            "stats", "metrics", "error_report", "staleness_ages",
+            "synopsis_catalog",
+        }
+        assert payload["stats"]["batch_queries"] == 210
+        assert payload["metrics"]["counters"]["audited_total"]
+        assert payload["error_report"]["synopses"]
+
+    def test_dump_metrics_prometheus(self):
+        engine = make_engine()
+        engine.build_synopsis("t", "x", method="sap1", budget_words=40)
+        engine.execute(AggregateQuery("t", "x", "count", 5, 60), audit_rate=1.0)
+        engine.append_rows("t", {"x": [1]})
+        text = engine.dump_metrics(format="prometheus")
+        assert "# TYPE repro_builds_total counter" in text
+        assert 'repro_builds_total{method="sap1"} 1' in text
+        assert "repro_stat_queries 1" in text
+        assert 'repro_staleness_age_seconds{column="t.x"}' in text
+
+    def test_dump_metrics_unknown_format(self):
+        with pytest.raises(InvalidParameterError):
+            make_engine().dump_metrics(format="xml")
+
+    def test_observability_snapshot_round_trips_json(self):
+        engine = make_engine()
+        engine.build_synopsis("t", "x", method="sap1", budget_words=40)
+        engine.execute(AggregateQuery("t", "x", "sum", 5, 60), audit_rate=1.0)
+        snapshot = engine.observability_snapshot()
+        json.dumps(snapshot)
+        assert snapshot["spans_recorded"] == len(engine.tracer)
+        assert snapshot["stats"]["audited_queries"] == 1

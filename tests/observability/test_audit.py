@@ -1,0 +1,80 @@
+"""Error auditor: rolling windows and observed statistics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.observability import ErrorAuditor
+
+KEY = ("t", "x", "count")
+
+
+class TestRecording:
+    def test_record_returns_abs_error(self):
+        auditor = ErrorAuditor()
+        assert auditor.record(KEY, estimate=12.0, exact=10.0) == 2.0
+        assert auditor.record(KEY, estimate=9.0, exact=10.0) == 1.0
+        assert auditor.total_audited == 2
+
+    def test_record_many_matches_scalar_loop(self):
+        rng = np.random.default_rng(0)
+        estimates = rng.normal(size=50)
+        exacts = rng.normal(size=50)
+        vector = ErrorAuditor()
+        scalar = ErrorAuditor()
+        batch_errors = vector.record_many(KEY, estimates, exacts)
+        loop_errors = [
+            scalar.record(KEY, est, ex) for est, ex in zip(estimates, exacts)
+        ]
+        np.testing.assert_allclose(batch_errors, loop_errors)
+        assert vector.observed(KEY) == scalar.observed(KEY)
+
+    def test_record_many_shape_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            ErrorAuditor().record_many(KEY, [1.0, 2.0], [1.0])
+
+    def test_window_keeps_most_recent(self):
+        auditor = ErrorAuditor(window=3)
+        for exact in (0.0, 0.0, 0.0, 10.0):
+            auditor.record(KEY, estimate=exact + 1.0, exact=exact)
+        observed = auditor.observed(KEY)
+        assert observed.samples == 3
+        # All four were audited even though only three remain windowed.
+        assert auditor.total_audited == 4
+
+    def test_window_validated(self):
+        with pytest.raises(InvalidParameterError):
+            ErrorAuditor(window=0)
+
+
+class TestObserved:
+    def test_statistics(self):
+        auditor = ErrorAuditor()
+        auditor.record(KEY, estimate=13.0, exact=10.0)   # error +3
+        auditor.record(KEY, estimate=6.0, exact=10.0)    # error -4
+        observed = auditor.observed(KEY)
+        assert observed.samples == 2
+        assert observed.sse_per_query == pytest.approx((9 + 16) / 2)
+        assert observed.mean_abs_error == pytest.approx(3.5)
+        assert observed.max_abs_error == 4.0
+        assert observed.mean_relative_error == pytest.approx(0.35)
+
+    def test_relative_error_floors_tiny_exacts(self):
+        auditor = ErrorAuditor()
+        auditor.record(KEY, estimate=0.5, exact=0.0)
+        # |exact| < 1 is floored to 1, so the ratio stays bounded.
+        assert auditor.observed(KEY).mean_relative_error == pytest.approx(0.5)
+
+    def test_unknown_key_is_none(self):
+        assert ErrorAuditor().observed(("t", "x", "sum")) is None
+
+    def test_keys_sorted_and_clear(self):
+        auditor = ErrorAuditor()
+        second = ("t", "y", "sum")
+        auditor.record(second, 1.0, 1.0)
+        auditor.record(KEY, 1.0, 1.0)
+        assert auditor.keys() == [KEY, second]
+        auditor.clear(KEY)
+        assert auditor.keys() == [second]
+        auditor.clear()
+        assert auditor.keys() == []

@@ -1,0 +1,109 @@
+"""Metrics registry: instrument semantics and both export formats."""
+
+import json
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.observability import MetricsRegistry
+from repro.observability.metrics import Counter, Gauge, Histogram
+
+
+class TestInstruments:
+    def test_counter_monotonic(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(InvalidParameterError):
+            counter.inc(-1)
+
+    def test_gauge_up_and_down(self):
+        gauge = Gauge()
+        gauge.set(7.0)
+        gauge.inc(3.0)
+        gauge.dec(10.0)
+        assert gauge.value == 0.0
+
+    def test_histogram_buckets_and_moments(self):
+        hist = Histogram(bounds=(1.0, 10.0, 100.0))
+        for value in (0.5, 5.0, 50.0, 500.0):
+            hist.observe(value)
+        assert hist.bucket_counts == [1, 1, 1, 1]
+        assert hist.count == 4
+        assert hist.total == 555.5
+        assert hist.mean == pytest.approx(138.875)
+        assert hist.minimum == 0.5 and hist.maximum == 500.0
+
+    def test_boundary_value_lands_in_le_bucket(self):
+        hist = Histogram(bounds=(1.0, 2.0))
+        hist.observe(1.0)  # le="1" is inclusive, per Prometheus convention
+        assert hist.bucket_counts == [1, 0, 0]
+
+    def test_histogram_bounds_validated(self):
+        with pytest.raises(InvalidParameterError):
+            Histogram(bounds=())
+        with pytest.raises(InvalidParameterError):
+            Histogram(bounds=(2.0, 1.0))
+
+
+class TestRegistry:
+    def test_lookup_is_stable_per_name_and_labels(self):
+        registry = MetricsRegistry()
+        assert registry.counter("ops") is registry.counter("ops")
+        assert registry.counter("ops", kind="a") is not registry.counter(
+            "ops", kind="b"
+        )
+        # Label order must not matter.
+        assert registry.counter("ops", a="1", b="2") is registry.counter(
+            "ops", b="2", a="1"
+        )
+
+    def test_snapshot_is_json_ready_and_detached(self):
+        registry = MetricsRegistry()
+        registry.counter("ops", kind="build").inc(3)
+        registry.gauge("backlog").set(2)
+        registry.histogram("latency", buckets=(0.1, 1.0)).observe(0.05)
+        snapshot = registry.snapshot()
+        json.dumps(snapshot)  # must serialise without custom encoders
+        assert snapshot["counters"]["ops"]['{kind="build"}'] == 3
+        assert snapshot["gauges"]["backlog"][""] == 2
+        assert snapshot["histograms"]["latency"][""]["count"] == 1
+        # Mutating the snapshot never touches the live instruments.
+        snapshot["counters"]["ops"]['{kind="build"}'] = 999
+        assert registry.counter("ops", kind="build").value == 3
+
+    def test_reset_clears_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("ops").inc()
+        registry.reset()
+        assert registry.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+
+
+class TestPrometheusRendering:
+    def test_counter_and_gauge_lines(self):
+        registry = MetricsRegistry(prefix="repro")
+        registry.counter("builds_total", method="sap1").inc(2)
+        registry.gauge("staleness_age_seconds", column="t.x").set(12.5)
+        text = registry.render_prometheus()
+        assert "# TYPE repro_builds_total counter" in text
+        assert 'repro_builds_total{method="sap1"} 2' in text
+        assert 'repro_staleness_age_seconds{column="t.x"} 12.5' in text
+        assert text.endswith("\n")
+
+    def test_histogram_cumulative_buckets(self):
+        registry = MetricsRegistry(prefix="repro")
+        hist = registry.histogram("latency_seconds", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            hist.observe(value)
+        lines = registry.render_prometheus().splitlines()
+        assert 'repro_latency_seconds_bucket{le="0.1"} 1' in lines
+        assert 'repro_latency_seconds_bucket{le="1"} 2' in lines
+        assert 'repro_latency_seconds_bucket{le="+Inf"} 3' in lines
+        assert "repro_latency_seconds_sum 5.55" in lines
+        assert "repro_latency_seconds_count 3" in lines
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render_prometheus() == ""

@@ -1,0 +1,153 @@
+"""Span/trace recorder: nesting, ids, durations, bounded buffer.
+
+Every timing assertion runs against :class:`FakeClock`, so the tests
+are deterministic — no wall-clock sleeps, no flaky duration bounds.
+"""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.observability import FakeClock, SystemClock, TraceRecorder
+from repro.observability.tracing import NULL_SPAN
+
+
+class TestFakeClock:
+    def test_tick_advances_per_read(self):
+        clock = FakeClock(start=10.0, tick=0.5)
+        assert clock.now() == 10.0
+        assert clock.now() == 10.5
+        assert clock.now() == 11.0
+
+    def test_manual_advance(self):
+        clock = FakeClock()
+        assert clock.now() == 0.0
+        clock.advance(3.25)
+        assert clock.now() == 3.25
+
+    def test_system_clock_monotonic(self):
+        clock = SystemClock()
+        first = clock.now()
+        second = clock.now()
+        assert second >= first
+
+
+class TestSpanNesting:
+    def test_parent_ids_follow_nesting(self):
+        recorder = TraceRecorder(FakeClock(tick=1.0))
+        with recorder.span("outer") as outer:
+            with recorder.span("middle") as middle:
+                with recorder.span("inner") as inner:
+                    pass
+        assert outer.parent_id is None
+        assert middle.parent_id == outer.span_id
+        assert inner.parent_id == middle.span_id
+        # Finished in completion (innermost-first) order.
+        assert [span.name for span in recorder.spans()] == [
+            "inner", "middle", "outer",
+        ]
+
+    def test_siblings_share_a_parent(self):
+        recorder = TraceRecorder(FakeClock(tick=1.0))
+        with recorder.span("parent") as parent:
+            with recorder.span("first") as first:
+                pass
+            with recorder.span("second") as second:
+                pass
+        assert first.parent_id == parent.span_id
+        assert second.parent_id == parent.span_id
+        assert first.span_id != second.span_id
+
+    def test_span_ids_unique_and_increasing(self):
+        recorder = TraceRecorder(FakeClock(tick=1.0))
+        for _ in range(5):
+            with recorder.span("op"):
+                pass
+        ids = [span.span_id for span in recorder.spans()]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == len(ids)
+
+    def test_stack_unwinds_on_exception(self):
+        recorder = TraceRecorder(FakeClock(tick=1.0))
+        with pytest.raises(RuntimeError):
+            with recorder.span("outer"):
+                with recorder.span("failing"):
+                    raise RuntimeError("boom")
+        # Both spans still finished, and new spans are root-level again.
+        assert len(recorder) == 2
+        with recorder.span("after") as after:
+            pass
+        assert after.parent_id is None
+
+
+class TestDurations:
+    def test_durations_from_fake_clock(self):
+        recorder = TraceRecorder(FakeClock(tick=1.0))
+        with recorder.span("outer"):
+            with recorder.span("inner"):
+                pass
+        inner, outer = recorder.spans()
+        # Each span costs two reads; inner's reads happen inside outer.
+        assert inner.duration == 1.0
+        assert outer.duration == 3.0
+        assert outer.start < inner.start < inner.end < outer.end
+
+    def test_enclosing_span_never_shorter_than_children(self):
+        recorder = TraceRecorder(FakeClock(tick=0.25))
+        with recorder.span("rebuild"):
+            for _ in range(3):
+                with recorder.span("build"):
+                    pass
+        rebuild = recorder.spans("rebuild")[0]
+        children = recorder.spans("build")
+        assert all(child.parent_id == rebuild.span_id for child in children)
+        assert rebuild.duration >= sum(child.duration for child in children)
+
+    def test_open_span_has_no_duration(self):
+        recorder = TraceRecorder(FakeClock(tick=1.0))
+        with recorder.span("open") as span:
+            assert span.duration is None
+        assert span.duration == 1.0
+
+
+class TestRecorderBehaviour:
+    def test_ring_buffer_bounded(self):
+        recorder = TraceRecorder(FakeClock(tick=1.0), capacity=3)
+        for index in range(10):
+            with recorder.span("op", index=index):
+                pass
+        assert len(recorder) == 3
+        kept = [span.attributes["index"] for span in recorder.spans()]
+        assert kept == [7, 8, 9]
+
+    def test_capacity_validated(self):
+        with pytest.raises(InvalidParameterError):
+            TraceRecorder(FakeClock(), capacity=0)
+
+    def test_attributes_and_set(self):
+        recorder = TraceRecorder(FakeClock(tick=1.0))
+        with recorder.span("build", method="sap1") as span:
+            span.set(resolved_method="sap1", buckets=4)
+        exported = recorder.export()[0]
+        assert exported["name"] == "build"
+        assert exported["attributes"] == {
+            "method": "sap1", "resolved_method": "sap1", "buckets": 4,
+        }
+        assert exported["duration"] == 1.0
+
+    def test_disabled_recorder_yields_null_span(self):
+        recorder = TraceRecorder(FakeClock(tick=1.0))
+        recorder.enabled = False
+        with recorder.span("op") as span:
+            span.set(ignored=True)  # must be a no-op, not an error
+        assert span is NULL_SPAN
+        assert len(recorder) == 0
+
+    def test_filter_and_clear(self):
+        recorder = TraceRecorder(FakeClock(tick=1.0))
+        with recorder.span("query"):
+            pass
+        with recorder.span("build"):
+            pass
+        assert [s.name for s in recorder.spans("build")] == ["build"]
+        recorder.clear()
+        assert recorder.spans() == []

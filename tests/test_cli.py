@@ -113,6 +113,50 @@ class TestInspect:
         assert "bucket" in out and "max suffix err" in out
 
 
+class TestDumpMetrics:
+    def test_json_to_stdout(self, capsys):
+        import json
+
+        assert main([
+            "dump-metrics", "--generate", "zipf", "--n", "64", "--seed", "5",
+            "--queries", "200", "--audit-rate", "1.0",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["stats"]["batch_queries"] == 400  # count + sum batches
+        assert payload["stats"]["audited_queries"] == 400
+        rows = payload["error_report"]["synopses"]
+        assert {row["aggregate"] for row in rows} == {"count", "sum"}
+
+    def test_prometheus_to_file(self, tmp_path, capsys):
+        target = tmp_path / "metrics.prom"
+        assert main([
+            "dump-metrics", "--generate", "uniform", "--n", "48", "--seed", "2",
+            "--queries", "100", "--format", "prometheus",
+            "--output", str(target),
+        ]) == 0
+        assert "metrics written to" in capsys.readouterr().out
+        text = target.read_text()
+        assert "# TYPE repro_batch_queries_total counter" in text
+        assert "repro_stat_audited_queries 200" in text
+
+    def test_csv_dataset(self, sales_csv, capsys):
+        import json
+
+        assert main([
+            "dump-metrics", "--csv", str(sales_csv), "--column", "price",
+            "--queries", "50", "--method", "a0", "--budget", "24",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["stats"]["batches"] == 2
+
+    def test_invalid_audit_rate_fails_cleanly(self, capsys):
+        assert main([
+            "dump-metrics", "--generate", "zipf", "--n", "32",
+            "--audit-rate", "7",
+        ]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
 class TestReport:
     def test_report_to_file(self, tmp_path, capsys, monkeypatch):
         # Patch the harness onto a small dataset so the test stays fast.
