@@ -1,0 +1,45 @@
+"""Sharded incremental-refresh benchmark.
+
+Dirty-shard maintenance must earn its keep: when appends land in a
+single shard of a 64-shard synopsis, ``refresh_stale`` has to rebuild
+exactly that one shard and beat the monolithic full rebuild of the same
+column by at least 5x — while keeping shard-aligned COUNT ranges exact.
+"""
+
+from repro.experiments.reporting import format_table
+from repro.experiments.sharding import run_refresh_benchmark
+
+
+def test_single_shard_refresh_beats_full_rebuild(record_result):
+    result = run_refresh_benchmark(
+        row_count=50_000,
+        domain=1024,
+        shards=64,
+        append_count=1_000,
+        method="sap1",
+        budget_words=1024,
+    )
+    rows = [
+        ["monolithic full rebuild", result.monolithic_seconds, "-"],
+        ["dirty-shard refresh", result.incremental_seconds, result.shards_rebuilt],
+        ["speedup", f"{result.speedup:.1f}x", "-"],
+    ]
+    record_result(
+        "sharded_refresh",
+        format_table(
+            ["path", "seconds", "shards rebuilt"],
+            rows,
+            title=(
+                f"Incremental refresh ({result.shards} shards, "
+                f"{result.row_count} rows, {result.append_count} appended)"
+            ),
+        ),
+    )
+    assert result.shards_rebuilt == 1, (
+        "appends confined to one shard must dirty exactly one shard, "
+        f"rebuilt {result.shards_rebuilt}"
+    )
+    assert result.aligned_max_abs_error == 0.0, (
+        "shard-aligned ranges must stay exact after an incremental refresh"
+    )
+    assert result.speedup >= 5.0, result.summary()

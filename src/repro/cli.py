@@ -206,7 +206,11 @@ def _cmd_estimate(args) -> int:
     engine = ApproximateQueryEngine()
     engine.register_table(Table(args.table, {args.column: np.round(raw).astype(np.int64)}))
     engine.build_synopsis(
-        args.table, args.column, method=args.method, budget_words=args.budget
+        args.table,
+        args.column,
+        method=args.method,
+        budget_words=args.budget,
+        shards=args.shards,
     )
     statements = args.query
     if len(statements) == 1:
@@ -238,6 +242,7 @@ def _cmd_bench_batch(args) -> int:
         query_count=args.queries,
         method=args.method,
         budget_words=args.budget,
+        shards=args.shards,
     )
     rows = [
         ["scalar execute() loop", result.scalar_seconds, result.scalar_qps],
@@ -257,6 +262,44 @@ def _cmd_bench_batch(args) -> int:
         f"speedup: {result.speedup:.1f}x   "
         f"max |estimate diff|: {result.max_abs_difference:.3g}"
     )
+    return 0
+
+
+def _cmd_bench_refresh(args) -> int:
+    import json
+
+    from repro.experiments.sharding import run_refresh_benchmark
+
+    result = run_refresh_benchmark(
+        row_count=args.rows,
+        domain=args.domain,
+        shards=args.shards,
+        append_count=args.appends,
+        method=args.method,
+        budget_words=args.budget,
+    )
+    rows = [
+        ["monolithic full rebuild", result.monolithic_seconds, 1],
+        ["dirty-shard refresh", result.incremental_seconds, result.shards_rebuilt],
+    ]
+    print(
+        format_table(
+            ["path", "seconds", "shards rebuilt"],
+            rows,
+            title=(
+                f"Incremental refresh ({result.shards} shards, "
+                f"{result.row_count} rows, {args.method})"
+            ),
+        )
+    )
+    print(
+        f"speedup: {result.speedup:.1f}x   "
+        f"aligned max |err|: {result.aligned_max_abs_error:.3g}"
+    )
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(result.to_dict(), handle, indent=2)
+        print(f"result written to {args.output}")
     return 0
 
 
@@ -360,6 +403,12 @@ def build_parser() -> argparse.ArgumentParser:
     estimate.add_argument("--method", default="sap1", choices=sorted(BUILDER_REGISTRY))
     estimate.add_argument("--budget", type=int, default=64)
     estimate.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="partition the domain into this many shards (aligned ranges exact)",
+    )
+    estimate.add_argument(
         "--query",
         required=True,
         action="append",
@@ -380,7 +429,29 @@ def build_parser() -> argparse.ArgumentParser:
     bench_batch.add_argument("--queries", type=int, default=10_000)
     bench_batch.add_argument("--method", default="sap1", choices=sorted(BUILDER_REGISTRY))
     bench_batch.add_argument("--budget", type=int, default=128)
+    bench_batch.add_argument(
+        "--shards", type=int, default=1, help="shard the synopsis before benchmarking"
+    )
     bench_batch.set_defaults(handler=_cmd_bench_batch)
+
+    bench_refresh = commands.add_parser(
+        "bench-refresh",
+        help="time dirty-shard incremental refresh against a full rebuild",
+    )
+    bench_refresh.add_argument("--rows", type=int, default=200_000)
+    bench_refresh.add_argument("--domain", type=int, default=2048)
+    bench_refresh.add_argument("--shards", type=int, default=64)
+    bench_refresh.add_argument(
+        "--appends", type=int, default=2_000, help="rows appended into one shard"
+    )
+    bench_refresh.add_argument(
+        "--method", default="sap1", choices=sorted(BUILDER_REGISTRY)
+    )
+    bench_refresh.add_argument("--budget", type=int, default=1024)
+    bench_refresh.add_argument(
+        "--output", help="also write the result as JSON to this path"
+    )
+    bench_refresh.set_defaults(handler=_cmd_bench_refresh)
 
     dump = commands.add_parser(
         "dump-metrics",

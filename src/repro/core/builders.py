@@ -194,6 +194,94 @@ def predict_sse_per_query(
     )
 
 
+def split_budget_by_mass(name: str, data, starts, budget_words: int):
+    """Split a word budget across contiguous shards proportionally to mass.
+
+    ``starts`` is the shard-boundary array (length ``S + 1``) over
+    ``data``'s index domain.  Each shard's share is proportional to its
+    absolute mass (so SUM vectors with negative values still split
+    sensibly), floored at the builder's ``words_per_unit`` so every
+    shard can afford at least one unit; the remainder is distributed by
+    largest remainder, keeping the total exactly ``budget_words``.
+    Raises :class:`~repro.errors.BudgetExceededError` when the budget
+    cannot cover the per-shard floor.
+    """
+    import numpy as np
+
+    spec = BUILDER_REGISTRY.get(name)
+    if spec is None:
+        raise InvalidParameterError(
+            f"unknown builder {name!r}; available: {sorted(BUILDER_REGISTRY)}"
+        )
+    data = np.asarray(data, dtype=np.float64)
+    starts = np.asarray(starts, dtype=np.int64)
+    shard_count = int(starts.size - 1)
+    floor = spec.words_per_unit
+    if budget_words < shard_count * floor:
+        raise BudgetExceededError(
+            f"{name} over {shard_count} shards needs at least "
+            f"{shard_count * floor} words ({floor} per shard), got {budget_words}"
+        )
+    masses = np.add.reduceat(np.abs(data), starts[:-1])
+    # reduceat yields the element itself for empty slices at the end;
+    # shard_boundaries guarantees non-empty shards, so no correction.
+    total_mass = float(masses.sum())
+    if total_mass <= 0.0:
+        weights = np.full(shard_count, 1.0 / shard_count)
+    else:
+        weights = masses / total_mass
+    spare = budget_words - shard_count * floor
+    raw = weights * spare
+    budgets = np.full(shard_count, floor, dtype=np.int64) + np.floor(raw).astype(
+        np.int64
+    )
+    leftover = int(budget_words - budgets.sum())
+    if leftover > 0:
+        remainders = raw - np.floor(raw)
+        # Deterministic largest-remainder: ties broken by shard id.
+        order = np.lexsort((np.arange(shard_count), -remainders))
+        budgets[order[:leftover]] += 1
+    return budgets
+
+
+def aggregate_shard_predictions(predictions, shard_sizes) -> ErrorPrediction | None:
+    """Merge per-shard error models into one synopsis-level prediction.
+
+    A random range decomposes into exact interior totals plus partial
+    sums in its two boundary shards, so its squared error is
+    ``(e_left + e_right)^2``.  Dropping the cross term (the same
+    simplification the A0 builder makes) and taking each shard's local
+    all-ranges SSE-per-query as a proxy for its partial-range error
+    gives ``sse_per_query ~= sum_i 2 * (m_i / n) * p_i``: each endpoint
+    lands in shard ``i`` with probability about ``m_i / n``, and there
+    are two endpoints.  The aggregate is a heuristic, so ``exact`` is
+    always False; returns ``None`` when any shard lacks a model.
+    """
+    import numpy as np
+
+    if predictions is None or any(p is None for p in predictions):
+        return None
+    sizes = np.asarray(shard_sizes, dtype=np.float64)
+    if sizes.size != len(predictions) or sizes.size == 0:
+        raise InvalidParameterError(
+            "shard_sizes must parallel predictions and be non-empty"
+        )
+    n = float(sizes.sum())
+    per_query = float(
+        sum(
+            2.0 * (size / n) * prediction.sse_per_query
+            for size, prediction in zip(sizes.tolist(), predictions)
+        )
+    )
+    total = int(n)
+    return ErrorPrediction(
+        sse_per_query=per_query,
+        query_count=total * (total + 1) // 2,
+        sampled_queries=int(sum(p.sampled_queries for p in predictions)),
+        exact=False,
+    )
+
+
 def _reopt_variant(base_name: str):
     """Builder for the paper's ``A-reopt`` family: build the base
     histogram, then re-optimise its stored values for the all-ranges

@@ -24,6 +24,7 @@ from repro.engine.grouped import GroupedAggregateQuery, GroupResult
 from repro.engine.joint import JOINT_METHODS, JointAggregateQuery
 from repro.engine.persistence import load_catalog, save_catalog
 from repro.engine.advisor import AdvisorChoice, best_method, recommend
+from repro.engine.sharding import ShardedSynopsis, build_sharded, shard_boundaries
 from repro.engine.simulator import SimulationReport, TrafficSpec, simulate_traffic
 from repro.engine.sql import parse_query
 from repro.engine.storage import deserialize_estimator, serialize_estimator
@@ -53,4 +54,7 @@ __all__ = [
     "SimulationReport",
     "serialize_estimator",
     "deserialize_estimator",
+    "ShardedSynopsis",
+    "build_sharded",
+    "shard_boundaries",
 ]

@@ -189,6 +189,7 @@ class BatchExecutionMixin:
                     dtype=np.float64,
                 )
                 estimate_array = _estimate_group(entry, aggregate, lows, highs)
+                self._record_sharded_batch(entry, lows, highs)
                 exact_array = (
                     self._exact_batch(table_name, column_name, aggregate, lows, highs)
                     if with_exact
@@ -235,6 +236,16 @@ class BatchExecutionMixin:
         if with_exact:
             self._stats["exact_scans"] += len(query_list)
         return results
+
+    def _record_sharded_batch(self, entry, lows: np.ndarray, highs: np.ndarray) -> None:
+        """Boundary-shard hit accounting for one batch group, if sharded."""
+        from repro.engine.sharding import ShardedSynopsis
+
+        if not isinstance(entry.count_estimator, ShardedSynopsis):
+            return
+        low_idx, high_idx, valid = entry.statistics.clip_range_many(lows, highs)
+        if valid.any():
+            self._record_sharded_queries(entry, low_idx[valid], high_idx[valid])
 
     def _exact_batch(
         self,

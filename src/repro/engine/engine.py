@@ -13,11 +13,16 @@ import copy
 import json
 import math
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
-from repro.core.builders import BUILDER_REGISTRY, build_by_name
+from repro.core.builders import (
+    BUILDER_REGISTRY,
+    aggregate_shard_predictions,
+    build_by_name,
+)
+from repro.engine.sharding import ShardedSynopsis, build_sharded
 from repro.engine.batch import BatchExecutionMixin, BatchQuery  # noqa: F401  (re-exported)
 from repro.engine.column import ColumnStatistics
 from repro.engine.grouped import GroupedAggregateQuery, GroupedSynopsisMixin, GroupResult
@@ -137,6 +142,9 @@ class _ColumnSynopses:
     #: frozen at build time so later corruption or drift is detectable;
     #: None for catalogs predating prediction (e.g. loaded from disk).
     predicted: dict | None = None
+    #: Number of contiguous domain shards the estimators were built
+    #: with (1 = monolithic); recorded so rebuilds keep the layout.
+    shards: int = 1
 
     def envelope_for(self, aggregate: str):
         """Lazily-computed error envelope, if the synopsis supports it."""
@@ -157,7 +165,15 @@ class _ColumnSynopses:
 
 
 def _build_column_entry(
-    values, method: str, budget_words: int, *, predict_errors: bool = True, **builder_kwargs
+    values,
+    method: str,
+    budget_words: int,
+    *,
+    predict_errors: bool = True,
+    shards: int = 1,
+    parallel_shards: bool = True,
+    on_shard_built=None,
+    **builder_kwargs,
 ) -> _ColumnSynopses:
     """Build one column's COUNT and SUM synopses from its raw values.
 
@@ -166,6 +182,13 @@ def _build_column_entry(
     ``predict_errors`` additionally evaluates each synopsis's
     SSE-per-query error model (frozen into the entry for the online
     auditor; sampled on large domains, so the cost stays bounded).
+
+    ``shards > 1`` partitions the column's domain into that many
+    contiguous shards (clamped to the domain size) and builds one
+    independent synopsis per shard — see
+    :class:`repro.engine.sharding.ShardedSynopsis`; ``parallel_shards``
+    runs the per-shard builds on a thread pool, and
+    ``on_shard_built(shard, seconds)`` observes each shard's build time.
     """
     from repro.core.builders import predict_sse_per_query
 
@@ -179,15 +202,53 @@ def _build_column_entry(
             f"unknown synopsis method {method!r}; available: "
             f"{sorted(BUILDER_REGISTRY)} or 'auto'"
         )
+    if shards < 1:
+        raise InvalidParameterError(f"shards must be >= 1, got {shards}")
+    shards = min(int(shards), statistics.domain_size)
     half = max(budget_words // 2, BUILDER_REGISTRY[method].words_per_unit)
-    count_est = build_by_name(method, statistics.count_frequencies, half, **builder_kwargs)
-    sum_est = build_by_name(method, statistics.sum_frequencies, half, **builder_kwargs)
     predicted = None
-    if predict_errors:
-        predicted = {
-            "count": predict_sse_per_query(count_est, statistics.count_frequencies),
-            "sum": predict_sse_per_query(sum_est, statistics.sum_frequencies),
-        }
+    if shards > 1:
+        count_est = build_sharded(
+            method,
+            statistics.count_frequencies,
+            half,
+            shards,
+            parallel=parallel_shards,
+            predict=predict_errors,
+            on_shard_built=on_shard_built,
+            **builder_kwargs,
+        )
+        sum_est = build_sharded(
+            method,
+            statistics.sum_frequencies,
+            half,
+            shards,
+            parallel=parallel_shards,
+            predict=predict_errors,
+            on_shard_built=on_shard_built,
+            **builder_kwargs,
+        )
+        if predict_errors:
+            predicted = {
+                "count": aggregate_shard_predictions(
+                    count_est.shard_predictions, np.diff(count_est.starts)
+                ),
+                "sum": aggregate_shard_predictions(
+                    sum_est.shard_predictions, np.diff(sum_est.starts)
+                ),
+            }
+    else:
+        count_est = build_by_name(
+            method, statistics.count_frequencies, half, **builder_kwargs
+        )
+        sum_est = build_by_name(
+            method, statistics.sum_frequencies, half, **builder_kwargs
+        )
+        if predict_errors:
+            predicted = {
+                "count": predict_sse_per_query(count_est, statistics.count_frequencies),
+                "sum": predict_sse_per_query(sum_est, statistics.sum_frequencies),
+            }
     return _ColumnSynopses(
         statistics=statistics,
         count_estimator=count_est,
@@ -196,14 +257,25 @@ def _build_column_entry(
         budget_words=budget_words,
         builder_kwargs=dict(builder_kwargs),
         predicted=predicted,
+        shards=shards,
     )
 
 
-def _timed_build_column_entry(values, method, budget_words, predict_errors, builder_kwargs):
+def _timed_build_column_entry(
+    values, method, budget_words, predict_errors, builder_kwargs, shards=1
+):
     """Worker-thread wrapper timing one column build (wall clock)."""
     start = time.perf_counter()
     entry = _build_column_entry(
-        values, method, budget_words, predict_errors=predict_errors, **builder_kwargs
+        values,
+        method,
+        budget_words,
+        predict_errors=predict_errors,
+        shards=shards,
+        # The column builds already run on the catalog thread pool;
+        # nesting a per-shard pool inside each worker oversubscribes.
+        parallel_shards=False,
+        **builder_kwargs,
     )
     return entry, time.perf_counter() - start
 
@@ -230,6 +302,10 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
         self._tables: dict[str, Table] = {}
         self._synopses: dict[tuple[str, str], _ColumnSynopses] = {}
         self._stale: set[tuple[str, str]] = set()
+        #: Dirty shard ids per sharded synopsis key; ``None`` means the
+        #: domain itself changed (every shard must rebuild).  Only stale
+        #: sharded entries have a row here.
+        self._dirty_shards: dict[tuple[str, str], set[int] | None] = {}
         self._joint_synopses: dict[tuple[str, str, str], object] = {}
         self._stale_joint: set[tuple[str, str, str]] = set()
         self._grouped_synopses: dict[tuple[str, str, str], dict] = {}
@@ -258,6 +334,7 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
             "exact_scans": 0,
             "stale_served": 0,
             "rebuilds": 0,
+            "dirty_shards_rebuilt": 0,
             "audited_queries": 0,
             "drift_flags": 0,
             "synopsis_hits": {},
@@ -288,6 +365,7 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
         for key in [key for key in self._synopses if key[0] == table.name]:
             del self._synopses[key]
             self._stale.discard(key)
+            self._dirty_shards.pop(key, None)
             self._build_meta.pop(key, None)
             self._prediction_cache.pop((key, "count"), None)
             self._prediction_cache.pop((key, "sum"), None)
@@ -313,6 +391,7 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
         *,
         method: str = "sap1",
         budget_words: int = 64,
+        shards: int = 1,
         **builder_kwargs,
     ) -> None:
         """Build COUNT and SUM synopses for one column.
@@ -320,20 +399,34 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
         The word budget is split evenly between the count and sum
         frequency vectors (each aggregate needs its own synopsis; AVG is
         derived as SUM/COUNT).
+
+        ``shards > 1`` builds a :class:`~repro.engine.sharding.ShardedSynopsis`
+        per aggregate: the domain is cut into that many contiguous
+        shards (clamped to the domain size), each shard gets its own
+        synopsis built on a thread pool with a mass-proportional slice
+        of the budget, and later appends dirty only the shards they
+        touch (see :meth:`append_rows` / :meth:`refresh_stale`).
         """
         table = self.table(table_name)
+
+        def _observe_shard(shard: int, seconds: float) -> None:
+            self.metrics.histogram("shard_build_seconds").observe(seconds)
+
         with self.tracer.span(
             "build",
             table=table_name,
             column=column_name,
             method=method,
             budget_words=budget_words,
+            shards=shards,
         ) as span:
             entry = _build_column_entry(
                 table.column(column_name),
                 method,
                 budget_words,
                 predict_errors=self.predict_errors,
+                shards=shards,
+                on_shard_built=_observe_shard if shards > 1 else None,
                 **builder_kwargs,
             )
             span.set(resolved_method=entry.method)
@@ -341,6 +434,7 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
         key = (table_name, column_name)
         self._synopses[key] = entry
         self._stale.discard(key)
+        self._dirty_shards.pop(key, None)
         self._prediction_cache.pop((key, "count"), None)
         self._prediction_cache.pop((key, "sum"), None)
         self._record_build(key, entry.method, elapsed)
@@ -361,6 +455,7 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
         total_budget_words: int = 512,
         parallel: bool = False,
         max_workers: int | None = None,
+        shards: int = 1,
         **builder_kwargs,
     ) -> None:
         """Build synopses for every column of every table, splitting a
@@ -399,6 +494,7 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
                             per_column,
                             self.predict_errors,
                             builder_kwargs,
+                            shards,
                         )
                         for key in columns
                     }
@@ -406,6 +502,7 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
                     entry, seconds = future.result()
                     self._synopses[key] = entry
                     self._stale.discard(key)
+                    self._dirty_shards.pop(key, None)
                     self._prediction_cache.pop((key, "count"), None)
                     self._prediction_cache.pop((key, "sum"), None)
                     self._record_build(key, entry.method, seconds)
@@ -416,6 +513,7 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
                     column_name,
                     method=method,
                     budget_words=per_column,
+                    shards=shards,
                     **builder_kwargs,
                 )
 
@@ -429,6 +527,7 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
                 "count_words": entry.count_estimator.storage_words(),
                 "sum_words": entry.sum_estimator.storage_words(),
                 "domain_size": entry.statistics.domain_size,
+                "shards": entry.shards,
             }
             for (table, column), entry in sorted(self._synopses.items())
         ]
@@ -444,17 +543,32 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
         synopses still answer; the execute paths take an ``on_stale``
         policy and :meth:`refresh_stale` rebuilds them with their
         original method and budget.
+
+        Sharded synopses additionally record *which* shards the new
+        values land in: only those shards are dirty, and
+        :meth:`refresh_stale` rebuilds just them.  Values outside the
+        synopsis's domain (or new distinct values on a rank-layout
+        column) change the domain itself, so every shard is dirtied.
         """
         table = self.table(table_name)
         self._tables[table_name] = table.with_appended(rows)
         now = self.clock.now()
         self.metrics.counter("appends_total").inc()
-        for key in self._synopses:
+        for key, entry in self._synopses.items():
             if key[0] == table_name:
                 self._stale.add(key)
                 meta = self._build_meta.get(key)
                 if meta is not None and meta.get("stale_since") is None:
                     meta["stale_since"] = now
+                if isinstance(entry.count_estimator, ShardedSynopsis):
+                    current = self._dirty_shards.get(key, set())
+                    if current is not None:
+                        touched = entry.count_estimator.touched_shards(
+                            entry.statistics.values_axis, rows[key[1]]
+                        )
+                        self._dirty_shards[key] = (
+                            None if touched is None else current | touched
+                        )
         for key in self._joint_synopses:
             if key[0] == table_name:
                 self._stale_joint.add(key)
@@ -470,41 +584,146 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
         """
         return sorted(self._stale)
 
+    def dirty_shards(self) -> dict[str, list[int] | None]:
+        """Dirty shard ids per stale *sharded* synopsis.
+
+        Keys are ``"table.column"``; ``None`` means the appended values
+        changed the domain itself, so every shard must rebuild.  Stale
+        monolithic synopses do not appear here.
+        """
+        return {
+            f"{key[0]}.{key[1]}": (None if shards is None else sorted(shards))
+            for key, shards in self._dirty_shards.items()
+        }
+
+    def _refresh_entry(self, key: tuple[str, str]) -> None:
+        """Bring one stale 1-D synopsis up to date.
+
+        Sharded entries whose appends stayed inside the existing domain
+        rebuild *only their dirty shards*: the column statistics are
+        recomputed (a cheap vectorised scan), the untouched shards keep
+        their estimators and frozen per-shard error predictions by
+        reference, and the entry-level prediction is re-aggregated.
+        Everything else — monolithic entries, domain growth, rank-layout
+        columns that gained distinct values — falls back to a full
+        rebuild with the recorded configuration.
+        """
+        entry = self._synopses[key]
+        dirty = self._dirty_shards.get(key)
+        if isinstance(entry.count_estimator, ShardedSynopsis) and dirty is not None:
+            new_stats = ColumnStatistics.from_values(self.table(key[0]).column(key[1]))
+            if np.array_equal(new_stats.values_axis, entry.statistics.values_axis):
+                self._refresh_dirty_shards(key, entry, new_stats, sorted(dirty))
+                return
+        self.build_synopsis(
+            key[0],
+            key[1],
+            method=entry.method,
+            budget_words=entry.budget_words,
+            shards=entry.shards,
+            **entry.builder_kwargs,
+        )
+
+    def _refresh_dirty_shards(
+        self,
+        key: tuple[str, str],
+        entry: _ColumnSynopses,
+        new_stats: ColumnStatistics,
+        dirty: list[int],
+    ) -> None:
+        """Incrementally rebuild one sharded entry's dirty shards."""
+
+        def _observe_shard(shard: int, seconds: float) -> None:
+            self.metrics.histogram("shard_build_seconds").observe(seconds)
+
+        with self.tracer.span(
+            "shard_refresh",
+            table=key[0],
+            column=key[1],
+            dirty=len(dirty),
+            shards=entry.shards,
+        ) as span:
+            count_est = entry.count_estimator.with_rebuilt_shards(
+                dirty,
+                new_stats.count_frequencies,
+                predict=self.predict_errors,
+                on_shard_built=_observe_shard,
+                **entry.builder_kwargs,
+            )
+            sum_est = entry.sum_estimator.with_rebuilt_shards(
+                dirty,
+                new_stats.sum_frequencies,
+                predict=self.predict_errors,
+                on_shard_built=_observe_shard,
+                **entry.builder_kwargs,
+            )
+        predicted = None
+        if self.predict_errors:
+            predicted = {
+                "count": aggregate_shard_predictions(
+                    count_est.shard_predictions, np.diff(count_est.starts)
+                ),
+                "sum": aggregate_shard_predictions(
+                    sum_est.shard_predictions, np.diff(sum_est.starts)
+                ),
+            }
+        self._synopses[key] = replace(
+            entry,
+            statistics=new_stats,
+            count_estimator=count_est,
+            sum_estimator=sum_est,
+            predicted=predicted,
+        )
+        self._stale.discard(key)
+        self._dirty_shards.pop(key, None)
+        self._prediction_cache.pop((key, "count"), None)
+        self._prediction_cache.pop((key, "sum"), None)
+        self._stats["dirty_shards_rebuilt"] += len(dirty)
+        self.metrics.counter("dirty_shards_rebuilt_total").inc(len(dirty))
+        self.metrics.counter("shard_refreshes_total").inc()
+        self._record_build(key, entry.method, span.duration or 0.0)
+
     def refresh_stale(self) -> int:
         """Rebuild every stale synopsis with its recorded configuration.
 
         Covers 1-D, joint, and grouped synopses; returns the number of
-        synopses rebuilt.
+        synopses rebuilt.  Sharded 1-D entries refresh incrementally —
+        only their dirty shards rebuild (see :meth:`_refresh_entry`).
+
+        Counter updates are transactional per synopsis: ``rebuilds`` and
+        ``rebuilds_total`` advance only after each rebuild succeeds, so
+        a builder exception part-way through leaves the counters equal
+        to the number of synopses actually rebuilt and the failed
+        synopsis still marked stale.
         """
         rebuilt = 0
         with self.tracer.span("rebuild", trigger="refresh_stale") as span:
-            for key in list(self._stale):
-                entry = self._synopses[key]
-                self.build_synopsis(
-                    key[0],
-                    key[1],
-                    method=entry.method,
-                    budget_words=entry.budget_words,
-                    **entry.builder_kwargs,
-                )
-                rebuilt += 1
-            for key in list(self._stale_joint):
-                entry = self._joint_synopses[key]
-                self.build_joint_synopsis(
-                    key[0],
-                    key[1],
-                    key[2],
-                    method=entry.method,
-                    budget_words=entry.budget_words,
-                )
-                rebuilt += 1
-            for key in list(self._stale_grouped):
-                config = self._grouped_configs[key]
-                self.build_grouped_synopsis(key[0], key[1], key[2], **config)
-                rebuilt += 1
-            span.set(rebuilt=rebuilt)
-        self._stats["rebuilds"] += rebuilt
-        self.metrics.counter("rebuilds_total").inc(rebuilt)
+            try:
+                for key in sorted(self._stale):
+                    self._refresh_entry(key)
+                    rebuilt += 1
+                    self._stats["rebuilds"] += 1
+                    self.metrics.counter("rebuilds_total").inc()
+                for key in sorted(self._stale_joint):
+                    entry = self._joint_synopses[key]
+                    self.build_joint_synopsis(
+                        key[0],
+                        key[1],
+                        key[2],
+                        method=entry.method,
+                        budget_words=entry.budget_words,
+                    )
+                    rebuilt += 1
+                    self._stats["rebuilds"] += 1
+                    self.metrics.counter("rebuilds_total").inc()
+                for key in sorted(self._stale_grouped):
+                    config = self._grouped_configs[key]
+                    self.build_grouped_synopsis(key[0], key[1], key[2], **config)
+                    rebuilt += 1
+                    self._stats["rebuilds"] += 1
+                    self.metrics.counter("rebuilds_total").inc()
+            finally:
+                span.set(rebuilt=rebuilt)
         return rebuilt
 
     # ------------------------------------------------------------------
@@ -548,14 +767,7 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
                     "on_stale='rebuild'"
                 )
             if on_stale == "rebuild":
-                entry = self._synopses[key]
-                self.build_synopsis(
-                    key[0],
-                    key[1],
-                    method=entry.method,
-                    budget_words=entry.budget_words,
-                    **entry.builder_kwargs,
-                )
+                self._refresh_entry(key)
                 self._stats["rebuilds"] += 1
             else:
                 self._stats["stale_served"] += 1
@@ -640,6 +852,14 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
             if with_exact:
                 self._stats["exact_scans"] += 1
             clipped = entry.statistics.clip_range(query.low, query.high)
+            if clipped is not None and isinstance(
+                entry.count_estimator, ShardedSynopsis
+            ):
+                self._record_sharded_queries(
+                    entry,
+                    np.asarray([clipped[0]], dtype=np.int64),
+                    np.asarray([clipped[1]], dtype=np.int64),
+                )
             if clipped is None:
                 estimate = 0.0
             else:
@@ -680,6 +900,25 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
     # ------------------------------------------------------------------
     # Observability: auditing, error reports, exports
     # ------------------------------------------------------------------
+    def _record_sharded_queries(
+        self, entry: _ColumnSynopses, low_idx: np.ndarray, high_idx: np.ndarray
+    ) -> None:
+        """Boundary-shard hit-rate accounting for clipped sharded queries.
+
+        ``boundary_shard_queries_total / sharded_queries_total`` is the
+        boundary-shard hit rate (queries that paid synopsis error in at
+        least one partial shard); shard-aligned queries are answered
+        entirely from exact totals and only advance the denominator.
+        """
+        boundary_queries, partials = entry.count_estimator.boundary_stats(
+            low_idx, high_idx
+        )
+        self.metrics.counter("sharded_queries_total").inc(int(low_idx.size))
+        if boundary_queries:
+            self.metrics.counter("boundary_shard_queries_total").inc(boundary_queries)
+        if partials:
+            self.metrics.counter("boundary_shard_partials_total").inc(partials)
+
     def _audit_scalar(
         self,
         query: AggregateQuery,
@@ -892,6 +1131,7 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
             "metrics": self.metrics.snapshot(),
             "error_report": self.error_report(),
             "staleness_ages": self.staleness_ages(),
+            "dirty_shards": self.dirty_shards(),
             "synopsis_catalog": self.synopsis_catalog(),
             "spans_recorded": len(self.tracer),
         }

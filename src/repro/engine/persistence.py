@@ -10,59 +10,145 @@ data.
 
 Layout: a JSON manifest plus, per synopsis, the binary estimator blobs
 (via :mod:`repro.engine.storage`) and the column-statistics arrays.
-Joint (2-D) synopses are rebuildable from data and are not persisted in
-v1 of the format; the manifest records the format version so future
-layouts can evolve.
+Sharded synopses (format version 2) additionally persist their shard
+boundaries, per-shard estimator blobs, exact per-shard totals and
+budgets, the frozen per-shard error predictions, and the engine's
+dirty-shard flags — a loaded sharded entry with dirty shards is marked
+stale, because the bytes genuinely predate the appended rows it knows
+about.  Monolithic staleness remains a session property and is not
+persisted.  Joint (2-D) synopses are rebuildable from data and are not
+persisted; the manifest records the format version so layouts can keep
+evolving (version-1 files still load).
 """
 
 from __future__ import annotations
 
-import io
 import json
 
 import numpy as np
 
+from repro.core.builders import ErrorPrediction, aggregate_shard_predictions
 from repro.engine.column import ColumnStatistics
 from repro.engine.engine import ApproximateQueryEngine, _ColumnSynopses
+from repro.engine.sharding import ShardedSynopsis
 from repro.engine.storage import deserialize_estimator, serialize_estimator
 from repro.errors import SerializationError
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
+
+
+def _blob(data: bytes) -> np.ndarray:
+    return np.frombuffer(data, dtype=np.uint8)
+
+
+def _prediction_to_json(prediction: ErrorPrediction | None):
+    if prediction is None:
+        return None
+    return {
+        "sse_per_query": prediction.sse_per_query,
+        "query_count": prediction.query_count,
+        "sampled_queries": prediction.sampled_queries,
+        "exact": prediction.exact,
+    }
+
+
+def _prediction_from_json(payload) -> ErrorPrediction | None:
+    if payload is None:
+        return None
+    return ErrorPrediction(
+        sse_per_query=float(payload["sse_per_query"]),
+        query_count=int(payload["query_count"]),
+        sampled_queries=int(payload["sampled_queries"]),
+        exact=bool(payload["exact"]),
+    )
+
+
+def _save_sharded(arrays: dict, prefix: str, sharded: ShardedSynopsis) -> dict:
+    """Store one sharded estimator's arrays; returns its manifest row."""
+    arrays[f"{prefix}_starts"] = sharded.starts
+    arrays[f"{prefix}_totals"] = sharded.totals
+    arrays[f"{prefix}_budgets"] = sharded.budgets
+    for shard, estimator in enumerate(sharded.estimators):
+        arrays[f"{prefix}_shard{shard}"] = _blob(serialize_estimator(estimator))
+    predictions = sharded.shard_predictions
+    return {
+        "method": sharded.method,
+        "predictions": (
+            None
+            if predictions is None
+            else [_prediction_to_json(p) for p in predictions]
+        ),
+    }
+
+
+def _load_sharded(archive, prefix: str, meta: dict) -> ShardedSynopsis:
+    starts = archive[f"{prefix}_starts"]
+    shard_count = int(starts.size - 1)
+    estimators = [
+        deserialize_estimator(bytes(archive[f"{prefix}_shard{shard}"]))
+        for shard in range(shard_count)
+    ]
+    raw_predictions = meta.get("predictions")
+    predictions = (
+        None
+        if raw_predictions is None
+        else [_prediction_from_json(p) for p in raw_predictions]
+    )
+    return ShardedSynopsis(
+        starts,
+        estimators,
+        archive[f"{prefix}_totals"],
+        archive[f"{prefix}_budgets"],
+        meta["method"],
+        shard_predictions=predictions,
+    )
 
 
 def save_catalog(engine: ApproximateQueryEngine, path) -> int:
     """Write every 1-D synopsis of ``engine`` to ``path`` (.npz).
 
     Returns the number of synopses written.  Stale synopses are written
-    as-is (staleness is a property of the session, not the bytes).
+    as-is; sharded entries also record their dirty-shard flags (``"all"``
+    when the whole domain must rebuild), monolithic staleness is a
+    session property and is dropped.
     """
     manifest = {"version": FORMAT_VERSION, "synopses": []}
     arrays: dict[str, np.ndarray] = {}
     for index, ((table, column), entry) in enumerate(sorted(engine._synopses.items())):
-        manifest["synopses"].append(
-            {
-                "table": table,
-                "column": column,
-                "method": entry.method,
-                "budget_words": entry.budget_words,
-                "layout": entry.statistics.layout,
-                "lo": entry.statistics.lo,
-                "hi": entry.statistics.hi,
-                "row_count": entry.statistics.row_count,
-            }
-        )
-        arrays[f"{index}_count_blob"] = np.frombuffer(
-            serialize_estimator(entry.count_estimator), dtype=np.uint8
-        )
-        arrays[f"{index}_sum_blob"] = np.frombuffer(
-            serialize_estimator(entry.sum_estimator), dtype=np.uint8
-        )
+        row = {
+            "table": table,
+            "column": column,
+            "method": entry.method,
+            "budget_words": entry.budget_words,
+            "layout": entry.statistics.layout,
+            "lo": entry.statistics.lo,
+            "hi": entry.statistics.hi,
+            "row_count": entry.statistics.row_count,
+            "shards": entry.shards,
+        }
+        if isinstance(entry.count_estimator, ShardedSynopsis):
+            row["count_sharded"] = _save_sharded(
+                arrays, f"{index}_count", entry.count_estimator
+            )
+            row["sum_sharded"] = _save_sharded(
+                arrays, f"{index}_sum", entry.sum_estimator
+            )
+            dirty = engine._dirty_shards.get((table, column))
+            if (table, column) in engine._stale:
+                row["dirty_shards"] = "all" if dirty is None else sorted(dirty)
+        else:
+            arrays[f"{index}_count_blob"] = _blob(
+                serialize_estimator(entry.count_estimator)
+            )
+            arrays[f"{index}_sum_blob"] = _blob(
+                serialize_estimator(entry.sum_estimator)
+            )
         arrays[f"{index}_values_axis"] = entry.statistics.values_axis
         arrays[f"{index}_count_freq"] = entry.statistics.count_frequencies
         arrays[f"{index}_sum_freq"] = entry.statistics.sum_frequencies
-    arrays["manifest"] = np.frombuffer(
-        json.dumps(manifest).encode("utf-8"), dtype=np.uint8
-    )
+        manifest["synopses"].append(row)
+    arrays["manifest"] = _blob(json.dumps(manifest).encode("utf-8"))
     with open(path, "wb") as handle:
         np.savez_compressed(handle, **arrays)
     return len(manifest["synopses"])
@@ -72,15 +158,17 @@ def load_catalog(engine: ApproximateQueryEngine, path) -> int:
     """Restore synopses written by :func:`save_catalog` into ``engine``.
 
     Existing synopses for the same (table, column) are replaced; tables
-    themselves are untouched (and need not exist).  Returns the number
-    of synopses restored.
+    themselves are untouched (and need not exist).  Sharded entries come
+    back with their shard boundaries, frozen per-shard predictions, and
+    dirty-shard flags — entries with dirty shards are marked stale.
+    Returns the number of synopses restored.
     """
     with np.load(path) as archive:
         try:
             manifest = json.loads(bytes(archive["manifest"]).decode("utf-8"))
         except KeyError as error:
             raise SerializationError(f"{path} is not a repro catalog") from error
-        if manifest.get("version") != FORMAT_VERSION:
+        if manifest.get("version") not in _SUPPORTED_VERSIONS:
             raise SerializationError(
                 f"unsupported catalog version {manifest.get('version')!r}"
             )
@@ -94,17 +182,48 @@ def load_catalog(engine: ApproximateQueryEngine, path) -> int:
                 row_count=int(meta["row_count"]),
                 layout=meta["layout"],
             )
+            predicted = None
+            if "count_sharded" in meta:
+                count_estimator = _load_sharded(
+                    archive, f"{index}_count", meta["count_sharded"]
+                )
+                sum_estimator = _load_sharded(
+                    archive, f"{index}_sum", meta["sum_sharded"]
+                )
+                sizes = np.diff(count_estimator.starts)
+                count_prediction = aggregate_shard_predictions(
+                    count_estimator.shard_predictions, sizes
+                )
+                sum_prediction = aggregate_shard_predictions(
+                    sum_estimator.shard_predictions, sizes
+                )
+                if count_prediction is not None and sum_prediction is not None:
+                    predicted = {"count": count_prediction, "sum": sum_prediction}
+            else:
+                count_estimator = deserialize_estimator(
+                    bytes(archive[f"{index}_count_blob"])
+                )
+                sum_estimator = deserialize_estimator(
+                    bytes(archive[f"{index}_sum_blob"])
+                )
             entry = _ColumnSynopses(
                 statistics=statistics,
-                count_estimator=deserialize_estimator(
-                    bytes(archive[f"{index}_count_blob"])
-                ),
-                sum_estimator=deserialize_estimator(bytes(archive[f"{index}_sum_blob"])),
+                count_estimator=count_estimator,
+                sum_estimator=sum_estimator,
                 method=meta["method"],
                 budget_words=int(meta["budget_words"]),
                 builder_kwargs={},
+                predicted=predicted,
+                shards=int(meta.get("shards", 1)),
             )
             key = (meta["table"], meta["column"])
             engine._synopses[key] = entry
             engine._stale.discard(key)
+            engine._dirty_shards.pop(key, None)
+            dirty = meta.get("dirty_shards")
+            if dirty is not None:
+                engine._stale.add(key)
+                engine._dirty_shards[key] = (
+                    None if dirty == "all" else {int(shard) for shard in dirty}
+                )
     return len(manifest["synopses"])

@@ -5,10 +5,12 @@
               ratios, SAP0 inferiority, the 41% reopt gain)
 ``runtimes``  the construction-time study the paper omitted
 ``batching``  throughput of scalar vs batched engine execution
+``sharding``  incremental dirty-shard refresh vs full synopsis rebuild
 ``reporting`` plain-text table rendering shared by the benchmarks
 """
 
 from repro.experiments.batching import BatchBenchmarkResult, run_batch_benchmark
+from repro.experiments.sharding import RefreshBenchmarkResult, run_refresh_benchmark
 from repro.experiments.figure1 import FigureOnePoint, figure1_table, run_figure1
 from repro.experiments.claims import (
     claim_opta_vs_sap1,
@@ -31,6 +33,8 @@ __all__ = [
     "run_construction_timing",
     "run_batch_benchmark",
     "BatchBenchmarkResult",
+    "run_refresh_benchmark",
+    "RefreshBenchmarkResult",
     "format_table",
     "generate_report",
 ]

@@ -29,6 +29,7 @@ class BatchBenchmarkResult:
     row_count: int
     domain: int
     query_count: int
+    shards: int
     scalar_seconds: float
     batch_seconds: float
     max_abs_difference: float
@@ -63,22 +64,28 @@ def run_batch_benchmark(
     budget_words: int = 128,
     aggregates: tuple = ("count", "sum"),
     seed: int = 11,
+    shards: int = 1,
 ) -> BatchBenchmarkResult:
     """Time a scalar ``execute`` loop against one ``execute_batch`` call.
 
-    Builds one synopsis over a uniform integer column, draws
-    ``query_count`` random ranges, assigns the ``aggregates`` mix
-    round-robin, and runs the identical query list down both paths.
-    ``max_abs_difference`` is the largest estimate discrepancy between
-    the two (zero: they share the synopsis code path).
+    Builds one synopsis over a uniform integer column (sharded when
+    ``shards > 1``), draws ``query_count`` random ranges, assigns the
+    ``aggregates`` mix round-robin, and runs the identical query list
+    down both paths.  ``max_abs_difference`` is the largest estimate
+    discrepancy between the two (zero: they share the synopsis code
+    path, sharded or not).
     """
     if query_count < 1 or row_count < 1:
         raise InvalidParameterError("row_count and query_count must be >= 1")
+    if shards < 1:
+        raise InvalidParameterError("shards must be >= 1")
     rng = np.random.default_rng(seed)
     values = rng.integers(0, domain, row_count)
     engine = ApproximateQueryEngine()
     engine.register_table(Table("traffic", {"value": values}))
-    engine.build_synopsis("traffic", "value", method=method, budget_words=budget_words)
+    engine.build_synopsis(
+        "traffic", "value", method=method, budget_words=budget_words, shards=shards
+    )
 
     workload = random_ranges(domain, query_count, seed=seed + 1)
     queries = [
@@ -108,6 +115,7 @@ def run_batch_benchmark(
         row_count=row_count,
         domain=domain,
         query_count=query_count,
+        shards=shards,
         scalar_seconds=scalar_seconds,
         batch_seconds=batch_seconds,
         max_abs_difference=max_abs_difference,

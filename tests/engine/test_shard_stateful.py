@@ -1,0 +1,155 @@
+"""Stateful lifecycle test: the synopsis catalog vs an exact model.
+
+A Hypothesis rule machine interleaves appends (in-domain and
+domain-extending), refreshes, scalar queries, and batch queries against
+an engine whose synopsis budget is large enough for ``a0`` to be exact.
+That turns every discrepancy into a lifecycle bug: the machine's model
+is the multiset of values frozen at the last build/refresh, so a served
+answer must match that snapshot exactly — whether the catalog is
+monolithic or sharded — and staleness flags, dirty-shard sets, and the
+``dirty_shards_rebuilt`` counter must track the append history.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.engine import AggregateQuery, ApproximateQueryEngine, Table
+from repro.engine.sharding import ShardedSynopsis
+
+DOMAIN = 20
+MAX_VALUE = 32  # domain-extending appends stay below this
+# a0 needs 2 words per unit and builders cap their bucket count at the
+# domain size, so oversupply is harmless.  The budget must be large
+# enough that even the *smallest mass share* any shard can get from
+# split_budget_by_mass (the SUM estimator's low-value shard) still
+# exceeds 2x its width — then every shard is exact and the model below
+# is a strict oracle.
+BUDGET = 8192
+
+
+class ShardLifecycleMachine(RuleBasedStateMachine):
+    shards = 4
+
+    def __init__(self):
+        super().__init__()
+        initial = np.tile(np.arange(DOMAIN), 3)
+        self.frozen = list(initial.tolist())
+        self.live = list(initial.tolist())
+        self.engine = ApproximateQueryEngine(predict_errors=False)
+        self.engine.register_table(Table("t", {"v": initial}))
+        self.engine.build_synopsis(
+            "t", "v", method="a0", budget_words=BUDGET, shards=self.shards
+        )
+
+    # -- model oracles -------------------------------------------------
+    def _frozen_count(self, low, high):
+        return float(sum(1 for v in self.frozen if low <= v <= high))
+
+    def _frozen_sum(self, low, high):
+        return float(sum(v for v in self.frozen if low <= v <= high))
+
+    # -- rules ---------------------------------------------------------
+    @rule(values=st.lists(st.integers(0, DOMAIN - 1), min_size=1, max_size=6))
+    def append_in_domain(self, values):
+        self.engine.append_rows("t", {"v": np.array(values)})
+        self.live.extend(values)
+        assert self.engine.stale_synopses() == [("t", "v")]
+
+    @rule(values=st.lists(st.integers(DOMAIN, MAX_VALUE - 1), min_size=1, max_size=3))
+    def append_extending_domain(self, values):
+        already_none = (
+            self.shards > 1
+            and self.engine.dirty_shards().get("t.v", set()) is None
+        )
+        beyond_axis = any(v > max(self.frozen) for v in values)
+        self.engine.append_rows("t", {"v": np.array(values)})
+        self.live.extend(values)
+        if self.shards > 1 and (already_none or beyond_axis):
+            # A value past the frozen axis changes the domain: all shards
+            # dirty (values *inside* the frozen range may land on a dense
+            # axis and dirty only their own shard, so no claim there).
+            assert self.engine.dirty_shards()["t.v"] is None
+
+    @rule()
+    def refresh(self):
+        was_stale = bool(self.engine.stale_synopses())
+        before = self.engine.stats()["dirty_shards_rebuilt"]
+        refreshed = self.engine.refresh_stale()
+        assert refreshed == (1 if was_stale else 0)
+        assert self.engine.stale_synopses() == []
+        assert self.engine.dirty_shards() == {}
+        after = self.engine.stats()["dirty_shards_rebuilt"]
+        assert before <= after <= before + self.shards
+        self.frozen = list(self.live)
+
+    @rule(
+        bounds=st.tuples(
+            st.integers(0, MAX_VALUE + 4), st.integers(0, MAX_VALUE + 4)
+        ).map(sorted)
+    )
+    def query_serves_frozen_snapshot(self, bounds):
+        low, high = float(bounds[0]), float(bounds[1])
+        count = self.engine.execute(AggregateQuery("t", "v", "count", low, high))
+        total = self.engine.execute(AggregateQuery("t", "v", "sum", low, high))
+        assert count.estimate == self._frozen_count(low, high)
+        assert total.estimate == self._frozen_sum(low, high)
+
+    @rule(
+        bounds=st.lists(
+            st.tuples(
+                st.integers(0, MAX_VALUE + 4), st.integers(0, MAX_VALUE + 4)
+            ).map(sorted),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def batch_matches_scalar(self, bounds):
+        queries = [
+            AggregateQuery("t", "v", aggregate, float(low), float(high))
+            for aggregate in ("count", "sum")
+            for low, high in bounds
+        ]
+        batched = self.engine.execute_batch(queries)
+        for query, result in zip(queries, batched):
+            assert result.estimate == self.engine.execute(query).estimate
+
+    # -- invariants ----------------------------------------------------
+    @invariant()
+    def staleness_tracks_appends(self):
+        stale = self.engine.stale_synopses()
+        if self.live != self.frozen:
+            assert stale == [("t", "v")]
+        else:
+            assert stale == []
+
+    @invariant()
+    def dirty_sets_well_formed(self):
+        for dirty in self.engine.dirty_shards().values():
+            if dirty is not None:
+                assert all(0 <= shard < self.shards for shard in dirty)
+                assert dirty == sorted(dirty)
+
+    @invariant()
+    def catalog_shape_is_stable(self):
+        entry = self.engine._synopses[("t", "v")]
+        if self.shards > 1:
+            assert isinstance(entry.count_estimator, ShardedSynopsis)
+        else:
+            assert not isinstance(entry.count_estimator, ShardedSynopsis)
+
+
+class MonolithicLifecycleMachine(ShardLifecycleMachine):
+    shards = 1
+
+
+TestShardedLifecycle = ShardLifecycleMachine.TestCase
+TestShardedLifecycle.settings = settings(
+    max_examples=20, stateful_step_count=12, deadline=None
+)
+
+TestMonolithicLifecycle = MonolithicLifecycleMachine.TestCase
+TestMonolithicLifecycle.settings = settings(
+    max_examples=12, stateful_step_count=10, deadline=None
+)

@@ -77,6 +77,38 @@ class TestEstimate:
         ]) == 1
         assert "error:" in capsys.readouterr().err
 
+    def test_sharded_synopsis(self, sales_csv, capsys):
+        assert main([
+            "estimate", "--csv", str(sales_csv), "--column", "price",
+            "--table", "sales", "--method", "sap1", "--budget", "120",
+            "--shards", "4",
+            "--query", "SELECT COUNT(*) FROM sales WHERE price BETWEEN 10 AND 30",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "sharded[4]" in out
+
+
+class TestBenchRefresh:
+    def test_table_and_json(self, tmp_path, capsys):
+        output = tmp_path / "refresh.json"
+        assert main([
+            "bench-refresh", "--rows", "2000", "--domain", "128",
+            "--shards", "8", "--appends", "50", "--budget", "512",
+            "--output", str(output),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Incremental refresh" in out and "speedup:" in out
+        import json
+
+        payload = json.loads(output.read_text())
+        assert payload["shards"] == 8
+        assert payload["shards_rebuilt"] >= 1
+        assert payload["speedup"] > 0
+
+    def test_bad_parameters_fail_cleanly(self, capsys):
+        assert main(["bench-refresh", "--shards", "1"]) == 1
+        assert "error:" in capsys.readouterr().err
+
 
 class TestTiming:
     def test_tiny_timing(self, capsys):
