@@ -28,7 +28,13 @@ from repro.data import (
     zipf_frequencies,
 )
 from repro.engine import ApproximateQueryEngine, Table
-from repro.errors import ReproError
+from repro.errors import BuildFailedError, BuildTimeoutError, ReproError
+
+#: Distinct exit codes for the resilience failure modes, so callers can
+#: tell a deadline expiry (retry with a cheaper method) from an
+#: exhausted fallback ladder (investigate the builders).
+EXIT_BUILD_TIMEOUT = 3
+EXIT_BUILD_FAILED = 4
 from repro.experiments.figure1 import figure1_table, run_figure1
 from repro.experiments.reporting import ascii_log_chart, format_table
 from repro.experiments.runtimes import run_construction_timing
@@ -82,6 +88,24 @@ def _frequencies_from_args(args) -> np.ndarray:
         return ColumnStatistics.from_values(raw).count_frequencies
     generator = GENERATORS[args.generate]
     return generator(args.n, args.seed)
+
+
+def _add_resilience_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-build-attempt deadline in milliseconds; expiry raises "
+        f"BuildTimeoutError (exit code {EXIT_BUILD_TIMEOUT}) unless a "
+        "fallback chain catches it",
+    )
+    parser.add_argument(
+        "--fallback-chain",
+        default=None,
+        help="builder rungs tried after the primary --method fails or "
+        "times out, e.g. 'a0,naive' or 'a0 -> naive'; exhaustion exits "
+        f"with code {EXIT_BUILD_FAILED}",
+    )
 
 
 def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
@@ -196,6 +220,9 @@ def _print_query_result(result, prefix: str = "") -> None:
     words = getattr(result, "synopsis_words", None)
     suffix = f" ({words} words)" if words is not None else ""
     print(f"{prefix}synopsis: {result.synopsis_name}{suffix}")
+    level = getattr(result, "degradation", None)
+    if level is not None:
+        print(f"{prefix}served:   {level}")
 
 
 def _cmd_estimate(args) -> int:
@@ -211,6 +238,8 @@ def _cmd_estimate(args) -> int:
         method=args.method,
         budget_words=args.budget,
         shards=args.shards,
+        fallback=args.fallback_chain,
+        deadline_ms=args.deadline_ms,
     )
     statements = args.query
     if len(statements) == 1:
@@ -243,6 +272,8 @@ def _cmd_bench_batch(args) -> int:
         method=args.method,
         budget_words=args.budget,
         shards=args.shards,
+        fallback=args.fallback_chain,
+        deadline_ms=args.deadline_ms,
     )
     rows = [
         ["scalar execute() loop", result.scalar_seconds, result.scalar_qps],
@@ -277,6 +308,8 @@ def _cmd_bench_refresh(args) -> int:
         append_count=args.appends,
         method=args.method,
         budget_words=args.budget,
+        fallback=args.fallback_chain,
+        deadline_ms=args.deadline_ms,
     )
     rows = [
         ["monolithic full rebuild", result.monolithic_seconds, 1],
@@ -415,6 +448,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="e.g. 'SELECT COUNT(*) FROM t WHERE x BETWEEN 1 AND 9'; "
         "repeat to answer several (aggregates ride the batch pipeline)",
     )
+    _add_resilience_arguments(estimate)
     estimate.add_argument("--no-exact", action="store_true", help="skip the exact scan")
     estimate.add_argument(
         "--stats", action="store_true", help="print the engine's execution counters"
@@ -432,6 +466,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench_batch.add_argument(
         "--shards", type=int, default=1, help="shard the synopsis before benchmarking"
     )
+    _add_resilience_arguments(bench_batch)
     bench_batch.set_defaults(handler=_cmd_bench_batch)
 
     bench_refresh = commands.add_parser(
@@ -451,6 +486,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench_refresh.add_argument(
         "--output", help="also write the result as JSON to this path"
     )
+    _add_resilience_arguments(bench_refresh)
     bench_refresh.set_defaults(handler=_cmd_bench_refresh)
 
     dump = commands.add_parser(
@@ -492,6 +528,12 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
+    except BuildTimeoutError as error:
+        print(f"error: build deadline exceeded: {error}", file=sys.stderr)
+        return EXIT_BUILD_TIMEOUT
+    except BuildFailedError as error:
+        print(f"error: build failed: {error}", file=sys.stderr)
+        return EXIT_BUILD_FAILED
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

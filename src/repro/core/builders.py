@@ -114,9 +114,16 @@ def build_by_name(name: str, data, budget_words: int, **kwargs):
 
     ``kwargs`` are forwarded to the underlying builder (e.g. ``x=4`` for
     ``opt-a-rounded``).
+
+    This is the chaos-testing choke point for synopsis construction:
+    an active :class:`repro.internal.faults.FaultInjector` can fail or
+    slow any build here by method name (site ``"builder"``).
     """
     import numpy as np
 
+    from repro.internal.faults import fault_point
+
+    fault_point("builder", method=name)
     spec = BUILDER_REGISTRY.get(name)
     if spec is None:
         raise InvalidParameterError(

@@ -41,6 +41,7 @@ import numpy as np
 from repro.core.a0 import build_a0
 from repro.core.histogram import AverageHistogram
 from repro.errors import BudgetExceededError, InvalidDataError
+from repro.internal.deadline import check_deadline
 from repro.internal.prefix import PrefixAlgebra
 from repro.internal.validation import as_frequency_vector, check_bucket_count
 from repro.queries import evaluation
@@ -105,6 +106,7 @@ def _precompute_terms(algebra: PrefixAlgebra) -> _BucketTerms:
     p2 = np.zeros(shape)
     intra = np.zeros(shape)
     for a in range(n):
+        check_deadline("OPT-A bucket-term precompute")
         for b in range(a, n):
             s1[a, b], s2[a, b], p1[a, b], p2[a, b], intra[a, b] = (
                 algebra.rounded_bucket_terms(a, b)
@@ -212,6 +214,7 @@ def opt_a_search(
         prev = layers[k - 1]
         layer_states = 0
         for i in range(k, n + 1):
+            check_deadline("OPT-A DP layer")
             cand_lam, cand_f, cand_s2 = [], [], []
             cand_pj, cand_pi = [], []
             for j in range(k - 1, i):
@@ -336,6 +339,7 @@ def build_opt_a_warmup(
 
     for k in range(2, n_buckets + 1):
         for i in range(k, n + 1):
+            check_deadline("warm-up OPT-A DP layer")
             cell: dict[tuple[int, int], tuple[float, int, tuple]] = {}
             for j in range(k - 1, i):
                 prev_cell = layers[k - 1].get(j)

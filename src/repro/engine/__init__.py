@@ -24,6 +24,19 @@ from repro.engine.grouped import GroupedAggregateQuery, GroupResult
 from repro.engine.joint import JOINT_METHODS, JointAggregateQuery
 from repro.engine.persistence import load_catalog, save_catalog
 from repro.engine.advisor import AdvisorChoice, best_method, recommend
+from repro.engine.resilience import (
+    DEGRADATION_LEVELS,
+    ESTIMATES_ONLY,
+    SERVE_ANYTHING,
+    STRICT,
+    CircuitBreaker,
+    Deadline,
+    DegradationPolicy,
+    FallbackChain,
+    FallbackStage,
+    FaultInjector,
+    deadline_scope,
+)
 from repro.engine.sharding import ShardedSynopsis, build_sharded, shard_boundaries
 from repro.engine.simulator import SimulationReport, TrafficSpec, simulate_traffic
 from repro.engine.sql import parse_query
@@ -57,4 +70,15 @@ __all__ = [
     "ShardedSynopsis",
     "build_sharded",
     "shard_boundaries",
+    "CircuitBreaker",
+    "Deadline",
+    "deadline_scope",
+    "DegradationPolicy",
+    "DEGRADATION_LEVELS",
+    "ESTIMATES_ONLY",
+    "SERVE_ANYTHING",
+    "STRICT",
+    "FallbackChain",
+    "FallbackStage",
+    "FaultInjector",
 ]

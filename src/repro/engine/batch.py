@@ -137,6 +137,7 @@ class BatchExecutionMixin:
         with_exact: bool = False,
         on_stale: str = "serve",
         audit_rate: float = 0.0,
+        degradation=None,
     ) -> list:
         """Answer many aggregates at once; results parallel the input.
 
@@ -149,13 +150,21 @@ class BatchExecutionMixin:
         :meth:`~repro.engine.engine.ApproximateQueryEngine.execute`
         semantics; auditing samples each group vectorised and never
         changes the returned results.
+
+        ``degradation`` (a policy or preset name, as in ``execute``)
+        resolves each *group* down the serving ladder instead of
+        applying ``on_stale``: fresh synopsis -> stale synopsis ->
+        fallback estimator -> exact scan.  Every result is tagged with
+        its group's serving level.
         """
         from repro.engine.engine import AggregateQuery, QueryResult
+        from repro.engine.resilience import as_degradation_policy
 
         if on_stale not in ("serve", "rebuild", "error"):
             raise InvalidParameterError(
                 f"on_stale must be serve, rebuild, or error, got {on_stale!r}"
             )
+        policy = as_degradation_policy(degradation)
         audit_rate = self._check_audit_rate(audit_rate)
         if isinstance(queries, BatchQuery):
             query_list = queries.queries()
@@ -178,7 +187,17 @@ class BatchExecutionMixin:
             "batch", queries=len(query_list), groups=len(groups)
         ):
             for (table_name, column_name, aggregate), positions in groups.items():
-                entry = self._resolve_synopsis(table_name, column_name, on_stale)
+                if policy is None:
+                    entry = self._resolve_synopsis(table_name, column_name, on_stale)
+                    level = (
+                        "stale"
+                        if (table_name, column_name) in self._stale
+                        else "fresh"
+                    )
+                else:
+                    entry, level = self._resolve_with_policy(
+                        table_name, column_name, policy
+                    )
                 group_queries = [query_list[i] for i in positions]
                 lows = np.array(
                     [-np.inf if q.low is None else q.low for q in group_queries],
@@ -188,30 +207,55 @@ class BatchExecutionMixin:
                     [np.inf if q.high is None else q.high for q in group_queries],
                     dtype=np.float64,
                 )
-                estimate_array = _estimate_group(entry, aggregate, lows, highs)
-                self._record_sharded_batch(entry, lows, highs)
-                exact_array = (
-                    self._exact_batch(table_name, column_name, aggregate, lows, highs)
-                    if with_exact
-                    else None
-                )
-                if audit_rate > 0.0:
-                    self._audit_batch_group(
-                        (table_name, column_name, aggregate),
-                        entry,
-                        estimate_array,
-                        exact_array,
-                        lows,
-                        highs,
-                        audit_rate,
+                self._record_degraded_serve(level, len(positions))
+                if entry is None:
+                    if level == "exact":
+                        estimate_array = self._exact_batch(
+                            table_name, column_name, aggregate, lows, highs
+                        )
+                        self._stats["exact_scans"] += len(positions)
+                        synopsis_name = "exact-scan"
+                        synopsis_words = 0
+                    else:  # fallback
+                        estimate_array = self._fallback_estimate_many(
+                            table_name, column_name, aggregate, lows, highs
+                        )
+                        synopsis_name = "fallback-uniform"
+                        synopsis_words = 4
+                    exact_array = (
+                        self._exact_batch(
+                            table_name, column_name, aggregate, lows, highs
+                        )
+                        if with_exact and level != "exact"
+                        else (estimate_array if with_exact else None)
+                    )
+                else:
+                    estimate_array = _estimate_group(entry, aggregate, lows, highs)
+                    self._record_sharded_batch(entry, lows, highs)
+                    exact_array = (
+                        self._exact_batch(
+                            table_name, column_name, aggregate, lows, highs
+                        )
+                        if with_exact
+                        else None
+                    )
+                    if audit_rate > 0.0:
+                        self._audit_batch_group(
+                            (table_name, column_name, aggregate),
+                            entry,
+                            estimate_array,
+                            exact_array,
+                            lows,
+                            highs,
+                            audit_rate,
+                        )
+                    synopsis_name = entry.count_estimator.name
+                    synopsis_words = (
+                        entry.count_estimator.storage_words()
+                        + entry.sum_estimator.storage_words()
                     )
                 estimates = estimate_array.tolist()
                 exacts = exact_array.tolist() if exact_array is not None else None
-                synopsis_name = entry.count_estimator.name
-                synopsis_words = (
-                    entry.count_estimator.storage_words()
-                    + entry.sum_estimator.storage_words()
-                )
                 hits = self._stats["synopsis_hits"]
                 hit_key = f"{table_name}.{column_name}"
                 hits[hit_key] = hits.get(hit_key, 0) + len(positions)
@@ -222,6 +266,7 @@ class BatchExecutionMixin:
                         exact=exacts[offset] if exacts is not None else None,
                         synopsis_name=synopsis_name,
                         synopsis_words=synopsis_words,
+                        degradation=level,
                     )
         elapsed = time.perf_counter() - start
         self._stats["batches"] += 1

@@ -27,8 +27,24 @@ from repro.engine.batch import BatchExecutionMixin, BatchQuery  # noqa: F401  (r
 from repro.engine.column import ColumnStatistics
 from repro.engine.grouped import GroupedAggregateQuery, GroupedSynopsisMixin, GroupResult
 from repro.engine.joint import JointAggregateQuery, JointSynopsisMixin
+from repro.engine.resilience import (
+    BREAKER_CLOSED,
+    CircuitBreaker,
+    Deadline,
+    DegradationPolicy,
+    FallbackChain,
+    FallbackStage,
+    as_degradation_policy,
+    as_fallback_chain,
+    deadline_scope,
+)
 from repro.engine.table import Table
-from repro.errors import InvalidParameterError, InvalidQueryError
+from repro.errors import (
+    BuildFailedError,
+    BuildTimeoutError,
+    InvalidParameterError,
+    InvalidQueryError,
+)
 from repro.observability import ErrorAuditor, MetricsRegistry, SystemClock, TraceRecorder
 from repro.observability.metrics import ERROR_BUCKETS
 from repro.queries.estimators import RangeSumEstimator
@@ -71,6 +87,12 @@ class QueryResult:
     (available for COUNT/SUM when the synopsis is an average histogram
     and the caller asked for it); the true answer always lies in
     ``estimate +- guaranteed_bound``.
+
+    ``degradation`` records which rung of the serving ladder produced
+    the answer: ``"fresh"`` (up-to-date synopsis), ``"stale"`` (synopsis
+    predating appends), ``"fallback"`` (uniform model over frozen column
+    statistics), or ``"exact"`` (base-table scan) — see
+    :class:`repro.engine.resilience.DegradationPolicy`.
     """
 
     query: AggregateQuery
@@ -79,6 +101,7 @@ class QueryResult:
     synopsis_name: str
     synopsis_words: int
     guaranteed_bound: float | None = None
+    degradation: str = "fresh"
 
     @property
     def absolute_error(self) -> float | None:
@@ -261,23 +284,130 @@ def _build_column_entry(
     )
 
 
-def _timed_build_column_entry(
-    values, method, budget_words, predict_errors, builder_kwargs, shards=1
+def _build_entry_resilient(
+    values,
+    stages,
+    budget_words,
+    *,
+    predict_errors,
+    shards,
+    parallel_shards,
+    deadline_seconds,
+    clock,
+    sleep,
+    on_shard_built=None,
+    on_event=None,
 ):
-    """Worker-thread wrapper timing one column build (wall clock)."""
+    """Walk a fallback ladder building one column entry.
+
+    ``stages`` is a non-empty list of
+    :class:`~repro.engine.resilience.FallbackStage` rungs (the primary
+    first).  Each rung gets a fresh deadline of ``deadline_seconds``
+    (``None`` = unbounded) and its own retry-with-backoff budget;
+    timeouts skip straight to the next rung because a deterministic DP
+    that blew its budget once will blow it again.  Returns
+    ``(entry, outcome)`` where ``outcome`` records the serving rung and
+    every failure along the way; raises
+    :class:`~repro.errors.BuildFailedError` when the ladder is
+    exhausted.
+    """
+
+    def _notify(kind: str, **attrs) -> None:
+        if on_event is not None:
+            on_event(kind, **attrs)
+
+    failures: dict[str, Exception] = {}
+    attempts_total = 0
+    for rung, stage in enumerate(stages):
+        attempt = 0
+        while True:
+            attempts_total += 1
+            deadline = (
+                Deadline(deadline_seconds, clock=clock)
+                if deadline_seconds is not None
+                else None
+            )
+            try:
+                with deadline_scope(deadline):
+                    entry = _build_column_entry(
+                        values,
+                        stage.method,
+                        budget_words,
+                        predict_errors=predict_errors,
+                        shards=shards,
+                        parallel_shards=parallel_shards,
+                        on_shard_built=on_shard_built,
+                        **stage.builder_kwargs,
+                    )
+            except BuildTimeoutError as error:
+                failures[f"rung{rung}:{stage.method}"] = error
+                _notify("timeout", method=stage.method, rung=rung)
+                break
+            except Exception as error:  # noqa: BLE001 — any fault degrades
+                failures[f"rung{rung}:{stage.method}@{attempt}"] = error
+                _notify("failure", method=stage.method, rung=rung)
+                if attempt >= stage.retries:
+                    break
+                _notify("retry", method=stage.method, rung=rung)
+                if stage.backoff_seconds > 0:
+                    sleep(stage.backoff_seconds * (2**attempt))
+                attempt += 1
+                continue
+            if rung > 0:
+                _notify("fallback", method=stage.method, rung=rung)
+            outcome = {
+                "method": entry.method,
+                "requested": stages[0].method,
+                "rung": rung,
+                "attempts": attempts_total,
+                "failures": failures,
+            }
+            return entry, outcome
+    if len(failures) == 1:
+        # A one-attempt ladder (no chain, no retries) keeps its original
+        # exception type — existing callers and tests rely on it, and a
+        # BuildTimeoutError must surface as itself for deadline callers.
+        raise next(iter(failures.values()))
+    summary = "; ".join(
+        f"{key}: {type(error).__name__}: {error}" for key, error in failures.items()
+    )
+    raise BuildFailedError(
+        f"all {len(stages)} fallback rung(s) failed ({summary})", failures=failures
+    )
+
+
+def _timed_build_column_entry(
+    values,
+    stages,
+    budget_words,
+    predict_errors,
+    shards=1,
+    deadline_seconds=None,
+    clock=None,
+    sleep=time.sleep,
+    on_event=None,
+):
+    """Worker-thread wrapper timing one resilient column build (wall clock).
+
+    Runs the whole fallback ladder inside the worker so the ambient
+    deadline (a thread-local) binds to the thread actually building.
+    """
     start = time.perf_counter()
-    entry = _build_column_entry(
+    entry, outcome = _build_entry_resilient(
         values,
-        method,
+        stages,
         budget_words,
         predict_errors=predict_errors,
         shards=shards,
         # The column builds already run on the catalog thread pool;
         # nesting a per-shard pool inside each worker oversubscribes.
         parallel_shards=False,
-        **builder_kwargs,
+        deadline_seconds=deadline_seconds,
+        clock=clock,
+        sleep=sleep,
+        on_event=on_event,
     )
-    return entry, time.perf_counter() - start
+    return entry, time.perf_counter() - start, outcome
 
 
 class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSynopsisMixin):
@@ -298,6 +428,10 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
         audit_window: int = 4096,
         audit_seed: int = 0,
         predict_errors: bool = True,
+        breaker_threshold: int = 3,
+        breaker_cooldown_seconds: float = 60.0,
+        default_fallback=None,
+        default_deadline_ms: float | None = None,
     ) -> None:
         self._tables: dict[str, Table] = {}
         self._synopses: dict[tuple[str, str], _ColumnSynopses] = {}
@@ -321,6 +455,24 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
         self._build_meta: dict[tuple[str, str], dict] = {}
         #: Pinned error models for entries lacking a build-time one.
         self._prediction_cache: dict[tuple, object] = {}
+        #: Session-wide defaults for the resilient build paths; per-call
+        #: ``fallback=`` / ``deadline_ms=`` arguments override them.
+        self.default_fallback = as_fallback_chain(default_fallback)
+        self.default_deadline_ms = default_deadline_ms
+        #: One circuit breaker per builder method, lazily created by
+        #: :meth:`refresh_stale` (see :meth:`breaker_states`).
+        self._breaker_threshold = int(breaker_threshold)
+        self._breaker_cooldown_seconds = float(breaker_cooldown_seconds)
+        self._breakers: dict[str, CircuitBreaker] = {}
+        #: Cached uniform models backing the "fallback" degradation
+        #: rung: (table, column) -> dict(lo, hi, rows, total).
+        self._fallback_models: dict[tuple[str, str], dict] = {}
+        #: Keys quarantined by :func:`repro.engine.persistence.load_catalog`
+        #: after checksum/deserialisation failures (served as stale
+        #: substitutes until rebuilt).
+        self._quarantined: set[tuple[str, str]] = set()
+        #: Injection point for retry backoff sleeps (tests use a no-op).
+        self._sleep = time.sleep
         self._stats: dict = self._fresh_stats()
 
     @staticmethod
@@ -337,6 +489,12 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
             "dirty_shards_rebuilt": 0,
             "audited_queries": 0,
             "drift_flags": 0,
+            "build_timeouts": 0,
+            "build_failures": 0,
+            "build_retries": 0,
+            "fallback_builds": 0,
+            "degraded_serves": 0,
+            "breaker_skips": 0,
             "synopsis_hits": {},
             "last_batch_seconds": 0.0,
             "last_batch_qps": 0.0,
@@ -362,6 +520,8 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
         and grouped — since all of them summarise the replaced data.
         """
         self._tables[table.name] = table
+        for key in [key for key in self._fallback_models if key[0] == table.name]:
+            del self._fallback_models[key]
         for key in [key for key in self._synopses if key[0] == table.name]:
             del self._synopses[key]
             self._stale.discard(key)
@@ -384,6 +544,51 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
             )
         return self._tables[name]
 
+    def _resolve_build_policy(self, fallback, deadline_ms):
+        """Per-call fallback/deadline arguments, defaulted from the engine."""
+        chain = as_fallback_chain(fallback) if fallback is not None else self.default_fallback
+        if deadline_ms is None:
+            deadline_ms = self.default_deadline_ms
+        if deadline_ms is not None:
+            deadline_ms = float(deadline_ms)
+            if not deadline_ms > 0:
+                raise InvalidParameterError(
+                    f"deadline_ms must be positive, got {deadline_ms!r}"
+                )
+        return chain, deadline_ms
+
+    @staticmethod
+    def _ladder_stages(method: str, builder_kwargs: dict, chain: FallbackChain | None):
+        """The full build ladder: the primary rung, then the chain's.
+
+        The primary method name is validated here so a typo fails fast
+        instead of being "recovered" by the fallback chain (config
+        errors are not runtime faults).
+        """
+        if method != "auto" and method not in BUILDER_REGISTRY:
+            raise InvalidParameterError(
+                f"unknown synopsis method {method!r}; available: "
+                f"{sorted(BUILDER_REGISTRY)} or 'auto'"
+            )
+        primary = FallbackStage(method=method, builder_kwargs=dict(builder_kwargs))
+        return [primary] + (list(chain.stages) if chain is not None else [])
+
+    def _observe_build_event(self, kind: str, *, method: str, rung: int) -> None:
+        """Fold a ladder event from a (possibly worker-thread) build into
+        the metrics; counter/stat mutation is a GIL-atomic increment."""
+        if kind == "timeout":
+            self._stats["build_timeouts"] += 1
+            self.metrics.counter("build_timeouts_total", method=method).inc()
+        elif kind == "failure":
+            self._stats["build_failures"] += 1
+            self.metrics.counter("build_failures_total", method=method).inc()
+        elif kind == "retry":
+            self._stats["build_retries"] += 1
+            self.metrics.counter("build_retries_total", method=method).inc()
+        elif kind == "fallback":
+            self._stats["fallback_builds"] += 1
+            self.metrics.counter("fallback_builds_total", method=method).inc()
+
     def build_synopsis(
         self,
         table_name: str,
@@ -392,6 +597,8 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
         method: str = "sap1",
         budget_words: int = 64,
         shards: int = 1,
+        fallback=None,
+        deadline_ms: float | None = None,
         **builder_kwargs,
     ) -> None:
         """Build COUNT and SUM synopses for one column.
@@ -406,8 +613,24 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
         synopsis built on a thread pool with a mass-proportional slice
         of the budget, and later appends dirty only the shards they
         touch (see :meth:`append_rows` / :meth:`refresh_stale`).
+
+        ``deadline_ms`` bounds each build attempt: the DP inner loops
+        poll the deadline cooperatively and raise
+        :class:`~repro.errors.BuildTimeoutError` when it expires.
+        ``fallback`` names the rungs tried *after* the primary
+        ``method`` fails or times out (a :class:`FallbackChain`, a spec
+        string like ``"a0 -> naive"``, or a list of methods).  Every
+        rung gets the same word budget, so a fallback build is
+        bit-identical to building that method directly — including its
+        frozen :class:`~repro.core.builders.ErrorPrediction`.  With a
+        ladder, exhaustion raises
+        :class:`~repro.errors.BuildFailedError` carrying every rung's
+        failure; without one, the primary's exception propagates
+        unchanged.
         """
         table = self.table(table_name)
+        chain, deadline_ms = self._resolve_build_policy(fallback, deadline_ms)
+        stages = self._ladder_stages(method, builder_kwargs, chain)
 
         def _observe_shard(shard: int, seconds: float) -> None:
             self.metrics.histogram("shard_build_seconds").observe(seconds)
@@ -420,30 +643,54 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
             budget_words=budget_words,
             shards=shards,
         ) as span:
-            entry = _build_column_entry(
+            entry, outcome = _build_entry_resilient(
                 table.column(column_name),
-                method,
+                stages,
                 budget_words,
                 predict_errors=self.predict_errors,
                 shards=shards,
+                parallel_shards=True,
+                deadline_seconds=(
+                    deadline_ms / 1000.0 if deadline_ms is not None else None
+                ),
+                clock=None,
+                sleep=self._sleep,
                 on_shard_built=_observe_shard if shards > 1 else None,
-                **builder_kwargs,
+                on_event=self._observe_build_event,
             )
-            span.set(resolved_method=entry.method)
+            span.set(
+                resolved_method=entry.method,
+                rung=outcome["rung"],
+                attempts=outcome["attempts"],
+            )
         elapsed = span.duration or 0.0
         key = (table_name, column_name)
         self._synopses[key] = entry
         self._stale.discard(key)
         self._dirty_shards.pop(key, None)
+        self._quarantined.discard(key)
         self._prediction_cache.pop((key, "count"), None)
         self._prediction_cache.pop((key, "sum"), None)
-        self._record_build(key, entry.method, elapsed)
+        self._record_build(
+            key, entry.method, elapsed, requested=method, rung=outcome["rung"]
+        )
 
-    def _record_build(self, key: tuple[str, str], method: str, seconds: float) -> None:
+    def _record_build(
+        self,
+        key: tuple[str, str],
+        method: str,
+        seconds: float,
+        *,
+        requested: str | None = None,
+        rung: int = 0,
+    ) -> None:
         self._build_meta[key] = {
             "built_at": self.clock.now(),
             "build_seconds": seconds,
             "stale_since": None,
+            "requested_method": requested if requested is not None else method,
+            "served_method": method,
+            "rung": rung,
         }
         self.metrics.counter("builds_total", method=method).inc()
         self.metrics.histogram("build_seconds").observe(seconds)
@@ -456,6 +703,8 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
         parallel: bool = False,
         max_workers: int | None = None,
         shards: int = 1,
+        fallback=None,
+        deadline_ms: float | None = None,
         **builder_kwargs,
     ) -> None:
         """Build synopses for every column of every table, splitting a
@@ -467,6 +716,14 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
         they are independent of each other and the heavy numpy kernels
         release the GIL, so a multi-column catalog builds concurrently.
         The resulting catalog is identical to a serial build.
+
+        Failures are isolated per column in both paths: one column's
+        builder blowing up (after its ``fallback`` ladder, if any, is
+        exhausted) never discards another column's completed synopsis.
+        Every successful entry is installed first, then a single
+        :class:`~repro.errors.BuildFailedError` is raised whose
+        ``failures`` dict maps ``"table.column"`` to that column's
+        exception.
         """
         columns = [
             (table.name, column)
@@ -475,13 +732,16 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
         ]
         if not columns:
             return
+        chain, deadline_ms = self._resolve_build_policy(fallback, deadline_ms)
+        stages = self._ladder_stages(method, builder_kwargs, chain)
         per_column = max(total_budget_words // len(columns), 4)
+        failures: dict[str, Exception] = {}
         with self.tracer.span(
             "build_all",
             columns=len(columns),
             method=method,
             parallel=bool(parallel and len(columns) > 1),
-        ):
+        ) as span:
             if parallel and len(columns) > 1:
                 from concurrent.futures import ThreadPoolExecutor
 
@@ -490,32 +750,61 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
                         key: pool.submit(
                             _timed_build_column_entry,
                             self._tables[key[0]].column(key[1]),
-                            method,
+                            stages,
                             per_column,
                             self.predict_errors,
-                            builder_kwargs,
                             shards,
+                            deadline_ms / 1000.0 if deadline_ms is not None else None,
+                            None,
+                            self._sleep,
+                            self._observe_build_event,
                         )
                         for key in columns
                     }
                 for key, future in futures.items():
-                    entry, seconds = future.result()
+                    try:
+                        entry, seconds, outcome = future.result()
+                    except Exception as error:  # noqa: BLE001 — isolate per column
+                        failures[f"{key[0]}.{key[1]}"] = error
+                        continue
                     self._synopses[key] = entry
                     self._stale.discard(key)
                     self._dirty_shards.pop(key, None)
+                    self._quarantined.discard(key)
                     self._prediction_cache.pop((key, "count"), None)
                     self._prediction_cache.pop((key, "sum"), None)
-                    self._record_build(key, entry.method, seconds)
-                return
-            for table_name, column_name in columns:
-                self.build_synopsis(
-                    table_name,
-                    column_name,
-                    method=method,
-                    budget_words=per_column,
-                    shards=shards,
-                    **builder_kwargs,
-                )
+                    self._record_build(
+                        key,
+                        entry.method,
+                        seconds,
+                        requested=method,
+                        rung=outcome["rung"],
+                    )
+            else:
+                for table_name, column_name in columns:
+                    try:
+                        self.build_synopsis(
+                            table_name,
+                            column_name,
+                            method=method,
+                            budget_words=per_column,
+                            shards=shards,
+                            fallback=chain,
+                            deadline_ms=deadline_ms,
+                            **builder_kwargs,
+                        )
+                    except Exception as error:  # noqa: BLE001 — isolate per column
+                        failures[f"{table_name}.{column_name}"] = error
+            span.set(failed_columns=len(failures))
+        if failures:
+            summary = "; ".join(
+                f"{name}: {type(error).__name__}: {error}"
+                for name, error in sorted(failures.items())
+            )
+            raise BuildFailedError(
+                f"{len(failures)}/{len(columns)} column build(s) failed ({summary})",
+                failures=failures,
+            )
 
     def synopsis_catalog(self) -> list[dict]:
         """One row per built synopsis: location, method, true storage."""
@@ -552,6 +841,8 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
         """
         table = self.table(table_name)
         self._tables[table_name] = table.with_appended(rows)
+        for key in [key for key in self._fallback_models if key[0] == table_name]:
+            del self._fallback_models[key]
         now = self.clock.now()
         self.metrics.counter("appends_total").inc()
         for key, entry in self._synopses.items():
@@ -596,7 +887,13 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
             for key, shards in self._dirty_shards.items()
         }
 
-    def _refresh_entry(self, key: tuple[str, str]) -> None:
+    def _refresh_entry(
+        self,
+        key: tuple[str, str],
+        *,
+        fallback=None,
+        deadline_ms: float | None = None,
+    ) -> None:
         """Bring one stale 1-D synopsis up to date.
 
         Sharded entries whose appends stayed inside the existing domain
@@ -613,7 +910,11 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
         if isinstance(entry.count_estimator, ShardedSynopsis) and dirty is not None:
             new_stats = ColumnStatistics.from_values(self.table(key[0]).column(key[1]))
             if np.array_equal(new_stats.values_axis, entry.statistics.values_axis):
-                self._refresh_dirty_shards(key, entry, new_stats, sorted(dirty))
+                deadline = None
+                if deadline_ms is not None:
+                    deadline = Deadline(float(deadline_ms) / 1000.0)
+                with deadline_scope(deadline):
+                    self._refresh_dirty_shards(key, entry, new_stats, sorted(dirty))
                 return
         self.build_synopsis(
             key[0],
@@ -621,6 +922,8 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
             method=entry.method,
             budget_words=entry.budget_words,
             shards=entry.shards,
+            fallback=fallback,
+            deadline_ms=deadline_ms,
             **entry.builder_kwargs,
         )
 
@@ -683,7 +986,28 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
         self.metrics.counter("shard_refreshes_total").inc()
         self._record_build(key, entry.method, span.duration or 0.0)
 
-    def refresh_stale(self) -> int:
+    def _breaker(self, method: str) -> CircuitBreaker:
+        """The (lazily created) circuit breaker guarding one builder method."""
+        breaker = self._breakers.get(method)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                failure_threshold=self._breaker_threshold,
+                cooldown_seconds=self._breaker_cooldown_seconds,
+                clock=self.clock,
+            )
+            self._breakers[method] = breaker
+        return breaker
+
+    def breaker_states(self) -> dict[str, dict]:
+        """Per-builder-method circuit-breaker snapshots (JSON-ready)."""
+        return {
+            method: breaker.snapshot()
+            for method, breaker in sorted(self._breakers.items())
+        }
+
+    def refresh_stale(
+        self, *, fallback=None, deadline_ms: float | None = None
+    ) -> int:
         """Rebuild every stale synopsis with its recorded configuration.
 
         Covers 1-D, joint, and grouped synopses; returns the number of
@@ -695,12 +1019,49 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
         a builder exception part-way through leaves the counters equal
         to the number of synopses actually rebuilt and the failed
         synopsis still marked stale.
+
+        Each 1-D entry's recorded builder method is guarded by a
+        circuit breaker: repeated rebuild failures (after the optional
+        ``fallback`` ladder is exhausted) open the breaker and later
+        refreshes *skip* that method's entries — without raising — until
+        the cool-down lapses, so the entries keep serving their stale
+        synopses instead of hammering a broken builder.  The first
+        failing rebuild still raises (the transactional contract above
+        is unchanged); only an already-open breaker turns failures into
+        skips.  ``fallback`` / ``deadline_ms`` behave as in
+        :meth:`build_synopsis`, with each entry's recorded method as the
+        primary rung.
         """
         rebuilt = 0
+        skipped = 0
         with self.tracer.span("rebuild", trigger="refresh_stale") as span:
             try:
                 for key in sorted(self._stale):
-                    self._refresh_entry(key)
+                    method = self._synopses[key].method
+                    breaker = self._breaker(method)
+                    if not breaker.allow():
+                        skipped += 1
+                        self._stats["breaker_skips"] += 1
+                        self.metrics.counter(
+                            "breaker_skips_total", method=method
+                        ).inc()
+                        continue
+                    probing = breaker.state != BREAKER_CLOSED
+                    try:
+                        self._refresh_entry(
+                            key, fallback=fallback, deadline_ms=deadline_ms
+                        )
+                    except Exception:
+                        if breaker.record_failure():
+                            self.metrics.counter(
+                                "breaker_opened_total", method=method
+                            ).inc()
+                        raise
+                    breaker.record_success()
+                    if probing:
+                        self.metrics.counter(
+                            "breaker_closed_total", method=method
+                        ).inc()
                     rebuilt += 1
                     self._stats["rebuilds"] += 1
                     self.metrics.counter("rebuilds_total").inc()
@@ -723,7 +1084,7 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
                     self._stats["rebuilds"] += 1
                     self.metrics.counter("rebuilds_total").inc()
             finally:
-                span.set(rebuilt=rebuilt)
+                span.set(rebuilt=rebuilt, breaker_skipped=skipped)
         return rebuilt
 
     # ------------------------------------------------------------------
@@ -773,6 +1134,103 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
                 self._stats["stale_served"] += 1
         return self._synopses[key]
 
+    def _resolve_with_policy(
+        self, table_name: str, column_name: str, policy: DegradationPolicy
+    ) -> tuple[_ColumnSynopses | None, str]:
+        """Descend the serving ladder under a degradation policy.
+
+        Returns ``(entry, level)``; ``entry`` is ``None`` on the
+        synopsis-free rungs (``"fallback"`` / ``"exact"``).  Unknown
+        tables and columns still raise — they are query errors, not
+        faults to degrade around.
+        """
+        key = (table_name, column_name)
+        entry = self._synopses.get(key)
+        if entry is not None and key not in self._stale:
+            return entry, "fresh"
+        # Validate the target before degrading.
+        self.table(table_name).column(column_name)
+        if entry is not None and policy.allow_stale:
+            self._stats["stale_served"] += 1
+            return entry, "stale"
+        if policy.allow_fallback:
+            return None, "fallback"
+        if policy.allow_exact:
+            return None, "exact"
+        if entry is None:
+            raise InvalidQueryError(
+                f"no synopsis built for {table_name}.{column_name} and the "
+                "degradation policy admits no substitute rung"
+            )
+        raise InvalidQueryError(
+            f"synopsis for {table_name}.{column_name} is stale and the "
+            "degradation policy admits no substitute rung"
+        )
+
+    def _record_degraded_serve(self, level: str, count: int = 1) -> None:
+        """Account one (or a batch of) answers served below ``fresh``."""
+        if level == "fresh":
+            return
+        self._stats["degraded_serves"] += count
+        self.metrics.counter("degraded_serves_total", level=level).inc(count)
+
+    def _fallback_model(self, table_name: str, column_name: str) -> dict:
+        """Cached 4-word summary (lo, hi, rows, total) of one column."""
+        key = (table_name, column_name)
+        model = self._fallback_models.get(key)
+        if model is None:
+            values = np.asarray(
+                self.table(table_name).column(column_name), dtype=np.float64
+            )
+            if values.size:
+                model = {
+                    "lo": float(values.min()),
+                    "hi": float(values.max()),
+                    "rows": float(values.size),
+                    "total": float(values.sum()),
+                }
+            else:
+                model = {"lo": 0.0, "hi": 0.0, "rows": 0.0, "total": 0.0}
+            self._fallback_models[key] = model
+        return model
+
+    def _fallback_estimate_many(
+        self,
+        table_name: str,
+        column_name: str,
+        aggregate: str,
+        lows: np.ndarray,
+        highs: np.ndarray,
+    ) -> np.ndarray:
+        """Uniform-model estimates — the ``"fallback"`` serving rung.
+
+        Assumes values spread uniformly over ``[lo, hi]``: a range
+        predicate selects the overlapping fraction of rows (and of the
+        total, for SUM).  Crude, but O(1) per query from four cached
+        words — the rung between a lost synopsis and a full scan.
+        ``lows`` / ``highs`` use ``-inf`` / ``+inf`` for open ends.
+        """
+        model = self._fallback_model(table_name, column_name)
+        lo, hi = model["lo"], model["hi"]
+        rows, total = model["rows"], model["total"]
+        lows = np.asarray(lows, dtype=np.float64)
+        highs = np.asarray(highs, dtype=np.float64)
+        if rows <= 0:
+            return np.zeros(lows.shape)
+        span = hi - lo
+        if span > 0:
+            clip_lo = np.maximum(lows, lo)
+            clip_hi = np.minimum(highs, hi)
+            frac = np.clip((clip_hi - clip_lo) / span, 0.0, 1.0)
+        else:
+            # Single-valued column: all mass at lo.
+            frac = ((lows <= lo) & (highs >= lo)).astype(np.float64)
+        if aggregate == "count":
+            return rows * frac
+        if aggregate == "sum":
+            return total * frac
+        return np.where(frac > 0.0, total / rows, 0.0)
+
     def stats(self) -> dict:
         """An immutable snapshot of the engine's execution counters.
 
@@ -819,6 +1277,7 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
         with_bound: bool = False,
         on_stale: str = "serve",
         audit_rate: float = 0.0,
+        degradation=None,
     ) -> QueryResult:
         """Answer from the synopses; optionally attach the exact answer.
 
@@ -826,6 +1285,16 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
         the synopsis was built: ``"serve"`` answers from the stale
         synopsis (default — estimates drift with the appended volume),
         ``"rebuild"`` refreshes it first, ``"error"`` refuses.
+
+        ``degradation`` switches to the policy-driven serving ladder
+        instead of ``on_stale``: pass a
+        :class:`~repro.engine.resilience.DegradationPolicy` (or a
+        preset name — ``"serve_anything"``, ``"estimates_only"``,
+        ``"strict"``) and the answer resolves fresh synopsis -> stale
+        synopsis -> fallback estimator -> exact scan, stopping at the
+        first admitted rung.  Under the default-permissive policies a
+        query on a registered column never raises; every result carries
+        the level that produced it in ``result.degradation``.
 
         ``audit_rate`` samples that fraction of queries for online error
         auditing: the exact answer is computed alongside (from the
@@ -837,18 +1306,31 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
             raise InvalidParameterError(
                 f"on_stale must be serve, rebuild, or error, got {on_stale!r}"
             )
+        policy = as_degradation_policy(degradation)
         audit_rate = self._check_audit_rate(audit_rate)
         with self.tracer.span(
             "query",
             table=query.table,
             column=query.column,
             aggregate=query.aggregate,
-        ):
-            entry = self._resolve_synopsis(query.table, query.column, on_stale)
+        ) as span:
+            if policy is None:
+                entry = self._resolve_synopsis(query.table, query.column, on_stale)
+                level = (
+                    "stale" if (query.table, query.column) in self._stale else "fresh"
+                )
+            else:
+                entry, level = self._resolve_with_policy(
+                    query.table, query.column, policy
+                )
+            span.set(degradation=level)
             self._stats["queries"] += 1
             hits = self._stats["synopsis_hits"]
             hit_key = f"{query.table}.{query.column}"
             hits[hit_key] = hits.get(hit_key, 0) + 1
+            self._record_degraded_serve(level)
+            if entry is None:
+                return self._execute_degraded(query, level, with_exact=with_exact)
             if with_exact:
                 self._stats["exact_scans"] += 1
             clipped = entry.statistics.clip_range(query.low, query.high)
@@ -895,6 +1377,47 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
             synopsis_words=entry.count_estimator.storage_words()
             + entry.sum_estimator.storage_words(),
             guaranteed_bound=bound,
+            degradation=level,
+        )
+
+    def _execute_degraded(
+        self, query: AggregateQuery, level: str, *, with_exact: bool
+    ) -> QueryResult:
+        """Answer one query from a synopsis-free ladder rung."""
+        if level == "exact":
+            estimate = self.execute_exact(query)
+            self._stats["exact_scans"] += 1
+            exact = estimate if with_exact else None
+            return QueryResult(
+                query=query,
+                estimate=estimate,
+                exact=exact,
+                synopsis_name="exact-scan",
+                synopsis_words=0,
+                degradation=level,
+            )
+        low = query.low if query.low is not None else -np.inf
+        high = query.high if query.high is not None else np.inf
+        estimate = float(
+            self._fallback_estimate_many(
+                query.table,
+                query.column,
+                query.aggregate,
+                np.asarray([low]),
+                np.asarray([high]),
+            )[0]
+        )
+        exact = None
+        if with_exact:
+            exact = self.execute_exact(query)
+            self._stats["exact_scans"] += 1
+        return QueryResult(
+            query=query,
+            estimate=estimate,
+            exact=exact,
+            synopsis_name="fallback-uniform",
+            synopsis_words=4,
+            degradation=level,
         )
 
     # ------------------------------------------------------------------
@@ -1134,7 +1657,18 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
             "dirty_shards": self.dirty_shards(),
             "synopsis_catalog": self.synopsis_catalog(),
             "spans_recorded": len(self.tracer),
+            "breakers": self.breaker_states(),
+            "quarantined": sorted(f"{t}.{c}" for t, c in self._quarantined),
         }
+
+    def quarantined_synopses(self) -> list[tuple[str, str]]:
+        """Keys whose persisted synopses failed verification on load.
+
+        Each is serving a cheap substitute and is marked stale;
+        :meth:`refresh_stale` (or a direct :meth:`build_synopsis`)
+        clears the quarantine.
+        """
+        return sorted(self._quarantined)
 
     def dump_metrics(self, format: str = "json") -> str:
         """Render the observability state for export.

@@ -19,11 +19,29 @@ about.  Monolithic staleness remains a session property and is not
 persisted.  Joint (2-D) synopses are rebuildable from data and are not
 persisted; the manifest records the format version so layouts can keep
 evolving (version-1 files still load).
+
+Durability (format version 3): :func:`save_catalog` writes atomically —
+the container is serialised to a temporary file in the target
+directory, fsynced, and renamed over the destination, so a crash or
+injected I/O failure mid-save never leaves a partial catalog where a
+good one stood.  The manifest carries a CRC-32 per stored array;
+:func:`load_catalog` verifies them and *quarantines* entries that fail
+(checksum mismatch or undecodable blob): if the entry's column
+statistics survive, a cheap single-bucket substitute synopsis is
+installed and marked stale (``engine.quarantined_synopses()`` lists
+them; ``refresh_stale`` rebuilds the real thing), otherwise the entry
+is skipped.  A corrupted file never raises an unhandled numpy or zip
+error — only :class:`~repro.errors.SerializationError` when the whole
+container is unreadable.
 """
 
 from __future__ import annotations
 
+import io
 import json
+import os
+import tempfile
+import zlib
 
 import numpy as np
 
@@ -33,13 +51,18 @@ from repro.engine.engine import ApproximateQueryEngine, _ColumnSynopses
 from repro.engine.sharding import ShardedSynopsis
 from repro.engine.storage import deserialize_estimator, serialize_estimator
 from repro.errors import SerializationError
+from repro.internal.faults import fault_point, transform_bytes
 
-FORMAT_VERSION = 2
-_SUPPORTED_VERSIONS = (1, 2)
+FORMAT_VERSION = 3
+_SUPPORTED_VERSIONS = (1, 2, 3)
 
 
 def _blob(data: bytes) -> np.ndarray:
     return np.frombuffer(data, dtype=np.uint8)
+
+
+def _crc(array: np.ndarray) -> int:
+    return zlib.crc32(np.ascontiguousarray(array).tobytes()) & 0xFFFFFFFF
 
 
 def _prediction_to_json(prediction: ErrorPrediction | None):
@@ -112,6 +135,11 @@ def save_catalog(engine: ApproximateQueryEngine, path) -> int:
     as-is; sharded entries also record their dirty-shard flags (``"all"``
     when the whole domain must rebuild), monolithic staleness is a
     session property and is dropped.
+
+    The write is atomic (temp file + fsync + rename): concurrent
+    readers and crash recovery only ever see the previous complete
+    catalog or the new one, never a torn file.  Every stored array's
+    CRC-32 goes into the manifest for load-time verification.
     """
     manifest = {"version": FORMAT_VERSION, "synopses": []}
     arrays: dict[str, np.ndarray] = {}
@@ -148,10 +176,111 @@ def save_catalog(engine: ApproximateQueryEngine, path) -> int:
         arrays[f"{index}_count_freq"] = entry.statistics.count_frequencies
         arrays[f"{index}_sum_freq"] = entry.statistics.sum_frequencies
         manifest["synopses"].append(row)
+    manifest["checksums"] = {name: _crc(array) for name, array in arrays.items()}
     arrays["manifest"] = _blob(json.dumps(manifest).encode("utf-8"))
-    with open(path, "wb") as handle:
-        np.savez_compressed(handle, **arrays)
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, **arrays)
+    payload = transform_bytes("persistence_write", buffer.getvalue(), path=str(path))
+    _atomic_write(path, payload)
     return len(manifest["synopses"])
+
+
+def _atomic_write(path, payload: bytes) -> None:
+    """Write ``payload`` to ``path`` atomically (temp + fsync + rename).
+
+    The temporary file lives in the destination directory so the final
+    :func:`os.replace` stays on one filesystem (rename atomicity).  Any
+    failure — including an injected ``persistence_write`` fault between
+    the two half-writes below — removes the temp file and leaves the
+    destination untouched.
+    """
+    target = os.fspath(path)
+    directory = os.path.dirname(target) or "."
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(target) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            half = len(payload) // 2
+            handle.write(payload[:half])
+            # Mid-write chaos hook: proves a failure here cannot tear
+            # the destination (the temp file is discarded below).
+            fault_point("persistence_write", path=target)
+            handle.write(payload[half:])
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+class _VerifyingArchive:
+    """Array access with manifest-CRC verification folded in.
+
+    Raises :class:`~repro.errors.SerializationError` both on a checksum
+    mismatch and on any decode failure from the underlying container
+    (bit-flipped zlib streams surface as zipfile/OSError/ValueError —
+    all normalised here so callers handle exactly one exception type).
+    """
+
+    def __init__(self, archive, checksums: dict | None) -> None:
+        self._archive = archive
+        self._checksums = checksums or {}
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        try:
+            array = self._archive[name]
+        except SerializationError:
+            raise
+        except Exception as error:  # noqa: BLE001 — zip/zlib/npy decode zoo
+            raise SerializationError(
+                f"cannot decode catalog array {name!r}: {error}"
+            ) from error
+        expected = self._checksums.get(name)
+        if expected is not None and _crc(array) != int(expected):
+            raise SerializationError(f"checksum mismatch for catalog array {name!r}")
+        return array
+
+
+def _load_statistics(archive: _VerifyingArchive, index: int, meta: dict):
+    return ColumnStatistics(
+        lo=meta["lo"],
+        hi=meta["hi"],
+        values_axis=archive[f"{index}_values_axis"],
+        count_frequencies=archive[f"{index}_count_freq"],
+        sum_frequencies=archive[f"{index}_sum_freq"],
+        row_count=int(meta["row_count"]),
+        layout=meta["layout"],
+    )
+
+
+def _quarantine_substitute(
+    archive: _VerifyingArchive, index: int, meta: dict
+) -> _ColumnSynopses | None:
+    """A single-bucket stand-in for a corrupt entry, if its statistics
+    survived; ``None`` when even those are unreadable."""
+    from repro.core.naive import build_naive
+
+    try:
+        statistics = _load_statistics(archive, index, meta)
+        count_estimator = build_naive(statistics.count_frequencies)
+        sum_estimator = build_naive(statistics.sum_frequencies)
+    except Exception:  # noqa: BLE001 — stats corrupt too: skip the entry
+        return None
+    return _ColumnSynopses(
+        statistics=statistics,
+        count_estimator=count_estimator,
+        sum_estimator=sum_estimator,
+        method=meta["method"],
+        budget_words=int(meta["budget_words"]),
+        builder_kwargs={},
+        predicted=None,
+        shards=int(meta.get("shards", 1)),
+    )
 
 
 def load_catalog(engine: ApproximateQueryEngine, path) -> int:
@@ -161,69 +290,105 @@ def load_catalog(engine: ApproximateQueryEngine, path) -> int:
     themselves are untouched (and need not exist).  Sharded entries come
     back with their shard boundaries, frozen per-shard predictions, and
     dirty-shard flags — entries with dirty shards are marked stale.
-    Returns the number of synopses restored.
+    Returns the number of synopses restored (including quarantined
+    substitutes).
+
+    Version-3 catalogs verify every array against its manifest CRC-32.
+    Entries that fail verification (or whose blobs no longer decode)
+    are *quarantined*: a single-bucket substitute built from the
+    entry's surviving column statistics is installed and marked stale
+    so estimates keep flowing while ``refresh_stale`` rebuilds the real
+    synopsis; entries whose statistics are also corrupt are skipped.
+    An unreadable container (truncation, mangled manifest) raises
+    :class:`~repro.errors.SerializationError` — never a raw numpy or
+    zipfile exception.
     """
-    with np.load(path) as archive:
+    fault_point("persistence_read", path=str(path))
+    try:
+        with open(path, "rb") as handle:
+            payload = handle.read()
+    except OSError as error:
+        raise SerializationError(f"cannot read catalog {path}: {error}") from error
+    payload = transform_bytes("persistence_read", payload, path=str(path))
+    try:
+        raw_archive = np.load(io.BytesIO(payload), allow_pickle=False)
+    except Exception as error:  # noqa: BLE001 — truncated/mangled container
+        raise SerializationError(f"{path} is not a readable catalog: {error}") from error
+    with raw_archive as archive:
         try:
             manifest = json.loads(bytes(archive["manifest"]).decode("utf-8"))
         except KeyError as error:
             raise SerializationError(f"{path} is not a repro catalog") from error
+        except Exception as error:  # noqa: BLE001 — corrupt manifest blob
+            raise SerializationError(
+                f"{path} has an unreadable manifest: {error}"
+            ) from error
         if manifest.get("version") not in _SUPPORTED_VERSIONS:
             raise SerializationError(
                 f"unsupported catalog version {manifest.get('version')!r}"
             )
+        verifying = _VerifyingArchive(archive, manifest.get("checksums"))
+        restored = 0
         for index, meta in enumerate(manifest["synopses"]):
-            statistics = ColumnStatistics(
-                lo=meta["lo"],
-                hi=meta["hi"],
-                values_axis=archive[f"{index}_values_axis"],
-                count_frequencies=archive[f"{index}_count_freq"],
-                sum_frequencies=archive[f"{index}_sum_freq"],
-                row_count=int(meta["row_count"]),
-                layout=meta["layout"],
-            )
-            predicted = None
-            if "count_sharded" in meta:
-                count_estimator = _load_sharded(
-                    archive, f"{index}_count", meta["count_sharded"]
-                )
-                sum_estimator = _load_sharded(
-                    archive, f"{index}_sum", meta["sum_sharded"]
-                )
-                sizes = np.diff(count_estimator.starts)
-                count_prediction = aggregate_shard_predictions(
-                    count_estimator.shard_predictions, sizes
-                )
-                sum_prediction = aggregate_shard_predictions(
-                    sum_estimator.shard_predictions, sizes
-                )
-                if count_prediction is not None and sum_prediction is not None:
-                    predicted = {"count": count_prediction, "sum": sum_prediction}
-            else:
-                count_estimator = deserialize_estimator(
-                    bytes(archive[f"{index}_count_blob"])
-                )
-                sum_estimator = deserialize_estimator(
-                    bytes(archive[f"{index}_sum_blob"])
-                )
-            entry = _ColumnSynopses(
-                statistics=statistics,
-                count_estimator=count_estimator,
-                sum_estimator=sum_estimator,
-                method=meta["method"],
-                budget_words=int(meta["budget_words"]),
-                builder_kwargs={},
-                predicted=predicted,
-                shards=int(meta.get("shards", 1)),
-            )
             key = (meta["table"], meta["column"])
+            try:
+                entry = _load_entry(verifying, index, meta)
+            except Exception:  # noqa: BLE001 — quarantine, never crash the load
+                engine.metrics.counter(
+                    "catalog_entries_quarantined_total"
+                ).inc()
+                substitute = _quarantine_substitute(verifying, index, meta)
+                if substitute is None:
+                    engine.metrics.counter("catalog_entries_skipped_total").inc()
+                    continue
+                engine._synopses[key] = substitute
+                engine._stale.add(key)
+                engine._dirty_shards.pop(key, None)
+                engine._quarantined.add(key)
+                restored += 1
+                continue
             engine._synopses[key] = entry
             engine._stale.discard(key)
             engine._dirty_shards.pop(key, None)
+            engine._quarantined.discard(key)
             dirty = meta.get("dirty_shards")
             if dirty is not None:
                 engine._stale.add(key)
                 engine._dirty_shards[key] = (
                     None if dirty == "all" else {int(shard) for shard in dirty}
                 )
-    return len(manifest["synopses"])
+            restored += 1
+    return restored
+
+
+def _load_entry(
+    archive: _VerifyingArchive, index: int, meta: dict
+) -> _ColumnSynopses:
+    """Decode and verify one catalog entry (raises on any damage)."""
+    statistics = _load_statistics(archive, index, meta)
+    predicted = None
+    if "count_sharded" in meta:
+        count_estimator = _load_sharded(archive, f"{index}_count", meta["count_sharded"])
+        sum_estimator = _load_sharded(archive, f"{index}_sum", meta["sum_sharded"])
+        sizes = np.diff(count_estimator.starts)
+        count_prediction = aggregate_shard_predictions(
+            count_estimator.shard_predictions, sizes
+        )
+        sum_prediction = aggregate_shard_predictions(
+            sum_estimator.shard_predictions, sizes
+        )
+        if count_prediction is not None and sum_prediction is not None:
+            predicted = {"count": count_prediction, "sum": sum_prediction}
+    else:
+        count_estimator = deserialize_estimator(bytes(archive[f"{index}_count_blob"]))
+        sum_estimator = deserialize_estimator(bytes(archive[f"{index}_sum_blob"]))
+    return _ColumnSynopses(
+        statistics=statistics,
+        count_estimator=count_estimator,
+        sum_estimator=sum_estimator,
+        method=meta["method"],
+        budget_words=int(meta["budget_words"]),
+        builder_kwargs={},
+        predicted=predicted,
+        shards=int(meta.get("shards", 1)),
+    )

@@ -1,0 +1,290 @@
+"""Fault-tolerant build-and-serve policies for the engine.
+
+The paper itself motivates graceful degradation: OPT-A's
+pseudo-polynomial DP (Theorems 1-2) can blow any time budget on heavy
+instances, while A0 (Theorem 10) and OPT-A-ROUNDED (Theorem 4) are
+cheap substitutes with bounded quality loss.  This module turns that
+observation into engine policy, the way AQUA-style systems and
+self-tuning synopsis managers formalise it:
+
+* :class:`~repro.internal.deadline.Deadline` (re-exported) — a
+  cooperative time budget polled inside the DP inner loops; expiry
+  raises :class:`~repro.errors.BuildTimeoutError`.
+* :class:`FallbackChain` — an ordered ladder of builder rungs (e.g.
+  ``sap1 -> a0 -> naive``) with per-rung retry-and-backoff; the engine
+  walks it on timeout or failure and records which rung served.
+* :class:`CircuitBreaker` — per-builder failure accounting; a builder
+  that keeps failing in ``refresh_stale`` is *opened* for a cool-down
+  and its entries keep serving stale instead of re-failing every
+  refresh.
+* :class:`DegradationPolicy` — the query-path serving ladder: fresh
+  synopsis -> stale synopsis -> fallback estimator -> exact scan, with
+  every answer tagged by the level that produced it.
+* :class:`~repro.internal.faults.FaultInjector` (re-exported) — the
+  deterministic chaos hook set the resilience tests drive.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import InvalidParameterError
+from repro.internal.deadline import (  # noqa: F401  (re-exported)
+    Deadline,
+    check_deadline,
+    current_deadline,
+    deadline_scope,
+)
+from repro.internal.faults import (  # noqa: F401  (re-exported)
+    FaultInjector,
+    FaultRule,
+    fault_point,
+    transform_bytes,
+)
+
+#: The serving ladder, best to worst.  Every :class:`QueryResult` is
+#: tagged with the level that produced it.
+DEGRADATION_LEVELS = ("fresh", "stale", "fallback", "exact")
+
+
+@dataclass(frozen=True)
+class FallbackStage:
+    """One rung of a fallback chain: a builder plus retry policy.
+
+    ``retries`` re-attempts the same rung on *failure* (faults are often
+    transient); timeouts skip straight to the next rung because a
+    deterministic DP that blew its budget once will blow it again.
+    ``backoff_seconds`` sleeps between attempts, doubling each retry.
+    """
+
+    method: str
+    retries: int = 0
+    backoff_seconds: float = 0.0
+    builder_kwargs: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise InvalidParameterError(f"retries must be >= 0, got {self.retries}")
+        if self.backoff_seconds < 0:
+            raise InvalidParameterError(
+                f"backoff_seconds must be >= 0, got {self.backoff_seconds}"
+            )
+
+
+class FallbackChain:
+    """An ordered ladder of builder rungs tried until one succeeds.
+
+    Parse one from CLI-style text with :meth:`parse`::
+
+        FallbackChain.parse("sap1 -> a0 -> naive")
+        FallbackChain.parse("sap1,a0,naive", retries=1, backoff_seconds=0.01)
+
+    Methods must exist in :data:`repro.core.builders.BUILDER_REGISTRY`
+    (validated eagerly so a typo fails at configuration time, not at
+    the third rung of a production incident).
+    """
+
+    def __init__(self, stages) -> None:
+        self.stages: list[FallbackStage] = [
+            stage if isinstance(stage, FallbackStage) else FallbackStage(str(stage))
+            for stage in stages
+        ]
+        if not self.stages:
+            raise InvalidParameterError("a FallbackChain needs at least one stage")
+        from repro.core.builders import BUILDER_REGISTRY
+
+        for stage in self.stages:
+            if stage.method != "auto" and stage.method not in BUILDER_REGISTRY:
+                raise InvalidParameterError(
+                    f"unknown builder {stage.method!r} in fallback chain; "
+                    f"available: {sorted(BUILDER_REGISTRY)} or 'auto'"
+                )
+
+    @classmethod
+    def parse(
+        cls, text: str, *, retries: int = 0, backoff_seconds: float = 0.0
+    ) -> "FallbackChain":
+        """Build a chain from ``"m1 -> m2 -> m3"`` or ``"m1,m2,m3"``."""
+        separators = "->" if "->" in text else ","
+        names = [name.strip() for name in text.split(separators) if name.strip()]
+        if not names:
+            raise InvalidParameterError(f"empty fallback chain spec {text!r}")
+        return cls(
+            FallbackStage(name, retries=retries, backoff_seconds=backoff_seconds)
+            for name in names
+        )
+
+    def methods(self) -> list[str]:
+        return [stage.method for stage in self.stages]
+
+    def __len__(self) -> int:
+        return len(self.stages)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging sugar
+        return f"FallbackChain({' -> '.join(self.methods())})"
+
+
+def as_fallback_chain(value) -> FallbackChain | None:
+    """Coerce ``None`` / str / iterable / chain into a chain (or None)."""
+    if value is None or isinstance(value, FallbackChain):
+        return value
+    if isinstance(value, str):
+        return FallbackChain.parse(value)
+    return FallbackChain(value)
+
+
+#: Circuit-breaker states (classic three-state machine).
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Failure accounting for one builder method.
+
+    *Closed* admits every attempt.  After ``failure_threshold``
+    consecutive failures the breaker *opens*: attempts are refused for
+    ``cooldown_seconds`` (entries keep serving stale).  The first probe
+    after the cool-down runs *half-open* — success closes the breaker,
+    failure re-opens it for another cool-down.
+    """
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 3,
+        cooldown_seconds: float = 60.0,
+        clock=None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise InvalidParameterError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown_seconds <= 0:
+            raise InvalidParameterError(
+                f"cooldown_seconds must be > 0, got {cooldown_seconds}"
+            )
+        self.failure_threshold = int(failure_threshold)
+        self.cooldown_seconds = float(cooldown_seconds)
+        self._clock = clock
+        self.consecutive_failures = 0
+        self.opened_at: float | None = None
+        self._half_open = False
+
+    def _now(self) -> float:
+        return time.perf_counter() if self._clock is None else self._clock.now()
+
+    @property
+    def state(self) -> str:
+        if self.opened_at is None:
+            return BREAKER_CLOSED
+        if self._half_open or self._now() - self.opened_at >= self.cooldown_seconds:
+            return BREAKER_HALF_OPEN
+        return BREAKER_OPEN
+
+    def allow(self) -> bool:
+        """May an attempt proceed right now?
+
+        Transitions open -> half-open when the cool-down has elapsed; in
+        half-open exactly the next attempt is admitted as a probe.
+        """
+        state = self.state
+        if state == BREAKER_CLOSED:
+            return True
+        if state == BREAKER_HALF_OPEN:
+            self._half_open = True
+            return True
+        return False
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        self.opened_at = None
+        self._half_open = False
+
+    def record_failure(self) -> bool:
+        """Count one failure; returns True when this failure opens the breaker."""
+        self.consecutive_failures += 1
+        was_open = self.opened_at is not None
+        if self._half_open:
+            # Failed probe: re-open for a fresh cool-down.
+            self.opened_at = self._now()
+            self._half_open = False
+            return False
+        if not was_open and self.consecutive_failures >= self.failure_threshold:
+            self.opened_at = self._now()
+            return True
+        return False
+
+    def snapshot(self) -> dict:
+        return {
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "failure_threshold": self.failure_threshold,
+            "cooldown_seconds": self.cooldown_seconds,
+            "opened_at": self.opened_at,
+        }
+
+
+@dataclass(frozen=True)
+class DegradationPolicy:
+    """Which rungs of the serving ladder a query may descend to.
+
+    ``execute`` / ``execute_batch`` resolve answers fresh synopsis ->
+    stale synopsis -> fallback estimator (uniform model over the
+    column's frozen summary statistics) -> exact scan, stopping at the
+    first admitted rung.  The default admits everything, so a query on
+    a registered column *never raises* — it degrades.  Disallowing all
+    rungs below ``fresh`` reproduces strict behaviour.
+    """
+
+    allow_stale: bool = True
+    allow_fallback: bool = True
+    allow_exact: bool = True
+
+    def floor(self) -> str:
+        if self.allow_exact:
+            return "exact"
+        if self.allow_fallback:
+            return "fallback"
+        if self.allow_stale:
+            return "stale"
+        return "fresh"
+
+
+#: Serve-anything policy (the documented production default).
+SERVE_ANYTHING = DegradationPolicy()
+
+#: Estimates only — degrade through stale and the fallback model but
+#: never pay a base-table scan.
+ESTIMATES_ONLY = DegradationPolicy(allow_exact=False)
+
+#: Strict freshness: any degradation raises instead of serving.
+STRICT = DegradationPolicy(
+    allow_stale=False, allow_fallback=False, allow_exact=False
+)
+
+#: Named presets accepted anywhere a policy is (CLI, execute paths).
+DEGRADATION_PRESETS = {
+    "serve_anything": SERVE_ANYTHING,
+    "estimates_only": ESTIMATES_ONLY,
+    "strict": STRICT,
+}
+
+
+def as_degradation_policy(value) -> DegradationPolicy | None:
+    """Coerce ``None`` / preset name / policy into a policy (or None)."""
+    if value is None or isinstance(value, DegradationPolicy):
+        return value
+    if isinstance(value, str):
+        policy = DEGRADATION_PRESETS.get(value.strip().lower().replace("-", "_"))
+        if policy is None:
+            raise InvalidParameterError(
+                f"unknown degradation policy {value!r}; "
+                f"available: {sorted(DEGRADATION_PRESETS)}"
+            )
+        return policy
+    raise InvalidParameterError(
+        f"degradation must be a DegradationPolicy, preset name, or None, "
+        f"got {type(value).__name__}"
+    )

@@ -39,6 +39,7 @@ from repro.core.builders import (
     split_budget_by_mass,
 )
 from repro.errors import InvalidParameterError
+from repro.internal.faults import fault_point
 from repro.queries.estimators import RangeSumEstimator
 
 
@@ -280,6 +281,7 @@ class ShardedSynopsis(RangeSumEstimator):
         totals = self.totals.copy()
         for shard in dirty:
             piece = data[self.shard_slice(shard)]
+            fault_point("shard_rebuild", method=self.method, shard=shard)
             start = time.perf_counter()
             estimators[shard] = build_by_name(
                 self.method, piece, int(self.budgets[shard]), **builder_kwargs
@@ -357,6 +359,7 @@ def build_sharded(
 
     def _build_one(shard: int):
         piece = data[starts[shard] : starts[shard + 1]]
+        fault_point("shard_build", method=method, shard=shard)
         begin = time.perf_counter()
         estimator = build_by_name(method, piece, int(budgets[shard]), **builder_kwargs)
         elapsed = time.perf_counter() - begin

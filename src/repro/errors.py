@@ -37,6 +37,40 @@ class BudgetExceededError(ReproError):
     """
 
 
+class BuildTimeoutError(ReproError):
+    """A cooperative build deadline expired inside a builder.
+
+    Raised by the DP inner loops (OPT-A, the SAP interval DP, the
+    rounded variants) when the ambient
+    :class:`repro.internal.deadline.Deadline` is exceeded, so a build
+    that would blow its time budget stops promptly instead of hanging.
+    A :class:`repro.engine.resilience.FallbackChain` catches this and
+    degrades to a cheaper builder.
+    """
+
+
+class BuildFailedError(ReproError):
+    """One or more synopsis builds failed after exhausting their options.
+
+    ``failures`` maps a human-readable key (``"table.column"`` for
+    catalog builds, ``"method"`` for chain rungs) to the underlying
+    exception, so callers can report a per-key error summary instead of
+    losing everything to the first failure.
+    """
+
+    def __init__(self, message: str, failures: dict | None = None) -> None:
+        super().__init__(message)
+        self.failures: dict = dict(failures or {})
+
+
+class FaultInjectedError(ReproError):
+    """A deterministic fault injected by the chaos-testing harness.
+
+    Only ever raised when a :class:`repro.internal.faults.FaultInjector`
+    is active; production code paths never construct it themselves.
+    """
+
+
 class SerializationError(ReproError):
     """A synopsis byte-stream is corrupt or has an unsupported version."""
 

@@ -65,6 +65,8 @@ def run_batch_benchmark(
     aggregates: tuple = ("count", "sum"),
     seed: int = 11,
     shards: int = 1,
+    fallback=None,
+    deadline_ms: float | None = None,
 ) -> BatchBenchmarkResult:
     """Time a scalar ``execute`` loop against one ``execute_batch`` call.
 
@@ -84,7 +86,13 @@ def run_batch_benchmark(
     engine = ApproximateQueryEngine()
     engine.register_table(Table("traffic", {"value": values}))
     engine.build_synopsis(
-        "traffic", "value", method=method, budget_words=budget_words, shards=shards
+        "traffic",
+        "value",
+        method=method,
+        budget_words=budget_words,
+        shards=shards,
+        fallback=fallback,
+        deadline_ms=deadline_ms,
     )
 
     workload = random_ranges(domain, query_count, seed=seed + 1)

@@ -80,6 +80,8 @@ def run_refresh_benchmark(
     method: str = "sap1",
     budget_words: int = 1024,
     seed: int = 17,
+    fallback=None,
+    deadline_ms: float | None = None,
 ) -> RefreshBenchmarkResult:
     """Time an incremental dirty-shard refresh against a full rebuild.
 
@@ -110,6 +112,8 @@ def run_refresh_benchmark(
             method=method,
             budget_words=budget_words,
             shards=shard_count,
+            fallback=fallback,
+            deadline_ms=deadline_ms,
         )
 
     entry = sharded._synopses[("traffic", "value")]
@@ -124,11 +128,11 @@ def run_refresh_benchmark(
     sharded.append_rows("traffic", {"value": appended})
 
     begin = time.perf_counter()
-    monolithic.refresh_stale()
+    monolithic.refresh_stale(fallback=fallback, deadline_ms=deadline_ms)
     monolithic_seconds = time.perf_counter() - begin
 
     begin = time.perf_counter()
-    sharded.refresh_stale()
+    sharded.refresh_stale(fallback=fallback, deadline_ms=deadline_ms)
     incremental_seconds = time.perf_counter() - begin
     shards_rebuilt = int(sharded.stats()["dirty_shards_rebuilt"])
 

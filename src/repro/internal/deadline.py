@@ -1,0 +1,103 @@
+"""Cooperative build deadlines.
+
+The paper's pseudo-polynomial DPs (OPT-A, Theorems 1-2) can blow any
+interactive time budget on heavy instances, and even the polynomial
+``O(n^2 B)`` interval DP gets expensive at large domains.  A
+:class:`Deadline` is a tiny clock-backed budget that those inner loops
+poll cooperatively: when the budget is spent, the build raises
+:class:`~repro.errors.BuildTimeoutError` instead of hanging, and the
+engine's fallback chain can degrade to a cheaper builder (A0, Theorem
+10, or OPT-A-ROUNDED, Theorem 4 — the paper's own cheap substitutes).
+
+The deadline travels *ambiently* in a thread-local rather than through
+every builder signature: callers wrap the build in
+:func:`deadline_scope` and the DP loops call :func:`check_deadline`.
+Builders that never look stay oblivious; results are bit-identical with
+or without an unexpired deadline because the checks only ever raise.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+from repro.errors import BuildTimeoutError, InvalidParameterError
+
+
+class Deadline:
+    """A point in time after which cooperative work must stop.
+
+    ``clock`` is any object with a ``now() -> float`` method (the
+    engine passes its own clock so tests can drive deadlines with
+    ``FakeClock``); the default reads ``time.perf_counter``.
+    """
+
+    __slots__ = ("seconds", "_clock", "_expires_at")
+
+    def __init__(self, seconds: float, clock=None) -> None:
+        seconds = float(seconds)
+        if not seconds > 0:
+            raise InvalidParameterError(
+                f"deadline must be a positive number of seconds, got {seconds}"
+            )
+        self.seconds = seconds
+        self._clock = clock
+        self._expires_at = self._now() + seconds
+
+    @classmethod
+    def from_ms(cls, milliseconds: float, clock=None) -> "Deadline":
+        """A deadline ``milliseconds`` from now (CLI-flavoured constructor)."""
+        return cls(float(milliseconds) / 1000.0, clock=clock)
+
+    def _now(self) -> float:
+        if self._clock is None:
+            return time.perf_counter()
+        return self._clock.now()
+
+    def remaining(self) -> float:
+        """Seconds left; negative once expired."""
+        return self._expires_at - self._now()
+
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+    def check(self, context: str = "") -> None:
+        """Raise :class:`BuildTimeoutError` if the budget is spent."""
+        if self.expired():
+            where = f" in {context}" if context else ""
+            raise BuildTimeoutError(
+                f"build deadline of {self.seconds:.6g}s exceeded{where}"
+            )
+
+
+_local = threading.local()
+
+
+def current_deadline() -> Deadline | None:
+    """The ambient deadline of this thread, if any."""
+    return getattr(_local, "deadline", None)
+
+
+@contextmanager
+def deadline_scope(deadline: Deadline | None):
+    """Install ``deadline`` as this thread's ambient deadline.
+
+    ``None`` is a no-op scope (convenient for call sites that take an
+    optional deadline).  Scopes nest; the previous deadline is restored
+    on exit, so a bounded build inside an unbounded caller never leaks
+    its budget outward.
+    """
+    previous = current_deadline()
+    _local.deadline = deadline if deadline is not None else previous
+    try:
+        yield deadline
+    finally:
+        _local.deadline = previous
+
+
+def check_deadline(context: str = "") -> None:
+    """Poll the ambient deadline; cheap no-op when none is installed."""
+    deadline = current_deadline()
+    if deadline is not None:
+        deadline.check(context)

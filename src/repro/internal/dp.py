@@ -19,6 +19,8 @@ from typing import Callable
 
 import numpy as np
 
+from repro.internal.deadline import check_deadline
+
 
 def interval_dp(
     n: int,
@@ -52,6 +54,7 @@ def interval_dp(
     merge = np.add if combine == "sum" else np.maximum
     cost = np.full((n, n), np.inf)
     for a in range(n):
+        check_deadline("interval DP cost precompute")
         row = np.asarray(cost_row(a), dtype=np.float64)
         if row.shape != (n - a,):
             raise ValueError(f"cost_row({a}) must have length {n - a}, got {row.shape}")
@@ -62,6 +65,7 @@ def interval_dp(
     best[:, 0] = 0.0 if combine == "sum" else -np.inf
     for k in range(1, max_buckets + 1):
         prev = best[k - 1]
+        check_deadline("interval DP layer fill")
         for i in range(1, n + 1):
             candidates = merge(prev[:i], cost[:i, i - 1])
             j = int(np.argmin(candidates))

@@ -1,0 +1,229 @@
+"""Fault-injected end-to-end scenarios (the ``chaos`` marker).
+
+Every test seeds its :class:`FaultInjector` from the ``CHAOS_SEED``
+environment variable (default 0) so CI can sweep seeds while any single
+run stays fully deterministic.  When ``CHAOS_ARTIFACT_DIR`` is set, each
+test appends a JSON artifact (metrics snapshot + injector event counts)
+for upload.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.engine import ApproximateQueryEngine, Table, load_catalog, save_catalog
+from repro.engine.engine import AggregateQuery
+from repro.engine.resilience import SERVE_ANYTHING, FaultInjector
+from repro.errors import BuildFailedError, FaultInjectedError, ReproError
+
+pytestmark = pytest.mark.chaos
+
+CHAOS_SEED = int(os.environ.get("CHAOS_SEED", "0"))
+
+
+def _injector(**kwargs) -> FaultInjector:
+    return FaultInjector(seed=CHAOS_SEED, **kwargs)
+
+
+def _export_artifact(name: str, engine: ApproximateQueryEngine, injector) -> None:
+    directory = os.environ.get("CHAOS_ARTIFACT_DIR")
+    if not directory:
+        return
+    Path(directory).mkdir(parents=True, exist_ok=True)
+    artifact = {
+        "seed": CHAOS_SEED,
+        "scenario": name,
+        "fault_events": injector.event_counts(),
+        "stats": engine.stats(),
+        "metrics": engine.metrics.snapshot(),
+    }
+    path = Path(directory) / f"{name}-seed{CHAOS_SEED}.json"
+    path.write_text(json.dumps(artifact, indent=2, default=str))
+
+
+def _engine(columns=2, rows=400) -> ApproximateQueryEngine:
+    rng = np.random.default_rng(CHAOS_SEED)
+    data = {
+        f"c{i}": rng.integers(0, 64, rows) for i in range(columns)
+    }
+    engine = ApproximateQueryEngine()
+    engine.register_table(Table("chaos", data))
+    return engine
+
+
+class TestBuildUnderFaults:
+    def test_build_all_completes_via_fallback_chain(self):
+        # Acceptance: the primary builder fails every time, yet the
+        # whole catalog comes up through the chain.
+        engine = _engine(columns=3)
+        injector = _injector()
+        injector.fail("builder", method="sap1")
+        with injector:
+            engine.build_all_synopses(
+                method="sap1", total_budget_words=180, fallback="a0,naive"
+            )
+        assert len(engine._synopses) == 3
+        assert all(e.method == "a0" for e in engine._synopses.values())
+        counters = engine.metrics.snapshot()["counters"]
+        assert counters["fallback_builds_total"]['{method="a0"}'] == 3
+        assert counters["build_failures_total"]['{method="sap1"}'] == 3
+        # Every fallback left a span trail.
+        build_spans = engine.tracer.spans("build")
+        assert all(
+            span.attributes.get("rung") == 1 for span in build_spans
+        )
+        _export_artifact("build-all-fallback", engine, injector)
+
+    def test_intermittent_faults_retry_to_completion(self):
+        engine = _engine(columns=2)
+        engine._sleep = lambda seconds: None  # don't really back off in CI
+        injector = _injector()
+        injector.fail("builder", probability=0.5)
+        from repro.engine.resilience import FallbackChain, FallbackStage
+
+        chain = FallbackChain(
+            [FallbackStage("a0", retries=4), FallbackStage("naive", retries=4)]
+        )
+        with injector:
+            try:
+                engine.build_all_synopses(
+                    method="sap1", total_budget_words=120, fallback=chain
+                )
+            except BuildFailedError:
+                # Statistically possible at hostile seeds; the invariant
+                # is isolation, not success.
+                pass
+        # Whatever failed, whatever succeeded is installed and usable.
+        for key in engine._synopses:
+            engine.execute(AggregateQuery("chaos", key[1], "count", 0, 63))
+        _export_artifact("build-intermittent", engine, injector)
+
+    def test_slow_builder_hits_deadline(self):
+        engine = _engine(columns=1)
+        injector = _injector()
+        injector.slow("builder", seconds=5.0, method="sap1")
+        with injector:
+            engine.build_synopsis(
+                "chaos",
+                "c0",
+                method="sap1",
+                budget_words=40,
+                deadline_ms=100,
+                fallback="naive",
+            )
+        assert engine._synopses[("chaos", "c0")].method == "naive"
+        counters = engine.metrics.snapshot()["counters"]
+        assert counters["build_timeouts_total"]['{method="sap1"}'] == 1
+        assert counters["fallback_builds_total"]['{method="naive"}'] == 1
+        _export_artifact("build-slow-deadline", engine, injector)
+
+
+class TestServeUnderFaults:
+    def test_execute_never_raises_for_registered_columns(self):
+        # Acceptance: under serve_anything, a random workload against a
+        # half-broken catalog never raises.
+        engine = _engine(columns=3)
+        injector = _injector()
+        injector.fail("builder", method="sap1")
+        with injector:
+            try:
+                engine.build_all_synopses(method="sap1", total_budget_words=180)
+            except BuildFailedError:
+                pass  # no chain this time: catalog is simply missing
+        engine.append_rows("chaos", {"c0": [1], "c1": [2], "c2": [3]})
+        rng = np.random.default_rng(CHAOS_SEED)
+        levels = set()
+        for _ in range(200):
+            column = f"c{rng.integers(0, 3)}"
+            low, high = sorted(rng.integers(0, 64, 2).tolist())
+            aggregate = ("count", "sum", "avg")[int(rng.integers(0, 3))]
+            result = engine.execute(
+                AggregateQuery("chaos", column, aggregate, low, high),
+                degradation=SERVE_ANYTHING,
+            )
+            levels.add(result.degradation)
+            assert np.isfinite(result.estimate)
+        assert "fallback" in levels  # the broken columns degraded
+        counters = engine.metrics.snapshot()["counters"]
+        degraded = counters.get("degraded_serves_total", {})
+        assert sum(degraded.values()) > 0
+        # Span trail records each degradation level that served.
+        span_levels = {
+            span.attributes.get("degradation")
+            for span in engine.tracer.spans("query")
+        }
+        assert span_levels == levels
+        _export_artifact("serve-never-raises", engine, injector)
+
+    def test_batch_workload_under_faults(self):
+        engine = _engine(columns=2)
+        injector = _injector()
+        injector.fail("builder", method="sap1", times=1)
+        with injector:
+            try:
+                engine.build_all_synopses(method="sap1", total_budget_words=120)
+            except BuildFailedError:
+                pass
+        rng = np.random.default_rng(CHAOS_SEED + 1)
+        queries = []
+        for _ in range(50):
+            column = f"c{rng.integers(0, 2)}"
+            low, high = sorted(rng.integers(0, 64, 2).tolist())
+            queries.append(AggregateQuery("chaos", column, "count", low, high))
+        results = engine.execute_batch(queries, degradation=SERVE_ANYTHING)
+        assert len(results) == len(queries)
+        assert {r.degradation for r in results} == {"fresh", "fallback"}
+        _export_artifact("serve-batch", engine, injector)
+
+
+class TestRefreshUnderFaults:
+    def test_shard_rebuild_fault_keeps_serving_stale(self):
+        engine = _engine(columns=1, rows=2000)
+        engine.build_synopsis(
+            "chaos", "c0", method="a0", budget_words=64, shards=8
+        )
+        engine.append_rows("chaos", {"c0": [10, 11, 12]})
+        injector = _injector()
+        injector.fail("shard_rebuild")
+        with injector:
+            with pytest.raises(FaultInjectedError):
+                engine.refresh_stale()
+        # Entry survived the failed refresh and keeps serving stale.
+        key = ("chaos", "c0")
+        assert key in engine._synopses
+        assert key in engine._stale
+        result = engine.execute(AggregateQuery("chaos", "c0", "count", 0, 63))
+        assert result.degradation == "stale"
+        # Fault gone: the next refresh completes and freshens the entry.
+        assert engine.refresh_stale() == 1
+        assert key not in engine._stale
+        _export_artifact("refresh-shard-fault", engine, injector)
+
+
+class TestPersistenceUnderFaults:
+    def test_catalog_save_load_cycle_under_faults(self, tmp_path):
+        engine = _engine(columns=2)
+        engine.build_all_synopses(method="a0", total_budget_words=120)
+        path = tmp_path / "catalog.npz"
+        save_catalog(engine, path)
+
+        injector = _injector()
+        injector.fail("persistence_write")
+        with injector:
+            with pytest.raises(FaultInjectedError):
+                save_catalog(engine, path)
+        # The earlier catalog is intact.
+        restored = ApproximateQueryEngine()
+        assert load_catalog(restored, path) == 2
+
+        corruptor = _injector()
+        corruptor.corrupt("persistence_read")
+        with corruptor:
+            try:
+                load_catalog(ApproximateQueryEngine(), path)
+            except ReproError:
+                pass  # normalised error is the only acceptable failure
+        _export_artifact("persistence-cycle", engine, injector)

@@ -1,0 +1,277 @@
+"""Catalog durability: atomic saves, checksums, quarantine, fuzzing."""
+
+import io
+import json
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.engine import ApproximateQueryEngine, Table, load_catalog, save_catalog
+from repro.engine.engine import AggregateQuery
+from repro.engine.resilience import FaultInjector
+from repro.errors import FaultInjectedError, ReproError, SerializationError
+
+
+def _engine_with_catalog() -> ApproximateQueryEngine:
+    engine = ApproximateQueryEngine()
+    rng = np.random.default_rng(7)
+    engine.register_table(
+        Table(
+            "sales",
+            {
+                "price": rng.integers(0, 64, 400),
+                "qty": rng.integers(0, 32, 400),
+            },
+        )
+    )
+    engine.build_synopsis("sales", "price", method="sap1", budget_words=60)
+    # One sharded entry so the per-shard layout is fuzzed too.
+    engine.build_synopsis("sales", "qty", method="a0", budget_words=48, shards=4)
+    return engine
+
+
+def _fresh_engine() -> ApproximateQueryEngine:
+    return ApproximateQueryEngine()
+
+
+def _rewrite_npz(path, mutate_arrays=None, mutate_manifest=None) -> None:
+    """Round-trip the catalog npz through a mutation (test-only tamper tool)."""
+    with np.load(path, allow_pickle=False) as archive:
+        arrays = {name: archive[name].copy() for name in archive.files}
+    manifest = json.loads(bytes(arrays.pop("manifest")).decode("utf-8"))
+    if mutate_arrays:
+        mutate_arrays(arrays)
+    if mutate_manifest:
+        mutate_manifest(manifest)
+    arrays["manifest"] = np.frombuffer(
+        json.dumps(manifest).encode("utf-8"), dtype=np.uint8
+    )
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, **arrays)
+    path.write_bytes(buffer.getvalue())
+
+
+def _downgrade_to_v2(path) -> None:
+    """Rewrite a v3 catalog as the checksum-less v2 layout."""
+
+    def strip(manifest):
+        manifest["version"] = 2
+        manifest.pop("checksums", None)
+
+    _rewrite_npz(path, mutate_manifest=strip)
+
+
+def _flip_bit(arrays, name, bit=0) -> None:
+    original = arrays[name]
+    raw = bytearray(np.ascontiguousarray(original).tobytes())
+    raw[len(raw) // 2] ^= 1 << bit
+    arrays[name] = np.frombuffer(bytes(raw), dtype=original.dtype).reshape(
+        original.shape
+    )
+
+
+class TestRoundTrip:
+    def test_save_load_round_trip(self, tmp_path):
+        engine = _engine_with_catalog()
+        path = tmp_path / "catalog.npz"
+        assert save_catalog(engine, path) == 2
+        restored = _fresh_engine()
+        assert load_catalog(restored, path) == 2
+        assert restored.quarantined_synopses() == []
+        query = AggregateQuery("sales", "price", "count", 0, 31)
+        assert restored.execute(query).estimate == pytest.approx(
+            engine.execute(query).estimate
+        )
+
+    def test_v3_manifest_has_checksums(self, tmp_path):
+        engine = _engine_with_catalog()
+        path = tmp_path / "catalog.npz"
+        save_catalog(engine, path)
+        with np.load(path, allow_pickle=False) as archive:
+            manifest = json.loads(bytes(archive["manifest"]).decode("utf-8"))
+            data_names = [n for n in archive.files if n != "manifest"]
+            blob = np.ascontiguousarray(archive["0_count_blob"])
+        assert manifest["version"] == 3
+        assert set(manifest["checksums"]) == set(data_names)
+        assert manifest["checksums"]["0_count_blob"] == (
+            zlib.crc32(blob.tobytes()) & 0xFFFFFFFF
+        )
+
+
+class TestAtomicSave:
+    def test_injected_write_failure_preserves_previous_catalog(self, tmp_path):
+        engine = _engine_with_catalog()
+        path = tmp_path / "catalog.npz"
+        save_catalog(engine, path)
+        original = path.read_bytes()
+
+        injector = FaultInjector(seed=0)
+        injector.fail("persistence_write")
+        with injector:
+            with pytest.raises(FaultInjectedError):
+                save_catalog(engine, path)
+        # Destination untouched, no orphaned temp files.
+        assert path.read_bytes() == original
+        assert [p.name for p in tmp_path.iterdir()] == ["catalog.npz"]
+        restored = _fresh_engine()
+        assert load_catalog(restored, path) == 2
+
+    def test_first_save_failure_leaves_nothing(self, tmp_path):
+        engine = _engine_with_catalog()
+        path = tmp_path / "catalog.npz"
+        injector = FaultInjector(seed=0)
+        injector.fail("persistence_write")
+        with injector:
+            with pytest.raises(FaultInjectedError):
+                save_catalog(engine, path)
+        assert list(tmp_path.iterdir()) == []
+
+    def test_corrupting_write_fault_never_escapes_load(self, tmp_path):
+        engine = _engine_with_catalog()
+        path = tmp_path / "catalog.npz"
+        injector = FaultInjector(seed=3)
+        injector.corrupt("persistence_write")
+        with injector:
+            save_catalog(engine, path)
+        try:
+            load_catalog(_fresh_engine(), path)
+        except ReproError:
+            pass  # SerializationError is the only acceptable failure
+
+    def test_corrupting_read_fault_never_escapes_load(self, tmp_path):
+        engine = _engine_with_catalog()
+        path = tmp_path / "catalog.npz"
+        save_catalog(engine, path)
+        injector = FaultInjector(seed=4)
+        injector.corrupt("persistence_read")
+        with injector:
+            try:
+                load_catalog(_fresh_engine(), path)
+            except ReproError:
+                pass
+
+
+class TestQuarantine:
+    def test_corrupt_blob_is_quarantined_and_still_serves(self, tmp_path):
+        engine = _engine_with_catalog()
+        path = tmp_path / "catalog.npz"
+        save_catalog(engine, path)
+        # Flip one bit in the monolithic count blob, keeping the
+        # manifest's original checksums.
+        _rewrite_npz(path, mutate_arrays=lambda a: _flip_bit(a, "0_count_blob"))
+
+        restored = _fresh_engine()
+        assert load_catalog(restored, path) == 2
+        assert restored.quarantined_synopses() == [("sales", "price")]
+        assert ("sales", "price") in restored._stale
+        # The substitute still answers.
+        result = restored.execute(
+            AggregateQuery("sales", "price", "count", 0, 63)
+        )
+        assert result.estimate == pytest.approx(400.0)
+        assert result.degradation == "stale"
+        counters = restored.metrics.snapshot()["counters"]
+        assert counters["catalog_entries_quarantined_total"][""] == 1
+        assert "catalog_entries_skipped_total" not in counters
+        snapshot = restored.observability_snapshot()
+        assert snapshot["quarantined"] == ["sales.price"]
+        # The untouched sharded entry loaded fresh.
+        assert ("sales", "qty") not in restored._stale
+
+    def test_rebuild_clears_quarantine(self, tmp_path):
+        engine = _engine_with_catalog()
+        path = tmp_path / "catalog.npz"
+        save_catalog(engine, path)
+        _rewrite_npz(path, mutate_arrays=lambda a: _flip_bit(a, "0_count_blob"))
+        restored = _fresh_engine()
+        restored.register_table(
+            Table("sales", {"price": engine.table("sales").column("price").copy()})
+        )
+        load_catalog(restored, path)
+        assert restored.quarantined_synopses() == [("sales", "price")]
+        restored.refresh_stale()
+        assert restored.quarantined_synopses() == []
+        assert ("sales", "price") not in restored._stale
+
+    def test_corrupt_statistics_skip_the_entry(self, tmp_path):
+        engine = _engine_with_catalog()
+        path = tmp_path / "catalog.npz"
+        save_catalog(engine, path)
+        _rewrite_npz(path, mutate_arrays=lambda a: _flip_bit(a, "0_count_freq"))
+        restored = _fresh_engine()
+        assert load_catalog(restored, path) == 1  # only the sharded entry
+        assert ("sales", "price") not in restored._synopses
+        assert ("sales", "qty") in restored._synopses
+        counters = restored.metrics.snapshot()["counters"]
+        assert counters["catalog_entries_quarantined_total"][""] == 1
+        assert counters["catalog_entries_skipped_total"][""] == 1
+
+    def test_corrupt_shard_blob_quarantines_sharded_entry(self, tmp_path):
+        engine = _engine_with_catalog()
+        path = tmp_path / "catalog.npz"
+        save_catalog(engine, path)
+        _rewrite_npz(path, mutate_arrays=lambda a: _flip_bit(a, "1_count_shard0"))
+        restored = _fresh_engine()
+        assert load_catalog(restored, path) == 2
+        assert restored.quarantined_synopses() == [("sales", "qty")]
+        result = restored.execute(AggregateQuery("sales", "qty", "count", 0, 31))
+        assert result.estimate == pytest.approx(400.0)
+
+
+class TestFuzz:
+    @pytest.mark.parametrize("keep", [0.1, 0.4, 0.7, 0.95, 0.999])
+    def test_truncated_file_never_raises_raw_errors(self, tmp_path, keep):
+        engine = _engine_with_catalog()
+        path = tmp_path / "catalog.npz"
+        save_catalog(engine, path)
+        payload = path.read_bytes()
+        path.write_bytes(payload[: int(len(payload) * keep)])
+        try:
+            load_catalog(_fresh_engine(), path)
+        except ReproError:
+            pass
+
+    def test_empty_file_raises_serialization_error(self, tmp_path):
+        path = tmp_path / "catalog.npz"
+        path.write_bytes(b"")
+        with pytest.raises(SerializationError):
+            load_catalog(_fresh_engine(), path)
+
+    def test_missing_file_raises_serialization_error(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_catalog(_fresh_engine(), tmp_path / "absent.npz")
+
+    @pytest.mark.parametrize("version", [3, 2])
+    def test_bit_flip_fuzz(self, tmp_path, version):
+        engine = _engine_with_catalog()
+        path = tmp_path / "catalog.npz"
+        save_catalog(engine, path)
+        if version == 2:
+            _downgrade_to_v2(path)
+        pristine = path.read_bytes()
+        rng = np.random.default_rng(version)
+        for _ in range(20):
+            mutated = bytearray(pristine)
+            position = int(rng.integers(0, len(mutated)))
+            mutated[position] ^= 1 << int(rng.integers(0, 8))
+            path.write_bytes(bytes(mutated))
+            restored = _fresh_engine()
+            try:
+                load_catalog(restored, path)
+            except ReproError:
+                continue  # normalised failure is fine
+            # A load that "succeeds" must leave a usable engine.
+            for key in restored._synopses:
+                restored.execute(
+                    AggregateQuery(key[0], key[1], "count", None, None)
+                )
+
+    def test_v2_catalog_loads_without_checksums(self, tmp_path):
+        engine = _engine_with_catalog()
+        path = tmp_path / "catalog.npz"
+        save_catalog(engine, path)
+        _downgrade_to_v2(path)
+        restored = _fresh_engine()
+        assert load_catalog(restored, path) == 2
+        assert restored.quarantined_synopses() == []

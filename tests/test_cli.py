@@ -200,3 +200,58 @@ class TestReport:
         assert main(["report", "--output", str(target)]) == 0
         text = target.read_text()
         assert "# Reproduction report" in text and "Claim C4" in text
+
+
+class TestResilienceFlags:
+    @pytest.fixture
+    def heavy_csv(self, tmp_path):
+        # ~260 distinct values with small counts: OPT-A's DP takes tens
+        # of seconds unbounded, so a small deadline reliably trips.
+        path = tmp_path / "heavy.csv"
+        rng = np.random.default_rng(0)
+        values = np.repeat(np.arange(300), rng.integers(0, 8, 300))
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["price"])
+            for value in values:
+                writer.writerow([int(value)])
+        return path
+
+    def test_deadline_exceeded_exits_3(self, heavy_csv, capsys):
+        assert main([
+            "estimate", "--csv", str(heavy_csv), "--column", "price",
+            "--method", "opt-a", "--budget", "24", "--deadline-ms", "150",
+            "--query", "SELECT COUNT(*) FROM t WHERE price BETWEEN 10 AND 200",
+            "--no-exact",
+        ]) == 3
+        assert "build deadline exceeded" in capsys.readouterr().err
+
+    def test_fallback_chain_serves_and_prints_level(self, heavy_csv, capsys):
+        assert main([
+            "estimate", "--csv", str(heavy_csv), "--column", "price",
+            "--method", "opt-a", "--budget", "24", "--deadline-ms", "150",
+            "--fallback-chain", "a0,naive",
+            "--query", "SELECT COUNT(*) FROM t WHERE price BETWEEN 10 AND 200",
+            "--no-exact",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "synopsis: A0" in out
+        assert "served:   fresh" in out
+
+    def test_exhausted_chain_exits_4(self, heavy_csv, capsys):
+        assert main([
+            "estimate", "--csv", str(heavy_csv), "--column", "price",
+            "--method", "opt-a", "--budget", "24", "--deadline-ms", "5",
+            "--fallback-chain", "a0",
+            "--query", "SELECT COUNT(*) FROM t WHERE price BETWEEN 10 AND 200",
+            "--no-exact",
+        ]) == 4
+        assert "build failed" in capsys.readouterr().err
+
+    def test_unknown_chain_method_fails_cleanly(self, sales_csv, capsys):
+        assert main([
+            "estimate", "--csv", str(sales_csv), "--column", "price",
+            "--fallback-chain", "nonsense",
+            "--query", "SELECT COUNT(*) FROM t WHERE price BETWEEN 10 AND 30",
+        ]) == 1
+        assert "unknown builder" in capsys.readouterr().err
