@@ -35,11 +35,17 @@ def a0_objective_rows(algebra: PrefixAlgebra, a: int) -> np.ndarray:
     return algebra.intra_sse(a, bs) + (n - 1 - bs) * s2 + a * p2
 
 
-def build_a0(data, n_buckets: int, rounding: str = "per_piece") -> AverageHistogram:
-    """Build the A0 heuristic histogram with at most ``n_buckets`` buckets."""
+def build_a0(
+    data, n_buckets: int, rounding: str = "per_piece", *, pool=None
+) -> AverageHistogram:
+    """Build the A0 heuristic histogram with at most ``n_buckets`` buckets.
+
+    ``pool`` fans the DP cost-row precompute out (threads only; see
+    :func:`repro.internal.parallel.map_rows`) — bit-identical results.
+    """
     data = as_frequency_vector(data)
     n = data.size
     n_buckets = check_bucket_count(n_buckets, n)
     algebra = PrefixAlgebra(data)
-    lefts, _ = interval_dp(n, n_buckets, lambda a: a0_objective_rows(algebra, a))
+    lefts, _ = interval_dp(n, n_buckets, lambda a: a0_objective_rows(algebra, a), pool=pool)
     return AverageHistogram.from_boundaries(data, lefts, rounding=rounding, label="A0")

@@ -35,6 +35,7 @@ approximation guarantee).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 
 import numpy as np
 
@@ -42,7 +43,8 @@ from repro.core.a0 import build_a0
 from repro.core.histogram import AverageHistogram
 from repro.errors import BudgetExceededError, InvalidDataError
 from repro.internal.deadline import check_deadline
-from repro.internal.prefix import PrefixAlgebra
+from repro.internal.parallel import map_rows
+from repro.internal.prefix import PrefixAlgebra, round_half_up
 from repro.internal.validation import as_frequency_vector, check_bucket_count
 from repro.queries import evaluation
 
@@ -78,7 +80,10 @@ class OptAResult:
 
 
 def _require_integral(data: np.ndarray) -> np.ndarray:
-    if not np.allclose(data, np.round(data), atol=1e-9):
+    # rtol must be 0: allclose's default relative term scales with the
+    # frequency magnitude, so large half-integers (e.g. 1000000.5) would
+    # silently pass the check and be rounded instead of rejected.
+    if not np.allclose(data, np.round(data), rtol=0.0, atol=1e-9):
         raise InvalidDataError(
             "OPT-A's pseudo-polynomial DP requires integral frequencies "
             "(the paper's model); round the data or use build_opt_a_rounded"
@@ -97,7 +102,46 @@ class _BucketTerms:
     intra: np.ndarray  # rounded intra-bucket SSE
 
 
-def _precompute_terms(algebra: PrefixAlgebra) -> _BucketTerms:
+def _row_terms(algebra: PrefixAlgebra, a: int):
+    """One row of the precompute (module-level so process pools can pickle it)."""
+    return algebra.rounded_bucket_terms_row(a)
+
+
+def _precompute_terms(algebra: PrefixAlgebra, pool=None) -> _BucketTerms:
+    """Rounded statistics of every candidate bucket via the row kernel.
+
+    One :meth:`~repro.internal.prefix.PrefixAlgebra.rounded_bucket_terms_row`
+    call per row start ``a`` — O(n) vectorised kernel dispatches instead
+    of the n(n+1)/2 scalar calls of the old precompute.  ``pool`` fans
+    the rows out (threads or processes, see
+    :func:`repro.internal.parallel.map_rows`); results are bit-identical
+    to the serial and scalar paths on the integral data the DP requires.
+    """
+    n = algebra.n
+    shape = (n, n)
+    s1 = np.zeros(shape)
+    s2 = np.zeros(shape)
+    p1 = np.zeros(shape)
+    p2 = np.zeros(shape)
+    intra = np.zeros(shape)
+    rows = map_rows(
+        partial(_row_terms, algebra),
+        range(n),
+        pool=pool,
+        context="OPT-A bucket-term precompute",
+    )
+    for a, (row_s1, row_s2, row_p1, row_p2, row_intra) in enumerate(rows):
+        s1[a, a:] = row_s1
+        s2[a, a:] = row_s2
+        p1[a, a:] = row_p1
+        p2[a, a:] = row_p2
+        intra[a, a:] = row_intra
+    return _BucketTerms(s1=s1, s2=s2, p1=p1, p2=p2, intra=intra)
+
+
+def _precompute_terms_scalar(algebra: PrefixAlgebra, pool=None) -> _BucketTerms:
+    """Per-bucket scalar precompute; the differential-test reference."""
+    del pool  # accepted for signature compatibility; always serial
     n = algebra.n
     shape = (n, n)
     s1 = np.zeros(shape)
@@ -153,6 +197,7 @@ def opt_a_search(
     *,
     max_states: int = DEFAULT_MAX_STATES,
     upper_bound: float | None = None,
+    pool=None,
 ) -> OptAResult:
     """Run the improved OPT-A dynamic program (Theorem 2) and backtrack.
 
@@ -171,6 +216,11 @@ def opt_a_search(
         whose already-realised error exceeds it.  Defaults to the true
         SSE of the A0 heuristic with the same budget (cheap to compute
         and usually tight).
+    pool:
+        Optional parallelism for the bucket-term precompute: ``None``
+        (serial), an int worker count, or an executor (see
+        :func:`repro.internal.parallel.map_rows`).  The result is
+        bit-identical in every mode.
 
     Returns
     -------
@@ -180,7 +230,7 @@ def opt_a_search(
     n = data.size
     n_buckets = check_bucket_count(n_buckets, n)
     algebra = PrefixAlgebra(data)
-    terms = _precompute_terms(algebra)
+    terms = _precompute_terms(algebra, pool=pool)
 
     if upper_bound is None:
         heuristic = build_a0(data, n_buckets, rounding="per_piece")
@@ -202,7 +252,10 @@ def opt_a_search(
             pruned += 1
             continue
         layers[1][i] = _StateBlock(
-            lam=np.asarray([round(terms.s1[a, b])], dtype=np.int64),
+            # round_half_up, not builtin round(): the answering path
+            # standardises on half-up for cross-platform determinism and
+            # banker's rounding would key .5 Lambdas differently.
+            lam=np.asarray([int(round_half_up(terms.s1[a, b]))], dtype=np.int64),
             f=np.asarray([f], dtype=np.float64),
             sum_s2=np.asarray([terms.s2[a, b]], dtype=np.float64),
             parent_j=np.asarray([0], dtype=np.int32),
@@ -224,7 +277,7 @@ def opt_a_search(
                 a, b = j, i - 1
                 add_const = terms.intra[a, b] + j * terms.p2[a, b] + (n - i) * terms.s2[a, b]
                 new_f = block.f + add_const + 2.0 * block.lam * terms.p1[a, b]
-                new_lam = block.lam + np.int64(round(terms.s1[a, b]))
+                new_lam = block.lam + np.int64(round_half_up(terms.s1[a, b]))
                 new_s2 = block.sum_s2 + terms.s2[a, b]
                 realised = new_f - (n - i) * new_s2
                 ok = realised <= upper_bound
@@ -301,10 +354,11 @@ def build_opt_a(
     *,
     max_states: int = DEFAULT_MAX_STATES,
     upper_bound: float | None = None,
+    pool=None,
 ) -> AverageHistogram:
     """Build the exact range-optimal OPT-A histogram (Theorems 1-2)."""
     return opt_a_search(
-        data, n_buckets, max_states=max_states, upper_bound=upper_bound
+        data, n_buckets, max_states=max_states, upper_bound=upper_bound, pool=pool
     ).histogram
 
 
@@ -313,6 +367,7 @@ def build_opt_a_warmup(
     n_buckets: int,
     *,
     max_states: int = 500_000,
+    pool=None,
 ) -> OptAResult:
     """The warm-up DP of Section 2.1.1 over states ``(i, k, Lambda_2, Lambda)``.
 
@@ -324,7 +379,7 @@ def build_opt_a_warmup(
     n = data.size
     n_buckets = check_bucket_count(n_buckets, n)
     algebra = PrefixAlgebra(data)
-    terms = _precompute_terms(algebra)
+    terms = _precompute_terms(algebra, pool=pool)
 
     # States at (k, i): dict mapping (lam, lam2) -> (E, parent_j, parent_key).
     layers: list[dict[int, dict[tuple[int, int], tuple[float, int, tuple]]]] = [
@@ -333,7 +388,7 @@ def build_opt_a_warmup(
     state_count = 0
     for i in range(1, n + 1):
         a, b = 0, i - 1
-        key = (round(terms.s1[a, b]), round(terms.s2[a, b]))
+        key = (int(round_half_up(terms.s1[a, b])), int(round_half_up(terms.s2[a, b])))
         layers[1][i] = {key: (float(terms.intra[a, b]), 0, None)}
         state_count += 1
 
@@ -350,7 +405,10 @@ def build_opt_a_warmup(
                 add_const = terms.intra[a, b] + j * terms.p2[a, b]
                 for (lam, lam2), (e_val, _, _) in prev_cell.items():
                     new_e = e_val + add_const + length * lam2 + 2.0 * lam * terms.p1[a, b]
-                    new_key = (lam + round(terms.s1[a, b]), lam2 + round(terms.s2[a, b]))
+                    new_key = (
+                        lam + int(round_half_up(terms.s1[a, b])),
+                        lam2 + int(round_half_up(terms.s2[a, b])),
+                    )
                     old = cell.get(new_key)
                     if old is None or new_e < old[0]:
                         cell[new_key] = (new_e, j, (lam, lam2))

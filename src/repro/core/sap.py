@@ -63,7 +63,7 @@ def sap_histogram_from_boundaries(data, lefts, order: int) -> SapHistogram:
     )
 
 
-def _build(data, n_buckets: int, order: int) -> SapHistogram:
+def _build(data, n_buckets: int, order: int, pool=None) -> SapHistogram:
     data = as_frequency_vector(data)
     n = data.size
     n_buckets = check_bucket_count(n_buckets, n)
@@ -82,16 +82,16 @@ def _build(data, n_buckets: int, order: int) -> SapHistogram:
             ssr_prefix = algebra.sap1_prefix_ssr(a, bs)
             return algebra.intra_sse(a, bs) + (n - 1 - bs) * ssr_suffix + a * ssr_prefix
 
-    lefts, _ = interval_dp(n, n_buckets, cost_row)
+    lefts, _ = interval_dp(n, n_buckets, cost_row, pool=pool)
     return sap_histogram_from_boundaries(data, lefts, order)
 
 
-def build_sap0(data, n_buckets: int) -> SapHistogram:
+def build_sap0(data, n_buckets: int, *, pool=None) -> SapHistogram:
     """Range-optimal SAP0 histogram (Theorem 6); 3B words of storage."""
-    return _build(data, n_buckets, order=0)
+    return _build(data, n_buckets, order=0, pool=pool)
 
 
-def build_sap1(data, n_buckets: int) -> SapHistogram:
+def build_sap1(data, n_buckets: int, *, pool=None) -> SapHistogram:
     """Range-optimal SAP1 histogram (Theorem 8); 5B words of storage.
 
     SAP1's answer class strictly contains OPT-A's (set the suffix/prefix
@@ -99,4 +99,4 @@ def build_sap1(data, n_buckets: int) -> SapHistogram:
     rounding), so for equal ``n_buckets`` its SSE is never worse than
     un-rounded OPT-A's — at 2.5x the space per bucket.
     """
-    return _build(data, n_buckets, order=1)
+    return _build(data, n_buckets, order=1, pool=pool)

@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.core.builders import (
     BUILDER_REGISTRY,
+    POOL_AWARE_BUILDERS,
     build_by_name,
     predict_sse_per_query,
     split_budget_by_mass,
@@ -41,6 +42,49 @@ from repro.core.builders import (
 from repro.errors import InvalidParameterError
 from repro.internal.faults import fault_point
 from repro.queries.estimators import RangeSumEstimator
+
+
+class _kernel_pool:
+    """Context manager yielding builder kwargs with a shared kernel pool.
+
+    When ``method`` is pool-aware and ``kernel_workers >= 2``, one
+    ``ThreadPoolExecutor`` is shared by every shard's row precompute
+    (see :func:`repro.internal.parallel.map_rows`) so concurrent shard
+    rebuilds overlap kernel work without multiplying thread counts.
+    Otherwise the kwargs pass through untouched.
+    """
+
+    def __init__(self, method: str, kernel_workers, builder_kwargs) -> None:
+        if kernel_workers is not None and (
+            not isinstance(kernel_workers, int)
+            or isinstance(kernel_workers, bool)
+            or kernel_workers < 0
+        ):
+            raise InvalidParameterError(
+                f"kernel_workers must be a non-negative int, got {kernel_workers!r}"
+            )
+        self.method = method
+        self.kernel_workers = kernel_workers
+        self.builder_kwargs = builder_kwargs
+        self.executor = None
+
+    def __enter__(self):
+        if (
+            self.kernel_workers is not None
+            and self.kernel_workers >= 2
+            and self.method in POOL_AWARE_BUILDERS
+            and "pool" not in self.builder_kwargs
+        ):
+            from concurrent.futures import ThreadPoolExecutor
+
+            self.executor = ThreadPoolExecutor(max_workers=self.kernel_workers)
+            return {**self.builder_kwargs, "pool": self.executor}
+        return self.builder_kwargs
+
+    def __exit__(self, *exc_info):
+        if self.executor is not None:
+            self.executor.shutdown()
+        return False
 
 
 def shard_boundaries(n: int, shards: int) -> np.ndarray:
@@ -250,6 +294,7 @@ class ShardedSynopsis(RangeSumEstimator):
         *,
         predict: bool | None = None,
         on_shard_built=None,
+        kernel_workers: int | None = None,
         **builder_kwargs,
     ) -> "ShardedSynopsis":
         """A new synopsis with only ``dirty`` shards rebuilt from ``data``.
@@ -259,6 +304,9 @@ class ShardedSynopsis(RangeSumEstimator):
         frozen predictions by reference; dirty shards rebuild with their
         originally-allotted word budgets.  ``predict`` defaults to
         whether this synopsis carries predictions at all.
+        ``kernel_workers >= 2`` shares one thread pool across the dirty
+        rebuilds' row precomputes when the method is pool-aware (results
+        bit-identical either way).
         """
         data = np.asarray(data, dtype=np.float64)
         if data.size != self.n:
@@ -279,19 +327,20 @@ class ShardedSynopsis(RangeSumEstimator):
             else [None] * self.num_shards
         )
         totals = self.totals.copy()
-        for shard in dirty:
-            piece = data[self.shard_slice(shard)]
-            fault_point("shard_rebuild", method=self.method, shard=shard)
-            start = time.perf_counter()
-            estimators[shard] = build_by_name(
-                self.method, piece, int(self.budgets[shard]), **builder_kwargs
-            )
-            elapsed = time.perf_counter() - start
-            totals[shard] = float(piece.sum())
-            if predict:
-                predictions[shard] = predict_sse_per_query(estimators[shard], piece)
-            if on_shard_built is not None:
-                on_shard_built(shard, elapsed)
+        with _kernel_pool(self.method, kernel_workers, builder_kwargs) as kwargs:
+            for shard in dirty:
+                piece = data[self.shard_slice(shard)]
+                fault_point("shard_rebuild", method=self.method, shard=shard)
+                start = time.perf_counter()
+                estimators[shard] = build_by_name(
+                    self.method, piece, int(self.budgets[shard]), **kwargs
+                )
+                elapsed = time.perf_counter() - start
+                totals[shard] = float(piece.sum())
+                if predict:
+                    predictions[shard] = predict_sse_per_query(estimators[shard], piece)
+                if on_shard_built is not None:
+                    on_shard_built(shard, elapsed)
         return ShardedSynopsis(
             self.starts,
             estimators,
@@ -332,6 +381,7 @@ def build_sharded(
     max_workers: int | None = None,
     predict: bool = False,
     on_shard_built=None,
+    kernel_workers: int | None = None,
     **builder_kwargs,
 ) -> ShardedSynopsis:
     """Build a :class:`ShardedSynopsis` over a frequency vector.
@@ -346,7 +396,10 @@ def build_sharded(
     :class:`~repro.core.builders.ErrorPrediction` for the engine's
     online auditor; ``on_shard_built(shard, seconds)`` observes each
     shard's build wall-time (the engine points it at a metrics
-    histogram).
+    histogram).  ``kernel_workers >= 2`` additionally shares one thread
+    pool across every shard's row-kernel precompute when the method is
+    pool-aware (see :data:`repro.core.builders.POOL_AWARE_BUILDERS`);
+    results are bit-identical with or without it.
     """
     if method not in BUILDER_REGISTRY:
         raise InvalidParameterError(
@@ -357,22 +410,24 @@ def build_sharded(
     budgets = split_budget_by_mass(method, data, starts, budget_words)
     shard_count = starts.size - 1
 
-    def _build_one(shard: int):
-        piece = data[starts[shard] : starts[shard + 1]]
-        fault_point("shard_build", method=method, shard=shard)
-        begin = time.perf_counter()
-        estimator = build_by_name(method, piece, int(budgets[shard]), **builder_kwargs)
-        elapsed = time.perf_counter() - begin
-        prediction = predict_sse_per_query(estimator, piece) if predict else None
-        return estimator, float(piece.sum()), prediction, elapsed
+    with _kernel_pool(method, kernel_workers, builder_kwargs) as kwargs:
 
-    if parallel and shard_count > 1:
-        from concurrent.futures import ThreadPoolExecutor
+        def _build_one(shard: int):
+            piece = data[starts[shard] : starts[shard + 1]]
+            fault_point("shard_build", method=method, shard=shard)
+            begin = time.perf_counter()
+            estimator = build_by_name(method, piece, int(budgets[shard]), **kwargs)
+            elapsed = time.perf_counter() - begin
+            prediction = predict_sse_per_query(estimator, piece) if predict else None
+            return estimator, float(piece.sum()), prediction, elapsed
 
-        with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            built = list(pool.map(_build_one, range(shard_count)))
-    else:
-        built = [_build_one(shard) for shard in range(shard_count)]
+        if parallel and shard_count > 1:
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                built = list(pool.map(_build_one, range(shard_count)))
+        else:
+            built = [_build_one(shard) for shard in range(shard_count)]
 
     estimators = [item[0] for item in built]
     totals = np.asarray([item[1] for item in built], dtype=np.float64)

@@ -1,0 +1,90 @@
+"""Pooled row-precompute for the build kernels.
+
+The vectorised construction kernels (:meth:`repro.internal.prefix.
+PrefixAlgebra.rounded_bucket_terms_row`, the interval-DP cost rows) are
+embarrassingly parallel across row starts ``a``, and numpy releases the
+GIL inside them, so a thread pool overlaps real work — notably when a
+sharded build or refresh reconstructs several shards at once and every
+shard wants the kernel (see :func:`repro.engine.sharding.build_sharded`).
+
+:func:`map_rows` is the one entry point.  ``pool`` may be:
+
+* ``None`` (or ``0``/``1``) — serial, the default; results are the
+  baseline every other mode must match bitwise,
+* an ``int >= 2`` — a private ``ThreadPoolExecutor`` with that many
+  workers, created and torn down inside the call,
+* any executor with ``map`` (``ThreadPoolExecutor``,
+  ``ProcessPoolExecutor``, or a shared pool owned by the caller).
+
+Thread-backed pools inherit the caller's ambient build deadline
+(:mod:`repro.internal.deadline` is thread-local, so it is re-installed
+inside each worker).  Process pools cannot see the parent's clock at
+all; the deadline is then polled between dispatch and collection in the
+parent, and the mapped callable must be picklable (the OPT-A precompute
+passes a module-level function, closures won't do).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+from repro.internal.deadline import check_deadline, current_deadline, deadline_scope
+
+
+def resolve_pool(pool):
+    """Normalise a ``pool`` argument to ``(executor_or_None, owned)``."""
+    if pool is None:
+        return None, False
+    if isinstance(pool, bool):
+        raise TypeError("pool must be None, an int worker count, or an executor")
+    if isinstance(pool, int):
+        if pool < 0:
+            raise ValueError(f"pool worker count must be >= 0, got {pool}")
+        if pool <= 1:
+            return None, False
+        return ThreadPoolExecutor(max_workers=pool), True
+    if not hasattr(pool, "map"):
+        raise TypeError(
+            f"pool must be None, an int worker count, or an executor with "
+            f"a map method, got {type(pool).__name__}"
+        )
+    return pool, False
+
+
+def map_rows(fn, items, *, pool=None, context: str = ""):
+    """``[fn(item) for item in items]``, optionally fanned out on a pool.
+
+    Serial execution polls the ambient deadline before every row;
+    pooled execution re-installs the caller's deadline inside each
+    worker thread (see module docstring for process pools).  Results
+    are returned in input order and are bitwise independent of the
+    execution mode — the rows never interact.
+    """
+    executor, owned = resolve_pool(pool)
+    if executor is None:
+        results = []
+        for item in items:
+            check_deadline(context)
+            results.append(fn(item))
+        return results
+
+    try:
+        if isinstance(executor, ProcessPoolExecutor):
+            # Child processes cannot observe this thread's deadline;
+            # poll it around the fan-out instead.
+            check_deadline(context)
+            results = list(executor.map(fn, items))
+            check_deadline(context)
+            return results
+
+        deadline = current_deadline()
+
+        def run(item):
+            with deadline_scope(deadline):
+                check_deadline(context)
+                return fn(item)
+
+        return list(executor.map(run, items))
+    finally:
+        if owned:
+            executor.shutdown()

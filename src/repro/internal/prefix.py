@@ -29,7 +29,19 @@ A second family of methods (``rounded_*``) supports the paper's OPT-A
 answering procedure, which rounds every partial-bucket contribution to a
 nearby integer; those errors are integral, which is what makes the
 pseudo-polynomial dynamic program of Section 2.1 well-defined.  Rounded
-statistics cost O(L) per bucket rather than O(1) and are scalar-only.
+statistics cost O(L) per bucket rather than O(1).  The scalar
+:meth:`PrefixAlgebra.rounded_bucket_terms` serves one bucket at a time;
+:meth:`PrefixAlgebra.rounded_bucket_terms_row` is the build kernel the
+OPT-A precompute uses — it evaluates every bucket ``[a, a..n-1]`` of a
+row in one batch of numpy passes, collapsing the O(n^2) scalar calls of
+the old precompute (each O(L)) into O(n) vectorised kernel dispatches.
+
+On integral data every rounded statistic is an exact integer, and both
+the scalar and the row paths compute them purely with integer-valued
+float64 arithmetic, so their results are bit-identical (any summation
+order is exact below 2**53).  That invariant is what lets the OPT-A
+differential tests demand equality, not closeness, between the scalar
+and vectorised builds.
 """
 
 from __future__ import annotations
@@ -91,6 +103,26 @@ class PrefixAlgebra:
         self._cum_p = np.concatenate(([0.0], np.cumsum(self.p)))
         self._cum_p2 = np.concatenate(([0.0], np.cumsum(self.p * self.p)))
         self._cum_tp = np.concatenate(([0.0], np.cumsum(t_idx * self.p)))
+        # Lazily-built shared scratch for the row kernel (see
+        # rounded_bucket_terms_row): the full-size Toeplitz index matrix
+        # and its invalid-triangle mask, identical for every row start.
+        self._toeplitz = None
+
+    def __getstate__(self):
+        # Drop the O(n^2) scratch when pickling into process-pool
+        # workers; each worker rebuilds it lazily on first use.
+        state = self.__dict__.copy()
+        state["_toeplitz"] = None
+        return state
+
+    def _toeplitz_indices(self):
+        if self._toeplitz is None:
+            offsets = np.arange(self.n)
+            gather = offsets[:, None] - offsets[None, :]  # = L - m per cell
+            invalid = gather < 0
+            np.maximum(gather, 0, out=gather)
+            self._toeplitz = (gather, invalid)
+        return self._toeplitz
 
     # ------------------------------------------------------------------
     # Elementary range sums
@@ -299,28 +331,32 @@ class PrefixAlgebra:
     def rounded_intra_sse(self, a: int, b: int) -> float:
         """Intra-bucket SSE with per-query integer rounding, in O(L) time.
 
-        Every sub-range error is ``(v_{r+1} - v_l) + t(r-l+1)`` with
-        ``t(m) = m*mean - round(m*mean)``; grouping pairs by gap ``m``
-        gives an O(L) evaluation (DESIGN.md section 4).
+        With ``q_t = s(a, a+t-1)`` the centred prefix sums (``q_0 = 0``),
+        every sub-range sum is a difference ``q_j - q_i`` and its rounded
+        estimate depends only on the gap ``m = j - i``, so the SSE splits
+        into the all-pairs identity plus gap-grouped rounding terms:
+
+            sum_{i<j} (q_j - q_i)^2
+            - 2 * sum_m r_m * g_m  +  sum_m (L+1-m) * r_m^2
+
+        with ``r_m = round(m * mean)`` and ``g_m`` the sum of ``q_j -
+        q_i`` over pairs at gap ``m`` (DESIGN.md section 4).  On integral
+        data every term is an exact integer, which keeps this bit-
+        identical to the vectorised row kernel.
         """
         L = b - a + 1
         mean = self.bucket_mean(a, b)
-        t_idx = np.arange(a, b + 2, dtype=np.float64)
-        v = (self.p[a : b + 2] - self.p[a]) - (t_idx - a) * mean
-        m_count = L + 1
-        sum_v = float(v.sum())
-        sum_v2 = float((v * v).sum())
-        base = m_count * sum_v2 - sum_v * sum_v
+        q = self.p[a : b + 2] - self.p[a]
         lengths = np.arange(1, L + 1, dtype=np.float64)
-        t_m = lengths * mean - round_half_up(lengths * mean)
-        cum_v = np.concatenate(([0.0], np.cumsum(v)))
-        # g[m-1] = sum over pairs at gap m of (v_{t1+m} - v_{t1}).
-        gaps = np.arange(1, L + 1)
-        upper = cum_v[m_count] - cum_v[gaps]
-        lower = cum_v[m_count - gaps] - cum_v[0]
-        g = upper - lower
-        counts = m_count - gaps
-        value = base + 2.0 * float((t_m * g).sum()) + float((counts * t_m * t_m).sum())
+        r = round_half_up(lengths * mean)
+        cum_q = np.concatenate(([0.0], np.cumsum(q)))
+        total_q = cum_q[L + 1]
+        total_q2 = float((q * q).sum())
+        pairs_all = (L + 1) * total_q2 - total_q * total_q
+        # g[m-1] = (sum_{t=m..L} q_t) - (sum_{t=0..L-m} q_t).
+        g = (total_q - cum_q[1 : L + 1]) - cum_q[L:0:-1]
+        counts = np.arange(L, 0, -1, dtype=np.float64)
+        value = pairs_all - 2.0 * float((r * g).sum()) + float((counts * r * r).sum())
         return max(value, 0.0)
 
     def rounded_bucket_terms(self, a: int, b: int) -> tuple[float, float, float, float, float]:
@@ -339,6 +375,96 @@ class PrefixAlgebra:
             float((pre * pre).sum()),
             self.rounded_intra_sse(a, b),
         )
+
+    def rounded_bucket_terms_row(
+        self, a: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorised :meth:`rounded_bucket_terms` for all ``b = a..n-1``.
+
+        This is the hot build kernel behind the OPT-A precompute: one
+        call evaluates the whole row of candidate buckets ``[a, b]`` with
+        a constant number of numpy passes over ``(n-a)``-sized (and one
+        family of ``(n-a)^2``-sized) arrays, instead of ``n - a``
+        separate O(L) scalar calls through the Python interpreter.
+
+        Returns ``(S1, S2, P1, P2, intra)``, each an array of length
+        ``n - a`` indexed by ``b - a``.  On integral data the results
+        are bit-identical to the scalar method (all statistics are exact
+        integers, see the module docstring); on non-integral data —
+        which the OPT-A DP rejects anyway — they agree only to floating-
+        point accuracy because the two paths order their sums
+        differently.
+
+        Derivation sketch: with ``q_t = s(a, a+t-1)`` (``q_0 = 0``) and
+        ``r_{b,m} = round(m * mean_b)``, the suffix error of the length-
+        ``m`` piece of ``[a, b]`` is ``(S_b - q_{L-m}) - r_{b,m}`` and
+        the prefix error is ``q_m - r_{b,m}``, so every first and second
+        moment expands into prefix sums of ``q``/``q^2`` (O(1) per
+        bucket) plus reductions of the rounding matrix ``r`` against
+        ``q`` — the only genuinely two-dimensional objects.  The intra
+        term uses the same all-pairs + gap-grouped split as
+        :meth:`rounded_intra_sse`.
+        """
+        n = self.n
+        nb = n - a
+        # q[t] = s(a, a+t-1), t = 0..nb; integers on integral data.
+        q = self.p[a : n + 1] - self.p[a]
+        lengths = np.arange(1, nb + 1, dtype=np.float64)  # L for b = a..n-1
+        totals = q[1:]  # S_b
+        mean = totals / lengths  # elementwise == bucket_mean(a, b)
+        cum_q = np.concatenate(([0.0], np.cumsum(q)))  # cum_q[i] = sum_{t<i} q_t
+        cum_q2 = np.concatenate(([0.0], np.cumsum(q * q)))
+
+        # Rounding matrix R[b-a, m-1] = round_half_up(m * mean_b), zeroed
+        # outside the valid triangle m <= L.  The Toeplitz index matrix
+        # (i - j, clamped at 0) and its invalid-triangle mask are shared
+        # by every row start: build them once at full size and slice.
+        gather, invalid = self._toeplitz_indices()
+        gather = gather[:nb, :nb]
+        invalid = invalid[:nb, :nb]
+        rounded = lengths[None, :] * mean[:, None]
+        rounded += 0.5
+        np.floor(rounded, out=rounded)
+        rounded[invalid] = 0.0
+        rounded2 = rounded * rounded
+
+        piece_q = q[gather]  # q_{L-m} per cell (clamped; masked via R = 0)
+        piece_cum = cum_q[1:][gather]  # cum_q[L-m+1] per cell
+
+        sum_r = rounded.sum(axis=1)  # sum_m r_m
+        sum_r2 = rounded2.sum(axis=1)
+        cross_suffix = np.einsum("ij,ij->i", piece_q, rounded)  # sum_m q_{L-m} r_m
+        cross_prefix = rounded @ q[1:]  # sum_m q_m r_m
+        sum_m_r2 = rounded2 @ lengths  # sum_m m r_m^2
+
+        cq_L = cum_q[1 : nb + 1]  # sum_{t<L} q_t
+        cq_L1 = cum_q[2 : nb + 2]  # sum_{t<=L} q_t
+        cq2_L = cum_q2[1 : nb + 1]
+        cq2_L1 = cum_q2[2 : nb + 2]
+
+        s1 = (lengths * totals - cq_L) - sum_r
+        s2 = (
+            (lengths * totals * totals - 2.0 * totals * cq_L + cq2_L)
+            - 2.0 * (totals * sum_r - cross_suffix)
+            + sum_r2
+        )
+        p1 = cq_L1 - sum_r
+        p2 = cq2_L1 - 2.0 * cross_prefix + sum_r2
+
+        pairs_all = (lengths + 1.0) * cq2_L1 - cq_L1 * cq_L1
+        # g[b, m] = sum over pairs at gap m of (q_{t+m} - q_t)
+        #         = cq_L1[b] - cum_q[m] - cum_q[L-m+1], so the reduction
+        # sum_m r_m g_m splits into three 1-D/matvec terms (no gap
+        # matrix is materialised; every summand is an exact integer on
+        # integral data, so the split keeps bit-identity).
+        cross_intra = (
+            cq_L1 * sum_r
+            - rounded @ cum_q[1 : nb + 1]
+            - np.einsum("ij,ij->i", rounded, piece_cum)
+        )
+        count_term = (lengths + 1.0) * sum_r2 - sum_m_r2
+        intra = pairs_all - 2.0 * cross_intra + count_term
+        return s1, s2, p1, p2, np.maximum(intra, 0.0)
 
 
 class WeightedPointCost:

@@ -53,6 +53,25 @@ class TestExhaustiveOptimality:
         assert warmup.objective == pytest.approx(improved.objective, abs=1e-6)
 
 
+class TestHalfUpLambdaKeys:
+    """Both DPs key Lambda with round_half_up (the answering path's
+    rounding), so they must still cross-validate after the switch from
+    the builtin banker's round()."""
+
+    PINNED = [
+        np.asarray([7, 0, 0, 2, 9, 9, 1, 4, 4, 4], dtype=float),
+        np.asarray([100, 3, 57, 0, 21, 21, 8], dtype=float),
+    ]
+
+    @pytest.mark.parametrize("data", PINNED, ids=["mixed", "heavy"])
+    @pytest.mark.parametrize("max_buckets", [2, 3])
+    def test_pinned_cross_validation(self, data, max_buckets):
+        improved = opt_a_search(data, max_buckets)
+        warmup = build_opt_a_warmup(data, max_buckets)
+        assert warmup.objective == pytest.approx(improved.objective, abs=1e-6)
+        np.testing.assert_array_equal(warmup.lefts, improved.lefts)
+
+
 class TestDPBehaviour:
     def test_flat_data_zero_error(self):
         data = np.full(10, 7.0)
@@ -86,6 +105,34 @@ class TestDPBehaviour:
     def test_rejects_non_integral_data(self):
         with pytest.raises(InvalidDataError, match="integral"):
             opt_a_search([1.5, 2.0, 3.0], 2)
+
+    def test_rejects_large_non_integral_data(self):
+        """Regression: allclose's default rtol scales with magnitude, so
+        a large half-integer used to slip through the integrality check
+        and get silently rounded."""
+        with pytest.raises(InvalidDataError, match="integral"):
+            opt_a_search([1_000_000.5, 2.0, 3.0], 2)
+
+    def test_pool_gives_bitwise_identical_result(self, small_data):
+        serial = opt_a_search(small_data, 3)
+        pooled = opt_a_search(small_data, 3, pool=2)
+        np.testing.assert_array_equal(serial.lefts, pooled.lefts)
+        assert serial.objective == pooled.objective
+        np.testing.assert_array_equal(
+            serial.histogram.values, pooled.histogram.values
+        )
+
+    def test_row_precompute_matches_scalar_bitwise(self, small_data):
+        from repro.core.opt_a import _precompute_terms, _precompute_terms_scalar
+        from repro.internal.prefix import PrefixAlgebra
+
+        algebra = PrefixAlgebra(np.asarray(small_data, dtype=float))
+        fast = _precompute_terms(algebra)
+        slow = _precompute_terms_scalar(algebra)
+        for field in ("s1", "s2", "p1", "p2", "intra"):
+            np.testing.assert_array_equal(
+                getattr(fast, field), getattr(slow, field)
+            )
 
     def test_build_opt_a_returns_labelled_histogram(self, small_data):
         hist = build_opt_a(small_data, 3)

@@ -2,8 +2,11 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.internal.dp import interval_dp
+import repro.internal.dp as dp_module
+from repro.internal.dp import _fill_layer_scalar, interval_dp
 from tests.helpers import enumerate_lefts_at_most
 
 
@@ -82,3 +85,132 @@ class TestIntervalDP:
     def test_bad_row_length_rejected(self):
         with pytest.raises(ValueError, match="length"):
             interval_dp(4, 2, lambda a: np.ones(1))
+
+    def test_bad_combine_rejected(self):
+        with pytest.raises(ValueError, match="combine"):
+            interval_dp(4, 2, lambda a: np.ones(4 - a), combine="min")
+
+    def test_bad_bucket_budget_rejected(self):
+        with pytest.raises(ValueError, match="max_buckets"):
+            interval_dp(4, 0, lambda a: np.ones(4 - a))
+
+    def test_per_bucket_overhead_prefers_fewer_buckets(self):
+        """Regression: with a fixed overhead added to every bucket the
+        last layer is not the cheapest — the backtrack must start from
+        the best k <= max_buckets, not unconditionally from the last."""
+        rng = np.random.default_rng(11)
+        n = 8
+        base = rng.random((n, n))
+
+        for overhead in (0.5, 2.0, 10.0):
+            def cost_row(a):
+                return base[a, a:] + overhead
+
+            for max_buckets in (2, 3, 5):
+                lefts, total = interval_dp(n, max_buckets, cost_row)
+                brute_total, _ = brute_best(
+                    n, max_buckets, lambda a, b: base[a, b] + overhead
+                )
+                assert total == pytest.approx(brute_total)
+                rights = np.concatenate((lefts[1:] - 1, [n - 1]))
+                realised = sum(base[a, b] + overhead for a, b in zip(lefts, rights))
+                assert realised == pytest.approx(total)
+
+    def test_combine_max_matches_enumeration(self):
+        rng = np.random.default_rng(7)
+        n = 8
+        cost_matrix = rng.random((n, n)) * 10
+
+        def cost_row(a):
+            return cost_matrix[a, a:]
+
+        for max_buckets in (1, 2, 3, 4):
+            lefts, total = interval_dp(n, max_buckets, cost_row, combine="max")
+            brute = min(
+                max(
+                    cost_matrix[a, b]
+                    for a, b in zip(
+                        lefts_cand, [*[l - 1 for l in lefts_cand[1:]], n - 1]
+                    )
+                )
+                for lefts_cand in enumerate_lefts_at_most(n, max_buckets)
+            )
+            assert total == pytest.approx(brute)
+
+    def test_pool_gives_identical_results(self):
+        rng = np.random.default_rng(19)
+        n = 12
+        cost_matrix = rng.random((n, n)) * 3
+
+        def cost_row(a):
+            return cost_matrix[a, a:]
+
+        serial = interval_dp(n, 4, cost_row)
+        pooled = interval_dp(n, 4, cost_row, pool=3)
+        np.testing.assert_array_equal(serial[0], pooled[0])
+        assert serial[1] == pooled[1]
+
+
+class TestVectorisedFillDifferential:
+    """The whole-layer numpy fill must reproduce the scalar per-prefix
+    recurrence bitwise, including its first-smallest-j tie-break."""
+
+    def _run_both(self, n, max_buckets, cost_row, combine, monkeypatch):
+        vec = interval_dp(n, max_buckets, cost_row, combine=combine)
+        monkeypatch.setattr(dp_module, "_fill_layer", _fill_layer_scalar)
+        scalar = interval_dp(n, max_buckets, cost_row, combine=combine)
+        return vec, scalar
+
+    @pytest.mark.parametrize("combine", ["sum", "max"])
+    def test_random_costs(self, combine, monkeypatch):
+        rng = np.random.default_rng(23)
+        n = 11
+        cost_matrix = rng.random((n, n)) * 5
+        vec, scalar = self._run_both(
+            n, 4, lambda a: cost_matrix[a, a:], combine, monkeypatch
+        )
+        np.testing.assert_array_equal(vec[0], scalar[0])
+        assert vec[1] == scalar[1]
+
+    @pytest.mark.parametrize("combine", ["sum", "max"])
+    def test_ties_resolve_identically(self, combine, monkeypatch):
+        # Constant costs tie every candidate split; both fills must pick
+        # the same (first) parent and hence the same boundaries.
+        n = 9
+        vec, scalar = self._run_both(
+            n, 3, lambda a: np.ones(n - a), combine, monkeypatch
+        )
+        np.testing.assert_array_equal(vec[0], scalar[0])
+        assert vec[1] == scalar[1]
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        costs=st.lists(
+            st.integers(min_value=0, max_value=30), min_size=1, max_size=45
+        ),
+        max_buckets=st.integers(min_value=1, max_value=5),
+        combine=st.sampled_from(["sum", "max"]),
+    )
+    def test_property_differential(self, costs, max_buckets, combine):
+        # Triangular-number sizes only; trim to the largest full matrix.
+        n = 1
+        while (n + 1) * (n + 2) // 2 <= len(costs):
+            n += 1
+        cost_matrix = np.full((n, n), np.inf)
+        it = iter(costs)
+        for a in range(n):
+            for b in range(a, n):
+                cost_matrix[a, b] = float(next(it))
+
+        def cost_row(a):
+            return cost_matrix[a, a:]
+
+        vec = interval_dp(n, max_buckets, cost_row, combine=combine)
+        original = dp_module._fill_layer
+        dp_module._fill_layer = _fill_layer_scalar
+        try:
+            scalar = interval_dp(n, max_buckets, cost_row, combine=combine)
+        finally:
+            dp_module._fill_layer = original
+        np.testing.assert_array_equal(vec[0], scalar[0])
+        assert vec[1] == scalar[1]

@@ -179,6 +179,56 @@ class TestVectorisedOverB:
                 assert intra_row[offset] == pytest.approx(algebra.intra_sse(a, b))
 
 
+class TestRowKernel:
+    """The vectorised row kernel must match the scalar closed forms
+    *bitwise* on integral data — the OPT-A DP keys integer Lambda states
+    off these values, so approximate agreement is not enough."""
+
+    @pytest.mark.parametrize("data", DATASETS, ids=["single", "paper", "zeros", "mixed"])
+    def test_row_matches_scalar_exactly(self, data):
+        algebra = PrefixAlgebra(data)
+        for a in range(data.size):
+            s1, s2, p1, p2, intra = algebra.rounded_bucket_terms_row(a)
+            for offset, b in enumerate(range(a, data.size)):
+                scalar = algebra.rounded_bucket_terms(a, b)
+                assert s1[offset] == scalar[0]
+                assert s2[offset] == scalar[1]
+                assert p1[offset] == scalar[2]
+                assert p2[offset] == scalar[3]
+                assert intra[offset] == scalar[4]
+
+    def test_row_matches_brute_force(self):
+        data = DATASETS[3]
+        algebra = PrefixAlgebra(data)
+        for a in range(data.size):
+            s1, s2, p1, p2, intra = algebra.rounded_bucket_terms_row(a)
+            for offset, b in enumerate(range(a, data.size)):
+                suffix = brute_suffix_errors(data, a, b, rounded=True)
+                prefix = brute_prefix_errors(data, a, b, rounded=True)
+                assert s1[offset] == pytest.approx(suffix.sum())
+                assert s2[offset] == pytest.approx((suffix**2).sum())
+                assert p1[offset] == pytest.approx(prefix.sum())
+                assert p2[offset] == pytest.approx((prefix**2).sum())
+                assert intra[offset] == pytest.approx(
+                    brute_intra_sse(data, a, b, rounded=True), abs=1e-7
+                )
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        data=st.lists(st.integers(min_value=0, max_value=200), min_size=1, max_size=16),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_property_row_matches_scalar(self, data, seed):
+        data = np.asarray(data, dtype=float)
+        rng = np.random.default_rng(seed)
+        a = int(rng.integers(0, data.size))
+        algebra = PrefixAlgebra(data)
+        s1, s2, p1, p2, intra = algebra.rounded_bucket_terms_row(a)
+        for offset, b in enumerate(range(a, data.size)):
+            scalar = algebra.rounded_bucket_terms(a, b)
+            assert (s1[offset], s2[offset], p1[offset], p2[offset], intra[offset]) == scalar
+
+
 class TestRoundHalfUp:
     def test_half_goes_up(self):
         assert round_half_up(0.5) == 1.0
