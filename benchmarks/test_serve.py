@@ -1,0 +1,63 @@
+"""Serve-path benchmark: coalesced QueryServer vs a naive per-query loop.
+
+The serving tier's contract is that concurrent one-query-at-a-time
+clients still get vectorised-batch throughput, because the coalescer
+merges in-flight requests onto ``execute_batch``.  This benchmark pins
+that:
+
+* speed — on a 20k-query COUNT/SUM workload fanned in from 4 threads,
+  the coalescing server must beat the per-query ``execute`` loop by at
+  least 5x in queries/second;
+* exactness — every served estimate must equal the naive path's
+  bit-for-bit (the server may never silently shed to the fallback rung
+  inside the benchmark).
+
+The measured trajectory is written to ``BENCH_serve.json`` at the repo
+root so successive sessions can track serve throughput.
+"""
+
+import json
+import pathlib
+
+from repro.experiments.reporting import format_table
+from repro.experiments.serving import run_serve_benchmark
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+SPEEDUP_GATE = 5.0
+
+
+def test_coalesced_server_beats_naive_loop(record_result):
+    result = run_serve_benchmark(
+        row_count=100_000,
+        domain=1024,
+        query_count=20_000,
+        thread_count=4,
+        method="sap1",
+        budget_words=128,
+        aggregates=("count", "sum"),
+    )
+    rows = [
+        ["naive execute() loop", result.naive_seconds, f"{result.naive_qps:,.0f}"],
+        ["coalesced QueryServer", result.served_seconds, f"{result.served_qps:,.0f}"],
+        ["speedup", f"{result.speedup:.1f}x", "-"],
+        ["batches", result.batches, f"mean size {result.mean_batch_size:.0f}"],
+    ]
+    record_result(
+        "serve",
+        format_table(
+            ["path", "seconds", "queries/sec"],
+            rows,
+            title=(
+                f"Serve path ({result.query_count} queries, "
+                f"{result.thread_count} threads)"
+            ),
+        ),
+    )
+    (REPO_ROOT / "BENCH_serve.json").write_text(
+        json.dumps(result.as_dict(), indent=2) + "\n"
+    )
+    assert result.max_abs_difference == 0.0, (
+        "served answers must reproduce the naive path's estimates "
+        f"(max divergence {result.max_abs_difference})"
+    )
+    assert result.speedup >= SPEEDUP_GATE, result.summary()

@@ -336,6 +336,56 @@ def _cmd_bench_refresh(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Drive a workload through the coalescing QueryServer and report.
+
+    Offline stand-in for a long-lived daemon: builds a synopsis, fans
+    the workload in from ``--threads`` client threads through one
+    :class:`~repro.serving.QueryServer`, and prints throughput for the
+    coalesced path next to the naive per-query loop, plus the server's
+    own counters (cache hits, batches, shed levels).
+    """
+    import json
+
+    from repro.experiments.serving import run_serve_benchmark
+
+    result = run_serve_benchmark(
+        row_count=args.rows,
+        domain=args.domain,
+        query_count=args.queries,
+        thread_count=args.threads,
+        method=args.method,
+        budget_words=args.budget,
+        max_batch=args.max_batch,
+        max_delay_ms=args.max_delay_ms,
+    )
+    rows = [
+        ["naive execute() loop", result.naive_seconds, f"{result.naive_qps:,.0f}"],
+        ["coalesced QueryServer", result.served_seconds, f"{result.served_qps:,.0f}"],
+    ]
+    print(
+        format_table(
+            ["path", "seconds", "queries/sec"],
+            rows,
+            title=(
+                f"Serve path ({result.query_count} queries, "
+                f"{result.thread_count} threads, {args.method})"
+            ),
+        )
+    )
+    print(
+        f"speedup: {result.speedup:.1f}x   "
+        f"batches: {result.batches} (mean size {result.mean_batch_size:.0f})   "
+        f"cache hits: {result.cache_hits}   "
+        f"max |estimate diff|: {result.max_abs_difference:.3g}"
+    )
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(result.as_dict(), handle, indent=2)
+        print(f"result written to {args.output}")
+    return 0
+
+
 def _cmd_dump_metrics(args) -> int:
     """Replay a workload against a fresh engine and emit its metrics.
 
@@ -488,6 +538,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_resilience_arguments(bench_refresh)
     bench_refresh.set_defaults(handler=_cmd_bench_refresh)
+
+    serve = commands.add_parser(
+        "serve",
+        help="drive a workload through the coalescing QueryServer",
+    )
+    serve.add_argument("--rows", type=int, default=100_000)
+    serve.add_argument("--domain", type=int, default=1024)
+    serve.add_argument("--queries", type=int, default=20_000)
+    serve.add_argument("--threads", type=int, default=4)
+    serve.add_argument("--method", default="sap1", choices=sorted(BUILDER_REGISTRY))
+    serve.add_argument("--budget", type=int, default=128)
+    serve.add_argument("--max-batch", type=int, default=2048)
+    serve.add_argument("--max-delay-ms", type=float, default=2.0)
+    serve.add_argument("--output", help="write the result record as JSON")
+    serve.set_defaults(handler=_cmd_serve)
 
     dump = commands.add_parser(
         "dump-metrics",

@@ -213,7 +213,7 @@ class BatchExecutionMixin:
                         estimate_array = self._exact_batch(
                             table_name, column_name, aggregate, lows, highs
                         )
-                        self._stats["exact_scans"] += len(positions)
+                        self._bump("exact_scans", len(positions))
                         synopsis_name = "exact-scan"
                         synopsis_words = 0
                     else:  # fallback
@@ -256,9 +256,7 @@ class BatchExecutionMixin:
                     )
                 estimates = estimate_array.tolist()
                 exacts = exact_array.tolist() if exact_array is not None else None
-                hits = self._stats["synopsis_hits"]
-                hit_key = f"{table_name}.{column_name}"
-                hits[hit_key] = hits.get(hit_key, 0) + len(positions)
+                self._bump_hits(f"{table_name}.{column_name}", len(positions))
                 for offset, position in enumerate(positions):
                     results[position] = QueryResult(
                         query=group_queries[offset],
@@ -269,17 +267,18 @@ class BatchExecutionMixin:
                         degradation=level,
                     )
         elapsed = time.perf_counter() - start
-        self._stats["batches"] += 1
-        self._stats["batch_queries"] += len(query_list)
-        self._stats["last_batch_seconds"] = elapsed
-        self._stats["last_batch_qps"] = (
-            len(query_list) / elapsed if elapsed > 0 else 0.0
-        )
-        self._stats["total_batch_seconds"] += elapsed
+        with self._stats_lock:
+            self._stats["batches"] += 1
+            self._stats["batch_queries"] += len(query_list)
+            self._stats["last_batch_seconds"] = elapsed
+            self._stats["last_batch_qps"] = (
+                len(query_list) / elapsed if elapsed > 0 else 0.0
+            )
+            self._stats["total_batch_seconds"] += elapsed
+            if with_exact:
+                self._stats["exact_scans"] += len(query_list)
         self.metrics.counter("batch_queries_total").inc(len(query_list))
         self.metrics.histogram("batch_seconds").observe(elapsed)
-        if with_exact:
-            self._stats["exact_scans"] += len(query_list)
         return results
 
     def _record_sharded_batch(self, entry, lows: np.ndarray, highs: np.ndarray) -> None:

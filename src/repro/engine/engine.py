@@ -10,8 +10,10 @@ their estimates.
 from __future__ import annotations
 
 import copy
+import itertools
 import json
 import math
+import threading
 import time
 from dataclasses import dataclass, replace
 
@@ -473,6 +475,21 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
         self._quarantined: set[tuple[str, str]] = set()
         #: Injection point for retry backoff sleeps (tests use a no-op).
         self._sleep = time.sleep
+        #: Serialises every ``_stats`` read-modify-write so concurrent
+        #: ``execute`` / ``execute_batch`` / ``stats()`` calls (the
+        #: serving tier runs them from different threads) neither lose
+        #: increments nor crash a snapshot mid-mutation.
+        self._stats_lock = threading.RLock()
+        #: Monotonic per-table data versions, bumped by
+        #: :meth:`register_table` and :meth:`append_rows`; cache
+        #: consistency tokens (see :class:`repro.serving.CatalogView`)
+        #: embed them so no answer computed before a data change can be
+        #: served after it.
+        self._table_versions: dict[str, int] = {}
+        #: Monotonic ids stamped onto ``_build_meta`` entries by
+        #: :meth:`_record_build`; a rebuild changes the id, so cached
+        #: answers from the previous synopsis stop validating.
+        self._build_seq = itertools.count(1)
         self._stats: dict = self._fresh_stats()
 
     @staticmethod
@@ -511,6 +528,50 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
         return rate
 
     # ------------------------------------------------------------------
+    # Counter plumbing (thread-safe)
+    # ------------------------------------------------------------------
+    def _bump(self, key: str, amount=1) -> None:
+        """Increment one execution counter under the stats lock."""
+        with self._stats_lock:
+            self._stats[key] += amount
+
+    def _set_stat(self, key: str, value) -> None:
+        with self._stats_lock:
+            self._stats[key] = value
+
+    def _bump_hits(self, hit_key: str, amount: int = 1) -> None:
+        with self._stats_lock:
+            hits = self._stats["synopsis_hits"]
+            hits[hit_key] = hits.get(hit_key, 0) + amount
+
+    def _invalidate_predictions(self, key: tuple[str, str]) -> None:
+        """Drop every pinned error model for one synopsis.
+
+        The cache is keyed ``((table, column), aggregate)``; clearing by
+        prefix removes *all* aggregates — not just the literal
+        ``("count", "sum")`` pair — so a new aggregate kind (quantile,
+        say) pinned for ``key`` can never survive a rebuild or table
+        replacement and serve a stale prediction.
+        """
+        for cache_key in [ck for ck in self._prediction_cache if ck[0] == key]:
+            del self._prediction_cache[cache_key]
+
+    def _bump_table_version(self, table_name: str) -> None:
+        self._table_versions[table_name] = (
+            self._table_versions.get(table_name, 0) + 1
+        )
+
+    def table_version(self, table_name: str) -> int:
+        """Monotonic data version of one table.
+
+        Starts at 0 for never-registered names, and increases on every
+        :meth:`register_table` and :meth:`append_rows`.  Answer caches
+        compare versions instead of subscribing to invalidation events:
+        any answer recorded under an older version is unservable.
+        """
+        return self._table_versions.get(table_name, 0)
+
+    # ------------------------------------------------------------------
     # Catalog management
     # ------------------------------------------------------------------
     def register_table(self, table: Table) -> None:
@@ -520,6 +581,7 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
         and grouped — since all of them summarise the replaced data.
         """
         self._tables[table.name] = table
+        self._bump_table_version(table.name)
         for key in [key for key in self._fallback_models if key[0] == table.name]:
             del self._fallback_models[key]
         for key in [key for key in self._synopses if key[0] == table.name]:
@@ -527,8 +589,7 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
             self._stale.discard(key)
             self._dirty_shards.pop(key, None)
             self._build_meta.pop(key, None)
-            self._prediction_cache.pop((key, "count"), None)
-            self._prediction_cache.pop((key, "sum"), None)
+            self._invalidate_predictions(key)
         for key in [key for key in self._joint_synopses if key[0] == table.name]:
             del self._joint_synopses[key]
             self._stale_joint.discard(key)
@@ -575,18 +636,18 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
 
     def _observe_build_event(self, kind: str, *, method: str, rung: int) -> None:
         """Fold a ladder event from a (possibly worker-thread) build into
-        the metrics; counter/stat mutation is a GIL-atomic increment."""
+        the metrics; counter/stat mutation goes through the stats lock."""
         if kind == "timeout":
-            self._stats["build_timeouts"] += 1
+            self._bump("build_timeouts")
             self.metrics.counter("build_timeouts_total", method=method).inc()
         elif kind == "failure":
-            self._stats["build_failures"] += 1
+            self._bump("build_failures")
             self.metrics.counter("build_failures_total", method=method).inc()
         elif kind == "retry":
-            self._stats["build_retries"] += 1
+            self._bump("build_retries")
             self.metrics.counter("build_retries_total", method=method).inc()
         elif kind == "fallback":
-            self._stats["fallback_builds"] += 1
+            self._bump("fallback_builds")
             self.metrics.counter("fallback_builds_total", method=method).inc()
 
     def build_synopsis(
@@ -669,8 +730,7 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
         self._stale.discard(key)
         self._dirty_shards.pop(key, None)
         self._quarantined.discard(key)
-        self._prediction_cache.pop((key, "count"), None)
-        self._prediction_cache.pop((key, "sum"), None)
+        self._invalidate_predictions(key)
         self._record_build(
             key, entry.method, elapsed, requested=method, rung=outcome["rung"]
         )
@@ -691,6 +751,7 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
             "requested_method": requested if requested is not None else method,
             "served_method": method,
             "rung": rung,
+            "build_id": next(self._build_seq),
         }
         self.metrics.counter("builds_total", method=method).inc()
         self.metrics.histogram("build_seconds").observe(seconds)
@@ -771,8 +832,7 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
                     self._stale.discard(key)
                     self._dirty_shards.pop(key, None)
                     self._quarantined.discard(key)
-                    self._prediction_cache.pop((key, "count"), None)
-                    self._prediction_cache.pop((key, "sum"), None)
+                    self._invalidate_predictions(key)
                     self._record_build(
                         key,
                         entry.method,
@@ -841,6 +901,7 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
         """
         table = self.table(table_name)
         self._tables[table_name] = table.with_appended(rows)
+        self._bump_table_version(table_name)
         for key in [key for key in self._fallback_models if key[0] == table_name]:
             del self._fallback_models[key]
         now = self.clock.now()
@@ -979,9 +1040,8 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
         )
         self._stale.discard(key)
         self._dirty_shards.pop(key, None)
-        self._prediction_cache.pop((key, "count"), None)
-        self._prediction_cache.pop((key, "sum"), None)
-        self._stats["dirty_shards_rebuilt"] += len(dirty)
+        self._invalidate_predictions(key)
+        self._bump("dirty_shards_rebuilt", len(dirty))
         self.metrics.counter("dirty_shards_rebuilt_total").inc(len(dirty))
         self.metrics.counter("shard_refreshes_total").inc()
         self._record_build(key, entry.method, span.duration or 0.0)
@@ -1041,7 +1101,7 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
                     breaker = self._breaker(method)
                     if not breaker.allow():
                         skipped += 1
-                        self._stats["breaker_skips"] += 1
+                        self._bump("breaker_skips")
                         self.metrics.counter(
                             "breaker_skips_total", method=method
                         ).inc()
@@ -1063,7 +1123,7 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
                             "breaker_closed_total", method=method
                         ).inc()
                     rebuilt += 1
-                    self._stats["rebuilds"] += 1
+                    self._bump("rebuilds")
                     self.metrics.counter("rebuilds_total").inc()
                 for key in sorted(self._stale_joint):
                     entry = self._joint_synopses[key]
@@ -1075,13 +1135,13 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
                         budget_words=entry.budget_words,
                     )
                     rebuilt += 1
-                    self._stats["rebuilds"] += 1
+                    self._bump("rebuilds")
                     self.metrics.counter("rebuilds_total").inc()
                 for key in sorted(self._stale_grouped):
                     config = self._grouped_configs[key]
                     self.build_grouped_synopsis(key[0], key[1], key[2], **config)
                     rebuilt += 1
-                    self._stats["rebuilds"] += 1
+                    self._bump("rebuilds")
                     self.metrics.counter("rebuilds_total").inc()
             finally:
                 span.set(rebuilt=rebuilt, breaker_skipped=skipped)
@@ -1129,9 +1189,9 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
                 )
             if on_stale == "rebuild":
                 self._refresh_entry(key)
-                self._stats["rebuilds"] += 1
+                self._bump("rebuilds")
             else:
-                self._stats["stale_served"] += 1
+                self._bump("stale_served")
         return self._synopses[key]
 
     def _resolve_with_policy(
@@ -1151,7 +1211,7 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
         # Validate the target before degrading.
         self.table(table_name).column(column_name)
         if entry is not None and policy.allow_stale:
-            self._stats["stale_served"] += 1
+            self._bump("stale_served")
             return entry, "stale"
         if policy.allow_fallback:
             return None, "fallback"
@@ -1171,7 +1231,7 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
         """Account one (or a batch of) answers served below ``fresh``."""
         if level == "fresh":
             return
-        self._stats["degraded_serves"] += count
+        self._bump("degraded_serves", count)
         self.metrics.counter("degraded_serves_total", level=level).inc(count)
 
     def _fallback_model(self, table_name: str, column_name: str) -> dict:
@@ -1244,8 +1304,12 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
         The snapshot is a deep copy — mutating it (or the nested
         ``synopsis_hits`` dict) never touches the live counters — and
         :meth:`reset_stats` zeroes the live counters between windows.
+        Both hold the stats lock, so snapshots taken while other
+        threads are executing queries are internally consistent and
+        never observe a dict mid-mutation.
         """
-        snapshot = copy.deepcopy(self._stats)
+        with self._stats_lock:
+            snapshot = copy.deepcopy(self._stats)
         snapshot["total_queries"] = (
             snapshot["queries"]
             + snapshot["batch_queries"]
@@ -1265,8 +1329,9 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
         their own lifecycles: ``metrics.reset()``, ``tracer.clear()``,
         ``auditor.clear()``).
         """
-        snapshot = self.stats()
-        self._stats = self._fresh_stats()
+        with self._stats_lock:
+            snapshot = self.stats()
+            self._stats = self._fresh_stats()
         return snapshot
 
     def execute(
@@ -1324,15 +1389,13 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
                     query.table, query.column, policy
                 )
             span.set(degradation=level)
-            self._stats["queries"] += 1
-            hits = self._stats["synopsis_hits"]
-            hit_key = f"{query.table}.{query.column}"
-            hits[hit_key] = hits.get(hit_key, 0) + 1
+            self._bump("queries")
+            self._bump_hits(f"{query.table}.{query.column}")
             self._record_degraded_serve(level)
             if entry is None:
                 return self._execute_degraded(query, level, with_exact=with_exact)
             if with_exact:
-                self._stats["exact_scans"] += 1
+                self._bump("exact_scans")
             clipped = entry.statistics.clip_range(query.low, query.high)
             if clipped is not None and isinstance(
                 entry.count_estimator, ShardedSynopsis
@@ -1386,7 +1449,7 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
         """Answer one query from a synopsis-free ladder rung."""
         if level == "exact":
             estimate = self.execute_exact(query)
-            self._stats["exact_scans"] += 1
+            self._bump("exact_scans")
             exact = estimate if with_exact else None
             return QueryResult(
                 query=query,
@@ -1410,7 +1473,7 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
         exact = None
         if with_exact:
             exact = self.execute_exact(query)
-            self._stats["exact_scans"] += 1
+            self._bump("exact_scans")
         return QueryResult(
             query=query,
             estimate=estimate,
@@ -1463,7 +1526,7 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
         absolute_error = self.auditor.record(
             (query.table, query.column, query.aggregate), estimate, exact
         )
-        self._stats["audited_queries"] += 1
+        self._bump("audited_queries")
         self.metrics.counter("audited_total", aggregate=query.aggregate).inc()
         self.metrics.histogram("audit_abs_error", buckets=ERROR_BUCKETS).observe(
             absolute_error
@@ -1502,7 +1565,7 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
         absolute_errors = self.auditor.record_many(
             key, np.asarray(estimates, dtype=np.float64)[mask], audit_exacts
         )
-        self._stats["audited_queries"] += audited
+        self._bump("audited_queries", audited)
         self.metrics.counter("audited_total", aggregate=aggregate).inc(audited)
         error_histogram = self.metrics.histogram(
             "audit_abs_error", buckets=ERROR_BUCKETS
@@ -1605,7 +1668,7 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
                     > drift_threshold * predicted_value + drift_floor
                 )
             if drifting:
-                self._stats["drift_flags"] += 1
+                self._bump("drift_flags")
                 self.metrics.counter("drift_flags_total").inc()
                 if mark_stale and entry is not None:
                     self._stale.add(synopsis_key)

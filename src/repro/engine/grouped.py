@@ -165,11 +165,11 @@ class GroupedSynopsisMixin:
                 self.build_grouped_synopsis(
                     key[0], key[1], key[2], **self._grouped_configs[key]
                 )
-                self._stats["rebuilds"] += 1
+                self._bump("rebuilds")
                 catalog = self._grouped_synopses[key]
             else:
-                self._stats["stale_served"] += 1
-        self._stats["grouped_queries"] += 1
+                self._bump("stale_served")
+        self._bump("grouped_queries")
         results = []
         with self.tracer.span(
             "grouped_query",

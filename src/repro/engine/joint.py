@@ -187,11 +187,11 @@ class JointSynopsisMixin:
                     method=entry.method,
                     budget_words=entry.budget_words,
                 )
-                self._stats["rebuilds"] += 1
+                self._bump("rebuilds")
                 entry = self._joint_synopses[key]
             else:
-                self._stats["stale_served"] += 1
-        self._stats["joint_queries"] += 1
+                self._bump("stale_served")
+        self._bump("joint_queries")
 
         with self.tracer.span(
             "joint_query",

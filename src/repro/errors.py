@@ -75,5 +75,19 @@ class SerializationError(ReproError):
     """A synopsis byte-stream is corrupt or has an unsupported version."""
 
 
+class ServerOverloadedError(ReproError):
+    """Admission control refused a query and no shed rung could answer.
+
+    Raised by :class:`repro.serving.QueryServer` when the pending queue
+    is at ``max_pending`` and the degradation policy admits neither a
+    stale cached answer nor the fallback estimator.  Clients should
+    back off and retry; the server itself stays healthy.
+    """
+
+
+class ServerClosedError(ReproError):
+    """A query was submitted to a server that is not running."""
+
+
 class SQLSyntaxError(ReproError, ValueError):
     """The mini SQL dialect parser rejected a statement."""

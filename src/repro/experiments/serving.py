@@ -1,0 +1,189 @@
+"""Serve-path throughput study: coalesced server vs naive per-query loop.
+
+The serving tier's pitch is that concurrent clients submitting one
+query at a time can still ride the engine's vectorised
+``execute_batch`` path, because the
+:class:`~repro.serving.coalescer.RequestCoalescer` merges in-flight
+requests into batches.  This harness quantifies that: ``thread_count``
+client threads each push their slice of a shared workload through
+
+* the **naive** path — every thread calls scalar ``engine.execute``
+  per query (what an unbatched service would do), and
+* the **coalesced** path — every thread submits to one
+  :class:`~repro.serving.QueryServer` and waits on futures,
+
+and reports queries/second for both plus the answer agreement.  The
+``bench-serve`` CLI command and ``benchmarks/test_serve.py`` (which
+gates a >=5x speedup and writes ``BENCH_serve.json``) both run through
+here.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.engine import AggregateQuery, ApproximateQueryEngine
+from repro.engine.table import Table
+from repro.errors import InvalidParameterError
+from repro.queries.workload import random_ranges
+from repro.serving import QueryServer
+
+
+@dataclass(frozen=True)
+class ServeBenchmarkResult:
+    """Timings of one naive-vs-coalesced serve comparison."""
+
+    row_count: int
+    domain: int
+    query_count: int
+    thread_count: int
+    max_batch: int
+    max_delay_ms: float
+    naive_seconds: float
+    served_seconds: float
+    max_abs_difference: float
+    batches: int
+    cache_hits: int
+
+    @property
+    def speedup(self) -> float:
+        return self.naive_seconds / self.served_seconds if self.served_seconds else 0.0
+
+    @property
+    def naive_qps(self) -> float:
+        return self.query_count / self.naive_seconds if self.naive_seconds else 0.0
+
+    @property
+    def served_qps(self) -> float:
+        return self.query_count / self.served_seconds if self.served_seconds else 0.0
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.query_count / self.batches if self.batches else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.query_count} queries x {self.thread_count} threads: "
+            f"naive {self.naive_seconds:.3f}s ({self.naive_qps:,.0f} q/s), "
+            f"coalesced {self.served_seconds:.4f}s ({self.served_qps:,.0f} q/s), "
+            f"speedup {self.speedup:.1f}x, "
+            f"mean batch {self.mean_batch_size:.0f}"
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "row_count": self.row_count,
+            "domain": self.domain,
+            "query_count": self.query_count,
+            "thread_count": self.thread_count,
+            "max_batch": self.max_batch,
+            "max_delay_ms": self.max_delay_ms,
+            "naive_seconds": self.naive_seconds,
+            "served_seconds": self.served_seconds,
+            "naive_qps": self.naive_qps,
+            "served_qps": self.served_qps,
+            "speedup": self.speedup,
+            "batches": self.batches,
+            "mean_batch_size": self.mean_batch_size,
+            "cache_hits": self.cache_hits,
+            "max_abs_difference": self.max_abs_difference,
+        }
+
+
+def run_serve_benchmark(
+    *,
+    row_count: int = 100_000,
+    domain: int = 1024,
+    query_count: int = 20_000,
+    thread_count: int = 4,
+    method: str = "sap1",
+    budget_words: int = 128,
+    aggregates: tuple = ("count", "sum"),
+    seed: int = 17,
+    max_batch: int = 2048,
+    max_delay_ms: float = 2.0,
+) -> ServeBenchmarkResult:
+    """Time per-query serving against the coalescing server.
+
+    The same workload runs down both paths with the same thread fan-in.
+    The server's ``max_pending`` is set above the workload size so the
+    study measures coalescing throughput, never admission-control
+    shedding (shed answers come from the fallback rung and would
+    diverge from the naive path's synopsis answers).  Repeated ranges
+    may legitimately hit the answer cache, exactly as they would in
+    production; ``cache_hits`` reports how often.
+    ``max_abs_difference`` compares both paths' estimates query-by-query
+    (zero: both ride the same synopsis estimators).
+    """
+    if query_count < 1 or row_count < 1:
+        raise InvalidParameterError("row_count and query_count must be >= 1")
+    if thread_count < 1:
+        raise InvalidParameterError(f"thread_count must be >= 1, got {thread_count}")
+    rng = np.random.default_rng(seed)
+    values = rng.integers(0, domain, row_count)
+    engine = ApproximateQueryEngine()
+    engine.register_table(Table("traffic", {"value": values}))
+    engine.build_synopsis(
+        "traffic", "value", method=method, budget_words=budget_words
+    )
+
+    workload = random_ranges(domain, query_count, seed=seed + 1)
+    queries = [
+        AggregateQuery(
+            "traffic",
+            "value",
+            aggregates[index % len(aggregates)],
+            float(low),
+            float(high),
+        )
+        for index, (low, high) in enumerate(workload)
+    ]
+    slices = [queries[index::thread_count] for index in range(thread_count)]
+
+    def naive_worker(slice_queries):
+        return [engine.execute(query) for query in slice_queries]
+
+    with ThreadPoolExecutor(max_workers=thread_count) as pool:
+        start = time.perf_counter()
+        naive_slices = list(pool.map(naive_worker, slices))
+        naive_seconds = time.perf_counter() - start
+
+    server = QueryServer(
+        engine,
+        max_batch=max_batch,
+        max_delay_ms=max_delay_ms,
+        max_pending=query_count + thread_count,
+    )
+
+    def served_worker(slice_queries):
+        futures = server.submit_many(slice_queries)
+        return [future.result() for future in futures]
+
+    with server, ThreadPoolExecutor(max_workers=thread_count) as pool:
+        start = time.perf_counter()
+        served_slices = list(pool.map(served_worker, slices))
+        served_seconds = time.perf_counter() - start
+    stats = server.stats()
+
+    max_abs_difference = max(
+        abs(naive.estimate - served.estimate)
+        for naive_slice, served_slice in zip(naive_slices, served_slices)
+        for naive, served in zip(naive_slice, served_slice)
+    )
+    return ServeBenchmarkResult(
+        row_count=row_count,
+        domain=domain,
+        query_count=query_count,
+        thread_count=thread_count,
+        max_batch=max_batch,
+        max_delay_ms=max_delay_ms,
+        naive_seconds=naive_seconds,
+        served_seconds=served_seconds,
+        max_abs_difference=max_abs_difference,
+        batches=stats["batches"],
+        cache_hits=stats["cache_hits"],
+    )

@@ -14,6 +14,7 @@ query path.
 from __future__ import annotations
 
 import math
+import threading
 
 from repro.errors import InvalidParameterError
 
@@ -42,35 +43,46 @@ def _render_labels(labels: tuple) -> str:
 
 
 class Counter:
-    """Monotonically increasing count."""
+    """Monotonically increasing count.
 
-    __slots__ = ("value",)
+    Updates are serialised by a per-instrument lock: ``value += amount``
+    is a read-modify-write, so two threads incrementing concurrently
+    (the server's worker plus direct engine callers) could otherwise
+    lose updates.
+    """
+
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise InvalidParameterError(f"counters only go up, got {amount}")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
     """A value that can go up and down (e.g. staleness age)."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         self.value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
 
 class Histogram:
@@ -81,7 +93,9 @@ class Histogram:
     per-bucket here).  The last implicit bucket is ``+Inf``.
     """
 
-    __slots__ = ("bounds", "bucket_counts", "count", "total", "minimum", "maximum")
+    __slots__ = (
+        "bounds", "bucket_counts", "count", "total", "minimum", "maximum", "_lock",
+    )
 
     def __init__(self, bounds=DEFAULT_BUCKETS) -> None:
         bounds = tuple(float(bound) for bound in bounds)
@@ -93,6 +107,7 @@ class Histogram:
         self.total = 0.0
         self.minimum = math.inf
         self.maximum = -math.inf
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -101,64 +116,106 @@ class Histogram:
             if value <= bound:
                 break
             position += 1
-        self.bucket_counts[position] += 1
-        self.count += 1
-        self.total += value
-        self.minimum = min(self.minimum, value)
-        self.maximum = max(self.maximum, value)
+        with self._lock:
+            self.bucket_counts[position] += 1
+            self.count += 1
+            self.total += value
+            self.minimum = min(self.minimum, value)
+            self.maximum = max(self.maximum, value)
+
+    def observe_many(self, values) -> None:
+        """Record many observations under one lock acquisition.
+
+        The hot serve path records a whole batch's latencies at once;
+        taking the instrument lock per value would add a lock round per
+        query.
+        """
+        values = [float(value) for value in values]
+        if not values:
+            return
+        positions = []
+        for value in values:
+            position = 0
+            for bound in self.bounds:
+                if value <= bound:
+                    break
+                position += 1
+            positions.append(position)
+        with self._lock:
+            for position in positions:
+                self.bucket_counts[position] += 1
+            self.count += len(values)
+            self.total += sum(values)
+            self.minimum = min(self.minimum, min(values))
+            self.maximum = max(self.maximum, max(values))
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
     def as_dict(self) -> dict:
-        return {
-            "count": self.count,
-            "sum": self.total,
-            "mean": self.mean,
-            "min": self.minimum if self.count else None,
-            "max": self.maximum if self.count else None,
-            "buckets": {
-                "le": list(self.bounds),
-                "counts": list(self.bucket_counts),
-            },
-        }
+        with self._lock:
+            return {
+                "count": self.count,
+                "sum": self.total,
+                "mean": self.mean,
+                "min": self.minimum if self.count else None,
+                "max": self.maximum if self.count else None,
+                "buckets": {
+                    "le": list(self.bounds),
+                    "counts": list(self.bucket_counts),
+                },
+            }
 
 
 class MetricsRegistry:
-    """Named, labelled instruments with JSON and Prometheus exports."""
+    """Named, labelled instruments with JSON and Prometheus exports.
+
+    Instrument lookup-or-create and whole-registry reads (``snapshot``,
+    ``render_prometheus``, ``reset``) hold a registry lock, so threads
+    racing to create the same labelled instrument always share one
+    object and a concurrent snapshot never sees a dict mid-mutation
+    (``RuntimeError: dictionary changed size during iteration``).
+    Updates on an already-created instrument only take that
+    instrument's own lock.
+    """
 
     def __init__(self, prefix: str = "repro") -> None:
         self.prefix = prefix
+        self._lock = threading.Lock()
         self._counters: dict[str, dict[tuple, Counter]] = {}
         self._gauges: dict[str, dict[tuple, Gauge]] = {}
         self._histograms: dict[str, dict[tuple, Histogram]] = {}
 
     def counter(self, name: str, **labels) -> Counter:
-        series = self._counters.setdefault(name, {})
-        key = _label_key(labels)
-        if key not in series:
-            series[key] = Counter()
-        return series[key]
+        with self._lock:
+            series = self._counters.setdefault(name, {})
+            key = _label_key(labels)
+            if key not in series:
+                series[key] = Counter()
+            return series[key]
 
     def gauge(self, name: str, **labels) -> Gauge:
-        series = self._gauges.setdefault(name, {})
-        key = _label_key(labels)
-        if key not in series:
-            series[key] = Gauge()
-        return series[key]
+        with self._lock:
+            series = self._gauges.setdefault(name, {})
+            key = _label_key(labels)
+            if key not in series:
+                series[key] = Gauge()
+            return series[key]
 
     def histogram(self, name: str, buckets=DEFAULT_BUCKETS, **labels) -> Histogram:
-        series = self._histograms.setdefault(name, {})
-        key = _label_key(labels)
-        if key not in series:
-            series[key] = Histogram(buckets)
-        return series[key]
+        with self._lock:
+            series = self._histograms.setdefault(name, {})
+            key = _label_key(labels)
+            if key not in series:
+                series[key] = Histogram(buckets)
+            return series[key]
 
     def reset(self) -> None:
-        self._counters.clear()
-        self._gauges.clear()
-        self._histograms.clear()
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
 
     def snapshot(self) -> dict:
         """All instruments as one JSON-ready dict (a deep copy)."""
@@ -172,14 +229,19 @@ class MetricsRegistry:
                 for name, instruments in sorted(series.items())
             }
 
-        return {
-            "counters": series_map(self._counters, lambda c: c.value),
-            "gauges": series_map(self._gauges, lambda g: g.value),
-            "histograms": series_map(self._histograms, lambda h: h.as_dict()),
-        }
+        with self._lock:
+            return {
+                "counters": series_map(self._counters, lambda c: c.value),
+                "gauges": series_map(self._gauges, lambda g: g.value),
+                "histograms": series_map(self._histograms, lambda h: h.as_dict()),
+            }
 
     def render_prometheus(self) -> str:
         """Prometheus text exposition format (version 0.0.4)."""
+        with self._lock:
+            return self._render_prometheus_locked()
+
+    def _render_prometheus_locked(self) -> str:
         lines: list[str] = []
         for name, instruments in sorted(self._counters.items()):
             metric = f"{self.prefix}_{name}"

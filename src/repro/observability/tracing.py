@@ -15,6 +15,7 @@ and a list append — so it can stay enabled on the hot path; disable it
 from __future__ import annotations
 
 import itertools
+import threading
 from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -76,9 +77,14 @@ NULL_SPAN = _NullSpan()
 class TraceRecorder:
     """Collects nested spans into a bounded ring buffer.
 
-    Not thread-safe: the parent stack is shared, so concurrent builders
-    (``build_all_synopses(parallel=True)``) record only their enclosing
-    span plus per-phase metrics, never per-thread child spans.
+    Thread-compatible: the parent stack is thread-local, so spans
+    opened by different threads (the serving tier's worker next to
+    direct engine callers) nest correctly within their own thread and
+    never corrupt each other's parentage.  The finished ring buffer is
+    shared; its appends are atomic.  Parallel builders
+    (``build_all_synopses(parallel=True)``) still record only their
+    enclosing span plus per-phase metrics, never per-thread child
+    spans.
     """
 
     def __init__(self, clock=None, capacity: int = DEFAULT_SPAN_CAPACITY) -> None:
@@ -87,8 +93,14 @@ class TraceRecorder:
         self.clock = clock if clock is not None else SystemClock()
         self.enabled = True
         self._ids = itertools.count(1)
-        self._stack: list[Span] = []
+        self._local = threading.local()
         self._finished: deque[Span] = deque(maxlen=capacity)
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     @contextmanager
     def span(self, name: str, **attributes):
@@ -96,7 +108,8 @@ class TraceRecorder:
         if not self.enabled:
             yield NULL_SPAN
             return
-        parent = self._stack[-1] if self._stack else None
+        stack = self._stack()
+        parent = stack[-1] if stack else None
         record = Span(
             name=name,
             span_id=next(self._ids),
@@ -104,12 +117,12 @@ class TraceRecorder:
             start=self.clock.now(),
             attributes=dict(attributes),
         )
-        self._stack.append(record)
+        stack.append(record)
         try:
             yield record
         finally:
             record.end = self.clock.now()
-            self._stack.pop()
+            stack.pop()
             self._finished.append(record)
 
     def spans(self, name: str | None = None) -> list[Span]:

@@ -1,0 +1,29 @@
+"""The serve plane: concurrent, coalescing, cache-backed query serving.
+
+Splits answering queries (this package) from building and maintaining
+synopses (:mod:`repro.engine`).  :class:`QueryServer` is the front
+door; the pieces compose and are usable on their own:
+
+* :class:`CatalogView` — read-only window into an engine's catalog,
+  home of the :meth:`~CatalogView.answer_token` consistency tokens.
+* :class:`AnswerCache` — token-validated LRU of query answers that can
+  never serve a pre-mutation answer after ``append_rows``.
+* :class:`RequestCoalescer` — size/age-triggered batching of pending
+  requests onto the engine's vectorised ``execute_batch`` path.
+* :class:`QueryServer` — worker thread, admission control, and the
+  overload shed ladder tying the above together.
+"""
+
+from repro.serving.answer_cache import AnswerCache, cache_key
+from repro.serving.catalog import CatalogView
+from repro.serving.coalescer import PendingRequest, RequestCoalescer
+from repro.serving.server import QueryServer
+
+__all__ = [
+    "AnswerCache",
+    "CatalogView",
+    "PendingRequest",
+    "QueryServer",
+    "RequestCoalescer",
+    "cache_key",
+]

@@ -1,0 +1,179 @@
+"""Staleness-aware answer cache for range-aggregate queries.
+
+The paper's estimators are already O(1) per query, but a production
+serve path still pays python dispatch, clipping, and tracing per
+answer; repeated dashboard queries are better served straight from a
+dict.  The catch is consistency: a cached answer must die the moment
+``append_rows`` (or a rebuild, or a drift-driven ``mark_stale``) could
+change it.
+
+This cache solves that with *validation tokens* instead of push
+invalidation: every entry stores the
+:meth:`~repro.serving.catalog.CatalogView.answer_token` that was
+current **before** its answer was computed, and a lookup only hits when
+the stored token equals the current one.  Because every engine-side
+mutation (append, register, build, shard refresh, staleness
+transition) changes the token, an entry recorded under an older state
+can never validate — even if the mutation raced the answer's
+computation.  Outdated entries stay resident (feeding the overload
+path's explicitly-tagged stale answers) until overwritten or aged out.
+
+Entries are kept in LRU order under a single lock; capacity eviction
+drops the least recently used.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from repro.errors import InvalidParameterError
+
+
+def cache_key(query) -> tuple:
+    """The canonical cache key of one aggregate query.
+
+    Open bounds are normalised to infinities so ``low=None`` and an
+    explicit out-of-domain bound that clips identically still share an
+    entry only when they are literally the same query shape.
+    """
+    return (
+        query.table,
+        query.column,
+        query.aggregate,
+        float("-inf") if query.low is None else float(query.low),
+        float("inf") if query.high is None else float(query.high),
+    )
+
+
+class AnswerCache:
+    """Token-validated LRU cache of :class:`QueryResult` answers."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise InvalidParameterError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple, tuple[tuple, object]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.invalidated = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: tuple, token: tuple):
+        """The cached answer for ``key`` if it validates, else ``None``.
+
+        An entry whose stored token differs from ``token`` was recorded
+        under an older catalog state and must never be served as fresh:
+        the lookup misses (counted in ``invalidated``).  The entry is
+        deliberately *left in place* — versions and build ids only go
+        up, so an outdated token can never validate again, and keeping
+        the answer lets the overload path (:meth:`get_even_stale`)
+        serve it explicitly tagged stale.  It is overwritten by the
+        recomputed answer's :meth:`put` or aged out by the LRU.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            stored_token, result = entry
+            if stored_token != token:
+                self.invalidated += 1
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return result
+
+    def get_many(self, keys: list, tokens: list) -> list:
+        """Vector form of :meth:`get`: one lock round for a whole batch.
+
+        Returns a list parallel to ``keys`` whose entries are the cached
+        answer or ``None``, with identical validation and accounting.
+        """
+        with self._lock:
+            results = []
+            for key, token in zip(keys, tokens):
+                entry = self._entries.get(key)
+                if entry is None:
+                    self.misses += 1
+                    results.append(None)
+                    continue
+                stored_token, result = entry
+                if stored_token != token:
+                    self.invalidated += 1
+                    self.misses += 1
+                    results.append(None)
+                    continue
+                self._entries.move_to_end(key)
+                self.hits += 1
+                results.append(result)
+            return results
+
+    def get_even_stale(self, key: tuple):
+        """The cached answer regardless of token validity, or ``None``.
+
+        The overload-shedding path uses this: under admission control a
+        policy that admits the ``stale`` rung may serve a possibly
+        outdated answer *explicitly tagged as stale* rather than queue
+        without bound.  The entry is left in place (it keeps absorbing
+        shed load until capacity or an on-path lookup evicts it) and is
+        never counted as a hit.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            return entry[1]
+
+    def put(self, key: tuple, token: tuple, result) -> None:
+        """Record an answer computed under ``token`` (read pre-compute)."""
+        with self._lock:
+            self._entries[key] = (token, result)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def put_many(self, entries: list) -> None:
+        """Record ``(key, token, result)`` triples under one lock round."""
+        with self._lock:
+            for key, token, result in entries:
+                self._entries[key] = (token, result)
+                self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def invalidate_table(self, table_name: str) -> int:
+        """Eagerly drop every entry of one table; returns the count.
+
+        Token validation already guarantees correctness without this;
+        eager invalidation just reclaims capacity promptly after bulk
+        mutations.
+        """
+        with self._lock:
+            doomed = [key for key in self._entries if key[0] == table_name]
+            for key in doomed:
+                del self._entries[key]
+            self.invalidated += len(doomed)
+            return len(doomed)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "invalidated": self.invalidated,
+                "evictions": self.evictions,
+            }

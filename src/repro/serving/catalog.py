@@ -1,0 +1,126 @@
+"""Read-only catalog view — the serve plane's only window into the engine.
+
+The serving tier must never mutate the catalog: builds, appends, and
+refreshes belong to the build plane (:mod:`repro.engine.engine`), while
+the server only *answers*.  :class:`CatalogView` encodes that split as
+an object capability: it wraps an engine but exposes nothing that can
+change it, so handing a ``CatalogView`` to the cache, the coalescer, or
+an operator dashboard cannot corrupt the catalog.
+
+It is also where cache consistency lives.  :meth:`answer_token`
+condenses everything that could change a (table, column)'s answers into
+one comparable value:
+
+* the table's **data version** (bumped by ``register_table`` and
+  ``append_rows``),
+* the synopsis's **build id** (bumped by every build/rebuild, including
+  incremental dirty-shard refreshes),
+* the **staleness flag** (set by appends and by drift-driven
+  ``error_report(mark_stale=True)``; the dirty-shard set rides on it).
+
+Two equal tokens guarantee the engine would produce the same answer; a
+token read *before* computing an answer therefore certifies that answer
+for exactly as long as the token validates.  This is pull-based
+invalidation — no event subscription, no missed callbacks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidQueryError
+
+
+class CatalogView:
+    """Thin read-only facade over an :class:`ApproximateQueryEngine`.
+
+    The view deliberately reaches into the engine's private catalog
+    state (it is the one blessed friend of the engine); everything it
+    returns is a copy or an immutable value.
+    """
+
+    def __init__(self, engine) -> None:
+        self._engine = engine
+
+    # -- catalog shape -------------------------------------------------
+    def table_names(self) -> list[str]:
+        return sorted(self._engine._tables)
+
+    def column_names(self, table_name: str) -> list[str]:
+        return list(self._engine.table(table_name).column_names())
+
+    def has_table(self, table_name: str) -> bool:
+        return table_name in self._engine._tables
+
+    def has_synopsis(self, table_name: str, column_name: str) -> bool:
+        return (table_name, column_name) in self._engine._synopses
+
+    def synopsis_catalog(self) -> list[dict]:
+        return self._engine.synopsis_catalog()
+
+    # -- staleness -----------------------------------------------------
+    def is_stale(self, table_name: str, column_name: str) -> bool:
+        return (table_name, column_name) in self._engine._stale
+
+    def stale_synopses(self) -> list[tuple[str, str]]:
+        return self._engine.stale_synopses()
+
+    def dirty_shards(self) -> dict[str, list[int] | None]:
+        return self._engine.dirty_shards()
+
+    # -- cache consistency ---------------------------------------------
+    def table_version(self, table_name: str) -> int:
+        return self._engine.table_version(table_name)
+
+    def answer_token(self, table_name: str, column_name: str) -> tuple:
+        """The consistency token certifying answers for one column.
+
+        Any engine-side change that could alter an answer — appended or
+        replaced data, a (re)build, a staleness transition — changes the
+        token.  Cached answers store the token that was current *before*
+        they were computed and are served only while it still matches.
+        """
+        key = (table_name, column_name)
+        meta = self._engine._build_meta.get(key)
+        return (
+            self._engine.table_version(table_name),
+            meta.get("build_id", 0) if meta is not None else 0,
+            key in self._engine._stale,
+            key in self._engine._quarantined,
+        )
+
+    # -- degraded answering (synopsis-free rungs) ----------------------
+    def fallback_estimate(self, query) -> float:
+        """O(1) uniform-model answer — the ladder's ``fallback`` rung.
+
+        Raises :class:`~repro.errors.InvalidQueryError` for unknown
+        tables/columns, exactly like the engine proper: admission
+        control may shed load, but never invents columns.
+        """
+        if not self.has_table(query.table):
+            raise InvalidQueryError(
+                f"unknown table {query.table!r}; registered: {self.table_names()}"
+            )
+        low = query.low if query.low is not None else -np.inf
+        high = query.high if query.high is not None else np.inf
+        return float(
+            self._engine._fallback_estimate_many(
+                query.table,
+                query.column,
+                query.aggregate,
+                np.asarray([low]),
+                np.asarray([high]),
+            )[0]
+        )
+
+    # -- observability passthrough -------------------------------------
+    @property
+    def metrics(self):
+        return self._engine.metrics
+
+    @property
+    def tracer(self):
+        return self._engine.tracer
+
+    def observability_snapshot(self) -> dict:
+        return self._engine.observability_snapshot()

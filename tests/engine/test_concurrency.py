@@ -1,0 +1,188 @@
+"""Thread-safety hammer tests for engine stats and the metrics registry.
+
+The serving tier runs ``execute_batch`` on a worker thread while
+clients (and direct engine callers) run on others, so the engine's
+counter dict and the metrics registry must tolerate concurrent updates
+and concurrent snapshots: no lost increments, no
+``RuntimeError: dictionary changed size during iteration``.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.engine import ApproximateQueryEngine, Table
+from repro.engine.engine import AggregateQuery
+from repro.observability.metrics import MetricsRegistry
+
+
+@pytest.fixture
+def engine():
+    rng = np.random.default_rng(3)
+    engine = ApproximateQueryEngine()
+    engine.register_table(Table("t", {"v": rng.integers(0, 200, 5000)}))
+    engine.build_synopsis("t", "v", method="sap1", budget_words=64)
+    return engine
+
+
+def _run_threads(workers):
+    threads = [threading.Thread(target=worker) for worker in workers]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+class TestEngineStatsUnderConcurrency:
+    THREADS = 8
+    QUERIES_PER_THREAD = 200
+
+    def test_no_lost_query_counts(self, engine):
+        engine.reset_stats()
+        errors = []
+
+        def hammer():
+            try:
+                for index in range(self.QUERIES_PER_THREAD):
+                    low = float(index % 150)
+                    engine.execute(AggregateQuery("t", "v", "count", low, low + 40))
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        _run_threads([hammer] * self.THREADS)
+        assert not errors
+        stats = engine.stats()
+        assert stats["queries"] == self.THREADS * self.QUERIES_PER_THREAD
+        assert sum(stats["synopsis_hits"].values()) == stats["queries"]
+
+    def test_stats_snapshot_during_execution_never_raises(self, engine):
+        stop = threading.Event()
+        errors = []
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    snapshot = engine.stats()
+                    assert isinstance(snapshot["queries"], int)
+                    engine.metrics.snapshot()
+                    engine.metrics.render_prometheus()
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        def writer():
+            try:
+                for index in range(300):
+                    engine.execute(
+                        AggregateQuery("t", "v", "sum", float(index % 100), 180.0)
+                    )
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+            finally:
+                stop.set()
+
+        _run_threads([reader, reader, writer, writer])
+        assert not errors
+
+    def test_reset_stats_swap_is_atomic(self, engine):
+        errors = []
+        stop = threading.Event()
+
+        def resetter():
+            try:
+                while not stop.is_set():
+                    engine.reset_stats()
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        def writer():
+            try:
+                for index in range(300):
+                    engine.execute(
+                        AggregateQuery("t", "v", "count", float(index % 100), 150.0)
+                    )
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+            finally:
+                stop.set()
+
+        _run_threads([resetter, writer])
+        assert not errors
+        assert engine.stats()["queries"] <= 300
+
+
+class TestMetricsRegistryUnderConcurrency:
+    def test_counter_increments_are_not_lost(self):
+        registry = MetricsRegistry()
+        increments = 2000
+
+        def worker():
+            for _ in range(increments):
+                registry.counter("hammered_total", worker="shared").inc()
+
+        _run_threads([worker] * 8)
+        assert registry.counter("hammered_total", worker="shared").value == 8 * increments
+
+    def test_histogram_observations_are_not_lost(self):
+        registry = MetricsRegistry()
+
+        def worker(offset):
+            histogram = registry.histogram("hammered_seconds")
+            for index in range(1000):
+                histogram.observe((offset + index) % 7 * 0.001)
+
+        _run_threads([lambda o=o: worker(o) for o in range(6)])
+        histogram = registry.histogram("hammered_seconds")
+        assert histogram.count == 6000
+        assert sum(histogram.bucket_counts) == 6000
+
+    def test_observe_many_matches_scalar_observe(self):
+        registry = MetricsRegistry()
+        scalar = registry.histogram("scalar_path")
+        bulk = registry.histogram("bulk_path")
+        values = [0.0001 * (i % 50) for i in range(500)]
+        for value in values:
+            scalar.observe(value)
+        bulk.observe_many(values)
+        assert bulk.as_dict() == scalar.as_dict()
+
+    def test_concurrent_create_returns_one_instrument(self):
+        registry = MetricsRegistry()
+        seen = []
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            counter = registry.counter("racy_total", label="x")
+            counter.inc()
+            seen.append(counter)
+
+        _run_threads([worker] * 8)
+        assert len({id(counter) for counter in seen}) == 1
+        assert seen[0].value == 8
+
+    def test_snapshot_during_instrument_creation(self):
+        registry = MetricsRegistry()
+        errors = []
+        stop = threading.Event()
+
+        def creator():
+            try:
+                for index in range(500):
+                    registry.counter(f"metric_{index % 50}_total", shard=str(index % 5)).inc()
+                    registry.gauge(f"gauge_{index % 20}").set(index)
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+            finally:
+                stop.set()
+
+        def snapshotter():
+            try:
+                while not stop.is_set():
+                    registry.snapshot()
+                    registry.render_prometheus()
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        _run_threads([creator, snapshotter, snapshotter])
+        assert not errors

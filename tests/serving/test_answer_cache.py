@@ -1,0 +1,116 @@
+"""Tests for the token-validated answer cache."""
+
+import pytest
+
+from repro.engine.engine import AggregateQuery
+from repro.errors import InvalidParameterError
+from repro.serving import AnswerCache, cache_key
+
+TOKEN_A = (1, 1, False, False)
+TOKEN_B = (2, 1, False, False)
+
+
+def test_cache_key_normalises_open_bounds():
+    query = AggregateQuery("t", "c", "count", None, None)
+    key = cache_key(query)
+    assert key == ("t", "c", "count", float("-inf"), float("inf"))
+
+
+def test_cache_key_distinguishes_aggregates():
+    count = AggregateQuery("t", "c", "count", 1.0, 5.0)
+    total = AggregateQuery("t", "c", "sum", 1.0, 5.0)
+    assert cache_key(count) != cache_key(total)
+
+
+def test_hit_requires_matching_token():
+    cache = AnswerCache()
+    cache.put(("t", "c", "count", 0.0, 1.0), TOKEN_A, "answer")
+    assert cache.get(("t", "c", "count", 0.0, 1.0), TOKEN_A) == "answer"
+    assert cache.hits == 1
+
+
+def test_token_mismatch_never_serves_as_fresh():
+    cache = AnswerCache()
+    key = ("t", "c", "count", 0.0, 1.0)
+    cache.put(key, TOKEN_A, "answer")
+    assert cache.get(key, TOKEN_B) is None
+    assert cache.invalidated == 1
+    # The outdated entry stays resident for the overload path...
+    assert cache.get_even_stale(key) == "answer"
+    # ...and is replaced wholesale once the answer is recomputed.
+    cache.put(key, TOKEN_B, "fresh answer")
+    assert cache.get(key, TOKEN_B) == "fresh answer"
+
+
+def test_get_even_stale_ignores_tokens_and_preserves_entry():
+    cache = AnswerCache()
+    key = ("t", "c", "count", 0.0, 1.0)
+    cache.put(key, TOKEN_A, "answer")
+    assert cache.get_even_stale(key) == "answer"
+    assert cache.get_even_stale(("other",)) is None
+    assert len(cache) == 1
+    assert cache.hits == 0
+
+
+def test_lru_eviction_drops_least_recent():
+    cache = AnswerCache(capacity=2)
+    cache.put(("a",), TOKEN_A, 1)
+    cache.put(("b",), TOKEN_A, 2)
+    assert cache.get(("a",), TOKEN_A) == 1  # refresh a
+    cache.put(("c",), TOKEN_A, 3)  # evicts b
+    assert cache.get(("b",), TOKEN_A) is None
+    assert cache.get(("a",), TOKEN_A) == 1
+    assert cache.get(("c",), TOKEN_A) == 3
+    assert cache.evictions == 1
+
+
+def test_get_many_matches_scalar_semantics():
+    cache = AnswerCache()
+    cache.put(("a",), TOKEN_A, 1)
+    cache.put(("b",), TOKEN_A, 2)
+    results = cache.get_many(
+        [("a",), ("b",), ("missing",)], [TOKEN_A, TOKEN_B, TOKEN_A]
+    )
+    assert results == [1, None, None]
+    assert cache.hits == 1
+    assert cache.invalidated == 1
+    assert cache.misses == 2
+
+
+def test_put_many_enforces_capacity():
+    cache = AnswerCache(capacity=2)
+    cache.put_many([(("a",), TOKEN_A, 1), (("b",), TOKEN_A, 2), (("c",), TOKEN_A, 3)])
+    assert len(cache) == 2
+    assert cache.get(("a",), TOKEN_A) is None
+    assert cache.evictions == 1
+
+
+def test_invalidate_table_drops_only_that_table():
+    cache = AnswerCache()
+    cache.put(("sales", "price", "count", 0.0, 1.0), TOKEN_A, 1)
+    cache.put(("sales", "qty", "sum", 0.0, 1.0), TOKEN_A, 2)
+    cache.put(("traffic", "value", "count", 0.0, 1.0), TOKEN_A, 3)
+    assert cache.invalidate_table("sales") == 2
+    assert len(cache) == 1
+    assert cache.get(("traffic", "value", "count", 0.0, 1.0), TOKEN_A) == 3
+
+
+def test_stats_shape():
+    cache = AnswerCache(capacity=8)
+    cache.put(("a",), TOKEN_A, 1)
+    cache.get(("a",), TOKEN_A)
+    cache.get(("b",), TOKEN_A)
+    stats = cache.stats()
+    assert stats == {
+        "size": 1,
+        "capacity": 8,
+        "hits": 1,
+        "misses": 1,
+        "invalidated": 0,
+        "evictions": 0,
+    }
+
+
+def test_invalid_capacity_rejected():
+    with pytest.raises(InvalidParameterError):
+        AnswerCache(capacity=0)

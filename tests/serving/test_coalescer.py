@@ -1,0 +1,160 @@
+"""Tests for request coalescing and the slim serve future."""
+
+import threading
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.serving import PendingRequest, RequestCoalescer
+from repro.serving.coalescer import ServeFuture
+
+
+class FakeClock:
+    """A controllable monotonic clock for timeout-policy tests."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _request(query="q"):
+    return PendingRequest(query=query)
+
+
+class TestFlushPolicy:
+    def test_empty_queue_is_never_due(self):
+        coalescer = RequestCoalescer(max_batch=4, max_delay_seconds=0.0)
+        assert not coalescer.flush_due()
+
+    def test_size_trigger(self):
+        clock = FakeClock()
+        coalescer = RequestCoalescer(max_batch=3, max_delay_seconds=60.0, clock=clock)
+        coalescer.add(_request())
+        coalescer.add(_request())
+        assert not coalescer.flush_due()
+        coalescer.add(_request())
+        assert coalescer.flush_due()
+
+    def test_age_trigger(self):
+        clock = FakeClock()
+        coalescer = RequestCoalescer(max_batch=100, max_delay_seconds=0.5, clock=clock)
+        coalescer.add(_request())
+        assert not coalescer.flush_due()
+        clock.advance(0.4)
+        assert not coalescer.flush_due()
+        clock.advance(0.2)
+        assert coalescer.flush_due()
+
+    def test_age_measured_from_oldest_request(self):
+        clock = FakeClock()
+        coalescer = RequestCoalescer(max_batch=100, max_delay_seconds=0.5, clock=clock)
+        coalescer.add(_request("old"))
+        clock.advance(0.45)
+        coalescer.add(_request("young"))
+        clock.advance(0.1)
+        assert coalescer.flush_due()
+
+    def test_zero_delay_flushes_immediately(self):
+        coalescer = RequestCoalescer(max_batch=100, max_delay_seconds=0.0)
+        coalescer.add(_request())
+        assert coalescer.flush_due()
+
+
+class TestDrain:
+    def test_drain_respects_max_batch_and_order(self):
+        coalescer = RequestCoalescer(max_batch=2, max_delay_seconds=0.0)
+        requests = [_request(i) for i in range(5)]
+        coalescer.add_many(requests)
+        assert [r.query for r in coalescer.drain()] == [0, 1]
+        assert [r.query for r in coalescer.drain()] == [2, 3]
+        assert [r.query for r in coalescer.drain()] == [4]
+        assert coalescer.drain() == []
+
+    def test_drain_all_empties_queue(self):
+        coalescer = RequestCoalescer(max_batch=2, max_delay_seconds=0.0)
+        coalescer.add_many([_request(i) for i in range(5)])
+        assert len(coalescer.drain_all()) == 5
+        assert len(coalescer) == 0
+
+
+class TestNextBatch:
+    def test_returns_batch_when_size_reached(self):
+        coalescer = RequestCoalescer(max_batch=2, max_delay_seconds=60.0)
+        stop = threading.Event()
+        coalescer.add_many([_request(0), _request(1)])
+        batch = coalescer.next_batch(stop)
+        assert [r.query for r in batch] == [0, 1]
+
+    def test_stop_drains_remaining(self):
+        coalescer = RequestCoalescer(max_batch=100, max_delay_seconds=60.0)
+        stop = threading.Event()
+        stop.set()
+        coalescer.add(_request("leftover"))
+        batch = coalescer.next_batch(stop)
+        assert [r.query for r in batch] == ["leftover"]
+        assert coalescer.next_batch(stop) == []
+
+    def test_worker_wakes_on_add(self):
+        coalescer = RequestCoalescer(max_batch=1, max_delay_seconds=60.0)
+        stop = threading.Event()
+        batches = []
+
+        def worker():
+            batches.append(coalescer.next_batch(stop))
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        coalescer.add(_request("wake"))
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert [r.query for r in batches[0]] == ["wake"]
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            RequestCoalescer(max_batch=0)
+        with pytest.raises(InvalidParameterError):
+            RequestCoalescer(max_delay_seconds=-1.0)
+
+
+class TestServeFuture:
+    def test_set_result_and_fast_path(self):
+        future = ServeFuture()
+        assert not future.done()
+        future.set_result(41)
+        assert future.done()
+        assert future.result() == 41
+        assert future.exception() is None
+
+    def test_resolved_constructor(self):
+        future = ServeFuture.resolved("hit")
+        assert future.done()
+        assert future.result(timeout=0) == "hit"
+
+    def test_set_exception_reraises(self):
+        future = ServeFuture()
+        future.set_exception(ValueError("boom"))
+        with pytest.raises(ValueError, match="boom"):
+            future.result()
+        assert isinstance(future.exception(), ValueError)
+
+    def test_result_timeout(self):
+        future = ServeFuture()
+        with pytest.raises(TimeoutError):
+            future.result(timeout=0.01)
+
+    def test_result_blocks_until_resolved_from_other_thread(self):
+        future = ServeFuture()
+        threading.Timer(0.05, future.set_result, args=["late"]).start()
+        assert future.result(timeout=5.0) == "late"
+
+    def test_resolve_batch_completes_all(self):
+        futures = [ServeFuture() for _ in range(10)]
+        ServeFuture.resolve_batch([(f, i) for i, f in enumerate(futures)])
+        assert [f.result() for f in futures] == list(range(10))

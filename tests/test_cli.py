@@ -189,6 +189,34 @@ class TestDumpMetrics:
         assert "error:" in capsys.readouterr().err
 
 
+class TestServe:
+    def test_serve_reports_both_paths(self, capsys):
+        assert main([
+            "serve", "--rows", "5000", "--queries", "800", "--threads", "2",
+            "--budget", "64",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "coalesced QueryServer" in out
+        assert "naive execute() loop" in out
+        assert "speedup:" in out
+
+    def test_serve_writes_json_record(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "serve.json"
+        assert main([
+            "serve", "--rows", "5000", "--queries", "400", "--threads", "2",
+            "--budget", "64", "--max-batch", "128", "--max-delay-ms", "5",
+            "--output", str(target),
+        ]) == 0
+        assert "result written to" in capsys.readouterr().out
+        payload = json.loads(target.read_text())
+        assert payload["query_count"] == 400
+        assert payload["max_batch"] == 128
+        assert payload["max_abs_difference"] == 0.0
+        assert payload["batches"] >= 1
+
+
 class TestReport:
     def test_report_to_file(self, tmp_path, capsys, monkeypatch):
         # Patch the harness onto a small dataset so the test stays fast.
