@@ -1,0 +1,66 @@
+"""Shard-tree benchmark: O(log S) dyadic answering vs the O(S) flat sum.
+
+The dyadic shard tree's contract is twofold:
+
+* speed — at S=4096 shards, batched tree answering must beat the
+  pre-tree baseline (a python-level ``totals[f:l+1].sum()`` per query,
+  O(S) each) by at least 5x on a 4096-range interior workload;
+* exactness — over integer-valued totals the tree, the flat sum, and
+  the cumulative-prefix difference must agree **bit-for-bit** (integer
+  float64 sums are exact in any association order, and the differential
+  suites pin the same identity engine-wide).
+
+The measured trajectory is written to ``BENCH_shard_tree.json`` at the
+repo root so successive sessions can track interior-answering speed;
+CI uploads it as an artifact.
+"""
+
+import json
+import pathlib
+
+from repro.experiments.reporting import format_table
+from repro.experiments.shard_tree import run_shard_tree_benchmark
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+SPEEDUP_GATE = 5.0
+SHARDS = 4096
+
+
+def test_dyadic_tree_beats_flat_sum(record_result):
+    result = run_shard_tree_benchmark(shards=SHARDS, queries=4096, repeats=5)
+    rows = [
+        ["flat sum (O(S)/query)", f"{result.flat_seconds:.4f}", "-"],
+        [
+            "dyadic tree (O(log S)/query)",
+            f"{result.tree_seconds:.4f}",
+            f"{result.speedup:.1f}x",
+        ],
+        [
+            "prefix diff (O(1)/query, O(S) rebuild)",
+            f"{result.prefix_seconds:.4f}",
+            "-",
+        ],
+    ]
+    record_result(
+        "shard_tree",
+        format_table(
+            ["interior strategy", "seconds", "speedup"],
+            rows,
+            title=(
+                f"Interior answering ({result.shards} shards, depth "
+                f"{result.tree_depth}, {result.queries} ranges)"
+            ),
+        ),
+    )
+    (REPO_ROOT / "BENCH_shard_tree.json").write_text(
+        json.dumps(result.to_dict(), indent=2) + "\n"
+    )
+    assert result.bit_identical, (
+        "tree, flat, and prefix interior sums must agree bit-for-bit "
+        "on integer-valued totals"
+    )
+    assert result.tree_depth == 12
+    assert result.speedup >= SPEEDUP_GATE, (
+        f"dyadic tree answering managed only {result.speedup:.1f}x over "
+        f"the flat sum at S={SHARDS} (gate: {SPEEDUP_GATE}x)"
+    )

@@ -336,6 +336,77 @@ def _cmd_bench_refresh(args) -> int:
     return 0
 
 
+def _cmd_bench_shard_tree(args) -> int:
+    import json
+
+    from repro.experiments.shard_tree import run_shard_tree_benchmark
+
+    result = run_shard_tree_benchmark(
+        shards=args.shards,
+        queries=args.queries,
+        repeats=args.repeats,
+    )
+    rows = [
+        ["flat sum (O(S)/query)", result.flat_seconds],
+        ["dyadic tree (O(log S)/query)", result.tree_seconds],
+        ["prefix diff (O(1)/query, O(S) rebuild)", result.prefix_seconds],
+    ]
+    print(
+        format_table(
+            ["interior strategy", "seconds"],
+            rows,
+            title=(
+                f"Interior answering ({result.shards} shards, depth "
+                f"{result.tree_depth}, {result.queries} ranges)"
+            ),
+        )
+    )
+    print(
+        f"speedup: {result.speedup:.1f}x   "
+        f"bit-identical: {result.bit_identical}"
+    )
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(result.to_dict(), handle, indent=2)
+        print(f"result written to {args.output}")
+    return 0
+
+
+def _cmd_compact(args) -> int:
+    import json
+
+    from repro.experiments.shard_tree import run_compaction_demo
+
+    result = run_compaction_demo(
+        row_count=args.rows,
+        domain=args.domain,
+        shards=args.shards,
+        append_count=args.appends,
+        method=args.method,
+        budget_words=args.budget,
+        hot_tail_shards=args.hot_tail,
+        max_run_length=args.max_run,
+    )
+    rows = [[str(first), str(last), last - first + 1] for first, last in result.runs]
+    print(
+        format_table(
+            ["run first", "run last", "shards"],
+            rows,
+            title=(
+                f"Compaction {result.shards_before} -> "
+                f"{result.shards_after} shards (generation "
+                f"{result.generation})"
+            ),
+        )
+    )
+    print(result.summary())
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(result.to_dict(), handle, indent=2)
+        print(f"result written to {args.output}")
+    return 0
+
+
 def _cmd_serve(args) -> int:
     """Drive a workload through the coalescing QueryServer and report.
 
@@ -538,6 +609,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_resilience_arguments(bench_refresh)
     bench_refresh.set_defaults(handler=_cmd_bench_refresh)
+
+    bench_shard_tree = commands.add_parser(
+        "bench-shard-tree",
+        help="time O(log S) dyadic interior answering against the flat sum",
+    )
+    bench_shard_tree.add_argument("--shards", type=int, default=4096)
+    bench_shard_tree.add_argument("--queries", type=int, default=4096)
+    bench_shard_tree.add_argument("--repeats", type=int, default=3)
+    bench_shard_tree.add_argument(
+        "--output", help="also write the result as JSON to this path"
+    )
+    bench_shard_tree.set_defaults(handler=_cmd_bench_shard_tree)
+
+    compact = commands.add_parser(
+        "compact",
+        help="merge cold shard runs of a hot-tail workload and report",
+    )
+    compact.add_argument("--rows", type=int, default=50_000)
+    compact.add_argument("--domain", type=int, default=1024)
+    compact.add_argument("--shards", type=int, default=32)
+    compact.add_argument(
+        "--appends", type=int, default=2_000, help="rows appended into the hot tail"
+    )
+    compact.add_argument("--method", default="a0", choices=sorted(BUILDER_REGISTRY))
+    compact.add_argument("--budget", type=int, default=8192)
+    compact.add_argument(
+        "--hot-tail", type=int, default=4, help="trailing shards exempt from merging"
+    )
+    compact.add_argument(
+        "--max-run", type=int, default=8, help="longest cold run merged at once"
+    )
+    compact.add_argument("--output", help="write the report as JSON")
+    compact.set_defaults(handler=_cmd_compact)
 
     serve = commands.add_parser(
         "serve",

@@ -268,6 +268,46 @@ def split_budget_by_mass(name: str, data, starts, budget_words: int):
     return budgets
 
 
+def merge_shard_budgets(budgets, runs):
+    """:func:`split_budget_by_mass` in reverse: pool budgets over merged runs.
+
+    ``runs`` is a sorted list of non-overlapping inclusive shard-id
+    pairs ``(first, last)``; each run's shards collapse into one coarser
+    shard whose word budget is the *sum* of the run's budgets, so a
+    compaction conserves the column's total storage allocation exactly
+    (mass-proportionality is preserved too: the merged shard's mass is
+    the sum of its parts' masses, and so is its budget).  Returns the
+    post-merge budget vector, one entry per surviving shard.
+    """
+    import numpy as np
+
+    budgets = np.asarray(budgets, dtype=np.int64)
+    if budgets.ndim != 1 or budgets.size < 1:
+        raise InvalidParameterError("budgets must be a non-empty 1-D vector")
+    previous_end = -1
+    merged: list[int] = []
+    cursor = 0
+    for first, last in runs:
+        first, last = int(first), int(last)
+        if not 0 <= first < last < budgets.size:
+            raise InvalidParameterError(
+                f"run ({first}, {last}) must satisfy 0 <= first < last < "
+                f"{budgets.size}"
+            )
+        if first <= previous_end:
+            raise InvalidParameterError(
+                "runs must be sorted and non-overlapping"
+            )
+        merged.extend(budgets[cursor:first].tolist())
+        merged.append(int(budgets[first : last + 1].sum()))
+        previous_end = last
+        cursor = last + 1
+    merged.extend(budgets[cursor:].tolist())
+    out = np.asarray(merged, dtype=np.int64)
+    assert int(out.sum()) == int(budgets.sum())
+    return out
+
+
 def aggregate_shard_predictions(predictions, shard_sizes) -> ErrorPrediction | None:
     """Merge per-shard error models into one synopsis-level prediction.
 

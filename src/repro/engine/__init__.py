@@ -37,7 +37,14 @@ from repro.engine.resilience import (
     FaultInjector,
     deadline_scope,
 )
-from repro.engine.sharding import ShardedSynopsis, build_sharded, shard_boundaries
+from repro.engine.compaction import BackgroundCompactor, CompactionPolicy, plan_runs
+from repro.engine.shard_tree import DyadicShardTree
+from repro.engine.sharding import (
+    INTERIOR_MODES,
+    ShardedSynopsis,
+    build_sharded,
+    shard_boundaries,
+)
 from repro.engine.simulator import SimulationReport, TrafficSpec, simulate_traffic
 from repro.engine.sql import parse_query
 from repro.engine.storage import deserialize_estimator, serialize_estimator
@@ -70,6 +77,11 @@ __all__ = [
     "ShardedSynopsis",
     "build_sharded",
     "shard_boundaries",
+    "DyadicShardTree",
+    "INTERIOR_MODES",
+    "BackgroundCompactor",
+    "CompactionPolicy",
+    "plan_runs",
     "CircuitBreaker",
     "Deadline",
     "deadline_scope",

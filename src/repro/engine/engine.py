@@ -24,6 +24,7 @@ from repro.core.builders import (
     aggregate_shard_predictions,
     build_by_name,
 )
+from repro.engine.compaction import CompactionPolicy, plan_runs
 from repro.engine.sharding import ShardedSynopsis, build_sharded
 from repro.engine.batch import BatchExecutionMixin, BatchQuery  # noqa: F401  (re-exported)
 from repro.engine.column import ColumnStatistics
@@ -442,6 +443,11 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
         #: domain itself changed (every shard must rebuild).  Only stale
         #: sharded entries have a row here.
         self._dirty_shards: dict[tuple[str, str], set[int] | None] = {}
+        #: Per-shard append-touch counters per sharded synopsis key,
+        #: reset by full builds and compactions; the compaction policy
+        #: (:func:`repro.engine.compaction.plan_runs`) reads them to
+        #: find cold runs worth merging.
+        self._shard_heat: dict[tuple[str, str], dict[int, int]] = {}
         self._joint_synopses: dict[tuple[str, str, str], object] = {}
         self._stale_joint: set[tuple[str, str, str]] = set()
         self._grouped_synopses: dict[tuple[str, str, str], dict] = {}
@@ -504,6 +510,8 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
             "stale_served": 0,
             "rebuilds": 0,
             "dirty_shards_rebuilt": 0,
+            "compactions": 0,
+            "compacted_shards": 0,
             "audited_queries": 0,
             "drift_flags": 0,
             "build_timeouts": 0,
@@ -729,11 +737,20 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
         self._synopses[key] = entry
         self._stale.discard(key)
         self._dirty_shards.pop(key, None)
+        self._shard_heat.pop(key, None)
         self._quarantined.discard(key)
         self._invalidate_predictions(key)
+        self._observe_shard_tree(key, entry.count_estimator)
         self._record_build(
             key, entry.method, elapsed, requested=method, rung=outcome["rung"]
         )
+
+    def _observe_shard_tree(self, key: tuple[str, str], estimator) -> None:
+        """Export one sharded synopsis's dyadic-tree depth as a gauge."""
+        if isinstance(estimator, ShardedSynopsis):
+            self.metrics.gauge(
+                "shard_tree_depth", table=key[0], column=key[1]
+            ).set(estimator.tree_depth)
 
     def _record_build(
         self,
@@ -914,13 +931,21 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
                     meta["stale_since"] = now
                 if isinstance(entry.count_estimator, ShardedSynopsis):
                     current = self._dirty_shards.get(key, set())
+                    touched = entry.count_estimator.touched_shards(
+                        entry.statistics.values_axis, rows[key[1]]
+                    )
                     if current is not None:
-                        touched = entry.count_estimator.touched_shards(
-                            entry.statistics.values_axis, rows[key[1]]
-                        )
                         self._dirty_shards[key] = (
                             None if touched is None else current | touched
                         )
+                    heat = self._shard_heat.setdefault(key, {})
+                    hot = (
+                        range(entry.count_estimator.num_shards)
+                        if touched is None
+                        else touched
+                    )
+                    for shard in hot:
+                        heat[shard] = heat.get(shard, 0) + 1
         for key in self._joint_synopses:
             if key[0] == table_name:
                 self._stale_joint.add(key)
@@ -947,6 +972,179 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
             f"{key[0]}.{key[1]}": (None if shards is None else sorted(shards))
             for key, shards in self._dirty_shards.items()
         }
+
+    def shard_heat(self) -> dict[str, list[int]]:
+        """Per-shard append-touch counters for every sharded synopsis.
+
+        Keys are ``"table.column"``; entry ``i`` counts how many
+        :meth:`append_rows` calls landed values in shard ``i`` since its
+        last full build or compaction.  The compaction policy treats
+        low-heat shards as cold and merges runs of them (see
+        :meth:`compact_shards`).
+        """
+        out: dict[str, list[int]] = {}
+        for key, entry in self._synopses.items():
+            if isinstance(entry.count_estimator, ShardedSynopsis):
+                heat = self._shard_heat.get(key, {})
+                out[f"{key[0]}.{key[1]}"] = [
+                    heat.get(shard, 0)
+                    for shard in range(entry.count_estimator.num_shards)
+                ]
+        return out
+
+    def compact_shards(
+        self,
+        table_name: str,
+        column_name: str,
+        *,
+        policy: CompactionPolicy | None = None,
+        runs=None,
+    ) -> dict | None:
+        """Merge cold shard runs of one sharded synopsis in place.
+
+        ``runs`` gives explicit inclusive shard-id runs to merge;
+        otherwise :func:`repro.engine.compaction.plan_runs` selects cold
+        runs from the heat counters under ``policy`` (default
+        :class:`~repro.engine.compaction.CompactionPolicy`).  Both
+        aggregates' synopses are rebuilt over the merged slices of the
+        entry's *frozen* frequency vectors — compaction re-summarises
+        the same snapshot the synopsis already answers for, so it
+        neither loses nor gains staleness — with pooled word budgets
+        (:func:`repro.core.builders.merge_shard_budgets`) and swapped in
+        copy-on-write.  Dirty-shard ids are remapped onto the post-merge
+        geometry, ``stale_since`` is preserved for entries that were
+        already stale, and :meth:`_record_build` bumps the entry's build
+        id so the serving tier's answer-cache tokens stop validating:
+        no answer computed against the pre-compaction synopsis can ever
+        be served as fresh afterwards.
+
+        Returns a report dict, or ``None`` when no runs qualify.
+        """
+        key = (table_name, column_name)
+        if key not in self._synopses:
+            raise InvalidQueryError(
+                f"no synopses built for {table_name}.{column_name}"
+            )
+        entry = self._synopses[key]
+        if not isinstance(entry.count_estimator, ShardedSynopsis):
+            raise InvalidParameterError(
+                f"{table_name}.{column_name} is not sharded; nothing to compact"
+            )
+        synopsis = entry.count_estimator
+        if runs is None:
+            policy = policy if policy is not None else CompactionPolicy()
+            heat = self._shard_heat.get(key, {})
+            runs = plan_runs(
+                [heat.get(shard, 0) for shard in range(synopsis.num_shards)],
+                policy,
+            )
+        runs = [(int(first), int(last)) for first, last in runs]
+        if not runs:
+            return None
+        merged = sum(last - first for first, last in runs)
+
+        def _observe_shard(shard: int, seconds: float) -> None:
+            self.metrics.histogram("shard_build_seconds").observe(seconds)
+
+        with self.tracer.span(
+            "compact",
+            table=table_name,
+            column=column_name,
+            runs=len(runs),
+            shards_before=synopsis.num_shards,
+        ) as span:
+            count_est = synopsis.with_compacted_runs(
+                runs,
+                entry.statistics.count_frequencies,
+                predict=self.predict_errors,
+                on_shard_built=_observe_shard,
+                **entry.builder_kwargs,
+            )
+            sum_est = entry.sum_estimator.with_compacted_runs(
+                runs,
+                entry.statistics.sum_frequencies,
+                predict=self.predict_errors,
+                on_shard_built=_observe_shard,
+                **entry.builder_kwargs,
+            )
+            span.set(
+                shards_after=count_est.num_shards,
+                generation=count_est.compaction_generation,
+            )
+        predicted = None
+        if self.predict_errors:
+            predicted = {
+                "count": aggregate_shard_predictions(
+                    count_est.shard_predictions, np.diff(count_est.starts)
+                ),
+                "sum": aggregate_shard_predictions(
+                    sum_est.shard_predictions, np.diff(sum_est.starts)
+                ),
+            }
+        self._synopses[key] = replace(
+            entry,
+            count_estimator=count_est,
+            sum_estimator=sum_est,
+            predicted=predicted,
+            shards=count_est.num_shards,
+        )
+        # Remap surviving dirty-shard ids onto the post-merge geometry
+        # (a dirty shard inside a merged run dirties the merged shard).
+        if key in self._dirty_shards and self._dirty_shards[key] is not None:
+            old_starts = synopsis.starts
+            self._dirty_shards[key] = {
+                int(
+                    np.searchsorted(
+                        count_est.starts, old_starts[shard], side="right"
+                    )
+                )
+                - 1
+                for shard in self._dirty_shards[key]
+            }
+        self._shard_heat.pop(key, None)
+        self._invalidate_predictions(key)
+        self._bump("compactions")
+        self._bump("compacted_shards", merged)
+        self.metrics.counter("compaction_runs_total").inc()
+        self.metrics.counter("compaction_shards_merged_total").inc(merged)
+        self._observe_shard_tree(key, count_est)
+        stale_since = (self._build_meta.get(key) or {}).get("stale_since")
+        self._record_build(key, entry.method, span.duration or 0.0)
+        if key in self._stale:
+            # Compaction re-summarises the frozen snapshot: a stale
+            # entry stays stale, with its original stale_since intact.
+            self._build_meta[key]["stale_since"] = stale_since
+        return {
+            "table": table_name,
+            "column": column_name,
+            "runs": [[first, last] for first, last in runs],
+            "shards_before": synopsis.num_shards,
+            "shards_after": count_est.num_shards,
+            "shards_merged": merged,
+            "generation": count_est.compaction_generation,
+        }
+
+    def compact_all_shards(
+        self, *, policy: CompactionPolicy | None = None
+    ) -> list[dict]:
+        """Run policy-driven compaction over every sharded synopsis.
+
+        The sweep the :class:`~repro.engine.compaction.BackgroundCompactor`
+        loops on.  Returns the per-column reports of the columns that
+        actually compacted (columns with no qualifying cold runs are
+        skipped silently).
+        """
+        policy = policy if policy is not None else CompactionPolicy()
+        reports: list[dict] = []
+        for key in sorted(
+            key
+            for key, entry in self._synopses.items()
+            if isinstance(entry.count_estimator, ShardedSynopsis)
+        ):
+            report = self.compact_shards(key[0], key[1], policy=policy)
+            if report is not None:
+                reports.append(report)
+        return reports
 
     def _refresh_entry(
         self,
@@ -1021,6 +1219,18 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
                 on_shard_built=_observe_shard,
                 **entry.builder_kwargs,
             )
+            # Each rebuilt shard rewrites its leaf + ancestors in both
+            # aggregates' dyadic trees: O(log S) nodes per shard instead
+            # of the O(S) prefix recompute the flat path pays.
+            refreshed_nodes = len(dirty) * (
+                count_est.tree.nodes_per_update + sum_est.tree.nodes_per_update
+            )
+            span.set(
+                tree_nodes_refreshed=refreshed_nodes,
+                tree_depth=count_est.tree_depth,
+            )
+        self.metrics.counter("shard_tree_node_refreshes_total").inc(refreshed_nodes)
+        self._observe_shard_tree(key, count_est)
         predicted = None
         if self.predict_errors:
             predicted = {

@@ -48,13 +48,18 @@ import numpy as np
 from repro.core.builders import ErrorPrediction, aggregate_shard_predictions
 from repro.engine.column import ColumnStatistics
 from repro.engine.engine import ApproximateQueryEngine, _ColumnSynopses
+from repro.engine.shard_tree import DyadicShardTree
 from repro.engine.sharding import ShardedSynopsis
 from repro.engine.storage import deserialize_estimator, serialize_estimator
-from repro.errors import SerializationError
+from repro.errors import InvalidParameterError, SerializationError
 from repro.internal.faults import fault_point, transform_bytes
 
-FORMAT_VERSION = 3
-_SUPPORTED_VERSIONS = (1, 2, 3)
+FORMAT_VERSION = 4
+_SUPPORTED_VERSIONS = (1, 2, 3, 4)
+#: Versions :func:`save_catalog` can still *write* (regression tests pin
+#: that old layouts keep loading; version 1 predates sharding and has no
+#: writer anymore).
+_WRITABLE_VERSIONS = (2, 3, 4)
 
 
 def _blob(data: bytes) -> np.ndarray:
@@ -87,7 +92,9 @@ def _prediction_from_json(payload) -> ErrorPrediction | None:
     )
 
 
-def _save_sharded(arrays: dict, prefix: str, sharded: ShardedSynopsis) -> dict:
+def _save_sharded(
+    arrays: dict, prefix: str, sharded: ShardedSynopsis, version: int
+) -> dict:
     """Store one sharded estimator's arrays; returns its manifest row."""
     arrays[f"{prefix}_starts"] = sharded.starts
     arrays[f"{prefix}_totals"] = sharded.totals
@@ -95,7 +102,7 @@ def _save_sharded(arrays: dict, prefix: str, sharded: ShardedSynopsis) -> dict:
     for shard, estimator in enumerate(sharded.estimators):
         arrays[f"{prefix}_shard{shard}"] = _blob(serialize_estimator(estimator))
     predictions = sharded.shard_predictions
-    return {
+    row = {
         "method": sharded.method,
         "predictions": (
             None
@@ -103,6 +110,19 @@ def _save_sharded(arrays: dict, prefix: str, sharded: ShardedSynopsis) -> dict:
             else [_prediction_to_json(p) for p in predictions]
         ),
     }
+    if version >= 4:
+        # Format v4: the dyadic tree's level arrays (each CRC-verified
+        # like every other array), the interior-answering mode, and the
+        # compaction lineage ride along so a restart resumes exactly the
+        # geometry and history it saved — no tree rebuild, no forgotten
+        # compaction generations.
+        for level, nodes in enumerate(sharded.tree.levels):
+            arrays[f"{prefix}_tree_level{level}"] = nodes
+        row["interior"] = sharded.interior
+        row["tree_levels"] = len(sharded.tree.levels)
+        row["tree_size"] = sharded.tree.size
+        row["lineage"] = sharded.lineage
+    return row
 
 
 def _load_sharded(archive, prefix: str, meta: dict) -> ShardedSynopsis:
@@ -118,6 +138,28 @@ def _load_sharded(archive, prefix: str, meta: dict) -> ShardedSynopsis:
         if raw_predictions is None
         else [_prediction_from_json(p) for p in raw_predictions]
     )
+    tree = None
+    if "tree_levels" in meta:
+        try:
+            tree = DyadicShardTree.from_levels(
+                [
+                    archive[f"{prefix}_tree_level{level}"]
+                    for level in range(int(meta["tree_levels"]))
+                ],
+                int(meta["tree_size"]),
+            )
+        except InvalidParameterError as error:
+            raise SerializationError(
+                f"persisted shard tree {prefix!r} is malformed: {error}"
+            ) from error
+        if not tree.check_invariant():
+            raise SerializationError(
+                f"persisted shard tree {prefix!r} violates the "
+                "node-equals-sum-of-children invariant"
+            )
+    # Pre-v4 catalogs carry no tree: ShardedSynopsis rebuilds it from
+    # the persisted totals (it is derived state), defaulting to tree
+    # answering so old catalogs get the O(log S) path on load.
     return ShardedSynopsis(
         starts,
         estimators,
@@ -125,23 +167,40 @@ def _load_sharded(archive, prefix: str, meta: dict) -> ShardedSynopsis:
         archive[f"{prefix}_budgets"],
         meta["method"],
         shard_predictions=predictions,
+        interior=meta.get("interior", "tree"),
+        tree=tree,
+        lineage=meta.get("lineage"),
     )
 
 
-def save_catalog(engine: ApproximateQueryEngine, path) -> int:
+def save_catalog(
+    engine: ApproximateQueryEngine, path, *, version: int = FORMAT_VERSION
+) -> int:
     """Write every 1-D synopsis of ``engine`` to ``path`` (.npz).
 
     Returns the number of synopses written.  Stale synopses are written
     as-is; sharded entries also record their dirty-shard flags (``"all"``
     when the whole domain must rebuild), monolithic staleness is a
-    session property and is dropped.
+    session property and is dropped.  Format v4 additionally persists
+    each sharded entry's dyadic shard tree, interior-answering mode,
+    and compaction lineage.
 
     The write is atomic (temp file + fsync + rename): concurrent
     readers and crash recovery only ever see the previous complete
     catalog or the new one, never a torn file.  Every stored array's
     CRC-32 goes into the manifest for load-time verification.
+
+    ``version`` selects the on-disk layout for regression testing of
+    old-format loads (v2: no checksums, no tree; v3: checksums, no
+    tree); production callers leave it at :data:`FORMAT_VERSION`.
     """
-    manifest = {"version": FORMAT_VERSION, "synopses": []}
+    version = int(version)
+    if version not in _WRITABLE_VERSIONS:
+        raise InvalidParameterError(
+            f"cannot write catalog version {version}; writable: "
+            f"{_WRITABLE_VERSIONS}"
+        )
+    manifest = {"version": version, "synopses": []}
     arrays: dict[str, np.ndarray] = {}
     for index, ((table, column), entry) in enumerate(sorted(engine._synopses.items())):
         row = {
@@ -157,10 +216,10 @@ def save_catalog(engine: ApproximateQueryEngine, path) -> int:
         }
         if isinstance(entry.count_estimator, ShardedSynopsis):
             row["count_sharded"] = _save_sharded(
-                arrays, f"{index}_count", entry.count_estimator
+                arrays, f"{index}_count", entry.count_estimator, version
             )
             row["sum_sharded"] = _save_sharded(
-                arrays, f"{index}_sum", entry.sum_estimator
+                arrays, f"{index}_sum", entry.sum_estimator, version
             )
             dirty = engine._dirty_shards.get((table, column))
             if (table, column) in engine._stale:
@@ -176,7 +235,10 @@ def save_catalog(engine: ApproximateQueryEngine, path) -> int:
         arrays[f"{index}_count_freq"] = entry.statistics.count_frequencies
         arrays[f"{index}_sum_freq"] = entry.statistics.sum_frequencies
         manifest["synopses"].append(row)
-    manifest["checksums"] = {name: _crc(array) for name, array in arrays.items()}
+    if version >= 3:
+        manifest["checksums"] = {
+            name: _crc(array) for name, array in arrays.items()
+        }
     arrays["manifest"] = _blob(json.dumps(manifest).encode("utf-8"))
     buffer = io.BytesIO()
     np.savez_compressed(buffer, **arrays)

@@ -36,12 +36,22 @@ from repro.core.builders import (
     BUILDER_REGISTRY,
     POOL_AWARE_BUILDERS,
     build_by_name,
+    merge_shard_budgets,
     predict_sse_per_query,
     split_budget_by_mass,
 )
+from repro.engine.shard_tree import DyadicShardTree
 from repro.errors import InvalidParameterError
 from repro.internal.faults import fault_point
 from repro.queries.estimators import RangeSumEstimator
+
+#: Interior-answering modes: ``"tree"`` resolves fully-covered shards
+#: through the :class:`~repro.engine.shard_tree.DyadicShardTree`
+#: (O(log S) per query, O(log S) maintenance per rebuilt shard);
+#: ``"flat"`` keeps the legacy cumulative-prefix array (O(S) to rebuild
+#: on every refresh).  Answers are bit-identical on integer-valued
+#: totals — the differential suites pin that.
+INTERIOR_MODES = ("tree", "flat")
 
 
 class _kernel_pool:
@@ -133,6 +143,10 @@ class ShardedSynopsis(RangeSumEstimator):
         budgets,
         method: str,
         shard_predictions=None,
+        *,
+        interior: str = "tree",
+        tree: DyadicShardTree | None = None,
+        lineage=None,
     ) -> None:
         self.starts = np.asarray(starts, dtype=np.int64)
         if self.starts.ndim != 1 or self.starts.size < 2:
@@ -161,6 +175,26 @@ class ShardedSynopsis(RangeSumEstimator):
         self.shard_predictions = (
             list(shard_predictions) if shard_predictions is not None else None
         )
+        if interior not in INTERIOR_MODES:
+            raise InvalidParameterError(
+                f"interior must be one of {INTERIOR_MODES}, got {interior!r}"
+            )
+        self.interior = interior
+        if tree is None:
+            tree = DyadicShardTree(self.totals)
+        elif tree.size != self.num_shards:
+            raise InvalidParameterError(
+                f"tree indexes {tree.size} shards, synopsis has {self.num_shards}"
+            )
+        #: Dyadic index over the frozen totals; the interior-answering
+        #: engine in ``"tree"`` mode and the maintenance fast path of
+        #: :meth:`with_rebuilt_shards` both live here.  Derived state —
+        #: reconstructible from ``totals`` — so it is excluded from the
+        #: paper's storage accounting, like the prefix array before it.
+        self.tree = tree
+        #: Compaction history: one record per :meth:`with_compacted_runs`
+        #: generation (persisted by catalog format v4).
+        self.lineage: list[dict] = list(lineage) if lineage is not None else []
         self.n = int(self.starts[-1])
         self._totals_prefix = np.concatenate(([0.0], np.cumsum(self.totals)))
 
@@ -178,6 +212,32 @@ class ShardedSynopsis(RangeSumEstimator):
     def shard_slice(self, shard: int) -> slice:
         """The half-open domain slice covered by one shard."""
         return slice(int(self.starts[shard]), int(self.starts[shard + 1]))
+
+    @property
+    def tree_depth(self) -> int:
+        """Depth of the dyadic interior index (``ceil(log2(S))``)."""
+        return self.tree.depth
+
+    @property
+    def compaction_generation(self) -> int:
+        """How many compaction passes produced this geometry (0 = none)."""
+        return len(self.lineage)
+
+    def interior_sum_many(self, firsts, lasts) -> np.ndarray:
+        """Exact sums over fully-covered shard runs ``[first..last]``.
+
+        ``"tree"`` mode walks the dyadic index (O(log S) per query,
+        vectorised across the batch); ``"flat"`` mode keeps the legacy
+        cumulative-prefix difference.  On integer-valued totals the two
+        are bit-identical (every partial sum is an exact float64
+        integer); the differential suite pins that equivalence for
+        every builder in the registry.
+        """
+        firsts = np.asarray(firsts, dtype=np.int64)
+        lasts = np.asarray(lasts, dtype=np.int64)
+        if self.interior == "tree":
+            return self.tree.range_sum_many(firsts, lasts)
+        return self._totals_prefix[lasts + 1] - self._totals_prefix[firsts]
 
     def _coverage(self, lows: np.ndarray, highs: np.ndarray):
         """Decompose ranges into interior shards and boundary partials.
@@ -204,12 +264,11 @@ class ShardedSynopsis(RangeSumEstimator):
         first_full = np.where(left_full, left, left + 1)
         last_full = np.where(right_full, right, right - 1)
         has_interior = first_full <= last_full
-        estimates = np.where(
-            has_interior,
-            self._totals_prefix[np.where(has_interior, last_full + 1, 0)]
-            - self._totals_prefix[np.where(has_interior, first_full, 0)],
-            0.0,
-        )
+        estimates = np.zeros(lows.shape, dtype=np.float64)
+        if np.any(has_interior):
+            estimates[has_interior] = self.interior_sum_many(
+                first_full[has_interior], last_full[has_interior]
+            )
 
         # Boundary partials: the left endpoint's shard when not fully
         # covered (its local range also caps at the query's high when the
@@ -341,6 +400,10 @@ class ShardedSynopsis(RangeSumEstimator):
                     predictions[shard] = predict_sse_per_query(estimators[shard], piece)
                 if on_shard_built is not None:
                     on_shard_built(shard, elapsed)
+        # O(log S) per rebuilt shard: copy the dyadic index and rewrite
+        # only the changed leaves' ancestor paths, instead of
+        # recomputing an O(S) prefix from scratch.
+        tree, _ = self.tree.updated(dirty, totals[dirty])
         return ShardedSynopsis(
             self.starts,
             estimators,
@@ -348,6 +411,117 @@ class ShardedSynopsis(RangeSumEstimator):
             self.budgets,
             self.method,
             shard_predictions=predictions if predict else None,
+            interior=self.interior,
+            tree=tree,
+            lineage=self.lineage,
+        )
+
+    def with_compacted_runs(
+        self,
+        runs,
+        data,
+        *,
+        predict: bool | None = None,
+        on_shard_built=None,
+        kernel_workers: int | None = None,
+        **builder_kwargs,
+    ) -> "ShardedSynopsis":
+        """A new synopsis with each run of adjacent shards merged into one.
+
+        ``runs`` is a sorted list of non-overlapping inclusive shard-id
+        pairs ``(first, last)`` (each spanning at least two shards);
+        ``data`` is the whole frozen frequency vector the synopsis
+        summarises.  Every run collapses into a single coarser shard
+        whose synopsis is rebuilt over the merged slice with the *sum*
+        of the run's word budgets
+        (:func:`repro.core.builders.merge_shard_budgets` — the
+        mass-proportional split run in reverse), so total storage
+        allocation is conserved.  Untouched shards keep their
+        estimators, frozen totals, and predictions by reference —
+        copy-on-write exactly like :meth:`with_rebuilt_shards` — and
+        the compaction is appended to :attr:`lineage`.
+
+        The t-digest "continuous aggregate" move: cold history collapses
+        into coarser mergeable summaries while hot shards stay fine,
+        without ever blocking ingest (callers swap the returned synopsis
+        in atomically; see
+        :meth:`repro.engine.engine.ApproximateQueryEngine.compact_shards`).
+        """
+        data = np.asarray(data, dtype=np.float64)
+        if data.size != self.n:
+            raise InvalidParameterError(
+                f"compaction data has length {data.size}, expected {self.n}"
+            )
+        runs = [(int(first), int(last)) for first, last in runs]
+        if not runs:
+            raise InvalidParameterError("need at least one run to compact")
+        # Validates bounds, ordering, non-overlap, and run length >= 2,
+        # and pools the merged budgets.
+        budgets = merge_shard_budgets(self.budgets, runs)
+        merged = {
+            shard for first, last in runs for shard in range(first, last + 1)
+        }
+        run_of_first = {first: (first, last) for first, last in runs}
+
+        starts: list[int] = []
+        estimators = []
+        totals: list[float] = []
+        predictions = []
+        if predict is None:
+            predict = self.shard_predictions is not None
+        old_predictions = (
+            self.shard_predictions
+            if self.shard_predictions is not None
+            else [None] * self.num_shards
+        )
+        with _kernel_pool(self.method, kernel_workers, builder_kwargs) as kwargs:
+            shard = 0
+            new_budget_cursor = 0
+            while shard < self.num_shards:
+                starts.append(int(self.starts[shard]))
+                if shard in run_of_first:
+                    first, last = run_of_first[shard]
+                    piece = data[int(self.starts[first]) : int(self.starts[last + 1])]
+                    fault_point("shard_compact", method=self.method, shard=first)
+                    begin = time.perf_counter()
+                    estimator = build_by_name(
+                        self.method, piece, int(budgets[new_budget_cursor]), **kwargs
+                    )
+                    elapsed = time.perf_counter() - begin
+                    estimators.append(estimator)
+                    totals.append(float(piece.sum()))
+                    predictions.append(
+                        predict_sse_per_query(estimator, piece) if predict else None
+                    )
+                    if on_shard_built is not None:
+                        on_shard_built(first, elapsed)
+                    shard = last + 1
+                elif shard in merged:  # pragma: no cover - guarded by run map
+                    raise InvalidParameterError("runs must start at their first shard")
+                else:
+                    estimators.append(self.estimators[shard])
+                    totals.append(float(self.totals[shard]))
+                    predictions.append(old_predictions[shard])
+                    shard += 1
+                new_budget_cursor += 1
+        starts.append(self.n)
+        lineage = self.lineage + [
+            {
+                "generation": self.compaction_generation + 1,
+                "runs": [[first, last] for first, last in runs],
+                "shards_before": self.num_shards,
+                "shards_after": len(estimators),
+            }
+        ]
+        return ShardedSynopsis(
+            np.asarray(starts, dtype=np.int64),
+            estimators,
+            np.asarray(totals, dtype=np.float64),
+            budgets,
+            self.method,
+            shard_predictions=predictions if predict else None,
+            interior=self.interior,
+            lineage=lineage,
         )
 
     def touched_shards(self, values_axis: np.ndarray, values) -> set[int] | None:
@@ -382,6 +556,7 @@ def build_sharded(
     predict: bool = False,
     on_shard_built=None,
     kernel_workers: int | None = None,
+    interior: str = "tree",
     **builder_kwargs,
 ) -> ShardedSynopsis:
     """Build a :class:`ShardedSynopsis` over a frequency vector.
@@ -436,5 +611,11 @@ def build_sharded(
         for shard, item in enumerate(built):
             on_shard_built(shard, item[3])
     return ShardedSynopsis(
-        starts, estimators, totals, budgets, method, shard_predictions=predictions
+        starts,
+        estimators,
+        totals,
+        budgets,
+        method,
+        shard_predictions=predictions,
+        interior=interior,
     )

@@ -1,0 +1,245 @@
+"""Shard-tree study: O(log S) dyadic answering vs. O(S) flat summation.
+
+The dyadic shard tree exists for one reason: a sharded synopsis's
+interior — the run of fully-covered shards inside ``s[a, b]`` — should
+not cost O(S) per query once S reaches the tens of thousands the
+streaming-ingest leg targets.  This harness times the three interior
+strategies over the same frozen totals and random interior ranges:
+
+* ``flat`` — the pre-tree baseline: one python-level ``.sum()`` over
+  the covered slice per query, O(S) each;
+* ``tree`` — the dyadic tree's batched ``range_sum_many``, O(log S)
+  node gathers per query, fully vectorised across the batch;
+* ``prefix`` — a cumulative-prefix difference, O(1) per query but O(S)
+  to rebuild on *every* shard refresh (the maintenance cost the tree
+  exists to avoid), reported for context and not gated.
+
+Totals are integer-valued, so all three orders of float64 summation are
+exact and the answers must be **bit-identical** — the run asserts it.
+This backs the ``bench-shard-tree`` CLI command and the
+``benchmarks/test_shard_tree.py`` CI gate; ``run_compaction_demo``
+backs the ``compact`` CLI command.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.compaction import CompactionPolicy
+from repro.engine.engine import AggregateQuery, ApproximateQueryEngine
+from repro.engine.shard_tree import DyadicShardTree
+from repro.engine.table import Table
+from repro.errors import InvalidParameterError
+
+
+@dataclass(frozen=True)
+class ShardTreeBenchmarkResult:
+    """Timings of one tree-vs-flat interior-answering comparison."""
+
+    shards: int
+    queries: int
+    tree_depth: int
+    tree_seconds: float
+    flat_seconds: float
+    prefix_seconds: float
+    bit_identical: bool
+
+    @property
+    def speedup(self) -> float:
+        """Tree batched answering vs the O(S)-per-query flat loop."""
+        return self.flat_seconds / self.tree_seconds if self.tree_seconds else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"S={self.shards} (depth {self.tree_depth}), "
+            f"{self.queries} interior ranges: flat loop "
+            f"{self.flat_seconds:.4f}s, dyadic tree {self.tree_seconds:.4f}s "
+            f"(prefix {self.prefix_seconds:.4f}s), speedup "
+            f"{self.speedup:.1f}x, bit-identical={self.bit_identical}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "shards": self.shards,
+            "queries": self.queries,
+            "tree_depth": self.tree_depth,
+            "tree_seconds": self.tree_seconds,
+            "flat_seconds": self.flat_seconds,
+            "prefix_seconds": self.prefix_seconds,
+            "bit_identical": self.bit_identical,
+            "speedup": self.speedup,
+        }
+
+
+def run_shard_tree_benchmark(
+    *,
+    shards: int = 4096,
+    queries: int = 4096,
+    repeats: int = 3,
+    seed: int = 23,
+) -> ShardTreeBenchmarkResult:
+    """Time dyadic-tree interior answering against the flat-sum baseline.
+
+    Integer-valued per-shard totals (what COUNT shards always hold)
+    make every summation order exact in float64, so beyond the timing
+    the run *asserts* the three strategies agree bitwise — speed never
+    comes at the price of a different answer.  Each strategy is timed
+    over ``repeats`` passes and the best pass is kept (standard
+    min-of-N to shed scheduler noise).
+    """
+    if shards < 2 or queries < 1 or repeats < 1:
+        raise InvalidParameterError(
+            "need shards >= 2, queries >= 1, and repeats >= 1"
+        )
+    rng = np.random.default_rng(seed)
+    totals = rng.integers(0, 10_000, shards).astype(np.float64)
+    firsts = rng.integers(0, shards, queries)
+    lasts = firsts + rng.integers(0, shards, queries) % (shards - firsts)
+    tree = DyadicShardTree(totals)
+    prefix = np.concatenate(([0.0], np.cumsum(totals)))
+
+    def _flat() -> np.ndarray:
+        return np.asarray(
+            [totals[first : last + 1].sum() for first, last in zip(firsts, lasts)]
+        )
+
+    def _tree() -> np.ndarray:
+        return tree.range_sum_many(firsts, lasts)
+
+    def _prefix() -> np.ndarray:
+        return prefix[lasts + 1] - prefix[firsts]
+
+    def _best(fn) -> tuple[float, np.ndarray]:
+        best = float("inf")
+        answers = None
+        for _ in range(repeats):
+            begin = time.perf_counter()
+            answers = fn()
+            best = min(best, time.perf_counter() - begin)
+        return best, answers
+
+    flat_seconds, flat_answers = _best(_flat)
+    tree_seconds, tree_answers = _best(_tree)
+    prefix_seconds, prefix_answers = _best(_prefix)
+    bit_identical = bool(
+        np.array_equal(tree_answers, flat_answers)
+        and np.array_equal(prefix_answers, flat_answers)
+    )
+    return ShardTreeBenchmarkResult(
+        shards=shards,
+        queries=queries,
+        tree_depth=tree.depth,
+        tree_seconds=tree_seconds,
+        flat_seconds=flat_seconds,
+        prefix_seconds=prefix_seconds,
+        bit_identical=bit_identical,
+    )
+
+
+@dataclass(frozen=True)
+class CompactionDemoResult:
+    """Outcome of one policy-driven compaction pass over a hot-tail workload."""
+
+    shards_before: int
+    shards_after: int
+    shards_merged: int
+    generation: int
+    runs: list
+    heat: list
+    max_abs_drift: float
+
+    def summary(self) -> str:
+        return (
+            f"compacted {self.shards_before} -> {self.shards_after} shards "
+            f"({self.shards_merged} merged across {len(self.runs)} run(s), "
+            f"generation {self.generation}); max |answer drift| "
+            f"{self.max_abs_drift:.3g}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "shards_before": self.shards_before,
+            "shards_after": self.shards_after,
+            "shards_merged": self.shards_merged,
+            "generation": self.generation,
+            "runs": self.runs,
+            "heat": self.heat,
+            "max_abs_drift": self.max_abs_drift,
+        }
+
+
+def run_compaction_demo(
+    *,
+    row_count: int = 50_000,
+    domain: int = 1024,
+    shards: int = 32,
+    append_count: int = 2_000,
+    method: str = "a0",
+    budget_words: int = 8192,
+    hot_tail_shards: int = 4,
+    max_run_length: int = 8,
+    seed: int = 29,
+) -> CompactionDemoResult:
+    """Append into the domain tail, then compact the cold head.
+
+    Builds one sharded column, streams ``append_count`` rows whose
+    values live in the last shard's range (the classic time-series
+    hot tail), and runs the heat-driven compaction policy: the cold
+    head shards merge into coarser runs while the hot tail keeps its
+    resolution.  ``max_abs_drift`` compares shard-aligned answers on
+    the *surviving* boundaries before and after the compaction swap —
+    with an exact builder (the ``a0`` default at a generous budget) it
+    is ``0.0``.
+    """
+    if shards < 4 or domain < shards:
+        raise InvalidParameterError("need shards >= 4 and domain >= shards")
+    rng = np.random.default_rng(seed)
+    values = rng.integers(0, domain, row_count)
+    values[0], values[1] = 0, domain - 1
+    engine = ApproximateQueryEngine(predict_errors=False)
+    engine.register_table(Table("events", {"value": values}))
+    engine.build_synopsis(
+        "events", "value", method=method, budget_words=budget_words, shards=shards
+    )
+    synopsis = engine._synopses[("events", "value")].count_estimator
+    tail_low = int(synopsis.starts[-2])
+    engine.append_rows(
+        "events", {"value": rng.integers(tail_low, domain, append_count)}
+    )
+    heat = engine.shard_heat()["events.value"]
+
+    policy = CompactionPolicy(
+        hot_tail_shards=hot_tail_shards, max_run_length=max_run_length
+    )
+    before = engine._synopses[("events", "value")].count_estimator
+    queries = [
+        AggregateQuery("events", "value", "count", int(low), int(high))
+        for low, high in zip(before.starts[:-1:4], before.starts[4::4] - 1)
+    ]
+    answers_before = [
+        engine.execute(q, on_stale="serve").estimate for q in queries
+    ]
+    report = engine.compact_shards("events", "value", policy=policy)
+    if report is None:
+        raise InvalidParameterError(
+            "workload produced no cold runs; lower hot_tail_shards"
+        )
+    after = engine._synopses[("events", "value")].count_estimator
+    answers_after = [
+        engine.execute(q, on_stale="serve").estimate for q in queries
+    ]
+    drift = float(
+        np.max(np.abs(np.asarray(answers_after) - np.asarray(answers_before)))
+    )
+    return CompactionDemoResult(
+        shards_before=report["shards_before"],
+        shards_after=after.num_shards,
+        shards_merged=report["shards_merged"],
+        generation=report["generation"],
+        runs=report["runs"],
+        heat=heat,
+        max_abs_drift=drift,
+    )

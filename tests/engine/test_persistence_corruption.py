@@ -84,7 +84,7 @@ class TestRoundTrip:
             engine.execute(query).estimate
         )
 
-    def test_v3_manifest_has_checksums(self, tmp_path):
+    def test_current_manifest_has_checksums(self, tmp_path):
         engine = _engine_with_catalog()
         path = tmp_path / "catalog.npz"
         save_catalog(engine, path)
@@ -92,7 +92,7 @@ class TestRoundTrip:
             manifest = json.loads(bytes(archive["manifest"]).decode("utf-8"))
             data_names = [n for n in archive.files if n != "manifest"]
             blob = np.ascontiguousarray(archive["0_count_blob"])
-        assert manifest["version"] == 3
+        assert manifest["version"] == 4
         assert set(manifest["checksums"]) == set(data_names)
         assert manifest["checksums"]["0_count_blob"] == (
             zlib.crc32(blob.tobytes()) & 0xFFFFFFFF

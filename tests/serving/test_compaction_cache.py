@@ -1,0 +1,100 @@
+"""Compaction vs the answer cache: no pre-compaction answer serves fresh.
+
+A compaction swaps a sharded synopsis for a re-summarised twin.  The
+serving tier must treat that exactly like a rebuild: every answer
+cached against the pre-compaction synopsis was computed under a token
+whose build id the swap outran, so it can never validate again — it is
+either recomputed or served only through the *explicitly tagged* stale
+path.  This is the acceptance-criterion suite for that guarantee, at
+the token layer, the cache layer, and end-to-end through the
+:class:`~repro.serving.QueryServer`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import ApproximateQueryEngine, Table
+from repro.engine.engine import AggregateQuery
+from repro.serving import AnswerCache, CatalogView, QueryServer, cache_key
+
+
+@pytest.fixture
+def engine():
+    rng = np.random.default_rng(61)
+    engine = ApproximateQueryEngine()
+    engine.register_table(Table("events", {"value": rng.integers(0, 40, 600)}))
+    engine.build_synopsis("events", "value", method="a0", budget_words=4096, shards=8)
+    return engine
+
+
+QUERY = AggregateQuery("events", "value", "count", 3.0, 31.0)
+
+
+def test_compaction_bumps_the_answer_token(engine):
+    view = CatalogView(engine)
+    before = view.answer_token("events", "value")
+    engine.compact_shards("events", "value", runs=[(0, 3)])
+    after = view.answer_token("events", "value")
+    assert after != before
+    # Specifically the build id moved; versions/staleness are unchanged.
+    assert after[1] > before[1]
+    assert after[0] == before[0] and after[2:] == before[2:]
+
+
+def test_cached_answer_never_validates_across_a_compaction(engine):
+    view = CatalogView(engine)
+    cache = AnswerCache()
+    key = cache_key(QUERY)
+    token = view.answer_token("events", "value")
+    answer = engine.execute(QUERY)
+    cache.put(key, token, answer)
+    assert cache.get(key, view.answer_token("events", "value")) is answer
+
+    engine.compact_shards("events", "value", runs=[(2, 6)])
+    fresh_token = view.answer_token("events", "value")
+    assert cache.get(key, fresh_token) is None, (
+        "a pre-compaction answer must never be served as fresh"
+    )
+    assert cache.invalidated == 1
+    # The entry stays resident for the overload path's tagged-stale rung
+    # only; a recompute under the new token replaces it wholesale.
+    assert cache.get_even_stale(key) is answer
+    recomputed = engine.execute(QUERY)
+    cache.put(key, fresh_token, recomputed)
+    assert cache.get(key, fresh_token) is recomputed
+
+
+def test_token_recorded_before_a_racing_compaction_never_validates(engine):
+    """Even a token read *just before* the swap is outdated after it."""
+    view = CatalogView(engine)
+    cache = AnswerCache()
+    key = cache_key(QUERY)
+    token = view.answer_token("events", "value")  # read pre-compute
+    engine.compact_shards("events", "value", runs=[(0, 1)])
+    answer = engine.execute(QUERY)  # computed post-swap, recorded under old token
+    cache.put(key, token, answer)
+    assert cache.get(key, view.answer_token("events", "value")) is None
+
+
+def test_server_recomputes_after_compaction(engine):
+    with QueryServer(engine, max_delay_ms=1.0) as server:
+        first = server.execute(QUERY)
+        hits_before = server.cache.stats()["hits"]
+        # Warm hit while the catalog is untouched.
+        assert server.execute(QUERY).estimate == first.estimate
+        assert server.cache.stats()["hits"] == hits_before + 1
+
+        engine.compact_shards("events", "value", runs=[(0, 5)])
+        invalidated_before = server.cache.stats()["invalidated"]
+        after = server.execute(QUERY)
+        stats = server.cache.stats()
+        assert stats["invalidated"] == invalidated_before + 1, (
+            "the post-compaction lookup must invalidate, not hit"
+        )
+        # a0 is exact here, so the recomputed answer agrees numerically —
+        # and it is a genuinely fresh result, not the cached object.
+        assert after.estimate == first.estimate
+        # Once recomputed under the post-compaction token, hits resume.
+        hits = server.cache.stats()["hits"]
+        assert server.execute(QUERY).estimate == after.estimate
+        assert server.cache.stats()["hits"] == hits + 1

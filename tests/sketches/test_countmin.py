@@ -89,6 +89,86 @@ class TestMerge:
             CountMinSketch(64, 4, seed=0).merge(CountMinSketch(64, 4, seed=1))
 
 
+class TestEquivalences:
+    def test_scalar_paths_match_batched_paths(self):
+        rng = np.random.default_rng(10)
+        keys = rng.integers(0, 300, 150)
+        deltas = rng.integers(1, 6, 150).astype(np.float64)
+        one_by_one = CountMinSketch(64, 4, seed=11)
+        batched = CountMinSketch(64, 4, seed=11)
+        for key, delta in zip(keys, deltas):
+            one_by_one.update(int(key), float(delta))
+        batched.update_many(keys, deltas)
+        # Integer deltas make every float sum exact, so the tables are
+        # bitwise equal regardless of accumulation order...
+        assert np.array_equal(one_by_one.table, batched.table)
+        assert one_by_one.total == batched.total
+        # ...and the scalar estimate is the batched one, pointwise.
+        probe = np.arange(300)
+        many = batched.estimate_many(probe)
+        assert all(batched.estimate(int(k)) == many[k] for k in probe[:50])
+
+    def test_same_seed_same_stream_is_deterministic(self):
+        keys = np.arange(0, 1000, 7)
+        a = CountMinSketch(128, 5, seed=21)
+        b = CountMinSketch(128, 5, seed=21)
+        a.update_many(keys, np.ones(keys.size))
+        b.update_many(keys, np.ones(keys.size))
+        assert np.array_equal(a.table, b.table)
+        assert np.array_equal(a._a, b._a) and np.array_equal(a._b, b._b)
+
+    def test_different_seeds_draw_different_hashes(self):
+        a = CountMinSketch(128, 5, seed=0)
+        b = CountMinSketch(128, 5, seed=1)
+        assert not (np.array_equal(a._a, b._a) and np.array_equal(a._b, b._b))
+
+    def test_width_one_degenerates_to_the_total(self):
+        sketch = CountMinSketch(width=1, depth=3, seed=2)
+        sketch.update_many([5, 9, 9, 120], [1.0, 2.0, 3.0, 4.0])
+        # Every key shares the single counter, so every estimate is the
+        # stream total — the coarsest (but still one-sided) answer.
+        assert sketch.estimate(5) == pytest.approx(10.0)
+        assert sketch.estimate(999) == pytest.approx(10.0)
+
+    def test_negative_keys_hash_consistently(self):
+        sketch = CountMinSketch(256, 4, seed=6)
+        sketch.update(-17, 3.0)
+        assert sketch.estimate(-17) >= 3.0 - 1e-9
+
+
+class TestMergeAlgebra:
+    def _filled(self, seed_stream):
+        rng = np.random.default_rng(seed_stream)
+        sketch = CountMinSketch(64, 4, seed=33)
+        sketch.update_many(rng.integers(0, 200, 300), np.ones(300))
+        return sketch
+
+    def test_merge_commutes(self):
+        a, b = self._filled(1), self._filled(2)
+        assert np.array_equal(a.merge(b).table, b.merge(a).table)
+
+    def test_merge_associates(self):
+        a, b, c = self._filled(3), self._filled(4), self._filled(5)
+        left = a.merge(b).merge(c)
+        right = a.merge(b.merge(c))
+        assert np.array_equal(left.table, right.table)
+        assert left.total == right.total
+
+    def test_merge_with_empty_is_identity(self):
+        a = self._filled(6)
+        empty = CountMinSketch(64, 4, seed=33)
+        merged = a.merge(empty)
+        assert np.array_equal(merged.table, a.table)
+        assert merged.total == a.total
+
+    def test_merge_leaves_operands_untouched(self):
+        a, b = self._filled(7), self._filled(8)
+        table_a, table_b = a.table.copy(), b.table.copy()
+        a.merge(b)
+        assert np.array_equal(a.table, table_a)
+        assert np.array_equal(b.table, table_b)
+
+
 @settings(max_examples=30, deadline=None)
 @given(
     keys=st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=200),
@@ -101,3 +181,22 @@ def test_property_one_sided_error(keys, seed):
     unique, counts = np.unique(keys, return_counts=True)
     estimates = sketch.estimate_many(unique)
     assert np.all(estimates >= counts - 1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    keys=st.lists(st.integers(min_value=0, max_value=500), min_size=1, max_size=100),
+    seed=st.integers(min_value=0, max_value=1000),
+    shuffle_seed=st.integers(min_value=0, max_value=1000),
+)
+def test_property_stream_order_is_irrelevant(keys, seed, shuffle_seed):
+    """Unit-weight streams commute: any permutation builds the same table."""
+    keys = np.asarray(keys)
+    shuffled = keys.copy()
+    np.random.default_rng(shuffle_seed).shuffle(shuffled)
+    a = CountMinSketch(width=32, depth=3, seed=seed)
+    b = CountMinSketch(width=32, depth=3, seed=seed)
+    a.update_many(keys, np.ones(keys.size))
+    b.update_many(shuffled, np.ones(shuffled.size))
+    assert np.array_equal(a.table, b.table)
+    assert a.total == b.total

@@ -31,6 +31,37 @@ class TestDyadicDecompose:
         assert dyadic_decompose(0, 31, 5) == [(5, 0)]
         assert dyadic_decompose(16, 23, 5) == [(3, 2)]
 
+    def test_single_point_is_one_level_zero_block(self):
+        for position in (0, 7, 31):
+            assert dyadic_decompose(position, position, 5) == [(0, position)]
+
+    def test_empty_range_decomposes_to_nothing(self):
+        # The half-open walk quietly yields no blocks for inverted bounds.
+        assert dyadic_decompose(5, 4, 5) == []
+
+    @settings(max_examples=150, deadline=None)
+    @given(levels=st.integers(0, 8), data=st.data())
+    def test_property_cover_is_an_exact_aligned_partition(self, levels, data):
+        domain = 1 << levels
+        low = data.draw(st.integers(0, domain - 1), label="low")
+        high = data.draw(st.integers(low, domain - 1), label="high")
+        cover = dyadic_decompose(low, high, levels)
+        seen: list[int] = []
+        per_level: dict[int, int] = {}
+        for level, block in cover:
+            # Every block is a genuine dyadic node of the domain...
+            assert 0 <= level <= levels
+            start = block << level
+            assert 0 <= start and start + (1 << level) <= domain
+            assert start % (1 << level) == 0  # aligned by construction
+            per_level[level] = per_level.get(level, 0) + 1
+            seen.extend(range(start, start + (1 << level)))
+        # ...the blocks tile the range exactly, without overlap...
+        assert sorted(seen) == list(range(low, high + 1))
+        assert len(seen) == len(set(seen))
+        # ...and the canonical cover uses at most 2 blocks per level.
+        assert all(count <= 2 for count in per_level.values())
+
 
 class TestDyadicCountMin:
     @pytest.fixture(scope="class")
@@ -109,6 +140,54 @@ class TestDyadicCountMin:
         estimator = build_by_name("sketch-cm", data, 2000)
         assert estimator.name == "SKETCH-CM"
         assert estimator.storage_words() <= 2000
+
+
+class TestPaddingAndBudgetEdges:
+    def test_non_power_of_two_domain_pads_up(self):
+        rng = np.random.default_rng(11)
+        data = rng.integers(0, 9, 100).astype(float)
+        sketch = DyadicCountMin(data, total_budget_words=2000, depth=4, seed=5)
+        assert sketch.n == 100
+        assert sketch.padded_n == 128
+        assert sketch.levels == 7
+        assert len(sketch.sketches) == 8
+        exact = ExactRangeSum(data)
+        lows, highs = np.triu_indices(100)
+        estimates = sketch.estimate_many(lows, highs)
+        assert np.all(estimates >= exact.estimate_many(lows, highs) - 1e-9)
+
+    def test_single_position_domain(self):
+        sketch = DyadicCountMin(np.array([4.0]), total_budget_words=64)
+        assert sketch.levels == 0
+        assert sketch.estimate_many([0], [0])[0] >= 4.0 - 1e-9
+        sketch.update(0, 2.0)
+        assert sketch.estimate_many([0], [0])[0] >= 6.0 - 1e-9
+
+    def test_all_zero_data_estimates_exactly_zero(self):
+        sketch = DyadicCountMin(np.zeros(64), total_budget_words=1200, seed=3)
+        lows, highs = np.triu_indices(64)
+        assert np.array_equal(
+            sketch.estimate_many(lows, highs), np.zeros(lows.size)
+        )
+
+    def test_budget_floor_is_exact(self):
+        # n=1024: 11 levels at depth 4 need per-level >= 24 words for the
+        # minimum width of 4, i.e. 264 total.  One word less must raise.
+        DyadicCountMin(np.zeros(1024), total_budget_words=264, depth=4)
+        with pytest.raises(InvalidParameterError, match="too small"):
+            DyadicCountMin(np.zeros(1024), total_budget_words=263, depth=4)
+
+    def test_generous_width_update_is_exact(self):
+        # With a width that dwarfs the block count there are no
+        # collisions: streamed point updates read back exactly.
+        data = np.zeros(32)
+        sketch = DyadicCountMin(data, total_budget_words=4096, depth=4, seed=9)
+        sketch.update(3, 5.0)
+        sketch.update(3, 2.0)
+        sketch.update(17, 1.0)
+        assert sketch.estimate_many([3], [3])[0] == pytest.approx(7.0)
+        assert sketch.estimate_many([0], [31])[0] == pytest.approx(8.0)
+        assert sketch.estimate_many([4], [16])[0] == pytest.approx(0.0)
 
 
 @settings(max_examples=20, deadline=None)
