@@ -1,0 +1,113 @@
+"""Schema validation of the committed ``BENCH_*.json`` artifacts.
+
+Runs in the benchmark tier right after the jobs that (re)generate the
+artifacts: every committed artifact must satisfy its registered schema
+(``repro.experiments.bench_schema``), so a benchmark refactor cannot
+silently drop or retype a field that CI dashboards consume.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.experiments.bench_schema import (
+    SCHEMAS,
+    validate_artifact,
+    validate_bench_artifacts,
+    validate_payload,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+class TestCommittedArtifacts:
+    def test_every_committed_artifact_validates(self):
+        reports = validate_bench_artifacts(REPO_ROOT)
+        assert reports, "expected committed BENCH_*.json artifacts at repo root"
+        failures = {name: probs for name, probs in reports.items() if probs}
+        assert failures == {}
+
+    def test_every_committed_artifact_has_a_registered_schema(self):
+        for path in REPO_ROOT.glob("BENCH_*.json"):
+            assert path.name in SCHEMAS, (
+                f"{path.name} has no schema in bench_schema.SCHEMAS"
+            )
+
+
+class TestValidatorRejections:
+    """The validator must actually catch the regressions it exists for."""
+
+    def _serve_payload(self):
+        return json.loads((REPO_ROOT / "BENCH_serve.json").read_text())
+
+    def test_missing_field_is_reported(self):
+        payload = self._serve_payload()
+        del payload["speedup"]
+        problems = validate_payload(payload, SCHEMAS["BENCH_serve.json"])
+        assert problems == ["speedup: missing required field"]
+
+    def test_retyped_field_is_reported(self):
+        payload = self._serve_payload()
+        payload["batches"] = "ten"
+        problems = validate_payload(payload, SCHEMAS["BENCH_serve.json"])
+        assert problems == ["batches: expected int >= 0, got str"]
+
+    def test_bool_does_not_satisfy_int(self):
+        payload = self._serve_payload()
+        payload["cache_hits"] = True
+        problems = validate_payload(payload, SCHEMAS["BENCH_serve.json"])
+        assert problems == ["cache_hits: expected int >= 0, got bool"]
+
+    def test_out_of_range_and_unknown_fields_are_reported(self):
+        payload = self._serve_payload()
+        payload["row_count"] = 0
+        payload["surprise"] = 1
+        problems = validate_payload(payload, SCHEMAS["BENCH_serve.json"])
+        assert "row_count: must be >= 1, got 0" in problems
+        assert "surprise: unknown field" in problems
+
+    def test_non_finite_number_is_reported(self):
+        payload = self._serve_payload()
+        payload["speedup"] = float("inf")
+        problems = validate_payload(payload, SCHEMAS["BENCH_serve.json"])
+        assert problems == ["speedup: must be finite, got inf"]
+
+    def test_unknown_artifact_name_is_a_violation(self, tmp_path):
+        path = tmp_path / "BENCH_mystery.json"
+        path.write_text("{}")
+        problems = validate_artifact(path)
+        assert len(problems) == 1 and "no schema registered" in problems[0]
+
+    def test_unreadable_artifact_is_a_violation(self, tmp_path):
+        path = tmp_path / "BENCH_serve.json"
+        path.write_text("{not json")
+        problems = validate_artifact(path)
+        assert len(problems) == 1 and "unreadable artifact" in problems[0]
+
+
+class TestCoverageArtifactSchema:
+    @pytest.fixture()
+    def study_dict(self):
+        from repro.experiments.progressive import run_coverage_study
+
+        return run_coverage_study(
+            row_count=600, query_count=30, budget_words=160, seed=9
+        ).as_dict()
+
+    def test_real_study_round_trips(self, tmp_path, study_dict):
+        path = tmp_path / "BENCH_coverage_intervals.json"
+        path.write_text(json.dumps([study_dict]))
+        assert validate_artifact(path) == []
+
+    def test_empty_array_is_rejected(self, tmp_path):
+        path = tmp_path / "BENCH_coverage_intervals.json"
+        path.write_text("[]")
+        assert validate_artifact(path) != []
+
+    def test_bad_nested_stage_is_located(self, tmp_path, study_dict):
+        study_dict["stages"][1]["covered"] = -3
+        path = tmp_path / "BENCH_coverage_intervals.json"
+        path.write_text(json.dumps([study_dict]))
+        problems = validate_artifact(path)
+        assert problems == ["study[0].stages[1].covered: must be >= 0, got -3"]

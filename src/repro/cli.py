@@ -457,6 +457,84 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_coverage_intervals(args) -> int:
+    """Run the progressive-answer coverage study over one or more seeds.
+
+    Prints per-stage empirical coverage against the claimed confidence
+    for each seed and gates on ``--min-coverage`` at every stage plus
+    bitwise exactness of the final stage.  ``--output`` writes the list
+    of per-seed study records as JSON — the CI interval-coverage
+    artifact (validated by ``validate-bench``).
+    """
+    import json
+
+    from repro.experiments.progressive import run_coverage_study
+
+    studies = []
+    failed = False
+    for seed in args.seeds:
+        study = run_coverage_study(
+            row_count=args.rows,
+            domain=args.domain,
+            query_count=args.queries,
+            shards=args.shards,
+            method=args.method,
+            budget_words=args.budget,
+            confidence=args.confidence,
+            seed=seed,
+            append_rows=args.append_rows,
+        )
+        studies.append(study)
+        ok = (
+            study.min_stage_coverage >= args.min_coverage
+            and study.final_stage_bitwise
+        )
+        failed = failed or not ok
+        print(("PASS  " if ok else "FAIL  ") + study.summary())
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump([study.as_dict() for study in studies], handle, indent=2)
+        print(f"coverage artifact written to {args.output}")
+    if failed:
+        print(
+            f"error: coverage below {args.min_coverage} (or final stage "
+            "not bitwise) on at least one seed",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_validate_bench(args) -> int:
+    """Schema-check ``BENCH_*.json`` artifacts; non-zero on violations."""
+    from repro.experiments.bench_schema import (
+        validate_artifact,
+        validate_bench_artifacts,
+    )
+
+    if args.paths:
+        reports = {path: validate_artifact(path) for path in args.paths}
+    else:
+        reports = validate_bench_artifacts(args.root)
+    if not reports:
+        print(f"no BENCH_*.json artifacts found under {args.root}")
+        return 1
+    bad = 0
+    for name in sorted(reports):
+        problems = reports[name]
+        if problems:
+            bad += 1
+            print(f"FAIL  {name}")
+            for problem in problems:
+                print(f"      - {problem}")
+        else:
+            print(f"ok    {name}")
+    if bad:
+        print(f"error: {bad} artifact(s) failed validation", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_dump_metrics(args) -> int:
     """Replay a workload against a fresh engine and emit its metrics.
 
@@ -657,6 +735,47 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-delay-ms", type=float, default=2.0)
     serve.add_argument("--output", help="write the result record as JSON")
     serve.set_defaults(handler=_cmd_serve)
+
+    coverage = commands.add_parser(
+        "coverage-intervals",
+        help="measure empirical coverage of progressive confidence intervals",
+    )
+    coverage.add_argument("--rows", type=int, default=20_000)
+    coverage.add_argument("--domain", type=int, default=512)
+    coverage.add_argument("--queries", type=int, default=2000)
+    coverage.add_argument("--shards", type=int, default=8)
+    coverage.add_argument("--method", default="sap1", choices=sorted(BUILDER_REGISTRY))
+    coverage.add_argument("--budget", type=int, default=256)
+    coverage.add_argument("--confidence", type=float, default=0.95)
+    coverage.add_argument(
+        "--seeds", type=int, nargs="+", default=[0], help="one study per seed"
+    )
+    coverage.add_argument(
+        "--append-rows",
+        type=int,
+        default=0,
+        help="rows appended post-build (exercises the stale/delta path)",
+    )
+    coverage.add_argument(
+        "--min-coverage",
+        type=float,
+        default=0.93,
+        help="per-stage empirical coverage gate (default: 0.93)",
+    )
+    coverage.add_argument("--output", help="write the per-seed studies as JSON")
+    coverage.set_defaults(handler=_cmd_coverage_intervals)
+
+    validate_bench = commands.add_parser(
+        "validate-bench",
+        help="schema-check BENCH_*.json benchmark artifacts",
+    )
+    validate_bench.add_argument(
+        "paths", nargs="*", help="explicit artifact paths (default: scan --root)"
+    )
+    validate_bench.add_argument(
+        "--root", default=".", help="directory scanned for BENCH_*.json"
+    )
+    validate_bench.set_defaults(handler=_cmd_validate_bench)
 
     dump = commands.add_parser(
         "dump-metrics",

@@ -177,6 +177,45 @@ class ErrorPrediction:
     exact: bool
 
 
+def confidence_multiplier(confidence: float) -> float:
+    """Distribution-free half-width multiplier for one confidence level.
+
+    Applying Markov's inequality to the squared error gives
+    ``P(|error| >= k * sqrt(MSE)) <= 1 / k**2`` for *any* error
+    distribution, so ``k = 1 / sqrt(1 - confidence)`` yields an interval
+    whose coverage over the prediction's own workload is at least
+    ``confidence`` whenever the frozen ``sse_per_query`` is the true
+    MSE.  Deliberately conservative (no Gaussian assumption): the
+    paper's builders produce error distributions with very different
+    shapes, and the serving tier's coverage gate is one-sided.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise InvalidParameterError(
+            f"confidence must be in (0, 1), got {confidence}"
+        )
+    return 1.0 / ((1.0 - confidence) ** 0.5)
+
+
+def interval_halfwidth(sse_per_query: float, confidence: float) -> float:
+    """Chebyshev-style confidence half-width from a frozen error model.
+
+    ``sse_per_query`` is the mean squared error of the unresolved part
+    of an answer (an :class:`ErrorPrediction`'s model, or a sum of
+    boundary-shard models — squared errors of independent shard
+    partials add).  Returns the half-width of a two-sided interval with
+    at-least-``confidence`` coverage; exactly zero when no estimated
+    mass remains.
+    """
+    sse = float(sse_per_query)
+    if sse < 0.0:
+        raise InvalidParameterError(
+            f"sse_per_query must be >= 0, got {sse_per_query}"
+        )
+    if sse == 0.0:
+        return 0.0
+    return confidence_multiplier(confidence) * sse**0.5
+
+
 #: Largest all-ranges workload enumerated exactly by :func:`predict_sse_per_query`.
 MAX_PREDICTION_QUERIES = 8192
 

@@ -208,6 +208,30 @@ class BatchExecutionMixin:
                     dtype=np.float64,
                 )
                 self._record_degraded_serve(level, len(positions))
+                if level == "progressive":
+                    # Interval answers are scalar by nature (each query
+                    # gets its own refinement chain), so the group loops
+                    # stage-0 sessions instead of the vectorised path.
+                    from repro.serving.progressive import initial_answer
+
+                    exact_array = (
+                        self._exact_batch(
+                            table_name, column_name, aggregate, lows, highs
+                        )
+                        if with_exact
+                        else None
+                    )
+                    if with_exact:
+                        self._bump("exact_scans", len(positions))
+                    self._bump_hits(f"{table_name}.{column_name}", len(positions))
+                    for offset, position in enumerate(positions):
+                        answer = initial_answer(self, group_queries[offset])
+                        results[position] = answer.as_result(
+                            exact=float(exact_array[offset])
+                            if exact_array is not None
+                            else None
+                        )
+                    continue
                 if entry is None:
                     if level == "exact":
                         estimate_array = self._exact_batch(

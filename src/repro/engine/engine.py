@@ -94,8 +94,15 @@ class QueryResult:
     ``degradation`` records which rung of the serving ladder produced
     the answer: ``"fresh"`` (up-to-date synopsis), ``"stale"`` (synopsis
     predating appends), ``"fallback"`` (uniform model over frozen column
-    statistics), or ``"exact"`` (base-table scan) — see
+    statistics), ``"progressive"`` (synopsis answer carrying a
+    confidence interval, refinable by the serving tier), or ``"exact"``
+    (base-table scan) — see
     :class:`repro.engine.resilience.DegradationPolicy`.
+
+    ``interval``/``confidence`` are set only on progressive answers: the
+    claimed-``confidence`` interval ``[lo, hi]`` around the estimate,
+    derived from the frozen builder error model (see
+    :mod:`repro.serving.progressive`).
     """
 
     query: AggregateQuery
@@ -105,6 +112,8 @@ class QueryResult:
     synopsis_words: int
     guaranteed_bound: float | None = None
     degradation: str = "fresh"
+    interval: tuple[float, float] | None = None
+    confidence: float | None = None
 
     @property
     def absolute_error(self) -> float | None:
@@ -508,6 +517,7 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
             "grouped_queries": 0,
             "exact_scans": 0,
             "stale_served": 0,
+            "progressive_served": 0,
             "rebuilds": 0,
             "dirty_shards_rebuilt": 0,
             "compactions": 0,
@@ -967,10 +977,14 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
         Keys are ``"table.column"``; ``None`` means the appended values
         changed the domain itself, so every shard must rebuild.  Stale
         monolithic synopses do not appear here.
+
+        Safe against concurrent appends/refreshes: the mapping is
+        snapshotted atomically (a C-level copy under the GIL) before the
+        Python-level loop walks it.
         """
         return {
             f"{key[0]}.{key[1]}": (None if shards is None else sorted(shards))
-            for key, shards in self._dirty_shards.items()
+            for key, shards in list(self._dirty_shards.items())
         }
 
     def shard_heat(self) -> dict[str, list[int]]:
@@ -983,7 +997,9 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
         :meth:`compact_shards`).
         """
         out: dict[str, list[int]] = {}
-        for key, entry in self._synopses.items():
+        # Snapshot before the Python-level walk: compactions swap
+        # entries concurrently with serve-plane reads.
+        for key, entry in list(self._synopses.items()):
             if isinstance(entry.count_estimator, ShardedSynopsis):
                 heat = self._shard_heat.get(key, {})
                 out[f"{key[0]}.{key[1]}"] = [
@@ -1425,6 +1441,12 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
             return entry, "stale"
         if policy.allow_fallback:
             return None, "fallback"
+        if policy.allow_progressive and entry is not None:
+            # Anytime rung: serve the (possibly stale) synopsis as an
+            # interval answer instead of a bare point estimate; the
+            # serving tier's Refiner tightens it in the background.
+            self._bump("progressive_served")
+            return entry, "progressive"
         if policy.allow_exact:
             return None, "exact"
         if entry is None:
@@ -1602,6 +1624,17 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
             self._bump("queries")
             self._bump_hits(f"{query.table}.{query.column}")
             self._record_degraded_serve(level)
+            if level == "progressive":
+                # Late import: serving depends on engine, not vice versa.
+                from repro.serving.progressive import initial_answer
+
+                answer = initial_answer(self, query)
+                exact = None
+                if with_exact:
+                    exact = self.execute_exact(query)
+                    self._bump("exact_scans")
+                span.set(stage=answer.stage)
+                return answer.as_result(exact=exact)
             if entry is None:
                 return self._execute_degraded(query, level, with_exact=with_exact)
             if with_exact:

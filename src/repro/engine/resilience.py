@@ -44,8 +44,12 @@ from repro.internal.faults import (  # noqa: F401  (re-exported)
 )
 
 #: The serving ladder, best to worst.  Every :class:`QueryResult` is
-#: tagged with the level that produced it.
-DEGRADATION_LEVELS = ("fresh", "stale", "fallback", "exact")
+#: tagged with the level that produced it.  ``progressive`` — between
+#: ``fallback`` and ``exact`` — answers immediately from the synopsis
+#: with an honest confidence interval derived from the frozen error
+#: model, then lets the serving tier's background refiner tighten it
+#: (see :mod:`repro.serving.progressive`).
+DEGRADATION_LEVELS = ("fresh", "stale", "fallback", "progressive", "exact")
 
 
 @dataclass(frozen=True)
@@ -241,10 +245,17 @@ class DegradationPolicy:
     allow_stale: bool = True
     allow_fallback: bool = True
     allow_exact: bool = True
+    #: Admit the ``progressive`` rung (between ``fallback`` and
+    #: ``exact``): answer from the synopsis with a confidence interval
+    #: instead of a bare point estimate.  Off by default so existing
+    #: policies keep their exact serving behaviour.
+    allow_progressive: bool = False
 
     def floor(self) -> str:
         if self.allow_exact:
             return "exact"
+        if self.allow_progressive:
+            return "progressive"
         if self.allow_fallback:
             return "fallback"
         if self.allow_stale:
@@ -264,11 +275,19 @@ STRICT = DegradationPolicy(
     allow_stale=False, allow_fallback=False, allow_exact=False
 )
 
+#: Anytime serving: a degraded answer is an *interval* that a
+#: background refiner tightens, never a bare stale estimate or a
+#: uniform-model guess (both rungs lie silently; an interval does not).
+ANYTIME = DegradationPolicy(
+    allow_stale=False, allow_fallback=False, allow_progressive=True
+)
+
 #: Named presets accepted anywhere a policy is (CLI, execute paths).
 DEGRADATION_PRESETS = {
     "serve_anything": SERVE_ANYTHING,
     "estimates_only": ESTIMATES_ONLY,
     "strict": STRICT,
+    "anytime": ANYTIME,
 }
 
 

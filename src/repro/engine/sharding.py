@@ -308,6 +308,45 @@ class ShardedSynopsis(RangeSumEstimator):
                 np.add.at(estimates, out_positions[mask], values)
         return estimates
 
+    def partial_shards(self, low: int, high: int) -> list[int]:
+        """Shard ids answered by *estimation* for one clipped range.
+
+        The range's interior shards are answered exactly from frozen
+        totals, so the only estimated mass sits in the (at most two)
+        partially-covered endpoint shards returned here.  Shard-aligned
+        ranges return ``[]`` — their answers carry no synopsis error.
+        """
+        lows = np.asarray([low], dtype=np.int64)
+        highs = np.asarray([high], dtype=np.int64)
+        left, right, left_full, right_full = self._coverage(lows, highs)
+        shards: list[int] = []
+        if not bool(left_full[0]):
+            shards.append(int(left[0]))
+        if not bool(right_full[0]) and int(right[0]) != int(left[0]):
+            shards.append(int(right[0]))
+        return shards
+
+    def boundary_sse(self, low: int, high: int) -> float | None:
+        """Summed frozen SSE-per-query of one range's partial shards.
+
+        The progressive serving tier derives its initial confidence
+        interval from this: a range's error is the sum of its boundary
+        partials' errors, and each partial shard's frozen
+        :class:`~repro.core.builders.ErrorPrediction` models that
+        shard's local range error.  Returns ``None`` when any involved
+        shard lacks a frozen model (the caller falls back to the
+        entry-level prediction); 0.0 for shard-aligned ranges.
+        """
+        if self.shard_predictions is None:
+            return None
+        total = 0.0
+        for shard in self.partial_shards(low, high):
+            prediction = self.shard_predictions[shard]
+            if prediction is None:
+                return None
+            total += float(prediction.sse_per_query)
+        return total
+
     def boundary_stats(self, lows, highs) -> tuple[int, int]:
         """``(queries touching a partial shard, partial estimates issued)``.
 

@@ -89,5 +89,17 @@ class ServerClosedError(ReproError):
     """A query was submitted to a server that is not running."""
 
 
+class RefinementInvalidatedError(ReproError):
+    """A progressive refinement's consistency token no longer validates.
+
+    Raised by :class:`repro.serving.progressive.RefinementSession` when
+    the catalog mutated (append, rebuild, staleness transition) between
+    refinement stages.  The interval chain computed so far describes a
+    table state that no longer exists, so the session refuses to
+    publish further stages; callers restart from a fresh stage-0
+    answer against the new token.
+    """
+
+
 class SQLSyntaxError(ReproError, ValueError):
     """The mini SQL dialect parser rejected a statement."""

@@ -1,0 +1,206 @@
+"""Statistical coverage study for progressive (anytime) answers.
+
+A claimed 95% interval is only worth shipping if it actually covers.
+This harness measures that empirically: over a seeded randomized
+workload it drives every query's
+:class:`~repro.serving.progressive.RefinementSession` to completion and
+checks, *per refinement stage*, how often the live exact answer fell
+inside the claimed interval — plus whether the final stage reproduced
+the exact path bitwise.
+
+The distribution-free Chebyshev/Markov multiplier
+(:func:`repro.core.builders.confidence_multiplier`) is deliberately
+conservative, so empirical coverage should sit well above the claimed
+confidence; the acceptance gate (``coverage-intervals`` CLI command,
+``tests/serving/test_progressive_coverage.py``, and the CI artifact
+step) allows a small tolerance below it for sampling noise on finite
+workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.engine import AggregateQuery, ApproximateQueryEngine
+from repro.engine.table import Table
+from repro.errors import InvalidParameterError
+from repro.queries.workload import random_ranges
+from repro.serving.progressive import STAGES, RefinementSession
+
+
+@dataclass(frozen=True)
+class StageCoverage:
+    """Empirical coverage of one refinement stage over a workload."""
+
+    stage: str
+    answers: int
+    covered: int
+    mean_width: float
+    max_width: float
+
+    @property
+    def coverage(self) -> float:
+        return self.covered / self.answers if self.answers else 1.0
+
+    def as_dict(self) -> dict:
+        return {
+            "stage": self.stage,
+            "answers": self.answers,
+            "covered": self.covered,
+            "coverage": self.coverage,
+            "mean_width": self.mean_width,
+            "max_width": self.max_width,
+        }
+
+
+@dataclass(frozen=True)
+class CoverageStudyResult:
+    """One seeded coverage run: per-stage coverage plus exactness."""
+
+    row_count: int
+    domain: int
+    query_count: int
+    shards: int
+    confidence: float
+    seed: int
+    append_rows: int
+    stages: list = field(default_factory=list)
+    exact_matches: int = 0
+    exact_answers: int = 0
+
+    @property
+    def min_stage_coverage(self) -> float:
+        return min((stage.coverage for stage in self.stages), default=1.0)
+
+    @property
+    def final_stage_bitwise(self) -> bool:
+        return self.exact_matches == self.exact_answers
+
+    def stage(self, name: str) -> StageCoverage:
+        for stage in self.stages:
+            if stage.stage == name:
+                return stage
+        raise KeyError(name)
+
+    def summary(self) -> str:
+        parts = ", ".join(
+            f"{stage.stage}={stage.coverage:.3f}" for stage in self.stages
+        )
+        return (
+            f"{self.query_count} queries @ {self.confidence:.0%} claimed "
+            f"(seed {self.seed}): coverage {parts}; final bitwise "
+            f"{self.exact_matches}/{self.exact_answers}"
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "row_count": self.row_count,
+            "domain": self.domain,
+            "query_count": self.query_count,
+            "shards": self.shards,
+            "confidence": self.confidence,
+            "seed": self.seed,
+            "append_rows": self.append_rows,
+            "stages": [stage.as_dict() for stage in self.stages],
+            "min_stage_coverage": self.min_stage_coverage,
+            "final_stage_bitwise": self.final_stage_bitwise,
+        }
+
+
+def run_coverage_study(
+    *,
+    row_count: int = 20_000,
+    domain: int = 512,
+    query_count: int = 2000,
+    shards: int = 8,
+    method: str = "sap1",
+    budget_words: int = 256,
+    aggregates: tuple = ("count", "sum", "avg"),
+    confidence: float = 0.95,
+    seed: int = 0,
+    append_rows: int = 0,
+) -> CoverageStudyResult:
+    """Measure per-stage empirical coverage over a random workload.
+
+    Builds one sharded synopsis, optionally appends ``append_rows``
+    extra rows *after* the build (so every session also exercises the
+    exact append-delta path against a stale entry), then refines every
+    query to completion and scores each published stage against the
+    live exact answer.  Fully deterministic in ``seed``.
+    """
+    if query_count < 1 or row_count < 1:
+        raise InvalidParameterError("row_count and query_count must be >= 1")
+    if append_rows < 0:
+        raise InvalidParameterError(f"append_rows must be >= 0, got {append_rows}")
+    rng = np.random.default_rng(seed)
+    values = rng.integers(0, domain, row_count)
+    engine = ApproximateQueryEngine()
+    engine.register_table(Table("traffic", {"value": values}))
+    engine.build_synopsis(
+        "traffic",
+        "value",
+        method=method,
+        budget_words=budget_words,
+        shards=shards,
+    )
+    if append_rows:
+        engine.append_rows(
+            "traffic", {"value": rng.integers(0, domain, append_rows)}
+        )
+
+    workload = random_ranges(domain, query_count, seed=seed + 1)
+    answers_by_stage = {stage: 0 for stage in STAGES}
+    covered_by_stage = {stage: 0 for stage in STAGES}
+    widths_by_stage: dict = {stage: [] for stage in STAGES}
+    exact_matches = 0
+    exact_answers = 0
+    for index, (low, high) in enumerate(workload):
+        query = AggregateQuery(
+            "traffic",
+            "value",
+            aggregates[index % len(aggregates)],
+            float(low),
+            float(high),
+        )
+        exact = engine.execute_exact(query)
+        chain = RefinementSession(
+            engine, query, confidence=confidence
+        ).run_to_exact()
+        for answer in chain:
+            answers_by_stage[answer.stage] += 1
+            if answer.contains(exact):
+                covered_by_stage[answer.stage] += 1
+            widths_by_stage[answer.stage].append(answer.width)
+        exact_answers += 1
+        if chain[-1].stage == "exact" and chain[-1].estimate == exact:
+            exact_matches += 1
+
+    stages = [
+        StageCoverage(
+            stage=stage,
+            answers=answers_by_stage[stage],
+            covered=covered_by_stage[stage],
+            mean_width=float(np.mean(widths_by_stage[stage]))
+            if widths_by_stage[stage]
+            else 0.0,
+            max_width=float(np.max(widths_by_stage[stage]))
+            if widths_by_stage[stage]
+            else 0.0,
+        )
+        for stage in STAGES
+        if answers_by_stage[stage]
+    ]
+    return CoverageStudyResult(
+        row_count=row_count,
+        domain=domain,
+        query_count=query_count,
+        shards=shards,
+        confidence=confidence,
+        seed=seed,
+        append_rows=append_rows,
+        stages=stages,
+        exact_matches=exact_matches,
+        exact_answers=exact_answers,
+    )

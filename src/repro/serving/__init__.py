@@ -6,24 +6,42 @@ door; the pieces compose and are usable on their own:
 
 * :class:`CatalogView` — read-only window into an engine's catalog,
   home of the :meth:`~CatalogView.answer_token` consistency tokens.
-* :class:`AnswerCache` — token-validated LRU of query answers that can
-  never serve a pre-mutation answer after ``append_rows``.
+* :class:`AnswerCache` — token-validated, stage-aware LRU of query
+  answers that can never serve a pre-mutation answer after
+  ``append_rows`` and never regresses a refined interval to a coarser
+  one.
 * :class:`RequestCoalescer` — size/age-triggered batching of pending
   requests onto the engine's vectorised ``execute_batch`` path.
 * :class:`QueryServer` — worker thread, admission control, and the
   overload shed ladder tying the above together.
+* :mod:`repro.serving.progressive` — anytime answers:
+  :class:`RefinementSession` (the synchronous interval-tightening
+  machine), :class:`Refiner` (its background driver), and
+  :class:`ProgressiveHandle` (the caller's streaming view).
 """
 
 from repro.serving.answer_cache import AnswerCache, cache_key
 from repro.serving.catalog import CatalogView
 from repro.serving.coalescer import PendingRequest, RequestCoalescer
+from repro.serving.progressive import (
+    STAGES,
+    IntervalAnswer,
+    ProgressiveHandle,
+    Refiner,
+    RefinementSession,
+)
 from repro.serving.server import QueryServer
 
 __all__ = [
     "AnswerCache",
     "CatalogView",
+    "IntervalAnswer",
     "PendingRequest",
+    "ProgressiveHandle",
     "QueryServer",
+    "Refiner",
+    "RefinementSession",
     "RequestCoalescer",
+    "STAGES",
     "cache_key",
 ]

@@ -18,6 +18,12 @@ can never validate — even if the mutation raced the answer's
 computation.  Outdated entries stay resident (feeding the overload
 path's explicitly-tagged stale answers) until overwritten or aged out.
 
+Entries additionally carry an optional *stage rank* for progressive
+answers (:mod:`repro.serving.progressive`): a refinement stage may
+upgrade a cached coarser interval for the same token but a late or
+re-ordered coarse stage can never overwrite a finer one — refinement
+is monotone in the cache exactly as it is on the wire.
+
 Entries are kept in LRU order under a single lock; capacity eviction
 drops the least recently used.
 """
@@ -47,18 +53,27 @@ def cache_key(query) -> tuple:
 
 
 class AnswerCache:
-    """Token-validated LRU cache of :class:`QueryResult` answers."""
+    """Token-validated, stage-aware LRU cache of query answers.
+
+    Each entry is ``(token, stage_rank, result)``; ``stage_rank`` is
+    ``None`` for ordinary point answers (which always overwrite) and a
+    :data:`repro.serving.progressive.STAGE_RANK` value for progressive
+    interval answers, enforcing the never-regress rule per token.
+    """
 
     def __init__(self, capacity: int = 4096) -> None:
         if capacity < 1:
             raise InvalidParameterError(f"capacity must be >= 1, got {capacity}")
         self.capacity = int(capacity)
         self._lock = threading.Lock()
-        self._entries: OrderedDict[tuple, tuple[tuple, object]] = OrderedDict()
+        self._entries: OrderedDict[tuple, tuple[tuple, int | None, object]] = (
+            OrderedDict()
+        )
         self.hits = 0
         self.misses = 0
         self.invalidated = 0
         self.evictions = 0
+        self.regressions_blocked = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -80,7 +95,7 @@ class AnswerCache:
             if entry is None:
                 self.misses += 1
                 return None
-            stored_token, result = entry
+            stored_token, _, result = entry
             if stored_token != token:
                 self.invalidated += 1
                 self.misses += 1
@@ -103,7 +118,7 @@ class AnswerCache:
                     self.misses += 1
                     results.append(None)
                     continue
-                stored_token, result = entry
+                stored_token, _, result = entry
                 if stored_token != token:
                     self.invalidated += 1
                     self.misses += 1
@@ -128,23 +143,59 @@ class AnswerCache:
             entry = self._entries.get(key)
             if entry is None:
                 return None
-            return entry[1]
+            return entry[2]
 
-    def put(self, key: tuple, token: tuple, result) -> None:
-        """Record an answer computed under ``token`` (read pre-compute)."""
+    def stage_rank(self, key: tuple) -> int | None:
+        """The stored refinement stage rank of an entry (``None`` for
+        point answers or missing keys)."""
         with self._lock:
-            self._entries[key] = (token, result)
+            entry = self._entries.get(key)
+            return None if entry is None else entry[1]
+
+    def _store(self, key: tuple, token: tuple, stage_rank, result) -> None:
+        """Insert under the never-regress rule (caller holds the lock).
+
+        A ranked write only replaces a ranked entry *with the same
+        token* when its stage is at least as refined; everything else
+        (unranked writes, token changes, upgrades) overwrites.
+        """
+        entry = self._entries.get(key)
+        if (
+            entry is not None
+            and stage_rank is not None
+            and entry[1] is not None
+            and entry[0] == token
+            and stage_rank < entry[1]
+        ):
+            self.regressions_blocked += 1
             self._entries.move_to_end(key)
+            return
+        self._entries[key] = (token, stage_rank, result)
+        self._entries.move_to_end(key)
+
+    def put(self, key: tuple, token: tuple, result, stage_rank: int | None = None) -> None:
+        """Record an answer computed under ``token`` (read pre-compute).
+
+        ``stage_rank`` marks progressive interval answers; for the same
+        token a coarser stage never overwrites a finer one (the write is
+        dropped and counted in ``regressions_blocked``), so a slow
+        stage-0 publish racing a finished refinement cannot regress the
+        cache.
+        """
+        with self._lock:
+            self._store(key, token, stage_rank, result)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self.evictions += 1
 
     def put_many(self, entries: list) -> None:
-        """Record ``(key, token, result)`` triples under one lock round."""
+        """Record ``(key, token, result[, stage_rank])`` tuples under one
+        lock round; the three-element form stores an unranked answer."""
         with self._lock:
-            for key, token, result in entries:
-                self._entries[key] = (token, result)
-                self._entries.move_to_end(key)
+            for entry in entries:
+                key, token, result = entry[0], entry[1], entry[2]
+                stage_rank = entry[3] if len(entry) > 3 else None
+                self._store(key, token, stage_rank, result)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self.evictions += 1
@@ -176,4 +227,5 @@ class AnswerCache:
                 "misses": self.misses,
                 "invalidated": self.invalidated,
                 "evictions": self.evictions,
+                "regressions_blocked": self.regressions_blocked,
             }

@@ -23,9 +23,18 @@ front end for the engine's range-aggregate synopses:
   :class:`~repro.engine.resilience.DegradationPolicy` ladder instead
   of queueing unboundedly: a cached answer re-tagged ``stale`` (if the
   policy admits stale), else the O(1) uniform-model ``fallback`` rung,
-  else :class:`~repro.errors.ServerOverloadedError`.  The ``exact``
-  rung is never used for shedding — a base-table scan under overload
-  would dig the hole deeper.
+  else a stage-0 ``progressive`` interval answer (if the policy admits
+  it), else :class:`~repro.errors.ServerOverloadedError`.  A request
+  arriving when the queue is *exactly* at ``max_pending`` takes this
+  ladder too — the boundary sheds, it never raises past an admissible
+  rung.  The ``exact`` rung is never used for shedding — a base-table
+  scan under overload would dig the hole deeper.
+* **Progressive answers** — :meth:`QueryServer.submit_progressive`
+  returns a :class:`~repro.serving.progressive.ProgressiveHandle`
+  immediately (stage-0 interval inline) and a background
+  :class:`~repro.serving.progressive.Refiner` streams monotonically
+  tightening intervals until exact, upgrading the stage-aware answer
+  cache as it goes.
 
 Threading contract: all engine access from the serve path happens on
 the single worker thread (plus read-only catalog peeks from submitting
@@ -59,6 +68,17 @@ from repro.serving.coalescer import PendingRequest, RequestCoalescer, ServeFutur
 BATCH_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096)
 
 
+def _stage_rank_of(result: QueryResult) -> int | None:
+    """The cache stage rank of a flushed answer.
+
+    Progressive answers from the batch path are stage-0 intervals; they
+    must enter the cache *ranked* so a background refinement that
+    already published a finer stage for the same token is not clobbered
+    by a slower flush.  Every other answer is unranked and overwrites.
+    """
+    return 0 if result.degradation == "progressive" else None
+
+
 class QueryServer:
     """Coalescing, caching, load-shedding front end over one engine.
 
@@ -79,6 +99,7 @@ class QueryServer:
         degradation="serve_anything",
         on_stale: str = "serve",
         audit_rate: float = 0.0,
+        confidence: float = 0.95,
     ) -> None:
         if max_pending < 1:
             raise InvalidParameterError(
@@ -98,9 +119,11 @@ class QueryServer:
         self.policy = as_degradation_policy(degradation) or SERVE_ANYTHING
         self.on_stale = on_stale
         self.audit_rate = float(audit_rate)
+        self.confidence = float(confidence)
         self.metrics = engine.metrics
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
+        self._refiner = None
         self._lock = threading.Lock()
         self._counters = {
             "submitted": 0,
@@ -110,8 +133,10 @@ class QueryServer:
             "served": 0,
             "shed_stale": 0,
             "shed_fallback": 0,
+            "shed_progressive": 0,
             "rejected": 0,
             "flush_errors": 0,
+            "progressive_sessions": 0,
         }
 
     # ------------------------------------------------------------------
@@ -137,6 +162,9 @@ class QueryServer:
         Requests already admitted are answered before the worker exits;
         new submissions raise :class:`~repro.errors.ServerClosedError`.
         """
+        if self._refiner is not None:
+            self._refiner.stop()
+            self._refiner = None
         if self._thread is None:
             return
         self._stop.set()
@@ -172,6 +200,46 @@ class QueryServer:
     def submit_many(self, queries) -> list[ServeFuture]:
         """Admit many queries under one queue-lock acquisition."""
         return self._admit(list(queries))
+
+    def submit_progressive(self, query: AggregateQuery, *, confidence=None):
+        """Anytime answering: an immediate interval, then refinement.
+
+        Returns a :class:`~repro.serving.progressive.ProgressiveHandle`
+        whose first answer (stage-0, computed inline before this method
+        returns) is the synopsis estimate with a claimed-``confidence``
+        interval; the background refiner streams monotonically nested,
+        tightening intervals into the handle and the stage-aware answer
+        cache until the answer is exact.  A catalog mutation mid-flight
+        invalidates the refinement instead of publishing a stale stage.
+        """
+        if not self.running:
+            raise ServerClosedError(
+                "server is not running; use 'with QueryServer(engine):' or start()"
+            )
+        if not isinstance(query, AggregateQuery):
+            raise InvalidQueryError(
+                "the server answers AggregateQuery range aggregates, "
+                f"got {type(query).__name__}"
+            )
+        handle = self.refiner.submit(query, confidence=confidence)
+        with self._lock:
+            self._counters["progressive_sessions"] += 1
+        self.metrics.counter("serve_progressive_sessions_total").inc()
+        return handle
+
+    @property
+    def refiner(self):
+        """The lazily created background refiner (started on first use)."""
+        if self._refiner is None:
+            from repro.serving.progressive import Refiner
+
+            self._refiner = Refiner(
+                self.engine,
+                cache=self.cache,
+                catalog=self.catalog,
+                confidence=self.confidence,
+            ).start()
+        return self._refiner
 
     def execute(self, query: AggregateQuery, timeout: float | None = None) -> QueryResult:
         """Blocking wrapper: submit one query and wait for its answer."""
@@ -269,6 +337,26 @@ class QueryServer:
                 )
             )
             return future
+        if self.policy.allow_progressive:
+            # Anytime rung: a stage-0 interval answer costs O(1) in the
+            # synopsis (plus the appended-suffix delta) — cheap enough
+            # to compute on the submitting thread even under overload,
+            # and honest about its uncertainty where the stale and
+            # fallback rungs silently guess.
+            from repro.serving.progressive import initial_answer
+
+            try:
+                answer = initial_answer(
+                    self.engine, query, confidence=self.confidence
+                )
+            except InvalidQueryError as error:
+                future.set_exception(error)
+                return future
+            with self._lock:
+                self._counters["shed_progressive"] += 1
+            self.metrics.counter("serve_shed_total", level="progressive").inc()
+            future.set_result(answer.as_result())
+            return future
         with self._lock:
             self._counters["rejected"] += 1
         self.metrics.counter("serve_shed_total", level="rejected").inc()
@@ -313,7 +401,7 @@ class QueryServer:
                 return
         self.cache.put_many(
             [
-                (request.cache_key, request.token, result)
+                (request.cache_key, request.token, result, _stage_rank_of(result))
                 for request, result in zip(batch, results)
             ]
         )
@@ -350,7 +438,12 @@ class QueryServer:
             except Exception as error:  # noqa: BLE001 — per-query isolation
                 request.future.set_exception(error)
                 continue
-            self.cache.put(request.cache_key, request.token, result)
+            self.cache.put(
+                request.cache_key,
+                request.token,
+                result,
+                stage_rank=_stage_rank_of(result),
+            )
             request.future.set_result(result)
             served += 1
         with self._lock:
@@ -369,4 +462,6 @@ class QueryServer:
         counters["max_batch"] = self.coalescer.max_batch
         counters["max_delay_ms"] = self.coalescer.max_delay_seconds * 1000.0
         counters["max_pending"] = self.max_pending
+        if self._refiner is not None:
+            counters["refiner"] = self._refiner.stats()
         return counters

@@ -1,9 +1,33 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and Hypothesis profiles for the test suite."""
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+
+try:
+    from hypothesis import HealthCheck, settings
+
+    # "ci" — deterministic and patient: derandomised example selection
+    # (a CI failure must reproduce locally from the printed seed) and no
+    # per-example deadline, because shared CI runners pause arbitrarily
+    # and a deadline there reports phantom flakes.  Selected by
+    # exporting HYPOTHESIS_PROFILE=ci (the CI workflow does).
+    settings.register_profile(
+        "ci",
+        derandomize=True,
+        deadline=None,
+        suppress_health_check=(HealthCheck.too_slow,),
+    )
+    # "dev" — the default local profile: Hypothesis defaults, but no
+    # deadline either (property suites drive full engine builds, whose
+    # first-call costs trip the 200 ms default on cold caches).
+    settings.register_profile("dev", deadline=None)
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+except ImportError:  # pragma: no cover - hypothesis always in the image
+    pass
 
 
 @pytest.fixture

@@ -84,6 +84,55 @@ class TestCompactionPolicy:
         assert plan_runs([3, 3, 3, 3], CompactionPolicy()) == []
 
 
+class TestPlanRunsTieBreaking:
+    """Pin the deliberate tie-breaks in :func:`plan_runs`.
+
+    Two places in the planner face a choice between equally-valid runs:
+    greedy chunking of a long cold stretch (where the remainder chunk
+    sits exactly at ``min_run_length``), and the ``min_shards`` trim
+    (which drops whole runs from the *front*, keeping the rear runs
+    that streaming appends are about to re-dirty last).  These were
+    previously untested; a refactor could silently flip either choice.
+    """
+
+    def test_remainder_chunk_exactly_min_run_length_is_kept(self):
+        policy = CompactionPolicy(
+            min_run_length=3, max_run_length=4, hot_tail_shards=0
+        )
+        assert plan_runs([0] * 7, policy) == [(0, 3), (4, 6)]
+
+    def test_remainder_chunk_one_below_min_run_length_is_dropped(self):
+        policy = CompactionPolicy(
+            min_run_length=3, max_run_length=4, hot_tail_shards=0
+        )
+        assert plan_runs([0] * 6, policy) == [(0, 3)]
+
+    def test_min_shards_trim_drops_runs_from_the_front(self):
+        # Three runs remove 2+2+1 shards; min_shards=6 forces dropping
+        # exactly the first two, so the survivor is the REAR run.
+        policy = CompactionPolicy(
+            min_run_length=2, max_run_length=3, hot_tail_shards=0, min_shards=6
+        )
+        assert plan_runs([0] * 8, policy) == [(6, 7)]
+
+    def test_min_shards_trim_stops_at_first_fit(self):
+        # Dropping one front run suffices; the rest must survive intact.
+        policy = CompactionPolicy(
+            min_run_length=2, max_run_length=2, hot_tail_shards=0, min_shards=5
+        )
+        assert plan_runs([0] * 8, policy) == [(2, 3), (4, 5), (6, 7)]
+
+    def test_heat_exactly_at_max_heat_counts_cold(self):
+        policy = CompactionPolicy(max_heat=1, hot_tail_shards=0)
+        assert plan_runs([1, 1, 2, 1, 1], policy) == [(0, 1), (3, 4)]
+
+    def test_cold_run_is_cut_at_the_hot_tail_boundary(self):
+        # All five shards are cold, but the trailing two are exempt, so
+        # the run ends exactly at the eligibility boundary.
+        policy = CompactionPolicy(hot_tail_shards=2)
+        assert plan_runs([0] * 5, policy) == [(0, 2)]
+
+
 class TestWithCompactedRuns:
     @pytest.fixture()
     def data(self):

@@ -1,0 +1,138 @@
+"""Hypothesis properties of progressive interval refinement.
+
+For *every* generated dataset, shard layout, aggregate, and query range
+the refinement chain must satisfy the structural contract:
+
+* intervals are monotonically nested (each stage inside its
+  predecessor) with non-increasing widths and valid ``lo <= hi``;
+* stage ranks never decrease along the chain, which ends at ``exact``;
+* every non-exact stage's estimate lies inside its own interval;
+* the exact stage agrees **bitwise** with the engine's exact path;
+* appending rows before the session starts never breaks any of the
+  above (the append-delta path);
+* raising the confidence can only *widen* a stage's interval.
+
+Deliberately absent: "every interval contains the true answer".  That
+claim is *statistical*, not structural — nesting is enforced by
+intersect-clamping, so on an adversarial draw where the claimed
+confidence legitimately misses (e.g. a 50% interval), later exact
+stages clamp into the too-narrow ancestor rather than breaking
+nesting.  Empirical coverage against the claimed confidence is gated
+separately, with a tolerance, in
+``tests/serving/test_progressive_coverage.py``.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import ApproximateQueryEngine, Table
+from repro.engine.engine import AggregateQuery
+from repro.serving.progressive import RefinementSession
+
+values_arrays = st.lists(
+    st.integers(min_value=0, max_value=60), min_size=8, max_size=300
+).map(lambda xs: np.asarray(xs, dtype=np.int64))
+
+
+@st.composite
+def refinement_cases(draw):
+    values = draw(values_arrays)
+    shards = draw(st.sampled_from([1, 2, 4]))
+    aggregate = draw(st.sampled_from(["count", "sum", "avg"]))
+    low = draw(st.integers(min_value=-5, max_value=65))
+    high = draw(st.integers(min_value=low, max_value=70))
+    appended = draw(
+        st.lists(st.integers(min_value=0, max_value=60), min_size=0, max_size=40)
+    )
+    return values, shards, aggregate, float(low), float(high), appended
+
+
+def _build_engine(values, shards, appended):
+    engine = ApproximateQueryEngine()
+    engine.register_table(Table("t", {"x": values}))
+    # A tiny budget forces real approximation error, which is the
+    # interesting regime for interval properties.
+    engine.build_synopsis(
+        "t", "x", method="a0", budget_words=max(16, 10 * shards), shards=shards
+    )
+    if appended:
+        engine.append_rows("t", {"x": np.asarray(appended, dtype=np.int64)})
+    return engine
+
+
+@settings(max_examples=60, deadline=None)
+@given(case=refinement_cases())
+def test_chain_structural_contract(case):
+    values, shards, aggregate, low, high, appended = case
+    engine = _build_engine(values, shards, appended)
+    query = AggregateQuery("t", "x", aggregate, low, high)
+    exact = engine.execute_exact(query)
+    chain = RefinementSession(engine, query).run_to_exact()
+
+    # Ends exact, never skips backwards.
+    assert chain[0].stage == "synopsis"
+    assert chain[-1].stage == "exact"
+    ranks = [answer.stage_rank for answer in chain]
+    assert ranks == sorted(ranks)
+
+    # Nesting, monotone tightening, internal validity.  The exact
+    # stage's estimate is published bitwise (never clamped), so the
+    # estimate-inside-interval guarantee covers the earlier stages.
+    for answer in chain:
+        assert answer.lo <= answer.hi
+        if answer.stage != "exact":
+            assert answer.lo <= answer.estimate <= answer.hi
+    for previous, current in zip(chain, chain[1:]):
+        assert previous.lo <= current.lo
+        assert current.hi <= previous.hi
+        assert current.width <= previous.width
+
+    # Exact-stage agreement is bitwise.
+    assert chain[-1].estimate == exact
+
+    # Count aggregates never claim negative mass.
+    if aggregate == "count":
+        assert all(answer.lo >= 0.0 for answer in chain)
+
+
+@settings(max_examples=40, deadline=None)
+@given(case=refinement_cases())
+def test_exact_stage_matches_engine_exact_path_bitwise(case):
+    values, shards, aggregate, low, high, appended = case
+    engine = _build_engine(values, shards, appended)
+    query = AggregateQuery("t", "x", aggregate, low, high)
+    via_engine = engine.execute(query, with_exact=True, on_stale="serve")
+    final = RefinementSession(engine, query).run_to_exact()[-1]
+    assert final.estimate == via_engine.exact
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    case=refinement_cases(),
+    confidences=st.tuples(
+        st.sampled_from([0.5, 0.8, 0.9]), st.sampled_from([0.95, 0.99])
+    ),
+)
+def test_higher_confidence_never_narrows_a_stage(case, confidences):
+    """The Chebyshev multiplier is monotone in confidence, so at every
+    stage the higher-confidence interval must contain the
+    lower-confidence one (same estimates, same plan, wider slack)."""
+    lower_confidence, higher_confidence = confidences
+    values, shards, aggregate, low, high, appended = case
+    engine = _build_engine(values, shards, appended)
+    query = AggregateQuery("t", "x", aggregate, low, high)
+    narrow = RefinementSession(
+        engine, query, confidence=lower_confidence
+    ).run_to_exact()
+    wide = RefinementSession(
+        engine, query, confidence=higher_confidence
+    ).run_to_exact()
+    assert [a.stage for a in narrow] == [a.stage for a in wide]
+    # Stage 0 is computed independently in both sessions, so the
+    # containment is unconditional there; later stages inherit their
+    # ancestors' clamping, so compare widths only at stage 0.
+    assert wide[0].lo <= narrow[0].lo
+    assert narrow[0].hi <= wide[0].hi
+    # Both chains publish the identical bitwise exact value.
+    assert narrow[-1].estimate == wide[-1].estimate

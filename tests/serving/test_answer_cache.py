@@ -108,9 +108,114 @@ def test_stats_shape():
         "misses": 1,
         "invalidated": 0,
         "evictions": 0,
+        "regressions_blocked": 0,
     }
 
 
 def test_invalid_capacity_rejected():
     with pytest.raises(InvalidParameterError):
         AnswerCache(capacity=0)
+
+
+class TestLRUEvictionOrdering:
+    """Eviction is strict recency order across get/put touches."""
+
+    def test_eviction_follows_access_order_not_insertion_order(self):
+        cache = AnswerCache(capacity=3)
+        for name in ("a", "b", "c"):
+            cache.put((name,), TOKEN_A, name)
+        # Touch in the order c, a — so b is now the least recent.
+        assert cache.get(("c",), TOKEN_A) == "c"
+        assert cache.get(("a",), TOKEN_A) == "a"
+        cache.put(("d",), TOKEN_A, "d")
+        assert cache.get(("b",), TOKEN_A) is None
+        assert [cache.get((n,), TOKEN_A) for n in ("c", "a", "d")] == [
+            "c",
+            "a",
+            "d",
+        ]
+        assert cache.evictions == 1
+
+    def test_overwrite_refreshes_recency(self):
+        cache = AnswerCache(capacity=2)
+        cache.put(("a",), TOKEN_A, 1)
+        cache.put(("b",), TOKEN_A, 2)
+        cache.put(("a",), TOKEN_A, 10)  # overwrite refreshes a
+        cache.put(("c",), TOKEN_A, 3)  # evicts b, not a
+        assert cache.get(("a",), TOKEN_A) == 10
+        assert cache.get(("b",), TOKEN_A) is None
+
+    def test_invalidated_lookup_does_not_refresh_recency(self):
+        cache = AnswerCache(capacity=2)
+        cache.put(("a",), TOKEN_A, 1)
+        cache.put(("b",), TOKEN_A, 2)
+        # A token-mismatched miss on `a` must not count as a touch.
+        assert cache.get(("a",), TOKEN_B) is None
+        cache.put(("c",), TOKEN_A, 3)
+        assert cache.get_even_stale(("a",)) is None  # a was evicted
+        assert cache.get(("b",), TOKEN_A) == 2
+
+    def test_eviction_counts_accumulate(self):
+        cache = AnswerCache(capacity=1)
+        for index in range(5):
+            cache.put((index,), TOKEN_A, index)
+        assert cache.evictions == 4
+        assert len(cache) == 1
+
+
+class TestStageAwarePuts:
+    """Refined intervals upgrade cached coarse ones but never regress."""
+
+    def test_higher_stage_upgrades_same_token(self):
+        cache = AnswerCache()
+        key = ("t", "c", "sum", 0.0, 1.0)
+        cache.put(key, TOKEN_A, "stage0", stage_rank=0)
+        cache.put(key, TOKEN_A, "stage3", stage_rank=3)
+        assert cache.get(key, TOKEN_A) == "stage3"
+        assert cache.stage_rank(key) == 3
+
+    def test_lower_stage_never_regresses_same_token(self):
+        cache = AnswerCache()
+        key = ("t", "c", "sum", 0.0, 1.0)
+        cache.put(key, TOKEN_A, "exact", stage_rank=3)
+        cache.put(key, TOKEN_A, "late stage0", stage_rank=0)
+        assert cache.get(key, TOKEN_A) == "exact"
+        assert cache.stats()["regressions_blocked"] == 1
+
+    def test_equal_stage_overwrites(self):
+        cache = AnswerCache()
+        key = ("k",)
+        cache.put(key, TOKEN_A, "first", stage_rank=1)
+        cache.put(key, TOKEN_A, "second", stage_rank=1)
+        assert cache.get(key, TOKEN_A) == "second"
+
+    def test_new_token_always_overwrites_even_with_lower_stage(self):
+        # A mutation restarts refinement from stage 0: the old exact
+        # answer describes a table state that no longer exists.
+        cache = AnswerCache()
+        key = ("k",)
+        cache.put(key, TOKEN_A, "old exact", stage_rank=3)
+        cache.put(key, TOKEN_B, "new stage0", stage_rank=0)
+        assert cache.get(key, TOKEN_B) == "new stage0"
+        assert cache.get(key, TOKEN_A) is None
+
+    def test_unranked_put_overwrites_ranked(self):
+        # Plain point answers (batch flush recomputes) are authoritative.
+        cache = AnswerCache()
+        key = ("k",)
+        cache.put(key, TOKEN_A, "interval", stage_rank=2)
+        cache.put(key, TOKEN_A, "point")
+        assert cache.get(key, TOKEN_A) == "point"
+        assert cache.stage_rank(key) is None
+
+    def test_put_many_accepts_ranked_quadruples(self):
+        cache = AnswerCache()
+        cache.put_many(
+            [
+                (("a",), TOKEN_A, "exact", 3),
+                (("b",), TOKEN_A, "plain"),
+            ]
+        )
+        cache.put_many([(("a",), TOKEN_A, "late stage0", 0)])
+        assert cache.get(("a",), TOKEN_A) == "exact"
+        assert cache.stage_rank(("b",)) is None

@@ -1,25 +1,19 @@
-"""Tests for request coalescing and the slim serve future."""
+"""Tests for request coalescing and the slim serve future.
+
+Timeout-policy tests use the shared
+:class:`repro.observability.clock.FakeClock` (the coalescer accepts any
+``clock`` callable) — no wall-clock reads, so flush-due assertions
+cannot flake under CI load.
+"""
 
 import threading
 
 import pytest
 
 from repro.errors import InvalidParameterError
+from repro.observability.clock import FakeClock
 from repro.serving import PendingRequest, RequestCoalescer
 from repro.serving.coalescer import ServeFuture
-
-
-class FakeClock:
-    """A controllable monotonic clock for timeout-policy tests."""
-
-    def __init__(self) -> None:
-        self.now = 0.0
-
-    def __call__(self) -> float:
-        return self.now
-
-    def advance(self, seconds: float) -> None:
-        self.now += seconds
 
 
 def _request(query="q"):
@@ -33,7 +27,7 @@ class TestFlushPolicy:
 
     def test_size_trigger(self):
         clock = FakeClock()
-        coalescer = RequestCoalescer(max_batch=3, max_delay_seconds=60.0, clock=clock)
+        coalescer = RequestCoalescer(max_batch=3, max_delay_seconds=60.0, clock=clock.now)
         coalescer.add(_request())
         coalescer.add(_request())
         assert not coalescer.flush_due()
@@ -42,7 +36,7 @@ class TestFlushPolicy:
 
     def test_age_trigger(self):
         clock = FakeClock()
-        coalescer = RequestCoalescer(max_batch=100, max_delay_seconds=0.5, clock=clock)
+        coalescer = RequestCoalescer(max_batch=100, max_delay_seconds=0.5, clock=clock.now)
         coalescer.add(_request())
         assert not coalescer.flush_due()
         clock.advance(0.4)
@@ -52,7 +46,7 @@ class TestFlushPolicy:
 
     def test_age_measured_from_oldest_request(self):
         clock = FakeClock()
-        coalescer = RequestCoalescer(max_batch=100, max_delay_seconds=0.5, clock=clock)
+        coalescer = RequestCoalescer(max_batch=100, max_delay_seconds=0.5, clock=clock.now)
         coalescer.add(_request("old"))
         clock.advance(0.45)
         coalescer.add(_request("young"))

@@ -10,10 +10,12 @@ the token layer, the cache layer, and end-to-end through the
 :class:`~repro.serving.QueryServer`.
 """
 
+import threading
+
 import numpy as np
 import pytest
 
-from repro.engine import ApproximateQueryEngine, Table
+from repro.engine import ApproximateQueryEngine, CompactionPolicy, Table
 from repro.engine.engine import AggregateQuery
 from repro.serving import AnswerCache, CatalogView, QueryServer, cache_key
 
@@ -98,3 +100,80 @@ def test_server_recomputes_after_compaction(engine):
         hits = server.cache.stats()["hits"]
         assert server.execute(QUERY).estimate == after.estimate
         assert server.cache.stats()["hits"] == hits + 1
+
+
+class TestCatalogViewSnapshotSemantics:
+    """The view hands out *copies* and stays safe under racing sweeps."""
+
+    def test_synopsis_catalog_is_a_snapshot_not_a_live_handle(self, engine):
+        view = CatalogView(engine)
+        snapshot = view.synopsis_catalog()
+        snapshot.clear()
+        assert view.has_synopsis("events", "value")
+        assert view.synopsis_catalog(), (
+            "clearing a returned catalog listing must not empty the engine"
+        )
+
+    def test_dirty_shards_is_a_snapshot_not_a_live_handle(self, engine):
+        engine.append_rows("events", {"value": np.asarray([1, 2, 3])})
+        view = CatalogView(engine)
+        snapshot = view.dirty_shards()
+        before = {key: value for key, value in snapshot.items()}
+        snapshot.clear()
+        assert view.dirty_shards() == before
+
+    def test_reads_race_compact_all_shards_without_tearing(self, engine):
+        """Hammer every read surface while a sweeper thread alternates
+        compaction, appends, and refreshes.  No read may raise, every
+        observed token must be internally consistent with the staleness
+        flag it carries, and any token observed before the sweep is
+        dead once the sweep's first build-id bump lands."""
+        view = CatalogView(engine)
+        policy = CompactionPolicy(hot_tail_shards=0, min_shards=2)
+        initial_token = view.answer_token("events", "value")
+        errors = []
+        stop = threading.Event()
+
+        def sweep():
+            try:
+                rng = np.random.default_rng(17)
+                for _ in range(5):
+                    engine.compact_all_shards(policy=policy)
+                    engine.append_rows(
+                        "events", {"value": rng.integers(0, 40, 20)}
+                    )
+                    engine.refresh_stale()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        observed_tokens = []
+        sweeper = threading.Thread(target=sweep)
+        sweeper.start()
+        try:
+            while not stop.is_set():
+                token = view.answer_token("events", "value")
+                observed_tokens.append(token)
+                assert view.has_synopsis("events", "value")
+                assert isinstance(view.synopsis_catalog(), list)
+                assert isinstance(view.dirty_shards(), dict)
+                assert isinstance(view.stale_synopses(), list)
+                # The staleness component of the token matches the
+                # dedicated read (both may move between our two reads,
+                # but each read individually must be well-formed).
+                assert token[2] in (True, False)
+        finally:
+            sweeper.join(timeout=30.0)
+        assert not sweeper.is_alive()
+        assert errors == []
+
+        final_token = view.answer_token("events", "value")
+        assert final_token != initial_token, (
+            "five compact/append/refresh rounds must move the token"
+        )
+        # A cache entry recorded under any pre-final token is dead.
+        cache = AnswerCache()
+        key = cache_key(QUERY)
+        cache.put(key, initial_token, object())
+        assert cache.get(key, final_token) is None

@@ -1,0 +1,372 @@
+"""Unit tests for progressive (anytime) answers and the refiner."""
+
+import numpy as np
+import pytest
+
+from repro.engine import ApproximateQueryEngine, Table
+from repro.engine.engine import AggregateQuery
+from repro.engine.resilience import DEGRADATION_LEVELS, DEGRADATION_PRESETS
+from repro.errors import (
+    InvalidParameterError,
+    InvalidQueryError,
+    RefinementInvalidatedError,
+)
+from repro.serving import QueryServer
+from repro.serving.progressive import (
+    STAGE_RANK,
+    STAGES,
+    IntervalAnswer,
+    ProgressiveHandle,
+    Refiner,
+    RefinementSession,
+    initial_answer,
+)
+
+
+@pytest.fixture
+def engine():
+    rng = np.random.default_rng(3)
+    engine = ApproximateQueryEngine()
+    engine.register_table(Table("sales", {"price": rng.integers(0, 200, 6000)}))
+    engine.build_synopsis(
+        "sales", "price", method="sap1", budget_words=160, shards=8
+    )
+    return engine
+
+
+@pytest.fixture
+def monolithic_engine():
+    rng = np.random.default_rng(4)
+    engine = ApproximateQueryEngine()
+    engine.register_table(Table("sales", {"price": rng.integers(0, 100, 3000)}))
+    engine.build_synopsis("sales", "price", method="a0", budget_words=48)
+    return engine
+
+
+QUERY = AggregateQuery("sales", "price", "sum", 13.0, 157.0)
+
+
+class TestIntervalAnswer:
+    def test_stage_ladder_shape(self):
+        assert STAGES == ("synopsis", "boundary", "interior", "exact")
+        assert [STAGE_RANK[stage] for stage in STAGES] == [0, 1, 2, 3]
+
+    def test_rejects_unknown_stage_and_inverted_interval(self):
+        with pytest.raises(InvalidParameterError):
+            IntervalAnswer(QUERY, 1.0, 0.0, 2.0, 0.95, "warp")
+        with pytest.raises(InvalidParameterError):
+            IntervalAnswer(QUERY, 1.0, 2.0, 0.0, 0.95, "synopsis")
+
+    def test_as_result_carries_interval_and_level(self):
+        answer = IntervalAnswer(QUERY, 10.0, 8.0, 12.0, 0.95, "boundary")
+        result = answer.as_result()
+        assert result.degradation == "progressive"
+        assert result.interval == (8.0, 12.0)
+        assert result.confidence == 0.95
+        assert result.estimate == 10.0
+        assert answer.width == 4.0
+        assert answer.contains(8.0) and not answer.contains(12.5)
+
+
+class TestDegradationLadder:
+    def test_progressive_rung_sits_between_fallback_and_exact(self):
+        assert DEGRADATION_LEVELS == (
+            "fresh",
+            "stale",
+            "fallback",
+            "progressive",
+            "exact",
+        )
+
+    def test_anytime_preset_floors_at_exact_through_progressive(self):
+        anytime = DEGRADATION_PRESETS["anytime"]
+        assert anytime.allow_progressive
+        assert not anytime.allow_stale
+        assert not anytime.allow_fallback
+        assert anytime.floor() == "exact"
+
+    def test_default_policies_do_not_admit_progressive(self):
+        assert not DEGRADATION_PRESETS["serve_anything"].allow_progressive
+        assert not DEGRADATION_PRESETS["strict"].allow_progressive
+
+
+class TestRefinementSession:
+    def test_chain_reaches_exact_bitwise(self, engine):
+        exact = engine.execute_exact(QUERY)
+        chain = RefinementSession(engine, QUERY).run_to_exact()
+        assert chain[0].stage == "synopsis"
+        assert chain[-1].stage == "exact"
+        assert chain[-1].estimate == exact
+        assert chain[-1].lo <= exact <= chain[-1].hi
+
+    def test_stage_ranks_never_decrease(self, engine):
+        chain = RefinementSession(engine, QUERY).run_to_exact()
+        ranks = [answer.stage_rank for answer in chain]
+        assert ranks == sorted(ranks)
+
+    def test_intervals_nest_and_estimates_stay_inside(self, engine):
+        chain = RefinementSession(engine, QUERY).run_to_exact()
+        for previous, current in zip(chain, chain[1:]):
+            assert previous.lo <= current.lo <= current.hi <= previous.hi
+        for answer in chain:
+            assert answer.lo <= answer.estimate <= answer.hi
+
+    def test_boundary_stage_runs_one_unit_per_step(self, engine):
+        session = RefinementSession(engine, QUERY)
+        chain = session.run_to_exact()
+        boundary = [answer for answer in chain if answer.stage == "boundary"]
+        # The range is unaligned on both ends: two boundary shards, two
+        # streamed boundary answers, the second at least as tight.
+        assert len(boundary) == 2
+        assert boundary[1].width <= boundary[0].width
+
+    def test_shard_aligned_range_skips_boundary_stage(self, engine):
+        starts = engine._synopses[("sales", "price")].count_estimator.starts
+        stats = engine._synopses[("sales", "price")].statistics
+        low = stats.value_at(int(starts[1]))
+        high = stats.value_at(int(starts[3]) - 1)
+        aligned = AggregateQuery("sales", "price", "sum", float(low), float(high))
+        chain = RefinementSession(engine, aligned).run_to_exact()
+        assert [a.stage for a in chain] == ["synopsis", "interior", "exact"]
+        # Aligned ranges answer from exact frozen totals: zero error
+        # model, so even stage 0 is already (float-slack) tight.
+        exact = engine.execute_exact(aligned)
+        assert chain[0].contains(exact)
+        assert chain[0].width <= 3e-9 * max(1.0, abs(exact))
+
+    def test_monolithic_synopsis_single_boundary_unit(self, monolithic_engine):
+        query = AggregateQuery("sales", "price", "sum", 7.0, 83.0)
+        chain = RefinementSession(monolithic_engine, query).run_to_exact()
+        assert [a.stage for a in chain] == [
+            "synopsis",
+            "boundary",
+            "interior",
+            "exact",
+        ]
+        exact = monolithic_engine.execute_exact(query)
+        assert all(answer.contains(exact) for answer in chain[1:])
+
+    def test_empty_range_still_produces_full_chain(self, engine):
+        empty = AggregateQuery("sales", "price", "count", 700.0, 900.0)
+        chain = RefinementSession(engine, empty).run_to_exact()
+        assert chain[-1].estimate == 0.0
+        assert all(answer.lo >= 0.0 for answer in chain)
+
+    def test_count_intervals_clamp_at_zero(self, engine):
+        narrow = AggregateQuery("sales", "price", "count", 5.0, 5.0)
+        chain = RefinementSession(engine, narrow).run_to_exact()
+        assert all(answer.lo >= 0.0 for answer in chain)
+
+    def test_avg_interval_covers_exact_at_every_stage(self, engine):
+        query = AggregateQuery("sales", "price", "avg", 21.0, 144.0)
+        exact = engine.execute_exact(query)
+        chain = RefinementSession(engine, query).run_to_exact()
+        assert all(answer.contains(exact) for answer in chain)
+        assert chain[-1].estimate == exact
+
+    def test_append_delta_makes_stale_sessions_track_live_table(self, engine):
+        rng = np.random.default_rng(5)
+        engine.append_rows("sales", {"price": rng.integers(0, 200, 800)})
+        exact_live = engine.execute_exact(QUERY)
+        chain = RefinementSession(engine, QUERY).run_to_exact()
+        # Every stage's interval covers the LIVE answer, not the
+        # build-time snapshot's.
+        assert all(answer.contains(exact_live) for answer in chain)
+        assert chain[-1].estimate == exact_live
+
+    def test_mutation_between_steps_invalidates(self, engine):
+        session = RefinementSession(engine, QUERY)
+        session.step()
+        engine.append_rows("sales", {"price": np.array([50])})
+        assert session.invalidated()
+        with pytest.raises(RefinementInvalidatedError):
+            session.step()
+
+    def test_refresh_invalidates_in_flight_session(self, engine):
+        rng = np.random.default_rng(6)
+        engine.append_rows("sales", {"price": rng.integers(0, 200, 100)})
+        session = RefinementSession(engine, QUERY)
+        session.step()
+        engine.refresh_stale()
+        with pytest.raises(RefinementInvalidatedError):
+            session.step()
+
+    def test_requires_synopsis(self, engine):
+        engine.register_table(Table("bare", {"x": np.arange(10)}))
+        with pytest.raises(InvalidQueryError):
+            RefinementSession(engine, AggregateQuery("bare", "x", "count", 0, 5))
+
+    def test_confidence_validation(self, engine):
+        for bad in (0.0, 1.0, -0.5, 1.5):
+            with pytest.raises(InvalidParameterError):
+                RefinementSession(engine, QUERY, confidence=bad)
+
+    def test_higher_confidence_widens_stage_zero(self, engine):
+        loose = RefinementSession(engine, QUERY, confidence=0.5).initial()
+        tight = RefinementSession(engine, QUERY, confidence=0.99).initial()
+        assert tight.width > loose.width
+
+
+class TestEngineLadderWiring:
+    def test_execute_with_anytime_policy_returns_interval(self, engine):
+        rng = np.random.default_rng(7)
+        engine.append_rows("sales", {"price": rng.integers(0, 200, 200)})
+        result = engine.execute(QUERY, degradation="anytime")
+        assert result.degradation == "progressive"
+        assert result.interval is not None
+        lo, hi = result.interval
+        assert lo <= result.estimate <= hi
+        exact = engine.execute_exact(QUERY)
+        assert lo <= exact <= hi
+        assert engine.stats()["progressive_served"] == 1
+
+    def test_fresh_entry_still_served_fresh_under_anytime(self, engine):
+        result = engine.execute(QUERY, degradation="anytime")
+        assert result.degradation == "fresh"
+        assert result.interval is None
+
+    def test_batch_path_attaches_intervals(self, engine):
+        rng = np.random.default_rng(8)
+        engine.append_rows("sales", {"price": rng.integers(0, 200, 200)})
+        queries = [
+            AggregateQuery("sales", "price", agg, 10.0, 90.0)
+            for agg in ("count", "sum", "avg")
+        ]
+        results = engine.execute_batch(queries, degradation="anytime")
+        for result in results:
+            assert result.degradation == "progressive"
+            assert result.interval is not None
+            exact = engine.execute_exact(result.query)
+            assert result.interval[0] <= exact <= result.interval[1]
+
+    def test_missing_synopsis_under_anytime_falls_to_exact(self, engine):
+        engine.register_table(Table("bare", {"x": np.arange(100)}))
+        result = engine.execute(
+            AggregateQuery("bare", "x", "count", 0.0, 50.0),
+            degradation="anytime",
+        )
+        assert result.degradation == "exact"
+        assert result.estimate == 51.0
+
+
+class TestProgressiveHandle:
+    def test_streams_and_resolves(self):
+        handle = ProgressiveHandle(QUERY)
+        first = IntervalAnswer(QUERY, 10.0, 0.0, 20.0, 0.95, "synopsis")
+        final = IntervalAnswer(QUERY, 11.0, 11.0, 11.0, 0.95, "exact")
+        handle.publish(first)
+        assert handle.current() == first
+        handle.publish(final)
+        handle.finish()
+        assert handle.done
+        assert handle.result(timeout=0) == final
+        assert [a.stage for a in handle.history()] == ["synopsis", "exact"]
+
+    def test_wait_for_stage_accepts_later_stage(self):
+        handle = ProgressiveHandle(QUERY)
+        handle.publish(IntervalAnswer(QUERY, 1.0, 1.0, 1.0, 0.95, "exact"))
+        got = handle.wait_for_stage("boundary", timeout=0)
+        assert got.stage == "exact"
+
+    def test_result_timeout(self):
+        handle = ProgressiveHandle(QUERY)
+        with pytest.raises(TimeoutError):
+            handle.result(timeout=0.01)
+
+    def test_invalidation_propagates(self):
+        handle = ProgressiveHandle(QUERY)
+        handle.publish(IntervalAnswer(QUERY, 1.0, 0.0, 2.0, 0.95, "synopsis"))
+        handle.finish(RefinementInvalidatedError("mutated"))
+        assert handle.invalidated
+        with pytest.raises(RefinementInvalidatedError):
+            handle.result(timeout=0)
+
+
+class TestRefiner:
+    def test_refines_to_exact_and_upgrades_cache(self, engine):
+        from repro.serving.answer_cache import AnswerCache, cache_key
+
+        cache = AnswerCache()
+        refiner = Refiner(engine, cache=cache).start()
+        try:
+            handle = refiner.submit(QUERY)
+            final = handle.result(timeout=10.0)
+        finally:
+            refiner.stop()
+        exact = engine.execute_exact(QUERY)
+        assert final.stage == "exact"
+        assert final.estimate == exact
+        assert cache.stage_rank(cache_key(QUERY)) == STAGE_RANK["exact"]
+        cached = cache.get(cache_key(QUERY), final.token)
+        assert cached.estimate == exact
+        assert refiner.stats()["completed"] == 1
+
+    def test_stage_metrics_recorded(self, engine):
+        refiner = Refiner(engine).start()
+        try:
+            refiner.submit(QUERY).result(timeout=10.0)
+        finally:
+            refiner.stop()
+        counters = engine.metrics.snapshot()["counters"]
+        stages = counters["progressive_stages_total"]
+        assert stages['{stage="synopsis"}'] == 1
+        assert stages['{stage="exact"}'] == 1
+
+    def test_stop_finishes_queued_handles(self, engine):
+        refiner = Refiner(engine)
+        # Not started: submit computes stage 0 then auto-starts; stop
+        # must not leave any handle permanently pending.
+        handle = refiner.submit(QUERY)
+        handle.result(timeout=10.0)
+        refiner.stop()
+        assert not refiner.running
+
+
+class TestServerIntegration:
+    def test_submit_progressive_end_to_end(self, engine):
+        with QueryServer(engine) as server:
+            handle = server.submit_progressive(QUERY)
+            stage0 = handle.current()
+            assert stage0 is not None and stage0.stage == "synopsis"
+            final = handle.result(timeout=10.0)
+        assert final.stage == "exact"
+        assert final.estimate == engine.execute_exact(QUERY)
+
+    def test_refined_answer_served_from_cache(self, engine):
+        from repro.serving.answer_cache import cache_key
+
+        with QueryServer(engine) as server:
+            server.submit_progressive(QUERY).result(timeout=10.0)
+            token = server.catalog.answer_token("sales", "price")
+            cached = server.cache.get(cache_key(QUERY), token)
+            assert cached is not None
+            assert cached.estimate == engine.execute_exact(QUERY)
+            assert server.stats()["progressive_sessions"] == 1
+
+    def test_submit_progressive_requires_running_server(self, engine):
+        from repro.errors import ServerClosedError
+
+        server = QueryServer(engine)
+        with pytest.raises(ServerClosedError):
+            server.submit_progressive(QUERY)
+
+    def test_mutation_mid_refinement_invalidates_not_corrupts(self, engine):
+        rng = np.random.default_rng(9)
+        with QueryServer(engine) as server:
+            handles = [
+                server.submit_progressive(
+                    AggregateQuery("sales", "price", "sum", float(i), float(i + 60))
+                )
+                for i in range(0, 40, 4)
+            ]
+            engine.append_rows("sales", {"price": rng.integers(0, 200, 100)})
+            post_token = server.catalog.answer_token("sales", "price")
+            for handle in handles:
+                try:
+                    handle.result(timeout=10.0)
+                except RefinementInvalidatedError:
+                    continue
+                # Completed before the append: every published stage
+                # must carry the pre-append token, never the new one.
+                for answer in handle.history():
+                    assert answer.token != post_token

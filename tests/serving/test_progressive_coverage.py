@@ -1,0 +1,103 @@
+"""Statistical coverage acceptance gate for progressive answers.
+
+The acceptance criterion, verbatim: over >= 2000 randomized range
+queries the fraction of true answers inside the claimed 95% interval
+must be >= 0.93 at *every* refinement stage, and the final stage must
+be bit-identical to the exact path.
+
+The RNG is fully seeded (workload, data, builder sampling), so these
+runs are deterministic — the tolerance (0.93 against a claimed 0.95)
+absorbs finite-workload sampling noise, not run-to-run variance.  The
+distribution-free Chebyshev multiplier is conservative by design, so
+empirical coverage normally sits near 1.0; a drop toward the gate is a
+real regression in the interval derivation, not noise.
+"""
+
+import pytest
+
+from repro.experiments.progressive import run_coverage_study
+
+CLAIMED_CONFIDENCE = 0.95
+COVERAGE_GATE = 0.93
+QUERY_COUNT = 2000
+
+
+@pytest.fixture(scope="module")
+def fresh_study():
+    return run_coverage_study(
+        query_count=QUERY_COUNT, confidence=CLAIMED_CONFIDENCE, seed=0
+    )
+
+
+@pytest.fixture(scope="module")
+def stale_study():
+    """Same workload against a stale entry (rows appended post-build)."""
+    return run_coverage_study(
+        query_count=QUERY_COUNT,
+        confidence=CLAIMED_CONFIDENCE,
+        seed=1,
+        append_rows=2000,
+    )
+
+
+class TestCoverageGate:
+    def test_every_stage_covers_at_least_the_gate(self, fresh_study):
+        for stage in fresh_study.stages:
+            assert stage.coverage >= COVERAGE_GATE, (
+                f"stage {stage.stage!r} covered {stage.coverage:.4f} "
+                f"< {COVERAGE_GATE} over {stage.answers} answers"
+            )
+
+    def test_final_stage_is_bitwise_exact(self, fresh_study):
+        assert fresh_study.exact_answers == QUERY_COUNT
+        assert fresh_study.final_stage_bitwise
+
+    def test_all_stages_observed(self, fresh_study):
+        observed = {stage.stage for stage in fresh_study.stages}
+        assert observed == {"synopsis", "boundary", "interior", "exact"}
+
+    def test_widths_tighten_down_the_ladder(self, fresh_study):
+        by_stage = {stage.stage: stage for stage in fresh_study.stages}
+        assert (
+            by_stage["synopsis"].mean_width
+            >= by_stage["boundary"].mean_width
+            >= by_stage["interior"].mean_width
+            >= by_stage["exact"].mean_width
+        )
+        assert by_stage["exact"].max_width == 0.0
+
+
+class TestCoverageUnderStaleness:
+    def test_stale_entry_still_covers_live_answers(self, stale_study):
+        """The append-delta path: intervals must cover the LIVE exact
+        answer even though the synopsis predates 2000 appended rows."""
+        for stage in stale_study.stages:
+            assert stage.coverage >= COVERAGE_GATE, (
+                f"stale stage {stage.stage!r} covered {stage.coverage:.4f}"
+            )
+
+    def test_stale_final_stage_is_bitwise_exact(self, stale_study):
+        assert stale_study.final_stage_bitwise
+
+
+class TestSeedStability:
+    @pytest.mark.parametrize("seed", [2, 3])
+    def test_other_seeds_hold_the_gate(self, seed):
+        """Smaller replicas on extra seeds guard against a lucky seed 0."""
+        study = run_coverage_study(
+            query_count=400, confidence=CLAIMED_CONFIDENCE, seed=seed
+        )
+        assert study.min_stage_coverage >= COVERAGE_GATE
+        assert study.final_stage_bitwise
+
+    def test_monolithic_layout_holds_the_gate(self):
+        study = run_coverage_study(
+            query_count=400,
+            shards=1,
+            method="a0",
+            budget_words=64,
+            confidence=CLAIMED_CONFIDENCE,
+            seed=4,
+        )
+        assert study.min_stage_coverage >= COVERAGE_GATE
+        assert study.final_stage_bitwise

@@ -213,6 +213,77 @@ class TestAdmissionControl:
         assert stats["rejected"] == 1
         assert first.result(timeout=10.0).estimate >= 0
 
+    def test_arrival_exactly_at_max_pending_sheds_via_stale_rung(self, engine):
+        """Shed-ladder edge regression: a request arriving when the
+        queue sits *exactly* at ``max_pending`` must shed through the
+        stale-cache rung, never raise past an admissible rung."""
+        from repro.engine.resilience import DegradationPolicy
+
+        query = AggregateQuery("sales", "price", "count", 10.0, 60.0)
+        rng = np.random.default_rng(11)
+        policy = DegradationPolicy(
+            allow_stale=True, allow_fallback=False, allow_exact=False
+        )
+        with QueryServer(
+            engine, max_delay_ms=1.0, max_pending=2, degradation=policy
+        ) as server:
+            warm = server.execute(query)
+            engine.append_rows("sales", {
+                "price": rng.integers(1, 100, 50),
+                "qty": rng.integers(1, 20, 50),
+            })
+            # Pin the queue at exactly max_pending admitted requests.
+            server.coalescer.max_delay_seconds = 10_000.0
+            blockers = server.submit_many(_queries(2, "qty"))
+            assert len(server.coalescer) == server.max_pending
+            shed = server.submit(query).result(timeout=0)
+            stats = server.stats()
+        for blocker in blockers:
+            blocker.result(timeout=10.0)
+        assert shed.degradation == "stale"
+        assert shed.estimate == warm.estimate
+        assert stats["shed_stale"] == 1
+        assert stats["rejected"] == 0
+
+    def test_arrival_one_below_max_pending_still_enqueues(self, engine):
+        """The boundary's other side: at depth max_pending - 1 the
+        arrival is admitted to the queue, not shed."""
+        with QueryServer(
+            engine, max_batch=1024, max_delay_ms=10_000.0, max_pending=2
+        ) as server:
+            first = server.submit(_queries(1, "qty")[0])
+            assert len(server.coalescer) == server.max_pending - 1
+            second = server.submit(_queries(1, "price")[0])
+            stats = server.stats()
+        assert stats["enqueued"] == 2
+        assert stats["shed_stale"] == 0
+        assert stats["shed_fallback"] == 0
+        assert first.result(timeout=10.0).degradation == "fresh"
+        assert second.result(timeout=10.0).degradation == "fresh"
+
+    def test_anytime_policy_sheds_progressive_interval(self, engine):
+        """Under the anytime policy an overloaded arrival gets a
+        stage-0 interval answer instead of ServerOverloadedError."""
+        with QueryServer(
+            engine,
+            max_batch=1024,
+            max_delay_ms=10_000.0,
+            max_pending=1,
+            degradation="anytime",
+        ) as server:
+            blocker = server.submit(_queries(1, "qty")[0])
+            shed = server.submit(
+                AggregateQuery("sales", "price", "sum", 10.0, 60.0)
+            ).result(timeout=0)
+            stats = server.stats()
+        blocker.result(timeout=10.0)
+        assert shed.degradation == "progressive"
+        assert shed.interval is not None
+        assert shed.interval[0] <= shed.estimate <= shed.interval[1]
+        assert shed.confidence == pytest.approx(0.95)
+        assert stats["shed_progressive"] == 1
+        assert stats["rejected"] == 0
+
     def test_injected_overload_with_fault_injector(self, engine):
         """Chaos-style: a slow flush backs the queue up into shedding."""
         injector = FaultInjector(seed=0)

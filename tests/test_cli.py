@@ -283,3 +283,59 @@ class TestResilienceFlags:
             "--query", "SELECT COUNT(*) FROM t WHERE price BETWEEN 10 AND 30",
         ]) == 1
         assert "unknown builder" in capsys.readouterr().err
+
+
+class TestCoverageIntervals:
+    def test_multi_seed_run_writes_validating_artifact(self, tmp_path, capsys):
+        out_path = tmp_path / "BENCH_coverage_intervals.json"
+        assert main([
+            "coverage-intervals", "--rows", "800", "--queries", "40",
+            "--budget", "160", "--seeds", "0", "1",
+            "--output", str(out_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert out.count("PASS") == 2
+        assert "seed 1" in out
+
+        import json
+
+        studies = json.loads(out_path.read_text())
+        assert [s["seed"] for s in studies] == [0, 1]
+        assert all(s["final_stage_bitwise"] for s in studies)
+        # The artifact the run wrote satisfies its registered schema.
+        assert main(["validate-bench", str(out_path)]) == 0
+
+    def test_unreachable_gate_fails(self, capsys):
+        assert main([
+            "coverage-intervals", "--rows", "800", "--queries", "20",
+            "--budget", "160", "--min-coverage", "1.1",
+        ]) == 1
+        captured = capsys.readouterr()
+        assert "FAIL" in captured.out
+        assert "coverage below" in captured.err
+
+    def test_bad_parameters_fail_cleanly(self, capsys):
+        assert main(["coverage-intervals", "--queries", "0"]) == 1
+
+
+class TestValidateBench:
+    def test_scans_root_and_reports_violations(self, tmp_path, capsys):
+        good = tmp_path / "BENCH_shard_tree.json"
+        good.write_text(
+            '{"shards": 8, "queries": 4, "tree_depth": 3,'
+            ' "tree_seconds": 0.1, "flat_seconds": 0.2,'
+            ' "prefix_seconds": 0.0, "bit_identical": true, "speedup": 2.0}'
+        )
+        assert main(["validate-bench", "--root", str(tmp_path)]) == 0
+        assert "ok    BENCH_shard_tree.json" in capsys.readouterr().out
+
+        good.write_text('{"shards": 8}')
+        assert main(["validate-bench", "--root", str(tmp_path)]) == 1
+        captured = capsys.readouterr()
+        assert "FAIL  BENCH_shard_tree.json" in captured.out
+        assert "missing required field" in captured.out
+        assert "1 artifact(s) failed" in captured.err
+
+    def test_empty_root_is_an_error(self, tmp_path, capsys):
+        assert main(["validate-bench", "--root", str(tmp_path)]) == 1
+        assert "no BENCH_*.json artifacts" in capsys.readouterr().out
