@@ -1,0 +1,92 @@
+"""Pool benchmark: multi-process workers vs a single-worker pool.
+
+The multi-process tier's pitch is horizontal scaling: one shared-memory
+catalog snapshot, N worker processes answering against their own attach
+of the same bytes.  This benchmark pins the three claims that justify
+the extra moving parts:
+
+* speed — with 4 workers on a heavily sharded synopsis the pool must
+  at least double the 1-worker throughput (gated only on machines with
+  enough cores for the fan-out to be physically possible);
+* exactness — every pooled estimate must equal the in-process engine's
+  answer bit-for-bit, at 1 worker and at 4;
+* zero-copy — the engine is unpicklable by construction, so workers
+  coming up at all certifies the snapshot path never pickles it.
+
+The measured trajectory is written to ``BENCH_pool.json`` at the repo
+root so successive sessions can track pool scaling.
+"""
+
+import json
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments.pool import run_pool_benchmark
+from repro.experiments.reporting import format_table
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+SPEEDUP_GATE = 2.0
+#: The gate needs real parallelism: 4 workers + the driving threads.
+MIN_CPUS_FOR_GATE = 4
+
+
+def test_worker_pool_scales_past_single_worker(record_result):
+    result = run_pool_benchmark(
+        row_count=200_000,
+        domain=4096,
+        shards=256,
+        budget_words=4096,
+        query_count=8_000,
+        thread_count=4,
+        single_workers=1,
+        pool_workers=4,
+    )
+    rows = [
+        [
+            f"{result.single_workers}-worker pool",
+            f"{result.single_seconds:.3f}",
+            f"{result.single_qps:,.0f}",
+        ],
+        [
+            f"{result.pool_workers}-worker pool",
+            f"{result.pool_seconds:.3f}",
+            f"{result.pool_qps:,.0f}",
+        ],
+        ["speedup", f"{result.speedup:.2f}x", "-"],
+        [
+            "shared snapshot",
+            f"{result.segment_bytes / 1024:.0f} KiB",
+            f"pickle-free={result.engine_pickle_free}",
+        ],
+    ]
+    record_result(
+        "pool",
+        format_table(
+            ["configuration", "seconds", "queries/sec"],
+            rows,
+            title=(
+                f"Worker pool ({result.query_count} queries, "
+                f"{result.shards} shards, {result.thread_count} threads)"
+            ),
+        ),
+    )
+    (REPO_ROOT / "BENCH_pool.json").write_text(
+        json.dumps(result.as_dict(), indent=2) + "\n"
+    )
+    assert result.max_abs_difference == 0.0, (
+        "pooled answers must reproduce the in-process engine's estimates "
+        f"(max divergence {result.max_abs_difference})"
+    )
+    assert result.engine_pickle_free, (
+        "the engine pickled cleanly — the zero-copy claim is vacuous; "
+        "workers may be receiving a pickled engine instead of attaching "
+        "the shared snapshot"
+    )
+    if (os.cpu_count() or 1) < MIN_CPUS_FOR_GATE:
+        pytest.skip(
+            f"speedup gate needs >= {MIN_CPUS_FOR_GATE} CPUs "
+            f"(have {os.cpu_count()}): " + result.summary()
+        )
+    assert result.speedup >= SPEEDUP_GATE, result.summary()

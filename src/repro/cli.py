@@ -35,6 +35,11 @@ from repro.errors import BuildFailedError, BuildTimeoutError, ReproError
 #: exhausted fallback ladder (investigate the builders).
 EXIT_BUILD_TIMEOUT = 3
 EXIT_BUILD_FAILED = 4
+#: ``serve --workers N`` exits with this when the drain deadline passed
+#: and surviving workers had to be force-killed — the shutdown was not
+#: clean even though every submitted query was resolved one way or the
+#: other.  A supervisor (systemd, k8s) keys restart policy off this.
+EXIT_FORCED_SHUTDOWN = 5
 from repro.experiments.figure1 import figure1_table, run_figure1
 from repro.experiments.reporting import ascii_log_chart, format_table
 from repro.experiments.runtimes import run_construction_timing
@@ -407,6 +412,132 @@ def _cmd_compact(args) -> int:
     return 0
 
 
+def _serve_with_pool(args) -> int:
+    """``serve --workers N``: answer the workload from worker processes.
+
+    Publishes one shared-memory catalog snapshot, brings up ``N``
+    supervised workers, submits the whole workload, then drains within
+    ``--drain-timeout-ms``.  Every submitted query resolves — answered
+    fresh, explicitly degraded, or failed with the drain cut-off — and
+    the exit code reports how the shutdown went: 0 when every worker
+    left on request, :data:`EXIT_FORCED_SHUTDOWN` when the budget
+    expired and survivors were force-killed.
+    """
+    import json
+    import time
+
+    from repro.engine.engine import AggregateQuery
+    from repro.queries.workload import random_ranges
+    from repro.serving import PoolServer
+
+    rng = np.random.default_rng(0)
+    engine = ApproximateQueryEngine()
+    engine.register_table(
+        Table("serve", {"v": rng.integers(0, args.domain, args.rows)})
+    )
+    engine.build_synopsis(
+        "serve", "v", method=args.method, budget_words=args.budget,
+        shards=args.shards,
+    )
+    workload = random_ranges(args.domain, args.queries, seed=1)
+    queries = [
+        AggregateQuery(
+            "serve", "v", "sum" if i % 2 else "count", int(low), int(high)
+        )
+        for i, (low, high) in enumerate(zip(workload.lows, workload.highs))
+    ]
+    expected = [
+        result.estimate
+        for result in engine.execute_batch(queries, on_stale="serve")
+    ]
+
+    server = PoolServer(
+        engine,
+        workers=args.workers,
+        max_batch=args.max_batch,
+        max_delay_ms=args.max_delay_ms,
+        max_pending=args.queries + 1,
+        drain_timeout_ms=args.drain_timeout_ms,
+        cache_capacity=1,
+    )
+    try:
+        server.install_sigterm_handler()
+    except ValueError:  # not the main thread (embedded use)
+        pass
+    started = time.perf_counter()
+    server.start()
+    attach_deadline = time.monotonic() + 30.0
+    while time.monotonic() < attach_deadline:
+        snapshot = server.supervisor.snapshot()
+        live = sum(1 for slot in snapshot.values() if slot["heartbeats"] >= 1)
+        if live >= args.workers:
+            break
+        time.sleep(0.01)
+    futures = server.submit_many(queries)
+    clean = server.drain(timeout_ms=args.drain_timeout_ms)
+    elapsed = time.perf_counter() - started
+
+    fresh = degraded = failed = 0
+    divergence = 0.0
+    for future, want in zip(futures, expected):
+        error = future.exception(timeout=0.1)
+        if error is not None:
+            failed += 1
+            continue
+        result = future.result(timeout=0.1)
+        if result.degradation in ("stale", "fallback", "progressive"):
+            degraded += 1
+        else:
+            fresh += 1
+            divergence = max(divergence, abs(result.estimate - want))
+
+    stats = server.stats()["pool"]
+    print(
+        format_table(
+            ["outcome", "queries"],
+            [
+                ["fresh (bit-identical)", fresh],
+                ["explicitly degraded", degraded],
+                ["failed (drain cut-off)", failed],
+            ],
+            title=(
+                f"Pool serve ({args.queries} queries, "
+                f"{args.workers} workers, {args.method})"
+            ),
+        )
+    )
+    qps = args.queries / elapsed if elapsed else 0.0
+    print(
+        f"elapsed: {elapsed:.3f}s ({qps:,.0f} q/s)   "
+        f"batches: {stats['dispatched']}   retries: {stats['retries']}   "
+        f"worker exits: {stats['worker_exits']}   "
+        f"max |estimate diff|: {divergence:.3g}"
+    )
+    if clean:
+        print("drain: clean")
+    else:
+        print(
+            f"drain: FORCED after {args.drain_timeout_ms:.0f} ms "
+            f"(exit code {EXIT_FORCED_SHUTDOWN})"
+        )
+    if args.output:
+        record = {
+            "workers": args.workers,
+            "queries": args.queries,
+            "fresh": fresh,
+            "degraded": degraded,
+            "failed": failed,
+            "seconds": elapsed,
+            "drain_clean": clean,
+            "max_abs_difference": divergence,
+            "pool": stats,
+        }
+        with open(args.output, "w") as handle:
+            json.dump(record, handle, indent=2, default=str)
+        print(f"result written to {args.output}")
+    return 0 if clean else EXIT_FORCED_SHUTDOWN
+
+
 def _cmd_serve(args) -> int:
     """Drive a workload through the coalescing QueryServer and report.
 
@@ -414,11 +545,17 @@ def _cmd_serve(args) -> int:
     the workload in from ``--threads`` client threads through one
     :class:`~repro.serving.QueryServer`, and prints throughput for the
     coalesced path next to the naive per-query loop, plus the server's
-    own counters (cache hits, batches, shed levels).
+    own counters (cache hits, batches, shed levels).  With
+    ``--workers N`` the workload is served by a multi-process
+    :class:`~repro.serving.PoolServer` instead (see
+    :func:`_serve_with_pool`).
     """
     import json
 
     from repro.experiments.serving import run_serve_benchmark
+
+    if args.workers:
+        return _serve_with_pool(args)
 
     result = run_serve_benchmark(
         row_count=args.rows,
@@ -448,6 +585,58 @@ def _cmd_serve(args) -> int:
         f"speedup: {result.speedup:.1f}x   "
         f"batches: {result.batches} (mean size {result.mean_batch_size:.0f})   "
         f"cache hits: {result.cache_hits}   "
+        f"max |estimate diff|: {result.max_abs_difference:.3g}"
+    )
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(result.as_dict(), handle, indent=2)
+        print(f"result written to {args.output}")
+    return 0
+
+
+def _cmd_bench_pool(args) -> int:
+    """Time an N-worker process pool against a 1-worker pool."""
+    import json
+
+    from repro.experiments.pool import run_pool_benchmark
+
+    result = run_pool_benchmark(
+        row_count=args.rows,
+        domain=args.domain,
+        shards=args.shards,
+        budget_words=args.budget,
+        query_count=args.queries,
+        thread_count=args.threads,
+        pool_workers=args.workers,
+        max_batch=args.max_batch,
+        max_delay_ms=args.max_delay_ms,
+    )
+    rows = [
+        [
+            f"{result.single_workers}-worker pool",
+            result.single_seconds,
+            f"{result.single_qps:,.0f}",
+        ],
+        [
+            f"{result.pool_workers}-worker pool",
+            result.pool_seconds,
+            f"{result.pool_qps:,.0f}",
+        ],
+    ]
+    print(
+        format_table(
+            ["configuration", "seconds", "queries/sec"],
+            rows,
+            title=(
+                f"Worker pool ({result.query_count} queries, "
+                f"{result.shards} shards, {result.thread_count} threads)"
+            ),
+        )
+    )
+    print(
+        f"speedup: {result.speedup:.2f}x   "
+        f"pickle-free: {result.engine_pickle_free}   "
+        f"snapshot: {result.segment_bytes / 1024:.0f} KiB shared   "
         f"max |estimate diff|: {result.max_abs_difference:.3g}"
     )
     if args.output:
@@ -733,8 +922,44 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--budget", type=int, default=128)
     serve.add_argument("--max-batch", type=int, default=2048)
     serve.add_argument("--max-delay-ms", type=float, default=2.0)
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="serve from this many supervised worker processes attached "
+        "to one shared-memory snapshot (default 0: in-process server)",
+    )
+    serve.add_argument(
+        "--drain-timeout-ms",
+        type=float,
+        default=5000.0,
+        help="graceful-drain budget on shutdown (--workers only); expiry "
+        f"force-kills survivors and exits with code {EXIT_FORCED_SHUTDOWN}",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="shard the synopsis (--workers only; raises per-query work)",
+    )
     serve.add_argument("--output", help="write the result record as JSON")
     serve.set_defaults(handler=_cmd_serve)
+
+    bench_pool = commands.add_parser(
+        "bench-pool",
+        help="time an N-worker process pool against a 1-worker pool",
+    )
+    bench_pool.add_argument("--rows", type=int, default=200_000)
+    bench_pool.add_argument("--domain", type=int, default=4096)
+    bench_pool.add_argument("--shards", type=int, default=256)
+    bench_pool.add_argument("--budget", type=int, default=4096)
+    bench_pool.add_argument("--queries", type=int, default=8_000)
+    bench_pool.add_argument("--threads", type=int, default=4)
+    bench_pool.add_argument("--workers", type=int, default=4)
+    bench_pool.add_argument("--max-batch", type=int, default=64)
+    bench_pool.add_argument("--max-delay-ms", type=float, default=1.0)
+    bench_pool.add_argument("--output", help="write the result record as JSON")
+    bench_pool.set_defaults(handler=_cmd_bench_pool)
 
     coverage = commands.add_parser(
         "coverage-intervals",

@@ -13,6 +13,7 @@ import copy
 import itertools
 import json
 import math
+import random
 import threading
 import time
 from dataclasses import dataclass, replace
@@ -40,6 +41,7 @@ from repro.engine.resilience import (
     as_degradation_policy,
     as_fallback_chain,
     deadline_scope,
+    jittered_backoff,
 )
 from repro.engine.table import Table
 from repro.errors import (
@@ -309,6 +311,8 @@ def _build_entry_resilient(
     sleep,
     on_shard_built=None,
     on_event=None,
+    backoff_rng=None,
+    backoff_jitter=0.5,
 ):
     """Walk a fallback ladder building one column entry.
 
@@ -362,7 +366,14 @@ def _build_entry_resilient(
                     break
                 _notify("retry", method=stage.method, rung=rung)
                 if stage.backoff_seconds > 0:
-                    sleep(stage.backoff_seconds * (2**attempt))
+                    sleep(
+                        jittered_backoff(
+                            stage.backoff_seconds,
+                            attempt,
+                            rng=backoff_rng,
+                            jitter=backoff_jitter,
+                        )
+                    )
                 attempt += 1
                 continue
             if rung > 0:
@@ -398,6 +409,8 @@ def _timed_build_column_entry(
     clock=None,
     sleep=time.sleep,
     on_event=None,
+    backoff_rng=None,
+    backoff_jitter=0.5,
 ):
     """Worker-thread wrapper timing one resilient column build (wall clock).
 
@@ -418,6 +431,8 @@ def _timed_build_column_entry(
         clock=clock,
         sleep=sleep,
         on_event=on_event,
+        backoff_rng=backoff_rng,
+        backoff_jitter=backoff_jitter,
     )
     return entry, time.perf_counter() - start, outcome
 
@@ -444,6 +459,8 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
         breaker_cooldown_seconds: float = 60.0,
         default_fallback=None,
         default_deadline_ms: float | None = None,
+        backoff_jitter: float = 0.5,
+        backoff_seed: int | None = None,
     ) -> None:
         self._tables: dict[str, Table] = {}
         self._synopses: dict[tuple[str, str], _ColumnSynopses] = {}
@@ -490,6 +507,12 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
         self._quarantined: set[tuple[str, str]] = set()
         #: Injection point for retry backoff sleeps (tests use a no-op).
         self._sleep = time.sleep
+        #: Jittered retry schedule: deterministic doubling synchronizes
+        #: retries across workers sharing a fault, so backoff sleeps are
+        #: scaled by a seeded uniform factor (see
+        #: :func:`repro.engine.resilience.jittered_backoff`).
+        self._backoff_jitter = float(backoff_jitter)
+        self._backoff_rng = random.Random(backoff_seed)
         #: Serialises every ``_stats`` read-modify-write so concurrent
         #: ``execute`` / ``execute_batch`` / ``stats()`` calls (the
         #: serving tier runs them from different threads) neither lose
@@ -736,6 +759,8 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
                 sleep=self._sleep,
                 on_shard_built=_observe_shard if shards > 1 else None,
                 on_event=self._observe_build_event,
+                backoff_rng=self._backoff_rng,
+                backoff_jitter=self._backoff_jitter,
             )
             span.set(
                 resolved_method=entry.method,
@@ -846,6 +871,8 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
                             None,
                             self._sleep,
                             self._observe_build_event,
+                            self._backoff_rng,
+                            self._backoff_jitter,
                         )
                         for key in columns
                     }

@@ -173,26 +173,27 @@ def _load_sharded(archive, prefix: str, meta: dict) -> ShardedSynopsis:
     )
 
 
-def save_catalog(
-    engine: ApproximateQueryEngine, path, *, version: int = FORMAT_VERSION
-) -> int:
-    """Write every 1-D synopsis of ``engine`` to ``path`` (.npz).
+def serialize_catalog(
+    engine: ApproximateQueryEngine, *, version: int = FORMAT_VERSION
+) -> bytes:
+    """Serialise every 1-D synopsis of ``engine`` to one ``.npz`` blob.
 
-    Returns the number of synopses written.  Stale synopses are written
-    as-is; sharded entries also record their dirty-shard flags (``"all"``
-    when the whole domain must rebuild), monolithic staleness is a
-    session property and is dropped.  Format v4 additionally persists
-    each sharded entry's dyadic shard tree, interior-answering mode,
-    and compaction lineage.
+    This is the byte-level half of :func:`save_catalog`: the returned
+    payload is exactly what :func:`save_catalog` writes to disk, and
+    :func:`deserialize_catalog` restores it.  The multi-process serving
+    tier (:mod:`repro.serving.shared_catalog`) publishes these blobs
+    into shared memory so worker processes attach to one catalog copy
+    without ever pickling the engine.
 
-    The write is atomic (temp file + fsync + rename): concurrent
-    readers and crash recovery only ever see the previous complete
-    catalog or the new one, never a torn file.  Every stored array's
-    CRC-32 goes into the manifest for load-time verification.
+    Stale synopses are written as-is; sharded entries also record their
+    dirty-shard flags (``"all"`` when the whole domain must rebuild),
+    monolithic staleness is a session property and is dropped.  Format
+    v4 additionally persists each sharded entry's dyadic shard tree,
+    interior-answering mode, and compaction lineage.
 
-    ``version`` selects the on-disk layout for regression testing of
-    old-format loads (v2: no checksums, no tree; v3: checksums, no
-    tree); production callers leave it at :data:`FORMAT_VERSION`.
+    ``version`` selects the layout for regression testing of old-format
+    loads (v2: no checksums, no tree; v3: checksums, no tree);
+    production callers leave it at :data:`FORMAT_VERSION`.
     """
     version = int(version)
     if version not in _WRITABLE_VERSIONS:
@@ -242,9 +243,28 @@ def save_catalog(
     arrays["manifest"] = _blob(json.dumps(manifest).encode("utf-8"))
     buffer = io.BytesIO()
     np.savez_compressed(buffer, **arrays)
-    payload = transform_bytes("persistence_write", buffer.getvalue(), path=str(path))
+    return buffer.getvalue()
+
+
+def save_catalog(
+    engine: ApproximateQueryEngine, path, *, version: int = FORMAT_VERSION
+) -> int:
+    """Write every 1-D synopsis of ``engine`` to ``path`` (.npz).
+
+    Returns the number of synopses written.  The layout is produced by
+    :func:`serialize_catalog` (see there for the format and ``version``
+    semantics).
+
+    The write is atomic (temp file + fsync + rename): concurrent
+    readers and crash recovery only ever see the previous complete
+    catalog or the new one, never a torn file.  Every stored array's
+    CRC-32 goes into the manifest for load-time verification.
+    """
+    count = len(engine._synopses)
+    payload = serialize_catalog(engine, version=version)
+    payload = transform_bytes("persistence_write", payload, path=str(path))
     _atomic_write(path, payload)
-    return len(manifest["synopses"])
+    return count
 
 
 def _atomic_write(path, payload: bytes) -> None:
@@ -372,18 +392,33 @@ def load_catalog(engine: ApproximateQueryEngine, path) -> int:
     except OSError as error:
         raise SerializationError(f"cannot read catalog {path}: {error}") from error
     payload = transform_bytes("persistence_read", payload, path=str(path))
+    return deserialize_catalog(engine, payload, source=str(path))
+
+
+def deserialize_catalog(
+    engine: ApproximateQueryEngine, payload: bytes, *, source: str = "<bytes>"
+) -> int:
+    """Restore a :func:`serialize_catalog` blob into ``engine``.
+
+    The byte-level half of :func:`load_catalog` (see there for the
+    quarantine and verification semantics); ``source`` only labels
+    error messages.  Shared-memory attach in the multi-process serving
+    tier calls this directly on the published segment's bytes.
+    """
     try:
         raw_archive = np.load(io.BytesIO(payload), allow_pickle=False)
     except Exception as error:  # noqa: BLE001 — truncated/mangled container
-        raise SerializationError(f"{path} is not a readable catalog: {error}") from error
+        raise SerializationError(
+            f"{source} is not a readable catalog: {error}"
+        ) from error
     with raw_archive as archive:
         try:
             manifest = json.loads(bytes(archive["manifest"]).decode("utf-8"))
         except KeyError as error:
-            raise SerializationError(f"{path} is not a repro catalog") from error
+            raise SerializationError(f"{source} is not a repro catalog") from error
         except Exception as error:  # noqa: BLE001 — corrupt manifest blob
             raise SerializationError(
-                f"{path} has an unreadable manifest: {error}"
+                f"{source} has an unreadable manifest: {error}"
             ) from error
         if manifest.get("version") not in _SUPPORTED_VERSIONS:
             raise SerializationError(

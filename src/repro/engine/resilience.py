@@ -26,6 +26,7 @@ self-tuning synopsis managers formalise it:
 
 from __future__ import annotations
 
+import random
 import time
 from dataclasses import dataclass, field
 
@@ -127,6 +128,40 @@ class FallbackChain:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging sugar
         return f"FallbackChain({' -> '.join(self.methods())})"
+
+
+def jittered_backoff(
+    base_seconds: float,
+    attempt: int,
+    *,
+    rng: random.Random | None = None,
+    jitter: float = 0.5,
+) -> float:
+    """Exponential backoff with multiplicative jitter.
+
+    Returns ``base_seconds * 2**attempt`` scaled by a uniform factor in
+    ``[1 - jitter, 1 + jitter]``.  Deterministic backoff synchronizes
+    retries across a fleet of workers — after a shared fault they all
+    re-attempt at the same instant and stampede the same resource;
+    jitter decorrelates them.  Pass a seeded ``rng`` (anything with a
+    ``.random()`` method: :class:`random.Random`, a numpy generator)
+    for reproducible schedules in tests; ``rng=None`` uses the module
+    default (process-seeded).  ``jitter=0.0`` reproduces the exact
+    doubling schedule.
+    """
+    if base_seconds < 0:
+        raise InvalidParameterError(
+            f"base_seconds must be >= 0, got {base_seconds}"
+        )
+    if not 0.0 <= jitter < 1.0:
+        raise InvalidParameterError(f"jitter must be in [0, 1), got {jitter}")
+    if attempt < 0:
+        raise InvalidParameterError(f"attempt must be >= 0, got {attempt}")
+    delay = base_seconds * (2.0**attempt)
+    if jitter == 0.0 or delay == 0.0:
+        return delay
+    draw = random.random() if rng is None else float(rng.random())
+    return delay * (1.0 - jitter + 2.0 * jitter * draw)
 
 
 def as_fallback_chain(value) -> FallbackChain | None:

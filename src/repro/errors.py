@@ -82,7 +82,16 @@ class ServerOverloadedError(ReproError):
     is at ``max_pending`` and the degradation policy admits neither a
     stale cached answer nor the fallback estimator.  Clients should
     back off and retry; the server itself stays healthy.
+
+    ``retry_after_ms`` is the server's best estimate of when capacity
+    frees up — the time until the oldest queued batch must flush (queue
+    drain is what reopens admission).  ``None`` when the server cannot
+    estimate (e.g. the refusal did not come from queue pressure).
     """
+
+    def __init__(self, message: str, *, retry_after_ms: float | None = None) -> None:
+        super().__init__(message)
+        self.retry_after_ms = retry_after_ms
 
 
 class ServerClosedError(ReproError):

@@ -1,8 +1,9 @@
 """Schema validation for the committed ``BENCH_*.json`` artifacts.
 
 Benchmark jobs write JSON artifacts (``BENCH_serve.json``,
-``BENCH_shard_tree.json``, ``BENCH_build_kernels.json``, and the
-coverage study's ``BENCH_coverage_intervals.json``) that CI uploads and
+``BENCH_pool.json``, ``BENCH_shard_tree.json``,
+``BENCH_build_kernels.json``, and the coverage study's
+``BENCH_coverage_intervals.json``) that CI uploads and
 later jobs/dashboards consume.  A benchmark refactor that silently
 drops or retypes a field breaks those consumers long after the PR
 merged, so CI validates every artifact against the schemas here —
@@ -110,6 +111,25 @@ SCHEMAS: dict[str, dict[str, FieldSpec]] = {
         "mean_batch_size": _nonnegative_number(),
         "cache_hits": _count(),
         "max_abs_difference": _nonnegative_number(),
+    },
+    "BENCH_pool.json": {
+        "row_count": _positive_int(),
+        "domain": _positive_int(),
+        "shards": _positive_int(),
+        "budget_words": _positive_int(),
+        "query_count": _positive_int(),
+        "thread_count": _positive_int(),
+        "single_workers": _positive_int(),
+        "single_seconds": _positive_number(),
+        "single_qps": _positive_number(),
+        "pool_workers": _positive_int(),
+        "pool_seconds": _positive_number(),
+        "pool_qps": _positive_number(),
+        "speedup": _positive_number(),
+        "max_abs_difference": _nonnegative_number(),
+        "engine_pickle_free": FieldSpec((bool,)),
+        "segment_bytes": _positive_int(),
+        "cache_hits": _count(),
     },
     "BENCH_shard_tree.json": {
         "shards": _positive_int(),

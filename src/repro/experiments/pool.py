@@ -1,0 +1,236 @@
+"""Multi-process pool throughput study: N workers vs one.
+
+The pool's pitch is horizontal scaling of the serve plane: the parent
+publishes one shared-memory catalog snapshot and every worker answers
+batches against its own attach of those bytes — no engine pickling, no
+per-worker rebuild.  This harness quantifies the scaling claim:
+
+* the same threaded client workload runs against a
+  :class:`~repro.serving.PoolServer` with ``single_workers`` (the
+  1-worker baseline keeps dispatch/IPC overhead in both measurements)
+  and again with ``pool_workers``;
+* every pooled estimate is compared against the in-process engine's
+  answer for the same queries (``max_abs_difference`` — the pool may
+  never buy throughput with accuracy);
+* ``engine_pickle_free`` certifies the zero-copy claim: the engine is
+  *unpicklable by construction* (it holds locks), so the fact that
+  workers come up at all proves the snapshot path never pickles it.
+
+The per-query work must dwarf the ~microseconds of pipe round-trip for
+process fan-out to pay, so the default workload uses a heavily sharded
+synopsis (per-query shard scatter/gather) — the same regime where a
+production deployment would reach for worker processes.
+
+``benchmarks/test_pool.py`` gates the speedup and writes
+``BENCH_pool.json``; the ``bench-pool`` CLI command prints the table.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.engine import AggregateQuery, ApproximateQueryEngine
+from repro.engine.table import Table
+from repro.errors import InvalidParameterError
+from repro.queries.workload import random_ranges
+from repro.serving import PoolServer
+
+
+@dataclass(frozen=True)
+class PoolBenchmarkResult:
+    """Timings of one single-worker vs multi-worker pool comparison."""
+
+    row_count: int
+    domain: int
+    shards: int
+    budget_words: int
+    query_count: int
+    thread_count: int
+    single_workers: int
+    single_seconds: float
+    pool_workers: int
+    pool_seconds: float
+    max_abs_difference: float
+    engine_pickle_free: bool
+    segment_bytes: int
+    cache_hits: int
+
+    @property
+    def speedup(self) -> float:
+        return self.single_seconds / self.pool_seconds if self.pool_seconds else 0.0
+
+    @property
+    def single_qps(self) -> float:
+        return self.query_count / self.single_seconds if self.single_seconds else 0.0
+
+    @property
+    def pool_qps(self) -> float:
+        return self.query_count / self.pool_seconds if self.pool_seconds else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.query_count} queries x {self.thread_count} threads: "
+            f"{self.single_workers} worker {self.single_seconds:.3f}s "
+            f"({self.single_qps:,.0f} q/s), "
+            f"{self.pool_workers} workers {self.pool_seconds:.3f}s "
+            f"({self.pool_qps:,.0f} q/s), speedup {self.speedup:.2f}x, "
+            f"snapshot {self.segment_bytes / 1024:.0f} KiB shared"
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "row_count": self.row_count,
+            "domain": self.domain,
+            "shards": self.shards,
+            "budget_words": self.budget_words,
+            "query_count": self.query_count,
+            "thread_count": self.thread_count,
+            "single_workers": self.single_workers,
+            "single_seconds": self.single_seconds,
+            "single_qps": self.single_qps,
+            "pool_workers": self.pool_workers,
+            "pool_seconds": self.pool_seconds,
+            "pool_qps": self.pool_qps,
+            "speedup": self.speedup,
+            "max_abs_difference": self.max_abs_difference,
+            "engine_pickle_free": self.engine_pickle_free,
+            "segment_bytes": self.segment_bytes,
+            "cache_hits": self.cache_hits,
+        }
+
+
+def _build_engine(
+    row_count: int, domain: int, shards: int, budget_words: int, seed: int
+) -> ApproximateQueryEngine:
+    rng = np.random.default_rng(seed)
+    engine = ApproximateQueryEngine()
+    engine.register_table(
+        Table("bench", {"v": rng.integers(0, domain, row_count)})
+    )
+    engine.build_synopsis(
+        "bench", "v", method="sap1", budget_words=budget_words, shards=shards
+    )
+    return engine
+
+
+def _drive(server: PoolServer, queries, thread_count: int, chunk: int):
+    """Fan ``queries`` in from ``thread_count`` threads.
+
+    Returns ``(elapsed_seconds, results)`` with results in query order.
+    """
+    slices = [
+        queries[start : start + chunk] for start in range(0, len(queries), chunk)
+    ]
+
+    def submit_and_wait(block):
+        return [future.result(timeout=120.0) for future in server.submit_many(block)]
+
+    started = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=thread_count) as executor:
+        answers = list(executor.map(submit_and_wait, slices))
+    elapsed = time.perf_counter() - started
+    flattened = [result for block in answers for result in block]
+    return elapsed, flattened
+
+
+def run_pool_benchmark(
+    *,
+    row_count: int = 200_000,
+    domain: int = 4096,
+    shards: int = 256,
+    budget_words: int = 4096,
+    query_count: int = 8_000,
+    thread_count: int = 4,
+    single_workers: int = 1,
+    pool_workers: int = 4,
+    seed: int = 23,
+    max_batch: int = 64,
+    max_delay_ms: float = 1.0,
+) -> PoolBenchmarkResult:
+    """Time a 1-worker pool against a ``pool_workers``-worker pool.
+
+    Both measurements run through :class:`PoolServer` so dispatch and
+    IPC overhead cancel; only the compute fan-out differs.  ``max_batch``
+    is kept small so a single coalesced flush cannot swallow the whole
+    workload (many in-flight batches are what the extra workers eat).
+    Estimates from both runs are compared against the plain in-process
+    engine — ``max_abs_difference`` must come out 0.0.
+    """
+    if pool_workers <= single_workers:
+        raise InvalidParameterError(
+            f"pool_workers ({pool_workers}) must exceed "
+            f"single_workers ({single_workers})"
+        )
+    engine = _build_engine(row_count, domain, shards, budget_words, seed)
+    workload = random_ranges(domain, query_count, seed=seed + 1)
+    queries = [
+        AggregateQuery("bench", "v", "sum" if i % 2 else "count", int(low), int(high))
+        for i, (low, high) in enumerate(zip(workload.lows, workload.highs))
+    ]
+    expected = [
+        result.estimate for result in engine.execute_batch(queries, on_stale="serve")
+    ]
+
+    try:
+        pickle.dumps(engine)
+        engine_pickle_free = False
+    except Exception:  # noqa: BLE001 — any refusal proves the claim
+        engine_pickle_free = True
+
+    timings = {}
+    divergence = 0.0
+    cache_hits = 0
+    segment_bytes = 0
+    for workers in (single_workers, pool_workers):
+        server = PoolServer(
+            engine,
+            workers=workers,
+            max_batch=max_batch,
+            max_delay_ms=max_delay_ms,
+            max_pending=query_count + 1,
+            cache_capacity=1,
+        )
+        with server:
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                snapshot = server.supervisor.snapshot()
+                if sum(1 for s in snapshot.values() if s["heartbeats"] >= 1) >= workers:
+                    break
+                time.sleep(0.01)
+            segment_bytes = server.shared.current.payload_bytes
+            # Warm-up pass so neither run pays first-touch costs.
+            _drive(server, queries[: max_batch * workers], thread_count, max_batch)
+            elapsed, results = _drive(server, queries, thread_count, max_batch)
+            timings[workers] = elapsed
+            divergence = max(
+                divergence,
+                max(
+                    abs(result.estimate - want)
+                    for result, want in zip(results, expected)
+                ),
+            )
+            cache_hits += server.stats()["cache_hits"]
+    return PoolBenchmarkResult(
+        row_count=row_count,
+        domain=domain,
+        shards=shards,
+        budget_words=budget_words,
+        query_count=query_count,
+        thread_count=thread_count,
+        single_workers=single_workers,
+        single_seconds=timings[single_workers],
+        pool_workers=pool_workers,
+        pool_seconds=timings[pool_workers],
+        max_abs_difference=float(divergence),
+        engine_pickle_free=engine_pickle_free,
+        segment_bytes=int(segment_bytes),
+        cache_hits=int(cache_hits),
+    )
+
+
+__all__ = ["PoolBenchmarkResult", "run_pool_benchmark"]

@@ -8,7 +8,14 @@ and production code paths expose cheap hook points:
 * :func:`fault_point` — may raise :class:`~repro.errors.FaultInjectedError`
   (``fail`` rules) or sleep (``slow`` rules, deadline-aware);
 * :func:`transform_bytes` — may flip bits in a byte payload
-  (``corrupt`` rules; persistence uses it on serialized blobs).
+  (``corrupt`` rules; persistence uses it on serialized blobs);
+* ``kill`` rules terminate the *process* on the spot via ``os._exit``
+  — indistinguishable from a SIGKILL to the parent, which is the point:
+  the serving pool's worker processes use them to simulate hard crashes
+  mid-batch.  Because forked workers copy rule state at fork time, a
+  restarted worker would re-fire the same rule; kill rules therefore
+  usually match on the worker's ``generation`` attribute (generation 0
+  dies, its replacement lives).
 
 Sites currently instrumented:
 
@@ -16,6 +23,10 @@ Sites currently instrumented:
 ``shard_rebuild``      per-shard builds in :mod:`repro.engine.sharding`
 ``persistence_write``  :func:`repro.engine.persistence.save_catalog` I/O
 ``persistence_read``   :func:`repro.engine.persistence.load_catalog` I/O
+``serve_flush``        :meth:`repro.serving.server.QueryServer` batch flush
+``worker_batch``       pool worker per-batch execution (kill/slow targets)
+``worker_heartbeat``   pool worker heartbeat emission (silence via slow)
+``shared_attach``      shared-memory catalog attach in pool workers
 
 When no injector is active (the production default) every hook is a
 single global read — effectively free.  Determinism: rules draw from
@@ -26,6 +37,7 @@ identically; parallel builds should use ``probability=1.0`` with a
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from contextlib import contextmanager
@@ -36,11 +48,16 @@ import numpy as np
 from repro.errors import FaultInjectedError, InvalidParameterError
 from repro.internal.deadline import check_deadline
 
-FAULT_MODES = ("fail", "slow", "corrupt")
+FAULT_MODES = ("fail", "slow", "corrupt", "kill")
 
 #: Injected slowdowns sleep in slices this long so an ambient build
 #: deadline interrupts a slow fault promptly (the 2x-deadline bound).
 _SLEEP_SLICE_SECONDS = 0.005
+
+#: Exit status used by ``kill`` rules — distinctive enough that a test
+#: watching ``Process.exitcode`` can tell an injected kill from a real
+#: crash (negative codes) or a clean exit (0).
+_KILL_EXIT_CODE = 77
 
 
 @dataclass
@@ -155,6 +172,32 @@ class FaultInjector:
             )
         )
 
+    def kill(
+        self,
+        site: str,
+        *,
+        probability: float = 1.0,
+        times: int | None = None,
+        **match,
+    ) -> FaultRule:
+        """Arm a rule hard-terminating the current process at ``site``.
+
+        Fires ``os._exit`` — no cleanup handlers, no exception
+        propagation — so the parent sees the same thing a SIGKILL
+        produces: a dead child with unflushed pipes.  Only meaningful
+        inside pool worker processes; match on ``generation=0`` so the
+        supervisor's replacement worker survives.
+        """
+        return self._add(
+            FaultRule(
+                site=site,
+                mode="kill",
+                match=match,
+                probability=probability,
+                times=times,
+            )
+        )
+
     # -- firing --------------------------------------------------------
     def _roll(self, rule: FaultRule) -> bool:
         if rule.probability >= 1.0:
@@ -183,6 +226,8 @@ class FaultInjector:
             if not self._roll(rule):
                 continue
             self._record(rule, site, attrs)
+            if rule.mode == "kill":
+                os._exit(_KILL_EXIT_CODE)
             if rule.mode == "fail":
                 detail = rule.message or f"injected fault at {site} ({attrs})"
                 raise FaultInjectedError(detail)

@@ -18,11 +18,17 @@ door; the pieces compose and are usable on their own:
   :class:`RefinementSession` (the synchronous interval-tightening
   machine), :class:`Refiner` (its background driver), and
   :class:`ProgressiveHandle` (the caller's streaming view).
+* :mod:`repro.serving.pool` — the multi-process tier:
+  :class:`SharedCatalog` publishes catalog epochs into shared memory,
+  :class:`WorkerSupervisor` is the pure liveness state machine, and
+  :class:`PoolServer` runs N supervised worker processes behind the
+  same coalescing front door.
 """
 
 from repro.serving.answer_cache import AnswerCache, cache_key
 from repro.serving.catalog import CatalogView
 from repro.serving.coalescer import PendingRequest, RequestCoalescer
+from repro.serving.pool import PoolServer
 from repro.serving.progressive import (
     STAGES,
     IntervalAnswer,
@@ -31,17 +37,33 @@ from repro.serving.progressive import (
     RefinementSession,
 )
 from repro.serving.server import QueryServer
+from repro.serving.shared_catalog import (
+    AttachedCatalog,
+    CatalogEpoch,
+    SharedCatalog,
+    attach_catalog,
+    catalog_digest,
+)
+from repro.serving.supervisor import SupervisorAction, WorkerSupervisor
 
 __all__ = [
     "AnswerCache",
+    "AttachedCatalog",
+    "CatalogEpoch",
     "CatalogView",
     "IntervalAnswer",
     "PendingRequest",
+    "PoolServer",
     "ProgressiveHandle",
     "QueryServer",
     "Refiner",
     "RefinementSession",
     "RequestCoalescer",
     "STAGES",
+    "SharedCatalog",
+    "SupervisorAction",
+    "WorkerSupervisor",
+    "attach_catalog",
     "cache_key",
+    "catalog_digest",
 ]

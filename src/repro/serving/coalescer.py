@@ -163,6 +163,19 @@ class RequestCoalescer:
             self._cond.notify()
             return len(self._pending)
 
+    def oldest_age_seconds(self) -> float:
+        """How long the oldest pending request has waited (0.0 when empty).
+
+        Admission control uses it to derive ``retry_after_ms`` hints:
+        the oldest request must flush within
+        ``max_delay_seconds - oldest_age_seconds()``, and a drained
+        queue is what reopens admission.
+        """
+        with self._cond:
+            if not self._pending:
+                return 0.0
+            return max(0.0, self._clock() - self._pending[0].enqueued_at)
+
     def flush_due(self) -> bool:
         """Is a batch releasable right now (size or age trigger)?"""
         with self._cond:

@@ -309,24 +309,49 @@ class QueryServer:
     def _shed(self, query: AggregateQuery, key: tuple) -> ServeFuture:
         """Answer (or refuse) one query without queueing it."""
         future = ServeFuture()
+        outcome, rung = self._shed_resolution(query, key)
+        if isinstance(outcome, BaseException):
+            future.set_exception(outcome)
+        else:
+            future.set_result(outcome)
+        return future
+
+    def retry_after_ms(self) -> float:
+        """Backoff hint for refused requests (milliseconds).
+
+        The oldest queued batch must flush within the coalescer's delay
+        window, and a drained queue is what reopens admission — so the
+        time left in that window bounds how soon retrying is useful.
+        """
+        window = self.coalescer.max_delay_seconds
+        return max(0.0, window - self.coalescer.oldest_age_seconds()) * 1000.0
+
+    def _shed_resolution(
+        self, query: AggregateQuery, key: tuple
+    ) -> tuple[QueryResult | BaseException, str]:
+        """Descend the shed ladder once; returns ``(outcome, rung)``.
+
+        ``outcome`` is a :class:`QueryResult` on an admitted rung and an
+        exception (to set on the future) otherwise.  Shared by overload
+        shedding and by the process pool's degraded completion path, so
+        both account sheds identically.
+        """
         if self.policy.allow_stale:
             cached = self.cache.get_even_stale(key)
             if cached is not None:
                 with self._lock:
                     self._counters["shed_stale"] += 1
                 self.metrics.counter("serve_shed_total", level="stale").inc()
-                future.set_result(replace(cached, degradation="stale"))
-                return future
+                return replace(cached, degradation="stale"), "stale"
         if self.policy.allow_fallback:
             try:
                 estimate = self.catalog.fallback_estimate(query)
             except InvalidQueryError as error:
-                future.set_exception(error)
-                return future
+                return error, "error"
             with self._lock:
                 self._counters["shed_fallback"] += 1
             self.metrics.counter("serve_shed_total", level="fallback").inc()
-            future.set_result(
+            return (
                 QueryResult(
                     query=query,
                     estimate=estimate,
@@ -334,9 +359,9 @@ class QueryServer:
                     synopsis_name="fallback-uniform",
                     synopsis_words=4,
                     degradation="fallback",
-                )
+                ),
+                "fallback",
             )
-            return future
         if self.policy.allow_progressive:
             # Anytime rung: a stage-0 interval answer costs O(1) in the
             # synopsis (plus the appended-suffix delta) — cheap enough
@@ -350,24 +375,23 @@ class QueryServer:
                     self.engine, query, confidence=self.confidence
                 )
             except InvalidQueryError as error:
-                future.set_exception(error)
-                return future
+                return error, "error"
             with self._lock:
                 self._counters["shed_progressive"] += 1
             self.metrics.counter("serve_shed_total", level="progressive").inc()
-            future.set_result(answer.as_result())
-            return future
+            return answer.as_result(), "progressive"
         with self._lock:
             self._counters["rejected"] += 1
         self.metrics.counter("serve_shed_total", level="rejected").inc()
-        future.set_exception(
+        return (
             ServerOverloadedError(
                 f"{len(self.coalescer)} requests pending (max_pending="
                 f"{self.max_pending}) and the degradation policy admits "
-                "no shed rung"
-            )
+                "no shed rung",
+                retry_after_ms=self.retry_after_ms(),
+            ),
+            "rejected",
         )
-        return future
 
     # ------------------------------------------------------------------
     # Worker
@@ -456,6 +480,15 @@ class QueryServer:
         """JSON-ready snapshot of the server's own counters."""
         with self._lock:
             counters = dict(self._counters)
+        # Per-rung shed tally in one place, so operators read the whole
+        # ladder at a glance instead of four scattered flat keys.
+        counters["shed"] = {
+            "stale": counters["shed_stale"],
+            "fallback": counters["shed_fallback"],
+            "progressive": counters["shed_progressive"],
+            "rejected": counters["rejected"],
+        }
+        counters["retry_after_ms"] = self.retry_after_ms()
         counters["cache"] = self.cache.stats()
         counters["pending"] = len(self.coalescer)
         counters["running"] = self.running

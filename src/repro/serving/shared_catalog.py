@@ -1,0 +1,266 @@
+"""Shared-memory catalog snapshots for the multi-process serving tier.
+
+The pool's workers must answer against *one* catalog copy without ever
+pickling the engine (which is unpicklable by construction — it holds
+locks and thread-local tracer state).  The persistence layer already
+speaks bytes (:func:`repro.engine.persistence.serialize_catalog` /
+:func:`deserialize_catalog`), so sharing a catalog is publishing those
+bytes once into a ``multiprocessing.shared_memory`` segment:
+
+* :class:`SharedCatalog` (parent side) — serialises the engine's
+  synopses into a new segment per *epoch*, framed by a small header
+  (magic, format, length, CRC-32, epoch) so a worker can detect a torn
+  or half-written segment before trusting a single byte.  Each publish
+  also freezes the per-column :meth:`~repro.serving.catalog.CatalogView.
+  answer_token` map — the parent uses it to revalidate worker answers,
+  which is what guarantees no pre-swap answer is ever served post-swap.
+* :func:`attach_catalog` (worker side) — opens the segment by name,
+  verifies the frame, and decodes the blob into a fresh in-process
+  engine holding only synopses (no tables: workers serve the
+  fresh/stale rungs; degraded rungs stay in the parent, which has the
+  data).  ``np.load(allow_pickle=False)`` under the hood means the
+  decode provably never unpickles anything.
+
+Epoch lifecycle: ``publish`` creates a segment, workers roll over on
+command, ``retire`` unlinks the old segment once no worker references
+it.  Segments are owned by the parent; workers unregister their attach
+from the resource tracker so a crashed worker never reaps a live
+segment.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass, field
+from multiprocessing import resource_tracker, shared_memory
+
+from repro.engine.persistence import deserialize_catalog, serialize_catalog
+from repro.errors import SerializationError
+from repro.internal.faults import fault_point, transform_bytes
+
+_MAGIC = b"RPSC"
+_FRAME_FORMAT = 1
+#: magic, frame format, payload length, payload CRC-32, epoch.
+_HEADER = struct.Struct("<4sIQIQ")
+
+
+@dataclass(frozen=True)
+class CatalogEpoch:
+    """One published snapshot: where it lives and what it certifies."""
+
+    epoch: int
+    segment_name: str
+    payload_bytes: int
+    #: Per-column answer tokens frozen at publish time; an answer
+    #: computed by a worker on this epoch is valid exactly while the
+    #: live token still equals the one frozen here.
+    tokens: dict = field(default_factory=dict)
+
+    def token(self, table_name: str, column_name: str):
+        return self.tokens.get((table_name, column_name))
+
+
+class SharedCatalog:
+    """Parent-side publisher of catalog epochs into shared memory."""
+
+    def __init__(self) -> None:
+        self._segments: dict[int, shared_memory.SharedMemory] = {}
+        self._epochs: dict[int, CatalogEpoch] = {}
+        self._next_epoch = 1
+        self._current: CatalogEpoch | None = None
+
+    # -- publishing ----------------------------------------------------
+    def publish(self, engine) -> CatalogEpoch:
+        """Serialise ``engine``'s synopses into a fresh epoch segment.
+
+        Returns the new :class:`CatalogEpoch`; the previous epoch stays
+        mapped (workers may still be answering on it) until
+        :meth:`retire` is called.
+        """
+        from repro.serving.catalog import CatalogView
+
+        payload = serialize_catalog(engine)
+        view = CatalogView(engine)
+        tokens = {
+            key: view.answer_token(key[0], key[1]) for key in engine._synopses
+        }
+        epoch = self._next_epoch
+        self._next_epoch += 1
+        segment = shared_memory.SharedMemory(
+            create=True, size=_HEADER.size + len(payload)
+        )
+        header = _HEADER.pack(
+            _MAGIC, _FRAME_FORMAT, len(payload), zlib.crc32(payload), epoch
+        )
+        segment.buf[: _HEADER.size] = header
+        segment.buf[_HEADER.size : _HEADER.size + len(payload)] = payload
+        self._segments[epoch] = segment
+        published = CatalogEpoch(
+            epoch=epoch,
+            segment_name=segment.name,
+            payload_bytes=len(payload),
+            tokens=tokens,
+        )
+        self._epochs[epoch] = published
+        self._current = published
+        return published
+
+    # -- inspection ----------------------------------------------------
+    @property
+    def current(self) -> CatalogEpoch | None:
+        return self._current
+
+    def epochs(self) -> list[int]:
+        return sorted(self._segments)
+
+    # -- teardown ------------------------------------------------------
+    def retire(self, epoch: int) -> None:
+        """Unlink one epoch's segment (no-op for unknown epochs)."""
+        segment = self._segments.pop(epoch, None)
+        self._epochs.pop(epoch, None)
+        if segment is None:
+            return
+        segment.close()
+        # Re-register before unlinking: a forked worker's post-attach
+        # unregister acts on the tracker *shared* with this process, so
+        # without this the unlink's own unregister would complain about
+        # an unknown name.  Registration is an idempotent set-add.
+        resource_tracker.register(segment._name, "shared_memory")  # noqa: SLF001
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already reaped
+            pass
+
+    def close(self) -> None:
+        """Retire every epoch still mapped."""
+        for epoch in list(self._segments):
+            self.retire(epoch)
+        self._current = None
+
+    def __enter__(self) -> "SharedCatalog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+@dataclass(frozen=True)
+class AttachedCatalog:
+    """Worker-side result of :func:`attach_catalog`."""
+
+    engine: object
+    epoch: int
+    restored: int
+    payload_bytes: int
+
+
+def read_segment(segment_name: str, **fault_attrs) -> tuple[bytes, int]:
+    """Read and verify one epoch segment; returns ``(payload, epoch)``.
+
+    Raises :class:`~repro.errors.SerializationError` on any framing
+    damage — wrong magic (attached to something that is not a catalog),
+    unknown frame format, truncated payload, or CRC mismatch (torn
+    write).  The ``shared_attach`` fault site fires before the segment
+    is opened and its ``transform_bytes`` hook can corrupt the payload
+    in flight, which is how chaos tests simulate torn attaches;
+    ``fault_attrs`` (e.g. the pool worker's ``worker``/``generation``)
+    let chaos rules target a specific attach.
+    """
+    fault_point("shared_attach", segment=segment_name, **fault_attrs)
+    try:
+        segment = shared_memory.SharedMemory(name=segment_name)
+    except FileNotFoundError as error:
+        raise SerializationError(
+            f"shared catalog segment {segment_name!r} does not exist"
+        ) from error
+    # The parent owns segment lifecycle; without this, the attaching
+    # process's resource tracker would unlink the segment when *it*
+    # exits, tearing the catalog out from under every sibling worker.
+    resource_tracker.unregister(segment._name, "shared_memory")  # noqa: SLF001
+    try:
+        if len(segment.buf) < _HEADER.size:
+            raise SerializationError(
+                f"shared catalog segment {segment_name!r} is too small "
+                f"({len(segment.buf)} bytes) to hold a frame header"
+            )
+        magic, frame_format, length, crc, epoch = _HEADER.unpack(
+            bytes(segment.buf[: _HEADER.size])
+        )
+        if magic != _MAGIC:
+            raise SerializationError(
+                f"segment {segment_name!r} is not a shared catalog "
+                f"(bad magic {magic!r})"
+            )
+        if frame_format != _FRAME_FORMAT:
+            raise SerializationError(
+                f"segment {segment_name!r} has unknown frame format "
+                f"{frame_format} (this build reads {_FRAME_FORMAT})"
+            )
+        if _HEADER.size + length > len(segment.buf):
+            raise SerializationError(
+                f"segment {segment_name!r} is torn: header claims {length} "
+                f"payload bytes, segment holds {len(segment.buf) - _HEADER.size}"
+            )
+        payload = bytes(segment.buf[_HEADER.size : _HEADER.size + length])
+    finally:
+        segment.close()
+    payload = transform_bytes(
+        "shared_attach", payload, segment=segment_name, **fault_attrs
+    )
+    if zlib.crc32(payload) != crc:
+        raise SerializationError(
+            f"segment {segment_name!r} failed its CRC-32 check "
+            "(torn or corrupted publish)"
+        )
+    return payload, int(epoch)
+
+
+def attach_catalog(segment_name: str, *, engine=None, **fault_attrs) -> AttachedCatalog:
+    """Attach one epoch segment and decode it into a serving engine.
+
+    ``engine`` defaults to a fresh
+    :class:`~repro.engine.engine.ApproximateQueryEngine`; pass one to
+    reuse an existing instance across epoch rollovers (its synopses are
+    replaced, its metrics survive).  The decode path never unpickles:
+    the blob is a ``np.savez`` archive loaded with
+    ``allow_pickle=False``.
+    """
+    payload, epoch = read_segment(segment_name, **fault_attrs)
+    if engine is None:
+        from repro.engine.engine import ApproximateQueryEngine
+
+        engine = ApproximateQueryEngine()
+    restored = deserialize_catalog(
+        engine, payload, source=f"shm:{segment_name}"
+    )
+    return AttachedCatalog(
+        engine=engine,
+        epoch=epoch,
+        restored=restored,
+        payload_bytes=len(payload),
+    )
+
+
+def catalog_digest(engine) -> dict:
+    """Cheap structural summary used by tests to compare catalogs."""
+    digest = {}
+    for (table, column), entry in sorted(engine._synopses.items()):
+        digest[f"{table}.{column}"] = {
+            "method": entry.method,
+            "budget_words": int(entry.budget_words),
+            "shards": int(getattr(entry, "shards", 1)),
+            "stale": (table, column) in engine._stale,
+            "quarantined": (table, column) in engine._quarantined,
+        }
+    return digest
+
+
+__all__ = [
+    "AttachedCatalog",
+    "CatalogEpoch",
+    "SharedCatalog",
+    "attach_catalog",
+    "catalog_digest",
+    "read_segment",
+]

@@ -1,0 +1,303 @@
+"""Worker liveness supervision for the multi-process serving pool.
+
+:class:`WorkerSupervisor` is a *pure* state machine: it never spawns,
+signals, or waits on processes itself.  The pool feeds it observations
+(``observe_spawn`` / ``observe_heartbeat`` / ``observe_exit``) and
+periodically calls :meth:`tick`, which returns the actions the pool
+must carry out — spawn a replacement, kill a wedged worker.  Keeping
+the policy side-effect free makes every liveness transition unit
+testable with a fake clock, which is the only way to test "worker went
+silent for 3 seconds" without sleeping for 3 seconds.
+
+Per-slot lifecycle::
+
+    (empty) --spawn_requested--> STARTING --heartbeat--> LIVE
+    LIVE --heartbeat gap > heartbeat_timeout--> SUSPECT
+    SUSPECT --heartbeat--> LIVE          (it was just slow)
+    SUSPECT --gap > hang_timeout--> action: kill  (wedged; exit follows)
+    any --observe_exit--> BACKOFF --backoff elapsed--> action: spawn
+    BACKOFF --breaker open--> PARKED     (crash-looping; cool down)
+
+Restart backoff is jittered exponential
+(:func:`repro.engine.resilience.jittered_backoff` — deterministic
+schedules would re-synchronise a fleet of crash-looping workers), and
+each slot carries a :class:`repro.engine.resilience.CircuitBreaker`:
+``breaker_threshold`` consecutive failed generations park the slot for
+``breaker_cooldown_seconds`` instead of burning CPU on a hopeless
+restart loop.  A generation that lives long enough to heartbeat counts
+as a breaker success.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.engine.resilience import CircuitBreaker, jittered_backoff
+from repro.errors import InvalidParameterError
+
+#: Slot states (see module docstring for the transition diagram).
+SLOT_EMPTY = "empty"
+SLOT_STARTING = "starting"
+SLOT_LIVE = "live"
+SLOT_SUSPECT = "suspect"
+SLOT_BACKOFF = "backoff"
+SLOT_PARKED = "parked"
+
+#: Actions a tick can demand of the pool.
+ACTION_SPAWN = "spawn"
+ACTION_KILL = "kill"
+
+
+@dataclass(frozen=True)
+class SupervisorAction:
+    """One side effect the pool must perform for a slot."""
+
+    kind: str
+    slot: int
+    generation: int
+    reason: str = ""
+
+
+@dataclass
+class _SlotState:
+    state: str = SLOT_EMPTY
+    generation: int = -1
+    pid: int | None = None
+    last_heartbeat: float | None = None
+    started_at: float | None = None
+    backoff_until: float | None = None
+    restarts: int = 0
+    kills: int = 0
+    exits: int = 0
+    last_exitcode: int | None = None
+    heartbeats: int = 0
+    #: Set once per generation on the first heartbeat: the breaker
+    #: records a success only when the generation proved viable.
+    generation_confirmed: bool = False
+    #: A kill was already demanded for this generation (SIGKILL is
+    #: idempotent but the counter should not inflate every tick).
+    kill_demanded: bool = False
+    breaker: CircuitBreaker = field(default=None)  # type: ignore[assignment]
+
+
+class WorkerSupervisor:
+    """Liveness policy for ``slots`` worker slots (pure, clock-injected)."""
+
+    def __init__(
+        self,
+        slots: int,
+        *,
+        heartbeat_timeout_seconds: float = 1.0,
+        hang_timeout_seconds: float = 3.0,
+        restart_backoff_seconds: float = 0.05,
+        restart_backoff_max_seconds: float = 2.0,
+        backoff_jitter: float = 0.5,
+        breaker_threshold: int = 5,
+        breaker_cooldown_seconds: float = 30.0,
+        clock=None,
+        rng: random.Random | None = None,
+    ) -> None:
+        if slots < 1:
+            raise InvalidParameterError(f"slots must be >= 1, got {slots}")
+        if heartbeat_timeout_seconds <= 0:
+            raise InvalidParameterError(
+                f"heartbeat_timeout_seconds must be > 0, "
+                f"got {heartbeat_timeout_seconds}"
+            )
+        if hang_timeout_seconds <= heartbeat_timeout_seconds:
+            raise InvalidParameterError(
+                "hang_timeout_seconds must exceed heartbeat_timeout_seconds "
+                f"({hang_timeout_seconds} <= {heartbeat_timeout_seconds})"
+            )
+        if restart_backoff_seconds < 0:
+            raise InvalidParameterError(
+                f"restart_backoff_seconds must be >= 0, "
+                f"got {restart_backoff_seconds}"
+            )
+        self.heartbeat_timeout_seconds = float(heartbeat_timeout_seconds)
+        self.hang_timeout_seconds = float(hang_timeout_seconds)
+        self.restart_backoff_seconds = float(restart_backoff_seconds)
+        self.restart_backoff_max_seconds = float(restart_backoff_max_seconds)
+        self.backoff_jitter = float(backoff_jitter)
+        self._clock = clock
+        self._rng = rng if rng is not None else random.Random()
+        self._slots = {
+            slot: _SlotState(
+                breaker=CircuitBreaker(
+                    failure_threshold=breaker_threshold,
+                    cooldown_seconds=breaker_cooldown_seconds,
+                    clock=clock,
+                )
+            )
+            for slot in range(slots)
+        }
+
+    def _now(self) -> float:
+        return time.monotonic() if self._clock is None else self._clock.now()
+
+    # -- observations (fed by the pool) --------------------------------
+    def observe_spawn(self, slot: int, pid: int | None = None) -> int:
+        """A worker process was started for ``slot``; returns its generation."""
+        state = self._slots[slot]
+        state.generation += 1
+        state.state = SLOT_STARTING
+        state.pid = pid
+        state.started_at = self._now()
+        state.last_heartbeat = state.started_at
+        state.backoff_until = None
+        state.generation_confirmed = False
+        state.kill_demanded = False
+        return state.generation
+
+    def observe_heartbeat(self, slot: int) -> None:
+        state = self._slots[slot]
+        if state.state in (SLOT_EMPTY, SLOT_BACKOFF, SLOT_PARKED):
+            # A heartbeat that raced the exit notification; the worker
+            # is already gone, nothing to refresh.
+            return
+        state.last_heartbeat = self._now()
+        state.heartbeats += 1
+        if state.state in (SLOT_STARTING, SLOT_SUSPECT):
+            state.state = SLOT_LIVE
+        if not state.generation_confirmed:
+            state.generation_confirmed = True
+            state.breaker.record_success()
+
+    def observe_exit(self, slot: int, exitcode: int | None = None) -> None:
+        """The slot's worker process is gone (crash, kill, or clean exit)."""
+        state = self._slots[slot]
+        if state.state in (SLOT_EMPTY, SLOT_BACKOFF, SLOT_PARKED):
+            return
+        state.exits += 1
+        state.last_exitcode = exitcode
+        opened = state.breaker.record_failure()
+        if opened or not state.breaker.allow():
+            state.state = SLOT_PARKED
+            state.backoff_until = None
+            return
+        delay = min(
+            jittered_backoff(
+                self.restart_backoff_seconds,
+                min(state.breaker.consecutive_failures - 1, 8),
+                rng=self._rng,
+                jitter=self.backoff_jitter,
+            ),
+            self.restart_backoff_max_seconds,
+        )
+        state.state = SLOT_BACKOFF
+        state.backoff_until = self._now() + delay
+
+    # -- policy --------------------------------------------------------
+    def tick(self) -> list[SupervisorAction]:
+        """Advance time; returns the actions the pool must perform now.
+
+        Idempotent between observations: a demanded ``kill`` is only
+        re-demanded while the slot is still SUSPECT (the pool's kill
+        leads to ``observe_exit``, which moves it on), and a ``spawn``
+        is demanded exactly once per backoff expiry (the pool's spawn
+        calls ``observe_spawn``).
+        """
+        now = self._now()
+        actions: list[SupervisorAction] = []
+        for slot, state in self._slots.items():
+            if state.state == SLOT_EMPTY:
+                actions.append(
+                    SupervisorAction(
+                        ACTION_SPAWN, slot, state.generation + 1, "initial"
+                    )
+                )
+            elif state.state in (SLOT_LIVE, SLOT_STARTING, SLOT_SUSPECT):
+                last = (
+                    state.last_heartbeat
+                    if state.last_heartbeat is not None
+                    else now
+                )
+                gap = now - last
+                if gap > self.hang_timeout_seconds:
+                    state.state = SLOT_SUSPECT
+                    if not state.kill_demanded:
+                        state.kill_demanded = True
+                        state.kills += 1
+                        actions.append(
+                            SupervisorAction(
+                                ACTION_KILL,
+                                slot,
+                                state.generation,
+                                f"no heartbeat for {gap:.3f}s (wedged)",
+                            )
+                        )
+                elif gap > self.heartbeat_timeout_seconds:
+                    if state.state != SLOT_SUSPECT:
+                        state.state = SLOT_SUSPECT
+            elif state.state == SLOT_BACKOFF:
+                if state.backoff_until is not None and now >= state.backoff_until:
+                    state.restarts += 1
+                    actions.append(
+                        SupervisorAction(
+                            ACTION_SPAWN,
+                            slot,
+                            state.generation + 1,
+                            "backoff elapsed",
+                        )
+                    )
+            elif state.state == SLOT_PARKED:
+                if state.breaker.allow():
+                    # Cool-down elapsed: half-open probe generation.
+                    state.restarts += 1
+                    actions.append(
+                        SupervisorAction(
+                            ACTION_SPAWN,
+                            slot,
+                            state.generation + 1,
+                            "breaker half-open probe",
+                        )
+                    )
+        return actions
+
+    # -- queries -------------------------------------------------------
+    def state(self, slot: int) -> str:
+        return self._slots[slot].state
+
+    def generation(self, slot: int) -> int:
+        return self._slots[slot].generation
+
+    def live_slots(self) -> list[int]:
+        """Slots currently able to take work (heartbeating or fresh)."""
+        return [
+            slot
+            for slot, state in self._slots.items()
+            if state.state in (SLOT_LIVE, SLOT_STARTING)
+        ]
+
+    def snapshot(self) -> dict:
+        """Full per-slot status for stats()/artifact export."""
+        return {
+            slot: {
+                "state": state.state,
+                "generation": state.generation,
+                "pid": state.pid,
+                "restarts": state.restarts,
+                "exits": state.exits,
+                "kills": state.kills,
+                "heartbeats": state.heartbeats,
+                "last_exitcode": state.last_exitcode,
+                "breaker": state.breaker.snapshot(),
+            }
+            for slot, state in self._slots.items()
+        }
+
+
+__all__ = [
+    "ACTION_KILL",
+    "ACTION_SPAWN",
+    "SLOT_BACKOFF",
+    "SLOT_EMPTY",
+    "SLOT_LIVE",
+    "SLOT_PARKED",
+    "SLOT_STARTING",
+    "SLOT_SUSPECT",
+    "SupervisorAction",
+    "WorkerSupervisor",
+]

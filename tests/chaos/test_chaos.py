@@ -203,6 +203,37 @@ class TestRefreshUnderFaults:
         _export_artifact("refresh-shard-fault", engine, injector)
 
 
+class TestCompactionUnderFaults:
+    def test_compaction_fault_aborts_without_damage(self):
+        # A fault mid-compaction must leave the pre-compaction synopsis
+        # serving bit-identically: the merged twin is built off to the
+        # side and only swapped in on success.
+        engine = _engine(columns=1, rows=2000)
+        engine.build_synopsis(
+            "chaos", "c0", method="a0", budget_words=256, shards=8
+        )
+        queries = [
+            AggregateQuery("chaos", "c0", "count", low, low + 15)
+            for low in range(0, 48, 3)
+        ]
+        before = [engine.execute(query).estimate for query in queries]
+        build_id = engine._build_meta[("chaos", "c0")]["build_id"]
+        injector = _injector()
+        injector.fail("shard_compact")
+        with injector:
+            with pytest.raises(FaultInjectedError):
+                engine.compact_shards("chaos", "c0", runs=[(0, 3)])
+        # Old synopsis intact: same answers, same build id (cached
+        # answers stay valid — nothing was swapped).
+        assert [engine.execute(q).estimate for q in queries] == before
+        assert engine._build_meta[("chaos", "c0")]["build_id"] == build_id
+        # Fault gone: the same compaction completes and still answers
+        # identically (a0 re-summarises the same frozen snapshot).
+        report = engine.compact_shards("chaos", "c0", runs=[(0, 3)])
+        assert report is not None and report["shards_after"] == 5
+        _export_artifact("compaction-abort", engine, injector)
+
+
 class TestPersistenceUnderFaults:
     def test_catalog_save_load_cycle_under_faults(self, tmp_path):
         engine = _engine(columns=2)

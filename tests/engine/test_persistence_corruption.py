@@ -275,3 +275,105 @@ class TestFuzz:
         restored = _fresh_engine()
         assert load_catalog(restored, path) == 2
         assert restored.quarantined_synopses() == []
+
+
+class TestByteStreamEdges:
+    """Edge damage on the v4 byte-stream path (shared-memory publishes
+    ride :func:`serialize_catalog`/:func:`deserialize_catalog` directly,
+    so these paths must normalise errors without a file in sight)."""
+
+    def test_truncated_v4_blob_mid_section_normalises(self):
+        from repro.engine.persistence import deserialize_catalog, serialize_catalog
+
+        engine = _engine_with_catalog()
+        payload = serialize_catalog(engine)
+        # Cut inside the member data, not at an entry boundary: the zip
+        # central directory is gone and decode must not leak raw
+        # zipfile/zlib errors.
+        for keep in (0.25, 0.5, 0.9):
+            truncated = payload[: int(len(payload) * keep)]
+            with pytest.raises(SerializationError):
+                deserialize_catalog(_fresh_engine(), truncated, source="<test>")
+
+    def test_missing_archive_member_quarantines_that_entry(self):
+        # A catalog whose npz lost one synopsis blob mid-write: the
+        # manifest still references it, so that entry quarantines while
+        # its siblings restore normally.
+        engine = _engine_with_catalog()
+        path = None
+        import tempfile, os as _os
+        from pathlib import Path
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "catalog.npz"
+            save_catalog(engine, path)
+
+            def drop_blob(arrays):
+                victim = next(n for n in sorted(arrays) if n.endswith("_count_blob"))
+                del arrays[victim]
+
+            _rewrite_npz(path, mutate_arrays=drop_blob)
+            restored = _fresh_engine()
+            count = load_catalog(restored, path)
+            assert count == 2
+            assert len(restored.quarantined_synopses()) == 1
+            for key in restored._synopses:
+                restored.execute(AggregateQuery(key[0], key[1], "count", None, None))
+
+    def test_checksum_valid_but_version_unknown_is_rejected(self, tmp_path):
+        # Every array checksum verifies — only the declared version is
+        # from the future.  The load must refuse up front rather than
+        # guess at a layout it does not understand.
+        engine = _engine_with_catalog()
+        path = tmp_path / "catalog.npz"
+        save_catalog(engine, path)
+
+        def bump_version(manifest):
+            manifest["version"] = 99
+
+        _rewrite_npz(path, mutate_manifest=bump_version)
+        with pytest.raises(SerializationError, match="unsupported catalog version"):
+            load_catalog(_fresh_engine(), path)
+
+    def test_quarantine_then_reload_round_trip(self, tmp_path):
+        # Load a damaged catalog (entry quarantined, substitute
+        # serving), persist that state, and reload: the substitute is a
+        # first-class entry with valid checksums, so the second load is
+        # clean, and rebuilding clears the quarantine for good.
+        engine = _engine_with_catalog()
+        damaged = tmp_path / "damaged.npz"
+        save_catalog(engine, damaged)
+        _rewrite_npz(damaged, mutate_arrays=lambda a: _flip_bit(a, "0_count_blob"))
+
+        first = _fresh_engine()
+        rng = np.random.default_rng(7)
+        first.register_table(
+            Table(
+                "sales",
+                {
+                    "price": rng.integers(0, 64, 400),
+                    "qty": rng.integers(0, 32, 400),
+                },
+            )
+        )
+        assert load_catalog(first, damaged) == 2
+        assert first.quarantined_synopses() == [("sales", "price")]
+
+        resaved = tmp_path / "resaved.npz"
+        save_catalog(first, resaved)
+        second = _fresh_engine()
+        assert load_catalog(second, resaved) == 2
+        # The substitute persisted as a legitimate entry: nothing to
+        # quarantine on the clean reload.
+        assert second.quarantined_synopses() == []
+        second.execute(AggregateQuery("sales", "price", "count", None, None))
+
+        # Rebuilding on the first engine clears its quarantine, and the
+        # rebuilt catalog round-trips bit-identical estimates.
+        first.build_synopsis("sales", "price", method="sap1", budget_words=60)
+        assert first.quarantined_synopses() == []
+        healed = tmp_path / "healed.npz"
+        save_catalog(first, healed)
+        third = _fresh_engine()
+        assert load_catalog(third, healed) == 2
+        query = AggregateQuery("sales", "price", "sum", 5, 40)
+        assert third.execute(query).estimate == first.execute(query).estimate

@@ -26,6 +26,7 @@ from repro.engine.resilience import (
     check_deadline,
     current_deadline,
     deadline_scope,
+    jittered_backoff,
 )
 from repro.errors import (
     BuildFailedError,
@@ -43,6 +44,41 @@ def _engine(values=None, **kwargs) -> ApproximateQueryEngine:
         values = np.arange(40) % 10
     engine.register_table(Table("sales", {"price": np.asarray(values)}))
     return engine
+
+
+class TestJitteredBackoff:
+    def test_bounds_and_growth(self):
+        import random
+
+        rng = random.Random(3)
+        for attempt in range(4):
+            base = 0.1 * (2**attempt)
+            for _ in range(50):
+                delay = jittered_backoff(0.1, attempt, rng=rng, jitter=0.5)
+                assert 0.5 * base <= delay <= 1.5 * base
+
+    def test_same_seed_same_schedule(self):
+        import random
+
+        a = [jittered_backoff(0.2, i, rng=random.Random(11)) for i in range(5)]
+        b = [jittered_backoff(0.2, i, rng=random.Random(11)) for i in range(5)]
+        assert a == b
+
+    def test_zero_jitter_is_exact(self):
+        assert jittered_backoff(0.25, 0, jitter=0.0) == 0.25
+        assert jittered_backoff(0.25, 1, jitter=0.0) == 0.5
+        assert jittered_backoff(0.25, 3, jitter=0.0) == 2.0
+
+    def test_zero_base_stays_zero(self):
+        assert jittered_backoff(0.0, 4) == 0.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            jittered_backoff(-1.0, 0)
+        with pytest.raises(InvalidParameterError):
+            jittered_backoff(0.1, -1)
+        with pytest.raises(InvalidParameterError):
+            jittered_backoff(0.1, 0, jitter=1.0)
 
 
 class TestDeadline:
@@ -320,8 +356,43 @@ class TestFallbackBuilds:
         with injector:
             engine.build_synopsis("sales", "price", method="sap1", fallback=chain)
         assert engine._synopses[("sales", "price")].method == "a0"
-        assert sleeps == [0.25, 0.5]  # doubling backoff
+        # Doubling backoff with +/-50% jitter around 0.25 then 0.5.
+        assert len(sleeps) == 2
+        assert 0.125 <= sleeps[0] <= 0.375
+        assert 0.25 <= sleeps[1] <= 0.75
         assert engine.stats()["build_retries"] == 2
+
+    def test_backoff_schedule_is_seedable(self):
+        def _schedule(seed):
+            engine = _engine(backoff_seed=seed)
+            sleeps: list[float] = []
+            engine._sleep = sleeps.append
+            injector = FaultInjector(seed=0)
+            injector.fail("builder", times=2, method="a0")
+            injector.fail("builder", method="sap1")
+            chain = FallbackChain(
+                [FallbackStage("a0", retries=2, backoff_seconds=0.25)]
+            )
+            with injector:
+                engine.build_synopsis(
+                    "sales", "price", method="sap1", fallback=chain
+                )
+            return sleeps
+
+        assert _schedule(7) == _schedule(7)
+        assert _schedule(7) != _schedule(8)
+
+    def test_zero_jitter_reproduces_exact_doubling(self):
+        engine = _engine(backoff_jitter=0.0)
+        sleeps: list[float] = []
+        engine._sleep = sleeps.append
+        injector = FaultInjector(seed=0)
+        injector.fail("builder", times=2, method="a0")
+        injector.fail("builder", method="sap1")
+        chain = FallbackChain([FallbackStage("a0", retries=2, backoff_seconds=0.25)])
+        with injector:
+            engine.build_synopsis("sales", "price", method="sap1", fallback=chain)
+        assert sleeps == [0.25, 0.5]
 
     def test_unknown_primary_method_fails_fast_despite_chain(self):
         engine = _engine()

@@ -1,0 +1,260 @@
+"""PoolServer functional behaviour (no fault injection — see chaos suite).
+
+Correctness bar: every answer a pool serves must be bit-identical to the
+single-process engine's answer for the same catalog state, or carry an
+explicit degradation tag.  Timing-sensitive liveness scenarios (kills,
+wedges, heartbeat loss) live in ``tests/chaos/test_chaos_pool.py``.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine import ApproximateQueryEngine, Table
+from repro.engine.engine import AggregateQuery
+from repro.errors import (
+    InvalidParameterError,
+    InvalidQueryError,
+    ServerClosedError,
+)
+from repro.serving import PoolServer
+
+
+def _engine(seed=5) -> ApproximateQueryEngine:
+    rng = np.random.default_rng(seed)
+    engine = ApproximateQueryEngine()
+    engine.register_table(
+        Table(
+            "sales",
+            {
+                "price": rng.integers(0, 256, 3000),
+                "qty": rng.integers(0, 32, 3000),
+            },
+        )
+    )
+    engine.build_synopsis("sales", "price", method="sap1", budget_words=96)
+    engine.build_synopsis("sales", "qty", method="a0", budget_words=48)
+    return engine
+
+
+def _queries(n=40):
+    return [
+        AggregateQuery("sales", "price", "sum", low, low + 30)
+        for low in range(0, 10 * n, 10)[:n]
+    ]
+
+
+def _pool(engine, **kwargs):
+    defaults = dict(workers=2, max_delay_ms=1.0, cache_capacity=1)
+    defaults.update(kwargs)
+    return PoolServer(engine, **defaults)
+
+
+def _wait_for_workers(server, count, timeout=10.0):
+    # Heartbeat-confirmed, not merely spawned: tests that count attach
+    # events need both workers fully up before proceeding.
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        snapshot = server.supervisor.snapshot()
+        if sum(1 for slot in snapshot.values() if slot["heartbeats"] >= 1) >= count:
+            return
+        time.sleep(0.01)
+    raise AssertionError(
+        f"pool never reached {count} live workers: {server.supervisor.snapshot()}"
+    )
+
+
+class TestValidation:
+    def test_rejects_zero_workers(self):
+        with pytest.raises(InvalidParameterError, match="workers"):
+            PoolServer(_engine(), workers=0)
+
+    def test_rejects_nonpositive_deadline(self):
+        with pytest.raises(InvalidParameterError, match="deadline_ms"):
+            PoolServer(_engine(), deadline_ms=0)
+
+    def test_rejects_negative_retries(self):
+        with pytest.raises(InvalidParameterError, match="max_retries"):
+            PoolServer(_engine(), max_retries=-1)
+
+
+class TestParity:
+    def test_answers_match_single_process_engine(self):
+        engine = _engine()
+        queries = _queries()
+        expected = [engine.execute(query).estimate for query in queries]
+        with _pool(engine) as server:
+            _wait_for_workers(server, 2)
+            results = server.execute_many(queries, timeout=15.0)
+        assert [result.estimate for result in results] == expected
+        assert all(result.degradation == "fresh" for result in results)
+
+    def test_multi_column_batches_round_trip(self):
+        engine = _engine()
+        queries = [
+            AggregateQuery("sales", "price", "avg", 10, 200),
+            AggregateQuery("sales", "qty", "count", 1, 30),
+            AggregateQuery("sales", "price", "count", None, None),
+        ]
+        expected = [engine.execute(query).estimate for query in queries]
+        with _pool(engine) as server:
+            _wait_for_workers(server, 2)
+            results = server.execute_many(queries, timeout=15.0)
+        assert [result.estimate for result in results] == expected
+
+    def test_sustained_load_spreads_over_workers(self):
+        engine = _engine()
+        queries = _queries(20)
+        expected = [engine.execute(query).estimate for query in queries]
+        with _pool(engine) as server:
+            _wait_for_workers(server, 2)
+            for _ in range(10):
+                results = server.execute_many(queries, timeout=15.0)
+                assert [result.estimate for result in results] == expected
+            stats = server.stats()["pool"]
+        assert stats["dispatched"] >= 10
+        assert stats["live_workers"] == 2
+
+
+class TestTokenRevalidation:
+    def test_mutation_without_republish_recomputes_on_parent(self):
+        # The workers keep serving the old epoch; the parent must catch
+        # the token divergence and answer from its live engine instead
+        # of passing a pre-mutation estimate off as fresh.
+        engine = _engine()
+        query = AggregateQuery("sales", "price", "sum", 0, 128)
+        with _pool(engine) as server:
+            _wait_for_workers(server, 2)
+            before = server.execute(query, timeout=15.0)
+            engine.build_synopsis("sales", "price", method="sap1", budget_words=200)
+            after = server.execute(query, timeout=15.0)
+            assert after.estimate == engine.execute(query).estimate
+            stats = server.stats()["pool"]
+        assert before.estimate == _engine().execute(query).estimate
+        assert stats["token_mismatch_recomputed"] >= 1
+
+    def test_republish_restores_worker_serving(self):
+        engine = _engine()
+        query = AggregateQuery("sales", "price", "sum", 0, 128)
+        with _pool(engine) as server:
+            _wait_for_workers(server, 2)
+            server.execute(query, timeout=15.0)
+            engine.build_synopsis("sales", "price", method="sap1", budget_words=200)
+            epoch = server.republish()
+            assert epoch.epoch == 2
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                server.execute(query, timeout=15.0)
+                mismatches = server.stats()["pool"]["token_mismatch_recomputed"]
+                result = server.execute(query, timeout=15.0)
+                if (
+                    server.stats()["pool"]["token_mismatch_recomputed"]
+                    == mismatches
+                ):
+                    break
+                time.sleep(0.02)
+            assert result.estimate == engine.execute(query).estimate
+            stats = server.stats()["pool"]
+        assert stats["epoch_swaps"] == 1
+        assert stats["current_epoch"] == 2
+
+    def test_stale_answers_from_old_epoch_never_enter_cache_as_fresh(self):
+        engine = _engine()
+        query = AggregateQuery("sales", "price", "sum", 0, 128)
+        with _pool(engine, cache_capacity=64) as server:
+            _wait_for_workers(server, 2)
+            server.execute(query, timeout=15.0)
+            engine.build_synopsis("sales", "price", method="sap1", budget_words=200)
+            live = engine.execute(query).estimate
+            # Every post-mutation answer must reflect the new catalog,
+            # cached or not.
+            for _ in range(5):
+                assert server.execute(query, timeout=15.0).estimate == live
+
+
+class TestDrain:
+    def test_clean_drain_answers_everything(self):
+        engine = _engine()
+        queries = _queries()
+        with _pool(engine) as server:
+            _wait_for_workers(server, 2)
+            futures = server.submit_many(queries)
+            assert server.drain(timeout_ms=10000.0) is True
+            for future in futures:
+                assert future.result(timeout=0.1) is not None
+        assert server.drain_was_clean is True
+
+    def test_draining_server_rejects_new_submissions(self):
+        engine = _engine()
+        with _pool(engine) as server:
+            _wait_for_workers(server, 2)
+            server.drain(timeout_ms=10000.0)
+            with pytest.raises(ServerClosedError):
+                server.submit(AggregateQuery("sales", "price", "sum", 0, 10))
+
+    def test_drain_is_idempotent(self):
+        engine = _engine()
+        server = _pool(engine).start()
+        _wait_for_workers(server, 2)
+        assert server.drain(timeout_ms=10000.0) is True
+        server.stop()  # second teardown is a no-op, not an error
+
+    def test_restart_after_drain_serves_again(self):
+        engine = _engine()
+        query = AggregateQuery("sales", "price", "sum", 0, 128)
+        server = _pool(engine)
+        server.start()
+        _wait_for_workers(server, 2)
+        first = server.execute(query, timeout=15.0)
+        server.drain(timeout_ms=10000.0)
+        server.start()
+        _wait_for_workers(server, 2)
+        second = server.execute(query, timeout=15.0)
+        server.stop()
+        assert first.estimate == second.estimate
+
+
+class TestSubmissionErrors:
+    def test_unknown_table_raises_at_admission(self):
+        engine = _engine()
+        with _pool(engine) as server:
+            _wait_for_workers(server, 2)
+            with pytest.raises(InvalidQueryError):
+                server.execute(
+                    AggregateQuery("nope", "price", "sum", 0, 10), timeout=15.0
+                )
+
+    def test_not_running_raises_closed(self):
+        server = _pool(_engine())
+        with pytest.raises(ServerClosedError):
+            server.submit(AggregateQuery("sales", "price", "sum", 0, 10))
+
+
+class TestObservability:
+    def test_stats_reports_pool_section(self):
+        engine = _engine()
+        with _pool(engine) as server:
+            _wait_for_workers(server, 2)
+            server.execute_many(_queries(10), timeout=15.0)
+            stats = server.stats()
+        pool = stats["pool"]
+        assert pool["workers"] == 2
+        assert pool["spawns"] == 2
+        assert pool["dispatched"] >= 1
+        assert pool["current_epoch"] == 1
+        assert set(pool["supervisor"]) == {0, 1}
+        assert pool["supervisor"][0]["heartbeats"] >= 1
+        assert stats["shed"]["rejected"] == 0
+
+    def test_metrics_track_worker_lifecycle(self):
+        engine = _engine()
+        with _pool(engine) as server:
+            _wait_for_workers(server, 2)
+            server.execute_many(_queries(5), timeout=15.0)
+            snapshot = engine.metrics.snapshot()
+        counters = snapshot["counters"]
+        assert counters["pool_worker_spawns_total"][""] == 2
+        assert counters["pool_worker_attaches_total"][""] == 2
+        assert counters["pool_heartbeats_total"][""] >= 2
+        assert counters["pool_batches_dispatched_total"][""] >= 1

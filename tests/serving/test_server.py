@@ -1,6 +1,7 @@
 """End-to-end tests for the coalescing, caching query server."""
 
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -391,3 +392,56 @@ class TestObservability:
         assert stats["pending"] == 0
         assert stats["cache"]["size"] == 1
         assert stats["max_pending"] == 8192
+
+
+class TestRetryAfterHint:
+    def test_rejection_carries_retry_after_ms(self, engine):
+        with QueryServer(
+            engine,
+            max_batch=1024,
+            max_delay_ms=10_000.0,
+            max_pending=1,
+            degradation="strict",
+        ) as server:
+            first, second = server.submit_many(_queries(2))
+            error = second.exception(timeout=0)
+            assert isinstance(error, ServerOverloadedError)
+            # The queued request must flush within the delay window, so
+            # the hint is bounded by it and positive while the window
+            # still has time to run.
+            assert error.retry_after_ms is not None
+            assert 0.0 < error.retry_after_ms <= 10_000.0
+        first.result(timeout=10.0)
+
+    def test_idle_server_hints_full_window(self, engine):
+        with QueryServer(engine, max_delay_ms=8.0) as server:
+            # Nothing queued: retrying after one full delay window is
+            # always safe.
+            assert server.retry_after_ms() == pytest.approx(8.0)
+
+    def test_hint_shrinks_as_oldest_request_ages(self, engine):
+        with QueryServer(
+            engine, max_batch=1024, max_delay_ms=10_000.0, max_pending=5
+        ) as server:
+            full_window = server.retry_after_ms()
+            server.submit(_queries(1)[0])
+            time.sleep(0.05)
+            aged = server.retry_after_ms()
+            assert aged < full_window
+            assert aged == pytest.approx(10_000.0 - 50.0, abs=5_000.0)
+
+    def test_stats_exposes_shed_ladder_and_hint(self, engine):
+        with QueryServer(
+            engine, max_batch=1024, max_delay_ms=10_000.0, max_pending=3
+        ) as server:
+            server.submit_many(_queries(8))
+            stats = server.stats()
+        assert stats["shed"] == {
+            "stale": 0,
+            "fallback": 5,
+            "progressive": 0,
+            "rejected": 0,
+        }
+        assert stats["shed"]["fallback"] == stats["shed_fallback"]
+        assert isinstance(stats["retry_after_ms"], float)
+        assert stats["retry_after_ms"] >= 0.0

@@ -1,0 +1,182 @@
+"""Shared-memory catalog snapshots: framing, tokens, attach fidelity."""
+
+import numpy as np
+import pytest
+
+from repro.engine import ApproximateQueryEngine, Table
+from repro.engine.engine import AggregateQuery
+from repro.engine.resilience import FaultInjector
+from repro.errors import SerializationError
+from repro.serving.shared_catalog import (
+    SharedCatalog,
+    attach_catalog,
+    catalog_digest,
+    read_segment,
+)
+
+
+def _engine() -> ApproximateQueryEngine:
+    rng = np.random.default_rng(11)
+    engine = ApproximateQueryEngine()
+    engine.register_table(
+        Table(
+            "sales",
+            {
+                "price": rng.integers(0, 128, 600),
+                "qty": rng.integers(0, 32, 600),
+            },
+        )
+    )
+    engine.build_synopsis("sales", "price", method="sap1", budget_words=64)
+    engine.build_synopsis("sales", "qty", method="a0", budget_words=48, shards=4)
+    return engine
+
+
+def _queries():
+    return [
+        AggregateQuery("sales", "price", "sum", low, low + 20)
+        for low in range(0, 100, 9)
+    ] + [AggregateQuery("sales", "qty", "count", 2, 20)]
+
+
+class TestPublishAttach:
+    def test_round_trip_is_bit_identical(self):
+        engine = _engine()
+        with SharedCatalog() as shared:
+            epoch = shared.publish(engine)
+            attached = attach_catalog(epoch.segment_name)
+            assert attached.epoch == epoch.epoch
+            assert attached.restored == 2
+            assert catalog_digest(attached.engine) == catalog_digest(engine)
+            for query in _queries():
+                assert (
+                    attached.engine.execute(query).estimate
+                    == engine.execute(query).estimate
+                )
+
+    def test_attach_never_carries_table_data(self):
+        # Workers hold synopses only: degraded rungs that need raw rows
+        # stay in the parent, which is what makes the snapshot small.
+        engine = _engine()
+        with SharedCatalog() as shared:
+            epoch = shared.publish(engine)
+            attached = attach_catalog(epoch.segment_name)
+            assert attached.engine._tables == {}
+
+    def test_publish_freezes_answer_tokens(self):
+        engine = _engine()
+        with SharedCatalog() as shared:
+            epoch = shared.publish(engine)
+            assert set(epoch.tokens) == {("sales", "price"), ("sales", "qty")}
+            token = epoch.token("sales", "price")
+            assert token is not None and not token[2] and not token[3]
+            # A post-publish mutation changes the live token but not the
+            # frozen one — that divergence is the revalidation signal.
+            engine.build_synopsis("sales", "price", method="sap1", budget_words=80)
+            from repro.serving.catalog import CatalogView
+
+            assert CatalogView(engine).answer_token("sales", "price") != token
+            assert epoch.token("sales", "price") == token
+
+    def test_epochs_are_monotonic_and_retire_unlinks(self):
+        engine = _engine()
+        shared = SharedCatalog()
+        try:
+            first = shared.publish(engine)
+            second = shared.publish(engine)
+            assert second.epoch == first.epoch + 1
+            assert shared.epochs() == [first.epoch, second.epoch]
+            shared.retire(first.epoch)
+            assert shared.epochs() == [second.epoch]
+            with pytest.raises(SerializationError, match="does not exist"):
+                read_segment(first.segment_name)
+            # Retiring an unknown epoch is a no-op, not an error.
+            shared.retire(first.epoch)
+        finally:
+            shared.close()
+
+    def test_close_unlinks_everything(self):
+        engine = _engine()
+        shared = SharedCatalog()
+        epoch = shared.publish(engine)
+        shared.close()
+        assert shared.current is None
+        with pytest.raises(SerializationError):
+            read_segment(epoch.segment_name)
+
+    def test_attach_into_existing_engine_replaces_synopses(self):
+        engine = _engine()
+        with SharedCatalog() as shared:
+            epoch = shared.publish(engine)
+            worker_engine = ApproximateQueryEngine()
+            first = attach_catalog(epoch.segment_name, engine=worker_engine)
+            assert first.engine is worker_engine
+            engine.build_synopsis("sales", "price", method="sap1", budget_words=96)
+            second = shared.publish(engine)
+            attach_catalog(second.segment_name, engine=worker_engine)
+            assert catalog_digest(worker_engine) == catalog_digest(engine)
+
+
+class TestFraming:
+    def test_unknown_segment_raises_serialization_error(self):
+        with pytest.raises(SerializationError, match="does not exist"):
+            read_segment("repro-no-such-segment")
+
+    def test_bad_magic_is_rejected(self):
+        from multiprocessing import shared_memory
+
+        segment = shared_memory.SharedMemory(create=True, size=64)
+        try:
+            segment.buf[:4] = b"NOPE"
+            with pytest.raises(SerializationError, match="bad magic"):
+                read_segment(segment.name)
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_unknown_frame_format_is_rejected(self):
+        import struct
+
+        from multiprocessing import shared_memory
+
+        from repro.serving.shared_catalog import _HEADER, _MAGIC
+
+        segment = shared_memory.SharedMemory(create=True, size=_HEADER.size + 8)
+        try:
+            segment.buf[: _HEADER.size] = _HEADER.pack(_MAGIC, 99, 8, 0, 1)
+            with pytest.raises(SerializationError, match="unknown frame format"):
+                read_segment(segment.name)
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_torn_segment_is_rejected(self):
+        # Header claims more payload than the segment holds.
+        from multiprocessing import shared_memory
+
+        from repro.serving.shared_catalog import _HEADER, _FRAME_FORMAT, _MAGIC
+
+        segment = shared_memory.SharedMemory(create=True, size=_HEADER.size + 16)
+        try:
+            segment.buf[: _HEADER.size] = _HEADER.pack(
+                _MAGIC, _FRAME_FORMAT, 1 << 20, 0, 1
+            )
+            with pytest.raises(SerializationError, match="torn"):
+                read_segment(segment.name)
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_crc_mismatch_is_rejected(self):
+        engine = _engine()
+        with SharedCatalog() as shared:
+            epoch = shared.publish(engine)
+            injector = FaultInjector(seed=3)
+            injector.corrupt("shared_attach", times=1)
+            with injector:
+                with pytest.raises(SerializationError, match="CRC-32"):
+                    read_segment(epoch.segment_name)
+            # The segment itself is untouched; a clean attach succeeds.
+            payload, attached_epoch = read_segment(epoch.segment_name)
+            assert attached_epoch == epoch.epoch
+            assert len(payload) == epoch.payload_bytes

@@ -1,0 +1,206 @@
+"""WorkerSupervisor liveness policy, driven entirely by a fake clock."""
+
+import random
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.observability import FakeClock
+from repro.serving.supervisor import (
+    ACTION_KILL,
+    ACTION_SPAWN,
+    SLOT_BACKOFF,
+    SLOT_LIVE,
+    SLOT_PARKED,
+    SLOT_STARTING,
+    SLOT_SUSPECT,
+    WorkerSupervisor,
+)
+
+
+def _supervisor(slots=1, **kwargs):
+    clock = FakeClock(start=0.0)
+    defaults = dict(
+        heartbeat_timeout_seconds=1.0,
+        hang_timeout_seconds=3.0,
+        restart_backoff_seconds=0.05,
+        restart_backoff_max_seconds=2.0,
+        backoff_jitter=0.0,
+        breaker_threshold=3,
+        breaker_cooldown_seconds=30.0,
+        clock=clock,
+        rng=random.Random(0),
+    )
+    defaults.update(kwargs)
+    return WorkerSupervisor(slots, **defaults), clock
+
+
+class TestValidation:
+    def test_rejects_zero_slots(self):
+        with pytest.raises(InvalidParameterError, match="slots"):
+            WorkerSupervisor(0)
+
+    def test_rejects_hang_timeout_below_heartbeat_timeout(self):
+        with pytest.raises(InvalidParameterError, match="hang_timeout"):
+            WorkerSupervisor(
+                1, heartbeat_timeout_seconds=2.0, hang_timeout_seconds=1.0
+            )
+
+
+class TestLifecycle:
+    def test_empty_slots_demand_initial_spawns(self):
+        supervisor, _ = _supervisor(slots=3)
+        actions = supervisor.tick()
+        assert [a.kind for a in actions] == [ACTION_SPAWN] * 3
+        assert sorted(a.slot for a in actions) == [0, 1, 2]
+
+    def test_heartbeat_promotes_starting_to_live(self):
+        supervisor, _ = _supervisor()
+        supervisor.observe_spawn(0, pid=123)
+        assert supervisor.state(0) == SLOT_STARTING
+        supervisor.observe_heartbeat(0)
+        assert supervisor.state(0) == SLOT_LIVE
+        assert supervisor.live_slots() == [0]
+
+    def test_heartbeat_gap_marks_suspect_then_recovers(self):
+        supervisor, clock = _supervisor()
+        supervisor.observe_spawn(0)
+        supervisor.observe_heartbeat(0)
+        clock.advance(1.5)  # past heartbeat timeout, short of hang
+        assert supervisor.tick() == []
+        assert supervisor.state(0) == SLOT_SUSPECT
+        assert supervisor.live_slots() == []
+        supervisor.observe_heartbeat(0)  # it was just slow
+        assert supervisor.state(0) == SLOT_LIVE
+
+    def test_hang_timeout_demands_exactly_one_kill(self):
+        supervisor, clock = _supervisor()
+        supervisor.observe_spawn(0)
+        supervisor.observe_heartbeat(0)
+        clock.advance(3.5)
+        actions = supervisor.tick()
+        assert [a.kind for a in actions] == [ACTION_KILL]
+        assert "wedged" in actions[0].reason
+        # Re-ticking while the kill is in flight must not demand again.
+        assert supervisor.tick() == []
+        assert supervisor.snapshot()[0]["kills"] == 1
+
+    def test_exit_backs_off_then_respawns(self):
+        supervisor, clock = _supervisor()
+        supervisor.observe_spawn(0)
+        supervisor.observe_heartbeat(0)
+        supervisor.observe_exit(0, exitcode=-9)
+        assert supervisor.state(0) == SLOT_BACKOFF
+        assert supervisor.tick() == []  # backoff still running
+        clock.advance(0.06)  # base backoff with jitter=0 is 0.05s
+        actions = supervisor.tick()
+        assert [a.kind for a in actions] == [ACTION_SPAWN]
+        assert actions[0].generation == supervisor.generation(0) + 1
+        supervisor.observe_spawn(0)
+        assert supervisor.state(0) == SLOT_STARTING
+
+    def test_backoff_doubles_per_consecutive_failure(self):
+        supervisor, clock = _supervisor()
+        delays = []
+        for _ in range(3):
+            supervisor.observe_spawn(0)
+            supervisor.observe_exit(0, exitcode=1)
+            if supervisor.state(0) != SLOT_BACKOFF:
+                break
+            state = supervisor._slots[0]
+            delays.append(state.backoff_until - clock.now())
+            clock.advance(delays[-1] + 0.01)
+            supervisor.tick()
+        assert delays[0] == pytest.approx(0.05)
+        assert delays[1] == pytest.approx(0.10)
+
+    def test_backoff_is_capped(self):
+        supervisor, clock = _supervisor(
+            breaker_threshold=20, restart_backoff_max_seconds=0.2
+        )
+        for _ in range(10):
+            supervisor.observe_spawn(0)
+            supervisor.observe_exit(0, exitcode=1)
+            state = supervisor._slots[0]
+            if supervisor.state(0) == SLOT_BACKOFF:
+                assert state.backoff_until - clock.now() <= 0.2 + 1e-9
+                clock.advance(0.25)
+                supervisor.tick()
+
+    def test_exit_for_parked_slot_is_ignored(self):
+        supervisor, _ = _supervisor()
+        supervisor.observe_spawn(0)
+        supervisor.observe_exit(0, exitcode=1)
+        exits_before = supervisor.snapshot()[0]["exits"]
+        supervisor.observe_exit(0, exitcode=1)  # duplicate notification
+        assert supervisor.snapshot()[0]["exits"] == exits_before
+
+
+class TestCircuitBreaker:
+    def _crash_until_parked(self, supervisor, clock, limit=10):
+        for _ in range(limit):
+            if supervisor.state(0) == SLOT_PARKED:
+                return
+            for action in supervisor.tick():
+                if action.kind == ACTION_SPAWN:
+                    supervisor.observe_spawn(0)
+                    supervisor.observe_exit(0, exitcode=1)
+            clock.advance(0.5)
+        raise AssertionError("slot never parked")
+
+    def test_crash_loop_parks_the_slot(self):
+        supervisor, clock = _supervisor(breaker_threshold=3)
+        self._crash_until_parked(supervisor, clock)
+        assert supervisor.state(0) == SLOT_PARKED
+        assert supervisor.tick() == []  # parked slots stay down
+        assert supervisor.snapshot()[0]["breaker"]["state"] == "open"
+
+    def test_cooldown_elapses_into_half_open_probe(self):
+        supervisor, clock = _supervisor(
+            breaker_threshold=3, breaker_cooldown_seconds=5.0
+        )
+        self._crash_until_parked(supervisor, clock)
+        clock.advance(5.5)
+        actions = supervisor.tick()
+        assert [a.kind for a in actions] == [ACTION_SPAWN]
+        assert "probe" in actions[0].reason
+
+    def test_surviving_probe_closes_the_breaker(self):
+        supervisor, clock = _supervisor(
+            breaker_threshold=3, breaker_cooldown_seconds=5.0
+        )
+        self._crash_until_parked(supervisor, clock)
+        clock.advance(5.5)
+        supervisor.tick()
+        supervisor.observe_spawn(0)
+        supervisor.observe_heartbeat(0)  # the probe generation lives
+        assert supervisor.state(0) == SLOT_LIVE
+        assert supervisor.snapshot()[0]["breaker"]["state"] == "closed"
+
+
+class TestSnapshot:
+    def test_snapshot_reports_per_slot_history(self):
+        supervisor, clock = _supervisor(slots=2)
+        supervisor.observe_spawn(0, pid=41)
+        supervisor.observe_heartbeat(0)
+        supervisor.observe_exit(0, exitcode=-9)
+        snapshot = supervisor.snapshot()
+        assert snapshot[0]["exits"] == 1
+        assert snapshot[0]["last_exitcode"] == -9
+        assert snapshot[0]["heartbeats"] == 1
+        assert snapshot[1]["state"] == "empty"
+        assert snapshot[1]["generation"] == -1
+
+    def test_jittered_backoff_varies_with_rng(self):
+        supervisor_a, _ = _supervisor(
+            backoff_jitter=0.5, rng=random.Random(1)
+        )
+        supervisor_b, _ = _supervisor(
+            backoff_jitter=0.5, rng=random.Random(2)
+        )
+        for supervisor in (supervisor_a, supervisor_b):
+            supervisor.observe_spawn(0)
+            supervisor.observe_exit(0, exitcode=1)
+        delay_a = supervisor_a._slots[0].backoff_until
+        delay_b = supervisor_b._slots[0].backoff_until
+        assert delay_a != delay_b

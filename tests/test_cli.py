@@ -217,6 +217,78 @@ class TestServe:
         assert payload["batches"] >= 1
 
 
+class TestServePool:
+    def test_clean_drain_exits_0(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "pool.json"
+        assert main([
+            "serve", "--rows", "4000", "--domain", "256", "--queries", "200",
+            "--budget", "64", "--workers", "2", "--max-batch", "64",
+            "--drain-timeout-ms", "20000",
+            "--output", str(target),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Pool serve" in out
+        assert "drain: clean" in out
+        payload = json.loads(target.read_text())
+        assert payload["drain_clean"] is True
+        assert payload["failed"] == 0
+        assert payload["fresh"] + payload["degraded"] == 200
+        assert payload["max_abs_difference"] == 0.0
+
+    def test_forced_shutdown_exits_5(self, capsys):
+        # Wedge every dispatched batch far past the drain budget: the
+        # drain must force-kill the workers, resolve every future with
+        # the explicit cut-off error, and report the forced exit code.
+        from repro.cli import EXIT_FORCED_SHUTDOWN
+        from repro.engine.resilience import FaultInjector
+
+        injector = FaultInjector(seed=0)
+        injector.slow("worker_batch", 30.0)
+        with injector:
+            code = main([
+                "serve", "--rows", "2000", "--domain", "128",
+                "--queries", "40", "--budget", "32", "--workers", "2",
+                "--max-batch", "64", "--drain-timeout-ms", "400",
+            ])
+        assert code == EXIT_FORCED_SHUTDOWN == 5
+        out = capsys.readouterr().out
+        assert "drain: FORCED" in out
+        assert "failed (drain cut-off)" in out
+
+    def test_invalid_worker_count_fails_cleanly(self, capsys):
+        assert main([
+            "serve", "--rows", "2000", "--queries", "40", "--budget", "32",
+            "--workers", "-3",
+        ]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestBenchPool:
+    def test_table_and_json(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "pool_bench.json"
+        assert main([
+            "bench-pool", "--rows", "4000", "--domain", "256",
+            "--shards", "8", "--budget", "256", "--queries", "300",
+            "--threads", "2", "--workers", "2", "--max-batch", "64",
+            "--output", str(target),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Worker pool" in out
+        assert "pickle-free: True" in out
+        payload = json.loads(target.read_text())
+        assert payload["pool_workers"] == 2
+        assert payload["max_abs_difference"] == 0.0
+        assert payload["engine_pickle_free"] is True
+
+    def test_workers_must_exceed_baseline(self, capsys):
+        assert main(["bench-pool", "--workers", "1"]) == 1
+        assert "must exceed" in capsys.readouterr().err
+
+
 class TestReport:
     def test_report_to_file(self, tmp_path, capsys, monkeypatch):
         # Patch the harness onto a small dataset so the test stays fast.
