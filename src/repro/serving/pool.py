@@ -46,6 +46,30 @@ policy.  Cache entries are written only for token-matched answers, so
 the cache inherits the single-process proof: no pre-mutation answer is
 ever served after the mutation.
 
+Policy contract.  A worker engine holds only synopses (no base
+tables), so it serves exactly the ladder rungs a frozen snapshot can
+honestly provide: ``fresh`` always, ``stale`` only when the server's
+:class:`~repro.engine.resilience.DegradationPolicy` allows it.  Every
+other case — missing synopsis, stale under a stale-forbidding policy —
+is *deferred* to the parent, whose live engine runs the full ladder
+(fallback, progressive, exact) with the same semantics as
+:class:`~repro.serving.server.QueryServer`.  ``audit_rate`` likewise
+applies on the parent's recompute path only: worker answers come from
+the frozen snapshot whose build-time error predictions already cover
+them, and a worker-side audit would feed an auditor that dies with the
+worker process.
+
+Liveness contract.  Workers answer big coalesced batches in chunks and
+heartbeat between chunks, so a legitimately heavy batch is never
+mistaken for a wedged worker; only silence longer than
+``hang_timeout_ms`` with no chunk progress draws a SIGKILL.  On the
+parent, the collector thread — the only thread servicing results,
+exits, deadlines, and hedges — survives unexpected exceptions by
+counting and skipping the failed pass; if it fails many passes in a
+row it resolves every open flight through the shed ladder and marks
+the pool unhealthy (``stats()["pool"]["collector_failed"]``) instead
+of leaving callers blocked.
+
 Fault sites (chaos suite): ``worker_batch`` (kill → SIGKILL mid-batch,
 slow → wedged worker), ``worker_heartbeat`` (fail → heartbeat
 silence), ``shared_attach`` (corrupt → torn attach).  Forked workers
@@ -89,6 +113,20 @@ EXIT_ATTACH_FAILED = 3
 
 _POLL_SECONDS = 0.05
 
+#: Queries answered per worker chunk.  A coalesced batch is answered in
+#: chunks with a heartbeat between them, so a legitimately heavy batch
+#: keeps proving liveness instead of tripping the supervisor's hang
+#: detection — only a worker stuck *inside* one chunk goes silent long
+#: enough to be declared wedged.  Large enough that the vectorised
+#: ``estimate_many`` path still amortises per-call overhead.
+_CHUNK_QUERIES = 64
+
+#: Consecutive collector-loop failures tolerated before the pool gives
+#: up on the collector, fails every open flight through the shed
+#: ladder, and marks itself unhealthy (``stats()["pool"]
+#: ["collector_failed"]``).  Transient errors just skip one pass.
+_COLLECTOR_FAILURE_LIMIT = 25
+
 
 # ----------------------------------------------------------------------
 # Worker process
@@ -106,14 +144,25 @@ def _send_heartbeat(result_w, slot: int, generation: int) -> bool:
     return True
 
 
-def _answer_specs(engine, specs: list) -> list:
-    """Answer one batch of plain-tuple query specs against ``engine``.
+def _answer_specs(engine, specs: list, serve_stale: bool) -> list:
+    """Answer one chunk of plain-tuple query specs against ``engine``.
 
     Returns parallel plain tuples — ``("ok", estimate, name, words,
-    degradation)`` or ``("err", exc_type_name, message)`` — so nothing
-    engine-shaped ever crosses the pipe.  A whole-batch failure falls
-    back to per-query answering so one malformed query cannot poison
-    its batchmates.
+    degradation)``, ``("defer", reason)``, or ``("err", exc_type_name,
+    message)`` — so nothing engine-shaped ever crosses the pipe.
+
+    The worker engine holds *only* the snapshot's synopses (no base
+    tables), so it can serve exactly two rungs of the server's
+    degradation ladder: ``fresh``, and ``stale`` when the policy admits
+    it (``serve_stale`` is the parent policy's ``allow_stale``
+    projection).  Everything else — missing synopsis, stale under a
+    stale-forbidding policy — is returned as ``("defer", ...)`` and the
+    parent answers it on its live engine under the full ladder, which
+    is what keeps :class:`PoolServer` semantics identical to
+    :class:`~repro.serving.server.QueryServer` instead of silently
+    serving stale under every policy.  A whole-chunk failure falls back
+    to per-query answering so one malformed query cannot poison its
+    batchmates.
     """
     queries = [
         AggregateQuery(
@@ -121,44 +170,87 @@ def _answer_specs(engine, specs: list) -> list:
         )
         for table, column, aggregate, low, high in specs
     ]
+    answers: list = [None] * len(queries)
+    answerable = []
+    for index, query in enumerate(queries):
+        key = (query.table, query.column)
+        if key not in engine._synopses:  # noqa: SLF001 — snapshot introspection
+            answers[index] = ("defer", "no synopsis in snapshot")
+        elif key in engine._stale and not serve_stale:  # noqa: SLF001
+            answers[index] = ("defer", "stale synopsis; policy forbids stale")
+        else:
+            answerable.append(index)
+    if not answerable:
+        return answers
+    subset = [queries[index] for index in answerable]
     try:
-        results = engine.execute_batch(queries, on_stale="serve")
-        return [
-            (
+        results = engine.execute_batch(subset, on_stale="serve")
+    except Exception:  # noqa: BLE001 — isolate per query below
+        results = None
+    if results is not None:
+        for index, result in zip(answerable, results):
+            answers[index] = (
                 "ok",
                 result.estimate,
                 result.synopsis_name,
                 result.synopsis_words,
                 result.degradation,
             )
-            for result in results
-        ]
-    except Exception:  # noqa: BLE001 — isolate per query below
-        answers = []
-        for query in queries:
-            try:
-                result = engine.execute(query, on_stale="serve")
-                answers.append(
-                    (
-                        "ok",
-                        result.estimate,
-                        result.synopsis_name,
-                        result.synopsis_words,
-                        result.degradation,
-                    )
-                )
-            except Exception as error:  # noqa: BLE001 — per-query isolation
-                answers.append(("err", type(error).__name__, str(error)))
         return answers
+    for index in answerable:
+        try:
+            result = engine.execute(queries[index], on_stale="serve")
+            answers[index] = (
+                "ok",
+                result.estimate,
+                result.synopsis_name,
+                result.synopsis_words,
+                result.degradation,
+            )
+        except Exception as error:  # noqa: BLE001 — per-query isolation
+            answers[index] = ("err", type(error).__name__, str(error))
+    return answers
+
+
+def _answer_batch(engine, specs: list, serve_stale: bool, heartbeat) -> list:
+    """Answer one coalesced batch in chunks, heartbeating between them.
+
+    ``heartbeat`` is called after every chunk but the last, so a large
+    batch emits liveness at a bounded interval (one chunk's compute
+    time) instead of going silent for the whole batch and being
+    mistaken for a wedged worker.
+    """
+    answers: list = []
+    for start in range(0, len(specs), _CHUNK_QUERIES):
+        answers.extend(
+            _answer_specs(engine, specs[start : start + _CHUNK_QUERIES], serve_stale)
+        )
+        if start + _CHUNK_QUERIES < len(specs):
+            heartbeat()
+    return answers
+
+
+def _mark_stale(engine, stale_keys) -> None:
+    """Restore publish-time staleness onto an attached snapshot engine.
+
+    Monolithic staleness is a session property the persistence format
+    drops, so the parent ships the stale key set alongside the segment;
+    without it a worker would tag stale answers ``fresh`` (and serve
+    them under stale-forbidding policies).
+    """
+    for key in stale_keys:
+        engine._stale.add(tuple(key))  # noqa: SLF001 — snapshot restore
 
 
 def _worker_main(
     slot: int,
     generation: int,
     segment_name: str,
+    stale_keys: tuple,
     task_r,
     result_w,
     heartbeat_seconds: float,
+    serve_stale: bool,
 ) -> None:
     """Worker process body: attach the shared catalog, answer batches.
 
@@ -176,6 +268,7 @@ def _worker_main(
             pass
         os._exit(EXIT_ATTACH_FAILED)
     engine = attached.engine
+    _mark_stale(engine, stale_keys)
     epoch = attached.epoch
     try:
         result_w.send(("attached", slot, generation, epoch, attached.restored))
@@ -208,6 +301,7 @@ def _worker_main(
             os._exit(EXIT_OK)
         elif kind == "swap":
             new_segment = message[1]
+            new_stale_keys = message[2] if len(message) > 2 else ()
             try:
                 attached = attach_catalog(
                     new_segment, worker=slot, generation=generation
@@ -226,6 +320,7 @@ def _worker_main(
                     pass
                 os._exit(EXIT_ATTACH_FAILED)
             engine = attached.engine
+            _mark_stale(engine, new_stale_keys)
             epoch = attached.epoch
             try:
                 result_w.send(("swapped", slot, generation, epoch))
@@ -243,7 +338,12 @@ def _worker_main(
                     generation=generation,
                     seq=sequence,
                 )
-                answers = _answer_specs(engine, specs)
+                answers = _answer_batch(
+                    engine,
+                    specs,
+                    serve_stale,
+                    lambda: _send_heartbeat(result_w, slot, generation),
+                )
             except FaultInjectedError as error:
                 answers = [("err", type(error).__name__, str(error))] * len(specs)
             try:
@@ -368,8 +468,11 @@ class PoolServer(QueryServer):
         self._batch_seq = 0
         self._collector: threading.Thread | None = None
         self._collector_stop = threading.Event()
+        self._collector_failed = False
         self._draining = False
         self._drain_clean: bool | None = None
+        self._drain_lock = threading.Lock()
+        self._sigterm_drain_started = threading.Event()
         self._wake_r, self._wake_w = self._mp.Pipe(duplex=False)
         self._pool_counters = {
             "dispatched": 0,
@@ -383,7 +486,9 @@ class PoolServer(QueryServer):
             "kills": 0,
             "epoch_swaps": 0,
             "token_mismatch_recomputed": 0,
+            "worker_deferred": 0,
             "parent_recomputed": 0,
+            "collector_errors": 0,
         }
 
     # ------------------------------------------------------------------
@@ -404,6 +509,8 @@ class PoolServer(QueryServer):
             self._wake_r, self._wake_w = self._mp.Pipe(duplex=False)
         self._draining = False
         self._drain_clean = None
+        self._collector_failed = False
+        self._sigterm_drain_started.clear()
         epoch = self.shared.publish(self.engine)
         self._epoch_tokens[epoch.epoch] = epoch.tokens
         self._current_epoch = epoch
@@ -431,7 +538,18 @@ class PoolServer(QueryServer):
         answered, every worker exited on request) and ``False`` when
         the budget expired and survivors were force-killed.  Also
         recorded as :attr:`drain_was_clean` for the CLI's exit code.
+
+        Serialised: concurrent callers (the SIGTERM drain thread racing
+        an explicit ``stop()``, say) block until the first drain
+        finishes and then get its recorded outcome instead of tearing
+        down twice.
         """
+        with self._drain_lock:
+            if self._drain_clean is not None:
+                return self._drain_clean
+            return self._drain_locked(timeout_ms)
+
+    def _drain_locked(self, timeout_ms: float | None) -> bool:
         budget = (
             timeout_ms / 1000.0
             if timeout_ms is not None
@@ -520,11 +638,25 @@ class PoolServer(QueryServer):
     def install_sigterm_handler(self):
         """Drain gracefully on SIGTERM (main thread only).
 
+        The handler only hands the drain off to a dedicated thread:
+        ``drain()`` acquires the coalescer condition and the pool lock,
+        both non-reentrant, and a signal arriving while the main thread
+        holds either (inside ``submit_many``, say) would deadlock the
+        process if the handler drained inline.  Repeated SIGTERMs are
+        coalesced into the one drain already running.
+
         Returns the previous handler so callers can restore it.
         """
 
         def _handler(signum, frame):  # noqa: ARG001 — signal signature
-            self.drain(timeout_ms=self.drain_timeout_ms)
+            if self._sigterm_drain_started.is_set():
+                return
+            self._sigterm_drain_started.set()
+            threading.Thread(
+                target=self.drain,
+                kwargs={"timeout_ms": self.drain_timeout_ms},
+                name="repro-pool-sigterm-drain",
+            ).start()
 
         return signal.signal(signal.SIGTERM, _handler)
 
@@ -555,7 +687,9 @@ class PoolServer(QueryServer):
             self._pool_counters["epoch_swaps"] += 1
             for handle in self._handles.values():
                 try:
-                    handle.task_w.send(("swap", epoch.segment_name))
+                    handle.task_w.send(
+                        ("swap", epoch.segment_name, epoch.stale_keys)
+                    )
                 except OSError:
                     pass
         self.metrics.counter("pool_epoch_swaps_total").inc()
@@ -580,21 +714,33 @@ class PoolServer(QueryServer):
             for request in batch
         ]
         with self._pool_lock:
-            self._flight_seq += 1
-            flight = _Flight(
-                flight_id=self._flight_seq,
-                requests=batch,
-                specs=specs,
-                deadline=(
-                    now + self.deadline_seconds
-                    if self.deadline_seconds is not None
-                    else None
-                ),
-                created_at=now,
-            )
-            self._flights[flight.flight_id] = flight
-            self._ready.append(flight)
-            self._pump_locked()
+            # Checked under the same lock that files the flight, so no
+            # batch can slip in between the failure sweep and the flag.
+            if self._collector_failed:
+                flight = None
+            else:
+                self._flight_seq += 1
+                flight = _Flight(
+                    flight_id=self._flight_seq,
+                    requests=batch,
+                    specs=specs,
+                    deadline=(
+                        now + self.deadline_seconds
+                        if self.deadline_seconds is not None
+                        else None
+                    ),
+                    created_at=now,
+                )
+                self._flights[flight.flight_id] = flight
+                self._ready.append(flight)
+                self._pump_locked()
+        if flight is None:
+            # Nobody is left to collect results; answer through the
+            # ladder immediately rather than parking the batch forever.
+            for request in batch:
+                if not request.future.done():
+                    self._complete_degraded(request, "collector failed")
+            return
         self._notify_collector()
 
     def _pump_locked(self) -> None:
@@ -644,6 +790,7 @@ class PoolServer(QueryServer):
         result_r, result_w = self._mp.Pipe(duplex=False)
         with self._pool_lock:
             segment_name = self._current_epoch.segment_name
+            stale_keys = self._current_epoch.stale_keys
         generation = self.supervisor.generation(slot) + 1
         process = self._mp.Process(
             target=_worker_main,
@@ -651,9 +798,14 @@ class PoolServer(QueryServer):
                 slot,
                 generation,
                 segment_name,
+                stale_keys,
                 task_r,
                 result_w,
                 self.heartbeat_interval_seconds,
+                # The degradation policy's projection onto what a
+                # table-less snapshot engine can serve; every other
+                # ladder rung defers to the parent (see _answer_specs).
+                self.policy.allow_stale,
             ),
             name=f"repro-pool-worker-{slot}",
             daemon=True,
@@ -703,35 +855,86 @@ class PoolServer(QueryServer):
             pass
 
     def _collector_loop(self) -> None:
+        """Run collector passes until stopped; never die silently.
+
+        The collector is the only thread servicing results, worker
+        exits, deadlines, and hedges — an unhandled exception here
+        would strand every pending request forever.  A failed pass is
+        counted and skipped; ``_COLLECTOR_FAILURE_LIMIT`` *consecutive*
+        failures mean the loop itself is broken (not a transient), so
+        the pool fails every open flight through the shed ladder and
+        marks itself unhealthy instead of hanging its callers.
+        """
+        consecutive_failures = 0
         while not self._collector_stop.is_set():
-            with self._pool_lock:
-                waitables: list = [self._wake_r]
-                routes: dict = {}
-                for handle in self._handles.values():
-                    waitables.append(handle.result_r)
-                    routes[handle.result_r] = ("pipe", handle)
-                    if not handle.reaped:
-                        sentinel = handle.process.sentinel
-                        waitables.append(sentinel)
-                        routes[sentinel] = ("exit", handle)
             try:
-                ready = connection.wait(waitables, timeout=_POLL_SECONDS)
-            except OSError:
-                ready = []
-            for item in ready:
-                if item is self._wake_r:
-                    try:
-                        while self._wake_r.poll(0):
-                            self._wake_r.recv()
-                    except (EOFError, OSError):
-                        pass
-                    continue
-                kind, handle = routes.get(item, (None, None))
-                if kind == "pipe":
-                    self._drain_result_pipe(handle)
-                elif kind == "exit":
-                    self._handle_worker_exit(handle)
-            self._service_timers()
+                self._collector_pass()
+                consecutive_failures = 0
+            except Exception:  # noqa: BLE001 — the loop must survive
+                consecutive_failures += 1
+                with self._pool_lock:
+                    self._pool_counters["collector_errors"] += 1
+                self.metrics.counter("pool_collector_errors_total").inc()
+                if consecutive_failures >= _COLLECTOR_FAILURE_LIMIT:
+                    self._fail_open_flights("collector failed repeatedly")
+                    return
+                time.sleep(_POLL_SECONDS)
+
+    def _collector_pass(self) -> None:
+        with self._pool_lock:
+            waitables: list = [self._wake_r]
+            routes: dict = {}
+            for handle in self._handles.values():
+                waitables.append(handle.result_r)
+                routes[handle.result_r] = ("pipe", handle)
+                if not handle.reaped:
+                    sentinel = handle.process.sentinel
+                    waitables.append(sentinel)
+                    routes[sentinel] = ("exit", handle)
+        try:
+            ready = connection.wait(waitables, timeout=_POLL_SECONDS)
+        except OSError:
+            ready = []
+        for item in ready:
+            if item is self._wake_r:
+                try:
+                    while self._wake_r.poll(0):
+                        self._wake_r.recv()
+                except (EOFError, OSError):
+                    pass
+                continue
+            kind, handle = routes.get(item, (None, None))
+            if kind == "pipe":
+                self._drain_result_pipe(handle)
+            elif kind == "exit":
+                self._handle_worker_exit(handle)
+        self._service_timers()
+
+    def _fail_open_flights(self, reason: str) -> None:
+        """Last resort: resolve everything in flight through the ladder.
+
+        Called when the collector cannot continue.  Every open flight's
+        unanswered request is completed degraded (or failed explicitly)
+        so no caller is left blocked; :meth:`_flush` degrades later
+        batches inline while :attr:`_collector_failed` stands.
+        """
+        with self._pool_lock:
+            # Flag and sweep under one lock acquisition: _flush checks
+            # the flag under this same lock when it files a flight, so
+            # no flight can slip in between the sweep and the flag.
+            self._collector_failed = True
+            open_flights = [
+                flight for flight in self._flights.values() if not flight.done
+            ]
+            for flight in open_flights:
+                flight.done = True
+            self._flights.clear()
+            self._by_batch.clear()
+            self._ready.clear()
+        for flight in open_flights:
+            for request in flight.requests:
+                if not request.future.done():
+                    self._complete_degraded(request, reason)
 
     def _drain_result_pipe(self, handle: _WorkerHandle) -> None:
         while True:
@@ -816,6 +1019,12 @@ class PoolServer(QueryServer):
                 else:
                     self._complete_degraded(request, detail)
                 continue
+            if answer[0] == "defer":
+                # The snapshot engine cannot serve this rung (missing
+                # synopsis, or stale under a stale-forbidding policy);
+                # the parent's live engine runs the full ladder.
+                self._recompute_on_parent(request, reason="worker_deferred")
+                continue
             _, estimate, synopsis_name, synopsis_words, degradation = answer
             column = (request.query.table, request.query.column)
             if epoch_tokens.get(column) != request.token:
@@ -850,15 +1059,33 @@ class PoolServer(QueryServer):
         self.metrics.counter("serve_batches_total").inc()
         self.metrics.counter("serve_coalesced_total").inc(len(flight.requests))
 
-    def _recompute_on_parent(self, request: PendingRequest) -> None:
-        """Answer one request on the live engine (token mismatch path)."""
+    def _recompute_on_parent(
+        self, request: PendingRequest, *, reason: str = "token_mismatch"
+    ) -> None:
+        """Answer one request on the live engine.
+
+        Two callers: token mismatch (a mutation raced the request) and
+        worker deferral (the snapshot engine lacks the rung).  The
+        parent has the base tables, so this is the one place the full
+        degradation ladder — and the server's ``audit_rate`` — applies;
+        worker answers come from the frozen snapshot their build-time
+        predictions already cover.
+        """
         with self._pool_lock:
-            self._pool_counters["token_mismatch_recomputed"] += 1
             self._pool_counters["parent_recomputed"] += 1
-        self.metrics.counter("pool_token_mismatches_total").inc()
+            if reason == "token_mismatch":
+                self._pool_counters["token_mismatch_recomputed"] += 1
+            else:
+                self._pool_counters["worker_deferred"] += 1
+        if reason == "token_mismatch":
+            self.metrics.counter("pool_token_mismatches_total").inc()
+        self.metrics.counter("pool_parent_recomputes_total", reason=reason).inc()
         try:
             result = self.engine.execute(
-                request.query, on_stale=self.on_stale, degradation=self.policy
+                request.query,
+                on_stale=self.on_stale,
+                audit_rate=self.audit_rate,
+                degradation=self.policy,
             )
         except Exception as error:  # noqa: BLE001 — per-query isolation
             request.future.set_exception(error)
@@ -869,8 +1096,17 @@ class PoolServer(QueryServer):
         request.future.set_result(result)
 
     def _complete_degraded(self, request: PendingRequest, reason: str) -> None:
-        """Finish one request through the shed ladder (never hang)."""
-        outcome, rung = self._shed_resolution(request.query, request.cache_key)
+        """Finish one request through the shed ladder (never hang).
+
+        This is the collector's last line of defence, so it must not
+        raise: a shed-rung failure (an estimator error on the fallback
+        rung, say) becomes the request's exception, never an escape
+        that would kill the thread servicing every other request.
+        """
+        try:
+            outcome, rung = self._shed_resolution(request.query, request.cache_key)
+        except Exception as error:  # noqa: BLE001 — never kill the caller
+            outcome, rung = error, "error"
         self.metrics.counter("pool_degraded_total", rung=rung).inc()
         if isinstance(outcome, BaseException):
             request.future.set_exception(outcome)
@@ -1050,6 +1286,7 @@ class PoolServer(QueryServer):
             pool["supervisor"] = self.supervisor.snapshot()
             pool["draining"] = self._draining
             pool["drain_was_clean"] = self._drain_clean
+            pool["collector_failed"] = self._collector_failed
         counters["pool"] = pool
         return counters
 

@@ -56,6 +56,11 @@ class CatalogEpoch:
     #: computed by a worker on this epoch is valid exactly while the
     #: live token still equals the one frozen here.
     tokens: dict = field(default_factory=dict)
+    #: Columns stale at publish time, frozen with the tokens.  The
+    #: persistence format deliberately drops *monolithic* staleness (a
+    #: session property), so an attaching worker must be told which
+    #: columns were stale or it would serve them tagged ``fresh``.
+    stale_keys: tuple = ()
 
     def token(self, table_name: str, column_name: str):
         return self.tokens.get((table_name, column_name))
@@ -80,11 +85,20 @@ class SharedCatalog:
         """
         from repro.serving.catalog import CatalogView
 
-        payload = serialize_catalog(engine)
         view = CatalogView(engine)
-        tokens = {
-            key: view.answer_token(key[0], key[1]) for key in engine._synopses
-        }
+        # Tokens BEFORE the payload, mirroring admission's token-before-
+        # answer order.  If a mutation (append, rebuild) lands between
+        # the two reads, the frozen tokens predate the payload, so every
+        # post-mutation admission token-mismatches this epoch's answers
+        # and recomputes on the parent — safe.  The reverse order would
+        # freeze post-mutation tokens over a pre-mutation snapshot and
+        # certify stale worker answers as fresh.  The key list is
+        # snapshotted once so a concurrent build cannot mutate the dict
+        # mid-iteration.
+        keys = list(engine._synopses)
+        tokens = {key: view.answer_token(key[0], key[1]) for key in keys}
+        stale_keys = tuple(sorted(key for key in keys if key in engine._stale))
+        payload = serialize_catalog(engine)
         epoch = self._next_epoch
         self._next_epoch += 1
         segment = shared_memory.SharedMemory(
@@ -101,6 +115,7 @@ class SharedCatalog:
             segment_name=segment.name,
             payload_bytes=len(payload),
             tokens=tokens,
+            stale_keys=stale_keys,
         )
         self._epochs[epoch] = published
         self._current = published

@@ -258,3 +258,202 @@ class TestObservability:
         assert counters["pool_worker_attaches_total"][""] == 2
         assert counters["pool_heartbeats_total"][""] >= 2
         assert counters["pool_batches_dispatched_total"][""] >= 1
+
+
+class TestPolicyProjection:
+    """Workers serve only the ladder rungs a table-less snapshot can."""
+
+    def test_worker_serves_stale_when_policy_allows(self):
+        # Column stale at publish time, default serve-anything policy:
+        # the worker answers from the snapshot, honestly tagged stale,
+        # with no parent recompute involved.
+        engine = _engine()
+        engine.append_rows("sales", {"price": [7, 9, 11], "qty": [1, 2, 3]})
+        query = AggregateQuery("sales", "price", "sum", 0, 128)
+        expected = engine.execute(query, on_stale="serve")
+        with _pool(engine) as server:
+            _wait_for_workers(server, 2)
+            result = server.execute(query, timeout=15.0)
+            stats = server.stats()["pool"]
+        assert result.degradation == "stale"
+        assert result.estimate == expected.estimate
+        assert stats["parent_recomputed"] == 0
+
+    def test_stale_forbidding_policy_defers_to_parent_ladder(self):
+        # Same stale snapshot, but the policy forbids stale: the worker
+        # must NOT pass the stale estimate off — it defers, and the
+        # parent's live engine answers through the next admitted rung.
+        from repro.engine.resilience import DegradationPolicy
+
+        engine = _engine()
+        engine.append_rows("sales", {"price": [7, 9, 11], "qty": [1, 2, 3]})
+        query = AggregateQuery("sales", "price", "sum", 0, 128)
+        policy = DegradationPolicy(allow_stale=False)
+        with _pool(engine, degradation=policy) as server:
+            _wait_for_workers(server, 2)
+            result = server.execute(query, timeout=15.0)
+            stats = server.stats()["pool"]
+        assert result.degradation == "fallback"
+        assert stats["worker_deferred"] >= 1
+
+    def test_missing_synopsis_defers_to_parent_fallback(self):
+        # A registered column with no synopsis: QueryServer answers it
+        # on the fallback rung, so the pool must too (the worker's
+        # snapshot has nothing for it and defers).
+        rng = np.random.default_rng(5)
+        engine = ApproximateQueryEngine()
+        engine.register_table(
+            Table(
+                "sales",
+                {
+                    "price": rng.integers(0, 256, 3000),
+                    "extra": rng.integers(0, 64, 3000),
+                },
+            )
+        )
+        engine.build_synopsis("sales", "price", method="sap1", budget_words=96)
+        query = AggregateQuery("sales", "extra", "sum", 0, 32)
+        with _pool(engine) as server:
+            _wait_for_workers(server, 2)
+            result = server.execute(query, timeout=15.0)
+            stats = server.stats()["pool"]
+        assert result.degradation == "fallback"
+        assert stats["worker_deferred"] >= 1
+
+
+class TestChunkedBatches:
+    def test_answer_batch_heartbeats_between_chunks(self):
+        # A big coalesced batch must emit liveness between chunks so
+        # the supervisor never mistakes legitimate heavy work for a
+        # wedged worker.
+        from repro.serving import pool as pool_module
+
+        engine = _engine()
+        specs = [
+            ("sales", "price", "sum", low, low + 30) for low in range(150)
+        ]
+        beats = []
+        answers = pool_module._answer_batch(
+            engine, specs, True, lambda: beats.append(1)
+        )
+        assert len(answers) == len(specs)
+        assert len(beats) == (len(specs) - 1) // pool_module._CHUNK_QUERIES
+        expected = [
+            engine.execute(
+                AggregateQuery("sales", "price", "sum", low, low + 30)
+            ).estimate
+            for low in range(150)
+        ]
+        assert [answer[0] for answer in answers] == ["ok"] * len(specs)
+        assert [answer[1] for answer in answers] == expected
+
+    def test_multi_chunk_batch_round_trips_through_workers(self):
+        engine = _engine()
+        queries = _queries(150)
+        expected = [engine.execute(query).estimate for query in queries]
+        with _pool(engine, max_delay_ms=20.0) as server:
+            _wait_for_workers(server, 2)
+            results = server.execute_many(queries, timeout=30.0)
+        assert [result.estimate for result in results] == expected
+
+
+class TestCollectorResilience:
+    def test_transient_collector_error_is_survived(self):
+        # A few unexpected exceptions in the collector loop must not
+        # kill it — passes are skipped and counted, then service
+        # resumes and every request is still answered.
+        engine = _engine()
+        queries = _queries(10)
+        expected = [engine.execute(query).estimate for query in queries]
+        server = _pool(engine)
+        original = server._service_timers
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] <= 3:
+                raise RuntimeError("injected collector failure")
+            return original()
+
+        server._service_timers = flaky
+        with server:
+            _wait_for_workers(server, 2)
+            results = server.execute_many(queries, timeout=15.0)
+            stats = server.stats()["pool"]
+            assert [result.estimate for result in results] == expected
+        assert stats["collector_errors"] >= 3
+        assert stats["collector_failed"] is False
+
+    def test_collector_giving_up_fails_flights_not_callers(self, monkeypatch):
+        # If the collector cannot complete any pass, the pool must mark
+        # itself unhealthy and resolve every request through the shed
+        # ladder — degraded or failed explicitly, never hung.
+        from repro.serving import pool as pool_module
+
+        monkeypatch.setattr(pool_module, "_COLLECTOR_FAILURE_LIMIT", 3)
+        engine = _engine()
+        queries = _queries(8)
+        server = _pool(engine)
+
+        def broken():
+            raise RuntimeError("collector is broken")
+
+        server._collector_pass = broken
+        with server:
+            results = server.execute_many(queries, timeout=20.0)
+            for result in results:
+                assert result.degradation in ("stale", "fallback", "progressive")
+            stats = server.stats()["pool"]
+        assert stats["collector_failed"] is True
+        assert stats["collector_errors"] >= 3
+
+
+class TestSigtermDrain:
+    def test_handler_offloads_drain_from_the_signal_frame(self):
+        # The handler must return immediately even when the signal
+        # lands while this thread holds the coalescer condition (as
+        # inside submit_many) — draining inline there would deadlock on
+        # the non-reentrant lock.  The actual drain runs on its own
+        # thread and completes once the lock is released.
+        import os
+        import signal as signal_module
+
+        engine = _engine()
+        server = _pool(engine)
+        server.start()
+        previous = server.install_sigterm_handler()
+        try:
+            _wait_for_workers(server, 2)
+            with server.coalescer._cond:
+                os.kill(os.getpid(), signal_module.SIGTERM)
+                # The handler has already run (signals are delivered on
+                # this thread); reaching the next statement proves it
+                # did not drain inline while we hold the condition.
+                time.sleep(0.05)
+            deadline = time.monotonic() + 15.0
+            while time.monotonic() < deadline and server.drain_was_clean is None:
+                time.sleep(0.02)
+            assert server.drain_was_clean is True
+            with pytest.raises(ServerClosedError):
+                server.submit(AggregateQuery("sales", "price", "sum", 0, 10))
+        finally:
+            signal_module.signal(signal_module.SIGTERM, previous)
+
+    def test_repeated_sigterm_coalesces_into_one_drain(self):
+        import os
+        import signal as signal_module
+
+        engine = _engine()
+        server = _pool(engine)
+        server.start()
+        previous = server.install_sigterm_handler()
+        try:
+            _wait_for_workers(server, 2)
+            os.kill(os.getpid(), signal_module.SIGTERM)
+            os.kill(os.getpid(), signal_module.SIGTERM)
+            deadline = time.monotonic() + 15.0
+            while time.monotonic() < deadline and server.drain_was_clean is None:
+                time.sleep(0.02)
+            assert server.drain_was_clean is True
+        finally:
+            signal_module.signal(signal_module.SIGTERM, previous)

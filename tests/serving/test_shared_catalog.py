@@ -78,6 +78,35 @@ class TestPublishAttach:
             assert CatalogView(engine).answer_token("sales", "price") != token
             assert epoch.token("sales", "price") == token
 
+    def test_tokens_are_frozen_before_the_payload_is_serialized(self, monkeypatch):
+        # Simulate a mutation racing publish(): it lands after the token
+        # freeze, inside serialization.  The frozen tokens must predate
+        # the mutation, so every post-mutation admission token-mismatches
+        # this epoch's answers and recomputes (safe).  Serializing first
+        # and freezing tokens after would certify the epoch with
+        # post-mutation tokens — stale worker answers would validate as
+        # fresh against post-mutation requests.
+        import repro.serving.shared_catalog as shared_catalog_module
+        from repro.serving.catalog import CatalogView
+
+        engine = _engine()
+        real_serialize = shared_catalog_module.serialize_catalog
+
+        def racing_serialize(target):
+            target.append_rows("sales", {"price": [1, 2, 3], "qty": [4, 5, 6]})
+            return real_serialize(target)
+
+        monkeypatch.setattr(
+            shared_catalog_module, "serialize_catalog", racing_serialize
+        )
+        with SharedCatalog() as shared:
+            epoch = shared.publish(engine)
+            frozen = epoch.token("sales", "price")
+            live = CatalogView(engine).answer_token("sales", "price")
+            assert frozen != live
+            assert not frozen[2]  # frozen before the append marked it stale
+            assert live[2]
+
     def test_epochs_are_monotonic_and_retire_unlinks(self):
         engine = _engine()
         shared = SharedCatalog()
