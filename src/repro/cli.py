@@ -412,6 +412,52 @@ def _cmd_compact(args) -> int:
     return 0
 
 
+def _cmd_optimize(args) -> int:
+    import json
+
+    from repro.experiments.adaptive import run_adaptive_benchmark
+
+    result = run_adaptive_benchmark(
+        domain=args.domain,
+        shards=args.shards,
+        budget_words=args.budget,
+        queries=args.queries,
+        seed=args.seed,
+        method=args.method,
+    )
+    rows = [
+        [
+            "mass split (uniform prior)",
+            f"{result.uniform_sse:.2f}",
+            str(result.hot_budget_before),
+            "-",
+        ],
+        [
+            "workload-adaptive split",
+            f"{result.optimized_sse:.2f}",
+            str(result.hot_budget_after),
+            f"{result.improvement:.1f}x",
+        ],
+    ]
+    print(
+        format_table(
+            ["budget policy", "observed SSE", "hot-band words", "improvement"],
+            rows,
+            title=(
+                f"Adaptive reallocation ({result.shards} shards, "
+                f"{result.budget_words} words, {result.query_count} "
+                f"hot-band queries)"
+            ),
+        )
+    )
+    print(result.summary())
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(result.to_dict(), handle, indent=2)
+        print(f"result written to {args.output}")
+    return 0
+
+
 def _serve_with_pool(args) -> int:
     """``serve --workers N``: answer the workload from worker processes.
 
@@ -909,6 +955,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compact.add_argument("--output", help="write the report as JSON")
     compact.set_defaults(handler=_cmd_compact)
+
+    optimize = commands.add_parser(
+        "optimize",
+        help="demo the audit -> optimise -> rebuild loop on a skewed workload",
+    )
+    optimize.add_argument("--domain", type=int, default=1024)
+    optimize.add_argument("--shards", type=int, default=16)
+    optimize.add_argument("--budget", type=int, default=192)
+    optimize.add_argument("--queries", type=int, default=400)
+    optimize.add_argument("--seed", type=int, default=0)
+    optimize.add_argument("--method", default="a0", choices=sorted(BUILDER_REGISTRY))
+    optimize.add_argument("--output", help="write the report as JSON")
+    optimize.set_defaults(handler=_cmd_optimize)
 
     serve = commands.add_parser(
         "serve",

@@ -257,17 +257,15 @@ def predict_sse_per_query(
     )
 
 
-def split_budget_by_mass(name: str, data, starts, budget_words: int):
-    """Split a word budget across contiguous shards proportionally to mass.
+def _budget_split_spec(name: str, data, starts, budget_words: int, *, context: str):
+    """Shared validation for the budget-split family.
 
-    ``starts`` is the shard-boundary array (length ``S + 1``) over
-    ``data``'s index domain.  Each shard's share is proportional to its
-    absolute mass (so SUM vectors with negative values still split
-    sensibly), floored at the builder's ``words_per_unit`` so every
-    shard can afford at least one unit; the remainder is distributed by
-    largest remainder, keeping the total exactly ``budget_words``.
-    Raises :class:`~repro.errors.BudgetExceededError` when the budget
-    cannot cover the per-shard floor.
+    Returns ``(spec, data, starts, shard_count, masses)`` with the
+    per-shard absolute masses already checked finite — NaN/inf
+    frequencies would otherwise flow through the proportional weights
+    into ``np.floor`` garbage that silently violates the exact-total
+    invariant.  ``context`` names the caller (column/shard provenance)
+    in error messages.
     """
     import numpy as np
 
@@ -288,11 +286,27 @@ def split_budget_by_mass(name: str, data, starts, budget_words: int):
     masses = np.add.reduceat(np.abs(data), starts[:-1])
     # reduceat yields the element itself for empty slices at the end;
     # shard_boundaries guarantees non-empty shards, so no correction.
-    total_mass = float(masses.sum())
-    if total_mass <= 0.0:
-        weights = np.full(shard_count, 1.0 / shard_count)
-    else:
-        weights = masses / total_mass
+    if not np.all(np.isfinite(masses)):
+        bad = np.nonzero(~np.isfinite(masses))[0].tolist()
+        raise InvalidParameterError(
+            f"{context}: non-finite frequency mass in shard(s) {bad} "
+            f"(NaN/inf in the frequency vector); budgets would be garbage"
+        )
+    return spec, data, starts, shard_count, masses
+
+
+def _apportion_budget(weights, budget_words: int, floor: int):
+    """Floor-plus-largest-remainder apportionment of a word budget.
+
+    ``weights`` are non-negative and sum to 1.  Every shard gets
+    ``floor`` words, the spare is split proportionally, and the
+    fractional leftovers go to the largest remainders (ties broken by
+    shard id) so the result sums to exactly ``budget_words``.
+    """
+    import numpy as np
+
+    weights = np.asarray(weights, dtype=np.float64)
+    shard_count = int(weights.size)
     spare = budget_words - shard_count * floor
     raw = weights * spare
     budgets = np.full(shard_count, floor, dtype=np.int64) + np.floor(raw).astype(
@@ -305,6 +319,102 @@ def split_budget_by_mass(name: str, data, starts, budget_words: int):
         order = np.lexsort((np.arange(shard_count), -remainders))
         budgets[order[:leftover]] += 1
     return budgets
+
+
+def split_budget_by_mass(name: str, data, starts, budget_words: int, *, context=None):
+    """Split a word budget across contiguous shards proportionally to mass.
+
+    ``starts`` is the shard-boundary array (length ``S + 1``) over
+    ``data``'s index domain.  Each shard's share is proportional to its
+    absolute mass (so SUM vectors with negative values still split
+    sensibly), floored at the builder's ``words_per_unit`` so every
+    shard can afford at least one unit; the remainder is distributed by
+    largest remainder, keeping the total exactly ``budget_words``.
+    Raises :class:`~repro.errors.BudgetExceededError` when the budget
+    cannot cover the per-shard floor, and
+    :class:`~repro.errors.InvalidParameterError` when the frequency
+    vector carries NaN/inf mass (``context`` labels the column in the
+    error).
+    """
+    spec, data, starts, shard_count, masses = _budget_split_spec(
+        name, data, starts, budget_words, context=context or name
+    )
+    import numpy as np
+
+    total_mass = float(masses.sum())
+    if total_mass <= 0.0:
+        weights = np.full(shard_count, 1.0 / shard_count)
+    else:
+        weights = masses / total_mass
+    return _apportion_budget(weights, budget_words, spec.words_per_unit)
+
+
+def split_budget_by_workload(
+    name: str, data, starts, budget_words: int, workload, *, context=None
+):
+    """Workload-weighted sibling of :func:`split_budget_by_mass`.
+
+    A sharded synopsis pays estimation error only in a query's (at most
+    two) *partial* boundary shards, so the budget should concentrate
+    where query endpoints actually land.  Each shard's share is
+    proportional to ``mass_i * pressure_i`` where ``mass_i`` is the
+    shard's absolute frequency mass (a proxy for how hard the shard is
+    to summarise) and ``pressure_i`` is the workload's endpoint mass in
+    the shard *per domain position* — the total weight of observed
+    queries whose low or high endpoint falls in shard ``i``, divided by
+    the shard's width.
+
+    Under the uniform all-ranges workload every domain position carries
+    the same endpoint mass (``n + 1`` of the ``n(n+1)/2`` ranges start
+    or end at each position), so ``pressure`` is constant and the split
+    reduces *exactly* to :func:`split_budget_by_mass` — the differential
+    suite pins this.  A skewed observed workload shifts words toward the
+    hot shards instead.
+
+    Raises :class:`~repro.errors.InvalidParameterError` on an empty or
+    all-zero-weight workload (there is no signal to split by — callers
+    should fall back to the mass split), on negative weights, on a
+    workload/domain size mismatch, and on non-finite masses.
+    """
+    import numpy as np
+
+    label = context or name
+    spec, data, starts, shard_count, masses = _budget_split_spec(
+        name, data, starts, budget_words, context=label
+    )
+    if workload is None or len(workload) == 0:
+        raise InvalidParameterError(
+            f"{label}: cannot split a budget by an empty workload; "
+            "use split_budget_by_mass for the uniform objective"
+        )
+    if int(workload.n) != int(data.size):
+        raise InvalidParameterError(
+            f"{label}: workload domain ({workload.n}) does not match the "
+            f"frequency vector length ({data.size})"
+        )
+    query_weights = np.asarray(workload.weights, dtype=np.float64)
+    if np.any(query_weights < 0) or not np.all(np.isfinite(query_weights)):
+        raise InvalidParameterError(
+            f"{label}: workload weights must be finite and non-negative"
+        )
+    total_weight = float(query_weights.sum())
+    if total_weight <= 0.0:
+        raise InvalidParameterError(
+            f"{label}: workload carries zero total weight; nothing to split by"
+        )
+    endpoint_mass = np.zeros(shard_count, dtype=np.float64)
+    for endpoints in (workload.lows, workload.highs):
+        shard_ids = np.searchsorted(starts, endpoints, side="right") - 1
+        np.add.at(endpoint_mass, shard_ids, query_weights)
+    widths = np.diff(starts).astype(np.float64)
+    pressure = endpoint_mass / widths
+    raw = masses * pressure
+    total = float(raw.sum())
+    if total <= 0.0:
+        # Zero data mass everywhere the workload looks: fall back to the
+        # mass split's behaviour so the result is still a valid budget.
+        return split_budget_by_mass(name, data, starts, budget_words, context=label)
+    return _apportion_budget(raw / total, budget_words, spec.words_per_unit)
 
 
 def merge_shard_budgets(budgets, runs):

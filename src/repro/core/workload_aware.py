@@ -61,6 +61,21 @@ class WorkloadCosts:
                 f"workload-aware construction supports domains up to {MAX_DOMAIN} "
                 f"(requested {n}); build on a coarsened domain instead"
             )
+        if len(workload) == 0:
+            raise InvalidParameterError(
+                "workload-aware construction needs at least one query: an "
+                "empty workload makes every bucket cost zero and the DP "
+                "boundaries arbitrary"
+            )
+        if np.any(workload.weights < 0) or not np.all(np.isfinite(workload.weights)):
+            raise InvalidParameterError(
+                "workload weights must be finite and non-negative"
+            )
+        if float(np.sum(workload.weights)) <= 0.0:
+            raise InvalidParameterError(
+                "workload carries zero total weight: every bucket cost would "
+                "be zero and the DP boundaries arbitrary"
+            )
         self.p = np.concatenate(([0.0], np.cumsum(self.data)))
 
         lows = workload.lows

@@ -38,6 +38,11 @@ from repro.engine.resilience import (
     deadline_scope,
 )
 from repro.engine.compaction import BackgroundCompactor, CompactionPolicy, plan_runs
+from repro.engine.optimizer import (
+    BackgroundOptimizer,
+    ObservedWorkload,
+    run_optimization,
+)
 from repro.engine.shard_tree import DyadicShardTree
 from repro.engine.sharding import (
     INTERIOR_MODES,
@@ -82,6 +87,9 @@ __all__ = [
     "BackgroundCompactor",
     "CompactionPolicy",
     "plan_runs",
+    "BackgroundOptimizer",
+    "ObservedWorkload",
+    "run_optimization",
     "CircuitBreaker",
     "Deadline",
     "deadline_scope",

@@ -48,6 +48,7 @@ def recommend(
     *,
     workload: Workload | None = None,
     candidates=DEFAULT_CANDIDATES,
+    candidate_kwargs: dict[str, dict] | None = None,
     sample_queries: int = 2000,
     seed: int = 0,
 ) -> list[AdvisorChoice]:
@@ -55,8 +56,12 @@ def recommend(
 
     With no workload, a uniform sample of ranges stands in for the
     all-ranges objective (cheaper on wide domains, same ordering in
-    expectation).  Failed candidates are kept in the result with their
-    error message and sort last.
+    expectation).  ``candidate_kwargs`` passes per-method build kwargs
+    (e.g. ``{"workload-a0": {"workload": observed}}``).  Failed
+    candidates are kept in the result with their error message and sort
+    last; *any* exception is treated as that candidate's failure — a
+    heavy build dying with FloatingPointError/MemoryError must not
+    abort the whole recommendation.
     """
     import numpy as np
 
@@ -72,8 +77,9 @@ def recommend(
 
     choices: list[AdvisorChoice] = []
     for method in candidates:
+        build_kwargs = (candidate_kwargs or {}).get(method, {})
         try:
-            estimator = build_by_name(method, data, budget_words)
+            estimator = build_by_name(method, data, budget_words, **build_kwargs)
             choices.append(
                 AdvisorChoice(
                     method=method,
@@ -81,13 +87,15 @@ def recommend(
                     storage_words=estimator.storage_words(),
                 )
             )
-        except ReproError as error:
+        except Exception as error:  # noqa: BLE001 — one candidate's crash
+            # (ReproError, FloatingPointError, MemoryError, ...) must not
+            # abort the ranking; it is recorded and sorts last.
             choices.append(
                 AdvisorChoice(
                     method=method,
                     sse=float("inf"),
                     storage_words=0,
-                    error=str(error),
+                    error=f"{type(error).__name__}: {error}",
                 )
             )
     choices.sort(key=lambda choice: choice.sse)

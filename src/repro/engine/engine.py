@@ -26,6 +26,7 @@ from repro.core.builders import (
     build_by_name,
 )
 from repro.engine.compaction import CompactionPolicy, plan_runs
+from repro.engine.optimizer import ObservedWorkload, run_optimization
 from repro.engine.sharding import ShardedSynopsis, build_sharded
 from repro.engine.batch import BatchExecutionMixin, BatchQuery  # noqa: F401  (re-exported)
 from repro.engine.column import ColumnStatistics
@@ -454,6 +455,7 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
         trace_capacity: int = 2048,
         audit_window: int = 4096,
         audit_seed: int = 0,
+        workload_capacity: int = 512,
         predict_errors: bool = True,
         breaker_threshold: int = 3,
         breaker_cooldown_seconds: float = 60.0,
@@ -483,6 +485,11 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
         self.tracer = TraceRecorder(self.clock, capacity=trace_capacity)
         self.metrics = MetricsRegistry()
         self.auditor = ErrorAuditor(window=audit_window)
+        #: Reservoir-sampled index-space ranges of audited queries, the
+        #: signal :meth:`optimize_budgets` reallocates budgets toward.
+        self.observed_workload = ObservedWorkload(
+            capacity=workload_capacity, seed=audit_seed
+        )
         self.predict_errors = bool(predict_errors)
         self._audit_rng = np.random.default_rng(audit_seed)
         #: Per-synopsis lifecycle: built_at, build_seconds, stale_since.
@@ -545,6 +552,9 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
             "dirty_shards_rebuilt": 0,
             "compactions": 0,
             "compacted_shards": 0,
+            "optimizer_runs": 0,
+            "optimizer_shards_rebuilt": 0,
+            "optimizer_column_rebuilds": 0,
             "audited_queries": 0,
             "drift_flags": 0,
             "build_timeouts": 0,
@@ -1189,6 +1199,82 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
                 reports.append(report)
         return reports
 
+    def optimize_budgets(
+        self,
+        *,
+        min_samples: int = 32,
+        max_shard_rebuilds: int = 8,
+        min_shift_fraction: float = 0.05,
+        reallocate_columns: bool = True,
+        max_column_shift: float = 0.25,
+        min_marginal_ratio: float = 1.5,
+        column_floor_words: int = 16,
+        advisor_candidates=None,
+        advisor_sample_queries: int = 512,
+    ) -> dict:
+        """Reallocate budgets toward the observed workload (one sweep).
+
+        Closes the audit loop: the ranges sampled into
+        :attr:`observed_workload` by ``audit_rate`` queries drive two
+        reallocation levels.
+
+        *Across shards* — every sharded column with at least
+        ``min_samples`` observed queries per aggregate recomputes its
+        per-shard budget split with
+        :func:`~repro.core.builders.split_budget_by_workload` and
+        rebuilds only its worst-misallocated shards (at most
+        ``max_shard_rebuilds`` per aggregate; shards whose budget would
+        shift by less than ``min_shift_fraction`` of its current value
+        are left alone).  Rebuilds run over the entry's frozen frequency
+        snapshot — like :meth:`compact_shards`, staleness is neither
+        gained nor lost — and the column's total budget is conserved
+        exactly.
+
+        *Across columns* — with ``reallocate_columns=True``, whole-column
+        budgets move toward the columns with the highest observed
+        squared-error mass per word, but only when the best/worst
+        marginal ratio exceeds ``min_marginal_ratio``; moves are capped
+        at ``max_column_shift`` of each budget and floored at
+        ``column_floor_words``, the global total is conserved, and
+        changed columns rebuild fully from the live table with their
+        method re-advised on the observed workload
+        (:mod:`repro.engine.advisor`, with ``workload-a0`` as a
+        candidate on DP-sized domains).
+
+        Returns a report dict (per-column shard reallocations, column
+        moves, total shards rebuilt).  Metrics:
+        ``optimizer_reallocations_total``, ``optimizer_rebuilds_total``,
+        and per-key ``optimizer_observed_sse_per_query`` /
+        ``optimizer_predicted_sse_per_query`` gauges.
+        """
+        return run_optimization(
+            self,
+            min_samples=min_samples,
+            max_shard_rebuilds=max_shard_rebuilds,
+            min_shift_fraction=min_shift_fraction,
+            reallocate_columns=reallocate_columns,
+            max_column_shift=max_column_shift,
+            min_marginal_ratio=min_marginal_ratio,
+            column_floor_words=column_floor_words,
+            advisor_candidates=advisor_candidates,
+            advisor_sample_queries=advisor_sample_queries,
+        )
+
+    def save_observed_workload(self, path) -> None:
+        """Write the observed-workload recorder state to a JSON sidecar.
+
+        The catalog format itself is unchanged (no version bump): the
+        recorder is advisory state, so it travels in its own file and a
+        missing/corrupt sidecar never blocks a catalog load.
+        """
+        with open(path, "w") as handle:
+            json.dump(self.observed_workload.state_dict(), handle, indent=2)
+
+    def load_observed_workload(self, path) -> None:
+        """Restore the observed-workload recorder from its JSON sidecar."""
+        with open(path) as handle:
+            self.observed_workload.load_state_dict(json.load(handle))
+
     def _refresh_entry(
         self,
         key: tuple[str, str],
@@ -1775,6 +1861,26 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
         if partials:
             self.metrics.counter("boundary_shard_partials_total").inc(partials)
 
+    def _record_observed(
+        self,
+        table_name: str,
+        column_name: str,
+        aggregate: str,
+        low_idx: np.ndarray,
+        high_idx: np.ndarray,
+    ) -> None:
+        """Feed audited index-space ranges into the workload recorder.
+
+        AVG queries exercise *both* the count and sum estimators, so
+        they record under both aggregates; the optimiser consumes the
+        recorder keyed the same way the synopses are stored.
+        """
+        targets = ("count", "sum") if aggregate == "avg" else (aggregate,)
+        for target in targets:
+            self.observed_workload.record_many(
+                (table_name, column_name, target), low_idx, high_idx
+            )
+
     def _audit_scalar(
         self,
         query: AggregateQuery,
@@ -1784,6 +1890,14 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
         exact: float | None,
     ) -> None:
         """Record one audited query into the error windows."""
+        if clipped is not None:
+            self._record_observed(
+                query.table,
+                query.column,
+                query.aggregate,
+                np.asarray([clipped[0]], dtype=np.int64),
+                np.asarray([clipped[1]], dtype=np.int64),
+            )
         if exact is None:
             if (query.table, query.column) in self._stale:
                 exact = self.execute_exact(query)
@@ -1822,6 +1936,17 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
         audited = int(mask.sum())
         if not audited:
             return
+        obs_low, obs_high, obs_valid = entry.statistics.clip_range_many(
+            lows[mask], highs[mask]
+        )
+        if obs_valid.any():
+            self._record_observed(
+                table_name,
+                column_name,
+                aggregate,
+                obs_low[obs_valid],
+                obs_high[obs_valid],
+            )
         if exacts is not None:
             audit_exacts = np.asarray(exacts, dtype=np.float64)[mask]
         elif (table_name, column_name) in self._stale:
@@ -1986,6 +2111,7 @@ class ApproximateQueryEngine(BatchExecutionMixin, JointSynopsisMixin, GroupedSyn
             "stats": self.stats(),
             "metrics": self.metrics.snapshot(),
             "error_report": self.error_report(),
+            "observed_workload": self.observed_workload.snapshot(),
             "staleness_ages": self.staleness_ages(),
             "dirty_shards": self.dirty_shards(),
             "synopsis_catalog": self.synopsis_catalog(),

@@ -393,6 +393,7 @@ class ShardedSynopsis(RangeSumEstimator):
         predict: bool | None = None,
         on_shard_built=None,
         kernel_workers: int | None = None,
+        budgets=None,
         **builder_kwargs,
     ) -> "ShardedSynopsis":
         """A new synopsis with only ``dirty`` shards rebuilt from ``data``.
@@ -400,11 +401,14 @@ class ShardedSynopsis(RangeSumEstimator):
         ``data`` is the *whole* refreshed frequency vector (same domain
         as this synopsis).  Untouched shards keep their estimators and
         frozen predictions by reference; dirty shards rebuild with their
-        originally-allotted word budgets.  ``predict`` defaults to
-        whether this synopsis carries predictions at all.
-        ``kernel_workers >= 2`` shares one thread pool across the dirty
-        rebuilds' row precomputes when the method is pool-aware (results
-        bit-identical either way).
+        originally-allotted word budgets, unless ``budgets`` (a full
+        per-shard vector) overrides them — entries for shards *not* in
+        ``dirty`` must equal the current budgets, since those shards'
+        estimators are kept as-is.  ``predict`` defaults to whether this
+        synopsis carries predictions at all.  ``kernel_workers >= 2``
+        shares one thread pool across the dirty rebuilds' row
+        precomputes when the method is pool-aware (results bit-identical
+        either way).
         """
         data = np.asarray(data, dtype=np.float64)
         if data.size != self.n:
@@ -416,6 +420,26 @@ class ShardedSynopsis(RangeSumEstimator):
             raise InvalidParameterError(
                 f"dirty shard ids must be in [0, {self.num_shards}), got {dirty}"
             )
+        if budgets is None:
+            budgets = self.budgets
+        else:
+            budgets = np.asarray(budgets, dtype=np.int64)
+            if budgets.shape != self.budgets.shape:
+                raise InvalidParameterError(
+                    f"budget override must have one entry per shard "
+                    f"({self.num_shards}), got shape {budgets.shape}"
+                )
+            untouched = np.ones(self.num_shards, dtype=bool)
+            untouched[dirty] = False
+            if np.any(budgets[untouched] != self.budgets[untouched]):
+                changed = np.nonzero(
+                    untouched & (budgets != self.budgets)
+                )[0].tolist()
+                raise InvalidParameterError(
+                    f"budget override changes shards {changed} that are not "
+                    "being rebuilt; their estimators would no longer match "
+                    "their budgets"
+                )
         if predict is None:
             predict = self.shard_predictions is not None
         estimators = list(self.estimators)
@@ -431,7 +455,7 @@ class ShardedSynopsis(RangeSumEstimator):
                 fault_point("shard_rebuild", method=self.method, shard=shard)
                 start = time.perf_counter()
                 estimators[shard] = build_by_name(
-                    self.method, piece, int(self.budgets[shard]), **kwargs
+                    self.method, piece, int(budgets[shard]), **kwargs
                 )
                 elapsed = time.perf_counter() - start
                 totals[shard] = float(piece.sum())
@@ -447,7 +471,7 @@ class ShardedSynopsis(RangeSumEstimator):
             self.starts,
             estimators,
             totals,
-            self.budgets,
+            budgets,
             self.method,
             shard_predictions=predictions if predict else None,
             interior=self.interior,

@@ -2,8 +2,8 @@
 
 Benchmark jobs write JSON artifacts (``BENCH_serve.json``,
 ``BENCH_pool.json``, ``BENCH_shard_tree.json``,
-``BENCH_build_kernels.json``, and the coverage study's
-``BENCH_coverage_intervals.json``) that CI uploads and
+``BENCH_build_kernels.json``, ``BENCH_adaptive.json``, and the
+coverage study's ``BENCH_coverage_intervals.json``) that CI uploads and
 later jobs/dashboards consume.  A benchmark refactor that silently
 drops or retypes a field breaks those consumers long after the PR
 merged, so CI validates every artifact against the schemas here —
@@ -150,6 +150,25 @@ SCHEMAS: dict[str, dict[str, FieldSpec]] = {
         "speedup": _positive_number(),
         "gate": _positive_number(),
         "bit_identical": FieldSpec((bool,)),
+    },
+    "BENCH_adaptive.json": {
+        "row_count": _positive_int(),
+        "domain": _positive_int(),
+        "shards": _positive_int(),
+        "budget_words": _positive_int(),
+        "query_count": _positive_int(),
+        "seed": FieldSpec((int,)),
+        "method": FieldSpec((str,)),
+        "hot_low": _count(),
+        "hot_high": _count(),
+        "uniform_sse": _nonnegative_number(),
+        "optimized_sse": _nonnegative_number(),
+        "improvement": _positive_number(),
+        "shards_rebuilt": _count(),
+        "hot_budget_before": _count(),
+        "hot_budget_after": _count(),
+        "budget_total_before": _positive_int(),
+        "budget_total_after": _positive_int(),
     },
     "BENCH_coverage_intervals.json": {
         "row_count": _positive_int(),

@@ -1,13 +1,18 @@
 """Tests for the builder registry and the paper's storage accounting."""
 
+import numpy as np
 import pytest
 
 from repro.core.builders import (
     BUILDER_REGISTRY,
     build_by_name,
     buckets_for_budget,
+    split_budget_by_mass,
+    split_budget_by_workload,
 )
+from repro.engine.sharding import shard_boundaries
 from repro.errors import BudgetExceededError, InvalidParameterError
+from repro.queries.workload import Workload, all_ranges, random_ranges
 
 
 class TestStorageAccounting:
@@ -85,3 +90,140 @@ class TestReoptVariants:
         est = build_by_name("a0-reopt", medium_data, 20)
         assert est.name == "A0-reopt"
         assert est.storage_words() == 20
+
+
+class TestSplitBudgetByMassValidation:
+    """Regression: NaN/inf frequencies must fail loudly, not flow into
+    ``np.floor`` garbage that silently violates the exact-total
+    invariant."""
+
+    @pytest.mark.parametrize("poison", [np.nan, np.inf, -np.inf])
+    def test_non_finite_mass_rejected(self, poison):
+        data = np.ones(64)
+        data[17] = poison
+        starts = shard_boundaries(64, 8)
+        with pytest.raises(InvalidParameterError, match="non-finite frequency mass"):
+            split_budget_by_mass("a0", data, starts, 64)
+
+    def test_error_names_the_column_and_shards(self):
+        data = np.ones(64)
+        data[40] = np.nan  # shard 5 of 8
+        starts = shard_boundaries(64, 8)
+        with pytest.raises(InvalidParameterError, match=r"t\.v.*\[5\]"):
+            split_budget_by_mass("a0", data, starts, 64, context="t.v")
+
+    def test_finite_data_still_splits(self):
+        data = np.ones(64)
+        starts = shard_boundaries(64, 8)
+        budgets = split_budget_by_mass("a0", data, starts, 64)
+        assert int(budgets.sum()) == 64
+
+
+class TestSplitBudgetByWorkload:
+    """Differential suite for the workload-weighted budget split."""
+
+    def _setup(self, seed=0, n=128, shards=8):
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 100, n).astype(float)
+        return data, shard_boundaries(n, shards)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_conserves_total_budget(self, seed):
+        data, starts = self._setup(seed)
+        workload = random_ranges(data.size, 200, seed=seed)
+        for budget in (16, 37, 64, 129):
+            budgets = split_budget_by_workload("a0", data, starts, budget, workload)
+            assert int(budgets.sum()) == budget
+
+    def test_per_shard_floor(self):
+        data, starts = self._setup()
+        # Concentrate every query in one shard: others still get the floor.
+        workload = Workload(
+            n=data.size,
+            lows=np.full(50, 3, dtype=np.int64),
+            highs=np.full(50, 9, dtype=np.int64),
+        )
+        budgets = split_budget_by_workload("sap1", data, starts, 80, workload)
+        floor = BUILDER_REGISTRY["sap1"].words_per_unit
+        assert np.all(budgets >= floor)
+        assert int(budgets.sum()) == 80
+
+    @pytest.mark.parametrize("seed", [0, 1, 5])
+    @pytest.mark.parametrize("budget", [32, 61, 96])
+    def test_uniform_workload_reduces_to_mass_split(self, seed, budget):
+        """Under all-ranges the endpoint pressure is constant across
+        equal-width shards, so the two splits must agree *bitwise*."""
+        data, starts = self._setup(seed)
+        by_workload = split_budget_by_workload(
+            "a0", data, starts, budget, all_ranges(data.size)
+        )
+        by_mass = split_budget_by_mass("a0", data, starts, budget)
+        np.testing.assert_array_equal(by_workload, by_mass)
+
+    def test_skewed_workload_shifts_budget_to_hot_shard(self):
+        data, starts = self._setup()
+        lows = np.full(100, 100, dtype=np.int64)
+        highs = np.full(100, 110, dtype=np.int64)
+        workload = Workload(n=data.size, lows=lows, highs=highs)
+        by_workload = split_budget_by_workload("a0", data, starts, 64, workload)
+        by_mass = split_budget_by_mass("a0", data, starts, 64)
+        hot = np.searchsorted(starts, 100, side="right") - 1
+        assert by_workload[hot] > by_mass[hot]
+
+    def test_empty_workload_rejected(self):
+        data, starts = self._setup()
+        empty = Workload(
+            n=data.size,
+            lows=np.array([], dtype=np.int64),
+            highs=np.array([], dtype=np.int64),
+        )
+        with pytest.raises(InvalidParameterError, match="empty workload"):
+            split_budget_by_workload("a0", data, starts, 64, empty)
+        with pytest.raises(InvalidParameterError, match="empty workload"):
+            split_budget_by_workload("a0", data, starts, 64, None)
+
+    def test_zero_total_weight_rejected(self):
+        data, starts = self._setup()
+        workload = Workload(
+            n=data.size,
+            lows=np.array([1, 2], dtype=np.int64),
+            highs=np.array([5, 6], dtype=np.int64),
+            weights=np.zeros(2),
+        )
+        with pytest.raises(InvalidParameterError, match="zero total weight"):
+            split_budget_by_workload("a0", data, starts, 64, workload)
+
+    def test_mutated_negative_weights_rejected(self):
+        data, starts = self._setup()
+        workload = random_ranges(data.size, 10, seed=0)
+        workload.weights[3] = -1.0  # numpy arrays stay mutable post-init
+        with pytest.raises(InvalidParameterError, match="finite and non-negative"):
+            split_budget_by_workload("a0", data, starts, 64, workload)
+
+    def test_domain_mismatch_rejected(self):
+        data, starts = self._setup()
+        with pytest.raises(InvalidParameterError, match="does not match"):
+            split_budget_by_workload(
+                "a0", data, starts, 64, random_ranges(data.size + 1, 10, seed=0)
+            )
+
+    def test_non_finite_mass_rejected(self):
+        data, starts = self._setup()
+        data[0] = np.nan
+        with pytest.raises(InvalidParameterError, match="non-finite frequency mass"):
+            split_budget_by_workload(
+                "a0", data, starts, 64, random_ranges(data.size, 10, seed=0)
+            )
+
+    def test_zero_mass_under_workload_falls_back_to_mass_split(self):
+        data, starts = self._setup()
+        data[:] = 0.0
+        data[100:111] = 0.0  # hot band carries no mass either
+        workload = Workload(
+            n=data.size,
+            lows=np.full(10, 100, dtype=np.int64),
+            highs=np.full(10, 110, dtype=np.int64),
+        )
+        by_workload = split_budget_by_workload("a0", data, starts, 64, workload)
+        by_mass = split_budget_by_mass("a0", data, starts, 64)
+        np.testing.assert_array_equal(by_workload, by_mass)

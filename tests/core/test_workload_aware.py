@@ -150,3 +150,48 @@ class TestBuildWorkloadAware:
 def test_missing_workload_rejected(small_data):
     with pytest.raises(InvalidParameterError, match="query log"):
         build_workload_aware(small_data, 3)
+
+
+class TestDegenerateWorkloads:
+    """Regression: an empty or weightless workload makes every bucket
+    cost zero, so the DP boundaries are arbitrary — the constructor must
+    refuse instead of silently returning a garbage histogram."""
+
+    def _empty(self, n):
+        return Workload(
+            n=n,
+            lows=np.array([], dtype=np.int64),
+            highs=np.array([], dtype=np.int64),
+        )
+
+    def test_empty_workload_rejected(self, small_data):
+        with pytest.raises(InvalidParameterError, match="at least one query"):
+            WorkloadCosts(small_data, self._empty(small_data.size))
+
+    def test_empty_workload_rejected_by_builder(self, small_data):
+        with pytest.raises(InvalidParameterError, match="at least one query"):
+            build_workload_aware(small_data, 3, self._empty(small_data.size))
+
+    def test_zero_total_weight_rejected(self, small_data):
+        workload = Workload(
+            n=small_data.size,
+            lows=np.array([0, 1], dtype=np.int64),
+            highs=np.array([2, 3], dtype=np.int64),
+            weights=np.zeros(2),
+        )
+        with pytest.raises(InvalidParameterError, match="zero total weight"):
+            WorkloadCosts(small_data, workload)
+
+    def test_mutated_negative_weights_rejected(self, small_data):
+        """Workload validates at construction, but its arrays stay
+        mutable — the costs must re-check."""
+        workload = all_ranges(small_data.size)
+        workload.weights[0] = -2.0
+        with pytest.raises(InvalidParameterError, match="finite and non-negative"):
+            WorkloadCosts(small_data, workload)
+
+    def test_mutated_non_finite_weights_rejected(self, small_data):
+        workload = all_ranges(small_data.size)
+        workload.weights[0] = np.nan
+        with pytest.raises(InvalidParameterError, match="finite and non-negative"):
+            WorkloadCosts(small_data, workload)

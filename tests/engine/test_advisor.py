@@ -54,6 +54,63 @@ class TestRecommend:
         assert len(ranked) == 1 and ranked[0].method == "naive"
 
 
+class TestCrashingCandidates:
+    """Regression: ``recommend`` used to catch only ``ReproError``, so a
+    candidate dying with FloatingPointError/MemoryError aborted the whole
+    ranking instead of just losing."""
+
+    def test_non_repro_crash_does_not_abort_ranking(self, data, monkeypatch):
+        import repro.engine.advisor as advisor_module
+
+        real_build = advisor_module.build_by_name
+
+        def crashing_build(method, *args, **kwargs):
+            if method == "sap0":
+                raise FloatingPointError("overflow in DP table")
+            return real_build(method, *args, **kwargs)
+
+        monkeypatch.setattr(advisor_module, "build_by_name", crashing_build)
+        ranked = recommend(data, 30, candidates=("a0", "sap0", "point-opt"))
+        assert {choice.method for choice in ranked} == {"a0", "sap0", "point-opt"}
+        crashed = next(c for c in ranked if c.method == "sap0")
+        assert crashed.error == "FloatingPointError: overflow in DP table"
+        assert crashed is ranked[-1]  # inf SSE sorts last
+        assert ranked[0].error is None
+
+    def test_best_method_survives_a_crashing_candidate(self, data, monkeypatch):
+        import repro.engine.advisor as advisor_module
+
+        def crashing_build(method, *args, **kwargs):
+            raise MemoryError("budget too ambitious")
+
+        real_build = advisor_module.build_by_name
+        monkeypatch.setattr(
+            advisor_module,
+            "build_by_name",
+            lambda method, *a, **k: (
+                crashing_build(method, *a, **k)
+                if method == "sap1"
+                else real_build(method, *a, **k)
+            ),
+        )
+        assert best_method(data, 30, candidates=("sap1", "a0")) == "a0"
+
+    def test_candidate_kwargs_reach_the_builder(self, data):
+        from repro.queries.workload import random_ranges
+
+        observed = random_ranges(data.size, 50, seed=1)
+        ranked = recommend(
+            data,
+            30,
+            workload=observed,
+            candidates=("a0", "workload-a0"),
+            candidate_kwargs={"workload-a0": {"workload": observed}},
+        )
+        by_method = {choice.method: choice for choice in ranked}
+        # Without its workload kwarg the builder raises; with it, it builds.
+        assert by_method["workload-a0"].error is None
+
+
 class TestBestMethod:
     def test_returns_a_name(self, data):
         assert best_method(data, 30) in set(

@@ -1,0 +1,354 @@
+"""Tests for the audit -> optimise -> rebuild loop.
+
+The observed-workload recorder, the shard-budget reallocation, the
+cross-column moves, and the background daemon each get direct coverage;
+the load-bearing invariants are budget conservation (word-for-word,
+however few shards rebuild) and staleness preservation (reallocation
+re-summarises the frozen snapshot, like compaction).
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    AggregateQuery,
+    ApproximateQueryEngine,
+    BackgroundOptimizer,
+    BatchQuery,
+    ObservedWorkload,
+    Table,
+)
+from repro.errors import InvalidParameterError
+
+
+def _skewed_engine(seed=0, budget=192, shards=16, workload_capacity=512):
+    """Flat heavy bulk, data-light staircase hot band in shards 12-13."""
+    freq = np.full(1024, 50, dtype=np.int64)
+    freq[768:896] = np.arange(128) // 2
+    engine = ApproximateQueryEngine(workload_capacity=workload_capacity)
+    engine.register_table(Table("events", {"v": np.repeat(np.arange(1024), freq)}))
+    engine.build_synopsis("events", "v", method="a0", budget_words=budget, shards=shards)
+    return engine
+
+
+def _hot_batch(engine, queries=400, seed=0, aggregate="count"):
+    rng = np.random.default_rng(seed)
+    lows = rng.integers(768, 890, queries)
+    highs = np.minimum(lows + rng.integers(1, 32, queries), 895)
+    return BatchQuery("events", "v", aggregate, lows.astype(float), highs.astype(float))
+
+
+class TestObservedWorkload:
+    def test_reservoir_respects_capacity_and_counts_stream(self):
+        recorder = ObservedWorkload(capacity=8, seed=1)
+        key = ("t", "c", "count")
+        recorder.record_many(key, np.arange(100), np.arange(100) + 5)
+        assert recorder.sampled(key) == 8
+        assert recorder.seen(key) == 100
+
+    def test_workload_weights_reflect_multiplicity(self):
+        recorder = ObservedWorkload(capacity=32)
+        key = ("t", "c", "count")
+        recorder.record_many(key, [3, 3, 3, 7], [9, 9, 9, 11])
+        workload = recorder.workload_for(key, 16)
+        assert len(workload) == 2
+        by_range = dict(zip(zip(workload.lows.tolist(), workload.highs.tolist()),
+                            workload.weights.tolist()))
+        assert by_range == {(3, 9): 3.0, (7, 11): 1.0}
+
+    def test_out_of_domain_ranges_dropped(self):
+        recorder = ObservedWorkload()
+        key = ("t", "c", "count")
+        recorder.record(key, 2, 30)  # beyond a shrunken domain of 16
+        recorder.record(key, 1, 4)
+        workload = recorder.workload_for(key, 16)
+        assert len(workload) == 1
+        assert recorder.workload_for(key, 3) is None
+
+    def test_column_workload_merges_aggregates(self):
+        recorder = ObservedWorkload()
+        recorder.record(("t", "c", "count"), 1, 5)
+        recorder.record(("t", "c", "sum"), 1, 5)
+        recorder.record(("t", "c", "sum"), 2, 6)
+        merged = recorder.column_workload("t", "c", 16)
+        by_range = dict(zip(zip(merged.lows.tolist(), merged.highs.tolist()),
+                            merged.weights.tolist()))
+        assert by_range == {(1, 5): 2.0, (2, 6): 1.0}
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(InvalidParameterError, match="capacity"):
+            ObservedWorkload(capacity=0)
+
+    def test_state_dict_roundtrip(self):
+        recorder = ObservedWorkload(capacity=4, seed=3)
+        key = ("t", "c", "count")
+        recorder.record_many(key, np.arange(20), np.arange(20) + 1)
+        state = recorder.state_dict()
+        json.dumps(state)  # must be JSON-serialisable as-is
+        restored = ObservedWorkload()
+        restored.load_state_dict(state)
+        assert restored.capacity == 4
+        assert restored.seen(key) == 20
+        assert restored.sampled(key) == 4
+        np.testing.assert_array_equal(
+            restored.workload_for(key, 64).lows,
+            recorder.workload_for(key, 64).lows,
+        )
+
+    def test_load_rejects_bad_state(self):
+        recorder = ObservedWorkload()
+        with pytest.raises(InvalidParameterError, match="version 1"):
+            recorder.load_state_dict({"version": 99})
+
+
+class TestRecorderWiring:
+    def test_scalar_audits_feed_the_recorder(self):
+        engine = _skewed_engine()
+        query = AggregateQuery("events", "v", "count", 768.0, 800.0)
+        for _ in range(5):
+            engine.execute(query, audit_rate=1.0)
+        assert engine.observed_workload.seen(("events", "v", "count")) == 5
+
+    def test_unaudited_queries_are_not_recorded(self):
+        engine = _skewed_engine()
+        engine.execute(AggregateQuery("events", "v", "count", 768.0, 800.0))
+        assert engine.observed_workload.seen(("events", "v", "count")) == 0
+
+    def test_batch_audits_feed_the_recorder(self):
+        engine = _skewed_engine()
+        engine.execute_batch(_hot_batch(engine, queries=50), audit_rate=1.0)
+        assert engine.observed_workload.seen(("events", "v", "count")) == 50
+
+    def test_avg_records_under_both_aggregates(self):
+        engine = _skewed_engine()
+        engine.execute(
+            AggregateQuery("events", "v", "avg", 768.0, 800.0), audit_rate=1.0
+        )
+        assert engine.observed_workload.seen(("events", "v", "count")) == 1
+        assert engine.observed_workload.seen(("events", "v", "sum")) == 1
+
+    def test_snapshot_appears_in_observability(self):
+        engine = _skewed_engine()
+        engine.execute_batch(_hot_batch(engine, queries=10), audit_rate=1.0)
+        snapshot = engine.observability_snapshot()["observed_workload"]
+        assert snapshot["events.v/count"]["seen"] == 10
+
+    def test_save_load_roundtrip(self, tmp_path):
+        engine = _skewed_engine()
+        engine.execute_batch(_hot_batch(engine, queries=40), audit_rate=1.0)
+        path = tmp_path / "observed.json"
+        engine.save_observed_workload(path)
+        fresh = _skewed_engine()
+        fresh.load_observed_workload(path)
+        assert fresh.observed_workload.seen(("events", "v", "count")) == 40
+
+
+class TestOptimizeBudgets:
+    def test_skewed_workload_shifts_budget_and_lowers_sse(self):
+        engine = _skewed_engine()
+        entry = engine._synopses[("events", "v")]
+        before = entry.count_estimator.budgets.copy()
+        batch = _hot_batch(engine)
+        results = engine.execute_batch(batch, with_exact=True, audit_rate=1.0)
+        sse_before = float(
+            np.mean([(r.estimate - r.exact) ** 2 for r in results])
+        )
+        report = engine.optimize_budgets(
+            min_samples=16, max_shard_rebuilds=16, reallocate_columns=False
+        )
+        after = engine._synopses[("events", "v")].count_estimator.budgets
+        assert report["shards_rebuilt"] > 0
+        assert int(after.sum()) == int(before.sum())  # conservation
+        assert int(after[12] + after[13]) > int(before[12] + before[13])
+        results = engine.execute_batch(batch, with_exact=True)
+        sse_after = float(
+            np.mean([(r.estimate - r.exact) ** 2 for r in results])
+        )
+        assert sse_after < sse_before / 2
+        stats = engine.stats()
+        assert stats["optimizer_runs"] == 1
+        assert stats["optimizer_shards_rebuilt"] == report["shards_rebuilt"]
+
+    def test_conservation_with_capped_rebuilds(self):
+        engine = _skewed_engine()
+        before = engine._synopses[("events", "v")].count_estimator.budgets.copy()
+        engine.execute_batch(_hot_batch(engine), audit_rate=1.0)
+        report = engine.optimize_budgets(
+            min_samples=16, max_shard_rebuilds=4, reallocate_columns=False
+        )
+        after = engine._synopses[("events", "v")].count_estimator.budgets
+        assert int(after.sum()) == int(before.sum())
+        touched = np.nonzero(after != before)[0]
+        assert 0 < touched.size <= 4
+        assert report["shards_rebuilt"] == touched.size
+
+    def test_too_few_samples_is_a_no_op(self):
+        engine = _skewed_engine()
+        engine.execute_batch(_hot_batch(engine, queries=10), audit_rate=1.0)
+        report = engine.optimize_budgets(min_samples=100)
+        assert report["shards_rebuilt"] == 0
+        assert report["columns_changed"] == 0
+
+    def test_uniform_workload_is_a_no_op(self):
+        """Queries matching the build prior should not trigger churn."""
+        engine = _skewed_engine()
+        rng = np.random.default_rng(4)
+        lows = rng.integers(0, 1000, 300)
+        highs = np.minimum(lows + rng.integers(1, 24, 300), 1023)
+        batch = BatchQuery("events", "v", "count", lows.astype(float), highs.astype(float))
+        engine.execute_batch(batch, audit_rate=1.0)
+        before = engine._synopses[("events", "v")].count_estimator.budgets.copy()
+        engine.optimize_budgets(
+            min_samples=16, min_shift_fraction=0.6, reallocate_columns=False
+        )
+        after = engine._synopses[("events", "v")].count_estimator.budgets
+        assert int(after.sum()) == int(before.sum())
+
+    def test_preserves_staleness(self):
+        engine = _skewed_engine()
+        engine.execute_batch(_hot_batch(engine), audit_rate=1.0)
+        engine.append_rows("events", {"v": np.full(10, 800)})
+        key = ("events", "v")
+        assert key in engine._stale
+        stale_since = engine._build_meta[key]["stale_since"]
+        report = engine.optimize_budgets(
+            min_samples=16, max_shard_rebuilds=16, reallocate_columns=False
+        )
+        assert report["shards_rebuilt"] > 0
+        assert key in engine._stale
+        assert engine._build_meta[key]["stale_since"] == stale_since
+
+    def test_metrics_and_knob_validation(self):
+        engine = _skewed_engine()
+        engine.execute_batch(_hot_batch(engine), audit_rate=1.0)
+        engine.optimize_budgets(
+            min_samples=16, max_shard_rebuilds=16, reallocate_columns=False
+        )
+        rendered = engine.metrics.render_prometheus()
+        assert "optimizer_reallocations_total" in rendered
+        assert "optimizer_rebuilds_total" in rendered
+        assert "optimizer_observed_sse_per_query" in rendered
+        for bad in (
+            {"min_samples": 0},
+            {"max_column_shift": 0.0},
+            {"max_column_shift": 1.5},
+            {"min_marginal_ratio": 0.5},
+            {"min_shift_fraction": -0.1},
+        ):
+            with pytest.raises(InvalidParameterError):
+                engine.optimize_budgets(**bad)
+
+    def test_column_reallocation_moves_budget_to_noisy_column(self):
+        rng = np.random.default_rng(7)
+        engine = ApproximateQueryEngine()
+        engine.register_table(
+            Table(
+                "t",
+                {
+                    "flat": np.repeat(np.arange(64), 47),
+                    "rough": rng.integers(0, 64, 64 * 47),
+                },
+            )
+        )
+        engine.build_synopsis("t", "flat", method="a0", budget_words=64)
+        engine.build_synopsis("t", "rough", method="a0", budget_words=64)
+        lows = rng.integers(0, 56, 200)
+        highs = np.minimum(lows + rng.integers(1, 8, 200), 63)
+        for column in ("flat", "rough"):
+            engine.execute_batch(
+                BatchQuery("t", column, "count", lows.astype(float), highs.astype(float)),
+                audit_rate=1.0,
+            )
+        report = engine.optimize_budgets(min_samples=16)
+        flat_budget = engine._synopses[("t", "flat")].budget_words
+        rough_budget = engine._synopses[("t", "rough")].budget_words
+        assert flat_budget + rough_budget == 128  # global conservation
+        assert report["column_reallocations"]
+        assert rough_budget > 64 > flat_budget
+        assert engine.stats()["optimizer_column_rebuilds"] == len(
+            report["column_reallocations"]
+        )
+        # The noisy column was re-advised on the observed workload.
+        methods = {
+            action["column"]: action["method_after"]
+            for action in report["column_reallocations"]
+        }
+        assert methods["rough"] == "workload-a0"
+
+
+class TestBudgetOverride:
+    def test_rejects_changes_to_untouched_shards(self):
+        engine = _skewed_engine()
+        entry = engine._synopses[("events", "v")]
+        estimator = entry.count_estimator
+        budgets = estimator.budgets.copy()
+        budgets[0] += 1  # shard 0 is not in the rebuild set
+        budgets[1] -= 1
+        with pytest.raises(InvalidParameterError, match="not being rebuilt"):
+            estimator.with_rebuilt_shards(
+                [5], entry.statistics.count_frequencies, budgets=budgets
+            )
+
+    def test_rejects_wrong_shape(self):
+        engine = _skewed_engine()
+        entry = engine._synopses[("events", "v")]
+        with pytest.raises(InvalidParameterError, match="budget override"):
+            entry.count_estimator.with_rebuilt_shards(
+                [5],
+                entry.statistics.count_frequencies,
+                budgets=np.array([1, 2, 3], dtype=np.int64),
+            )
+
+
+class _StubServer:
+    def __init__(self):
+        self.republish_calls = 0
+
+    def republish(self):
+        self.republish_calls += 1
+
+
+class TestBackgroundOptimizer:
+    def test_run_once_republishes_after_rebuilds(self):
+        engine = _skewed_engine()
+        engine.execute_batch(_hot_batch(engine), audit_rate=1.0)
+        server = _StubServer()
+        daemon = BackgroundOptimizer(
+            engine,
+            server=server,
+            min_samples=16,
+            max_shard_rebuilds=16,
+            reallocate_columns=False,
+        )
+        report = daemon.run_once()
+        assert report["shards_rebuilt"] > 0
+        assert daemon.cycles == 1
+        assert server.republish_calls == 1
+        # Second sweep converges: nothing rebuilt, nothing republished.
+        daemon.run_once()
+        assert server.republish_calls == 1
+
+    def test_start_stop_runs_cycles(self):
+        engine = _skewed_engine()
+        engine.execute_batch(_hot_batch(engine), audit_rate=1.0)
+        daemon = BackgroundOptimizer(
+            engine, interval=0.01, min_samples=16, reallocate_columns=False
+        )
+        daemon.start()
+        try:
+            deadline = 100
+            while daemon.cycles == 0 and deadline:
+                deadline -= 1
+                import time
+
+                time.sleep(0.01)
+        finally:
+            daemon.stop()
+        assert daemon.cycles > 0
+        assert daemon.errors == 0
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(InvalidParameterError, match="interval"):
+            BackgroundOptimizer(ApproximateQueryEngine(), interval=0.0)
